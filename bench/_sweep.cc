@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "exp/matrix.h"
+using namespace moca;
+int main(int argc, char** argv) {
+    ArgMap dummy(0,nullptr); (void)argc; (void)argv;
+    sim::SocConfig cfg;
+    for (double load : {1.0, 1.5, 2.0}) {
+        for (double qs : {1.0, 1.5, 2.0, 3.0}) {
+            workload::TraceConfig tr;
+            tr.set = workload::WorkloadSet::C;
+            tr.qos = workload::QosLevel::Medium;
+            tr.numTasks = 150; tr.loadFactor = load; tr.qosScale = qs; tr.seed = 2;
+            const auto specs = exp::makeTrace(tr, cfg);
+            std::printf("load=%.1f qos=%.1f :", load, qs);
+            for (auto kind : exp::allPolicies()) {
+                auto r = exp::runTrace(kind, specs, tr, cfg);
+                std::printf("  %s=%.2f(stp %.1f)", exp::policyKindName(kind), r.metrics.slaRate, r.metrics.stp);
+            }
+            std::printf("\n"); std::fflush(stdout);
+        }
+    }
+    return 0;
+}

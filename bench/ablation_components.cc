@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Component ablation of the MoCA design choices called out in
+ * DESIGN.md: hardware throttling (Sec. III-B), the scheduler's
+ * memory-aware pairing (Sec. III-D), the dynamic priority score
+ * (Sec. III-C), and the rare compute repartitioning — plus the
+ * simulator-side knob that idealizes the DRAM (max-min arbitration,
+ * no thrash), which shows how much of MoCA's benefit exists only
+ * because real unregulated memory systems misbehave.
+ *
+ * Usage: ablation_components [tasks=N] [seed=S] [set=a|b|c] [qos=l|m|h]
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+#include "moca/moca_policy.h"
+#include "sim/soc.h"
+
+using namespace moca;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    MocaPolicyConfig cfg;
+};
+
+metrics::RunMetrics
+runVariant(const MocaPolicyConfig &pc,
+           const std::vector<sim::JobSpec> &specs,
+           const sim::SocConfig &cfg, sim::SocStats *stats_out)
+{
+    MocaPolicy policy(cfg, pc);
+    sim::Soc soc(cfg, policy);
+    for (const auto &s : specs)
+        soc.addJob(s);
+    soc.run();
+    if (stats_out != nullptr)
+        *stats_out = soc.stats();
+    return metrics::computeMetrics(
+        soc.results(), [&](dnn::ModelId id) {
+            return exp::isolatedLatency(id, cfg.numTiles, cfg);
+        });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    sim::SocConfig cfg = bench::socConfigFromArgs(args);
+
+    workload::TraceConfig trace;
+    trace.numTasks = static_cast<int>(args.getInt("tasks", 200));
+    trace.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const std::string set = args.getString("set", "c");
+    trace.set = set == "a" ? workload::WorkloadSet::A
+        : set == "b" ? workload::WorkloadSet::B
+                     : workload::WorkloadSet::C;
+    const std::string qos = args.getString("qos", "m");
+    trace.qos = qos == "l" ? workload::QosLevel::Light
+        : qos == "h" ? workload::QosLevel::Hard
+                     : workload::QosLevel::Medium;
+
+    std::printf("== MoCA component ablation (%s, %s, tasks=%d, "
+                "seed=%llu) ==\n\n",
+                workload::workloadSetName(trace.set),
+                workload::qosLevelName(trace.qos), trace.numTasks,
+                static_cast<unsigned long long>(trace.seed));
+    bench::printSocBanner(cfg);
+
+    const auto specs = exp::makeTrace(trace, cfg);
+
+    MocaPolicyConfig full;
+    Variant variants[] = {
+        {"moca (full)", full},
+        {"- throttling", [&] {
+             auto c = full;
+             c.enableThrottling = false;
+             return c;
+         }()},
+        {"- mem-aware pairing", [&] {
+             auto c = full;
+             c.enableMemAwarePairing = false;
+             return c;
+         }()},
+        {"- dynamic score", [&] {
+             auto c = full;
+             c.enableDynamicScore = false;
+             return c;
+         }()},
+        {"- compute repartition", [&] {
+             auto c = full;
+             c.enableComputeRepartition = false;
+             return c;
+         }()},
+        {"- all (plain slots)", [&] {
+             auto c = full;
+             c.enableThrottling = false;
+             c.enableMemAwarePairing = false;
+             c.enableDynamicScore = false;
+             c.enableComputeRepartition = false;
+             return c;
+         }()},
+    };
+
+    Table t({"Variant", "SLA", "SLA p-High", "STP", "Fairness",
+             "Thrash (MB)"});
+    for (const auto &v : variants) {
+        sim::SocStats stats;
+        const auto m = runVariant(v.cfg, specs, cfg, &stats);
+        t.row().cell(v.name).cell(m.slaRate, 3)
+            .cell(m.slaRateHigh, 3).cell(m.stp, 2)
+            .cell(m.fairness, 4)
+            .cell(stats.thrashLostBytes / 1e6, 0);
+    }
+    t.print("MoCA component ablation");
+    t.writeCsv("ablation_components.csv");
+
+    // Simulator-side ablation: idealized memory system.
+    Table t2({"DRAM model", "SLA (moca)", "SLA (static)",
+              "STP (moca)", "STP (static)"});
+    for (bool ideal : {false, true}) {
+        sim::SocConfig c2 = cfg;
+        if (ideal) {
+            c2.dramProportionalArbitration = false;
+            c2.dramThrashFactor = 0.0;
+        }
+        exp::clearOracleCache();
+        const auto specs2 = exp::makeTrace(trace, c2);
+        sim::SocStats stats;
+        const auto moca_m =
+            runVariant(MocaPolicyConfig{}, specs2, c2, &stats);
+        const auto stat_r = exp::runTrace(
+            exp::PolicyKind::StaticPartition, specs2, trace, c2);
+        t2.row()
+            .cell(ideal ? "idealized (max-min, no thrash)"
+                        : "realistic (FCFS-like + thrash)")
+            .cell(moca_m.slaRate, 3)
+            .cell(stat_r.metrics.slaRate, 3)
+            .cell(moca_m.stp, 2)
+            .cell(stat_r.metrics.stp, 2);
+    }
+    exp::clearOracleCache();
+    t2.print("Memory-system realism ablation");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: the Table II
+ * configuration banner and default-trace plumbing, so every bench
+ * prints the SoC it is modelling alongside its results.
+ */
+
+#ifndef MOCA_BENCH_BENCH_COMMON_H
+#define MOCA_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+
+#include "common/argparse.h"
+#include "sim/config.h"
+
+namespace moca::bench {
+
+/** Print the Table II SoC configuration banner. */
+inline void
+printSocBanner(const sim::SocConfig &cfg)
+{
+    std::printf("SoC configuration (paper Table II):\n");
+    std::printf("  systolic array (per tile)  %dx%d\n", cfg.arrayDim,
+                cfg.arrayDim);
+    std::printf("  scratchpad (per tile)      %llu KiB\n",
+                static_cast<unsigned long long>(
+                    cfg.scratchpadBytes / KiB));
+    std::printf("  accumulator (per tile)     %llu KiB\n",
+                static_cast<unsigned long long>(
+                    cfg.accumulatorBytes / KiB));
+    std::printf("  accelerator tiles          %d\n", cfg.numTiles);
+    std::printf("  shared L2                  %llu MB, %d banks\n",
+                static_cast<unsigned long long>(cfg.l2Bytes / MiB),
+                cfg.l2Banks);
+    std::printf("  DRAM bandwidth             %.0f GB/s @ 1 GHz\n",
+                cfg.dramBytesPerCycle);
+    std::printf("\n");
+}
+
+/** Apply common key=value overrides to the SoC configuration. */
+inline sim::SocConfig
+socConfigFromArgs(const ArgMap &args)
+{
+    sim::SocConfig cfg;
+    cfg.numTiles =
+        static_cast<int>(args.getInt("tiles", cfg.numTiles));
+    cfg.dramBytesPerCycle =
+        args.getDouble("dram_bw", cfg.dramBytesPerCycle);
+    cfg.l2Bytes = static_cast<std::uint64_t>(
+        args.getInt("l2_kib",
+                    static_cast<std::int64_t>(cfg.l2Bytes / KiB))) *
+        KiB;
+    cfg.overlapF = args.getDouble("overlap_f", cfg.overlapF);
+    cfg.quantum = static_cast<Cycles>(
+        args.getInt("quantum", static_cast<std::int64_t>(cfg.quantum)));
+    return cfg;
+}
+
+} // namespace moca::bench
+
+#endif // MOCA_BENCH_BENCH_COMMON_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Figure 1 reproduction: average and worst-case latency increase of a
+ * DNN when co-located with 0..3 other randomly dispatched DNNs on the
+ * same SoC, with *no* contention management.  The paper runs 300
+ * randomized co-locations per point; the repetition count is
+ * configurable (default 120 to keep a laptop run short — the curves
+ * are already stable there).
+ *
+ * Expected shape (paper Sec. II-B): >= 40% average latency increase at
+ * x=4 for every network; AlexNet worst on average (memory-capacity
+ * sensitive FC layers); SqueezeNet's worst case > 3x isolated (short
+ * runtime, fully overlapped with memory-intensive co-runners).
+ *
+ * Usage: fig1_colocation_slowdown [reps=N] [seed=S]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/oracle.h"
+#include "sim/soc.h"
+
+using namespace moca;
+
+namespace {
+
+/** The four DNNs of the paper's Figure 1. */
+const std::vector<dnn::ModelId> kFig1Models = {
+    dnn::ModelId::ResNet50,
+    dnn::ModelId::AlexNet,
+    dnn::ModelId::GoogleNet,
+    dnn::ModelId::SqueezeNet,
+};
+
+/** One co-location run: the test job plus (x-1) random co-runners
+ *  dispatched at random offsets; returns the test job's latency. */
+Cycles
+colocatedLatency(dnn::ModelId test, int x, Rng &rng,
+                 const sim::SocConfig &cfg, Cycles test_iso)
+{
+    exp::SoloPolicy policy(cfg.numTiles / 4); // spatial co-location
+    sim::Soc soc(cfg, policy);
+
+    // The test job starts mid-window so co-runners dispatched both
+    // before and after it are possible — the worst case for a short
+    // network is being dispatched *into* an ongoing memory-intensive
+    // phase of a heavy co-runner.
+    const Cycles lead = 30'000'000;
+    sim::JobSpec spec;
+    spec.id = 0;
+    spec.model = &dnn::getModel(test);
+    spec.dispatch = lead;
+    spec.slaLatency = 0;
+    soc.addJob(spec);
+
+    for (int i = 1; i < x; ++i) {
+        sim::JobSpec co;
+        co.id = i;
+        const dnn::ModelId co_id =
+            kFig1Models[static_cast<std::size_t>(rng.uniformInt(
+                0,
+                static_cast<std::int64_t>(kFig1Models.size()) - 1))];
+        co.model = &dnn::getModel(co_id);
+        // Dispatch so the co-runner can overlap the test job at a
+        // random phase: anywhere from "co-runner still executing
+        // when the test job starts" to "co-runner starts during the
+        // test job's run".
+        const auto co_iso = static_cast<std::int64_t>(
+            exp::isolatedLatency(co_id, cfg.numTiles / 4, cfg));
+        const auto lo = std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(lead) - co_iso);
+        co.dispatch = static_cast<Cycles>(rng.uniformInt(
+            lo, static_cast<std::int64_t>(lead + test_iso)));
+        co.slaLatency = 0;
+        soc.addJob(co);
+    }
+    soc.run();
+    for (const auto &r : soc.results())
+        if (r.spec.id == 0)
+            return r.finish - r.spec.dispatch;
+    fatal("test job did not complete");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const int reps = static_cast<int>(args.getInt("reps", 120));
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    std::printf("== Figure 1: latency increase under co-location "
+                "(reps=%d seed=%llu) ==\n\n", reps,
+                static_cast<unsigned long long>(seed));
+    bench::printSocBanner(cfg);
+
+    Table avg({"Model", "x=1", "x=2", "x=3", "x=4"});
+    Table worst({"Model", "x=1", "x=2", "x=3", "x=4"});
+
+    for (dnn::ModelId id : kFig1Models) {
+        Rng rng(seed);
+        // Isolated reference: alone on its 2-tile partition.
+        exp::SoloPolicy solo(cfg.numTiles / 4);
+        sim::Soc iso_soc(cfg, solo);
+        sim::JobSpec spec;
+        spec.id = 0;
+        spec.model = &dnn::getModel(id);
+        iso_soc.addJob(spec);
+        iso_soc.run();
+        const Cycles iso = iso_soc.results()[0].latency();
+
+        avg.row().cell(dnn::modelIdName(id)).cell(1.0, 2);
+        worst.row().cell(dnn::modelIdName(id)).cell(1.0, 2);
+        for (int x = 2; x <= 4; ++x) {
+            SampleSet norm;
+            for (int rep = 0; rep < reps; ++rep) {
+                const Cycles lat =
+                    colocatedLatency(id, x, rng, cfg, iso);
+                norm.add(static_cast<double>(lat) /
+                         static_cast<double>(iso));
+            }
+            avg.cell(norm.mean(), 2);
+            worst.cell(norm.max(), 2);
+        }
+    }
+
+    avg.print("Figure 1a: average latency increase "
+              "(normalized to isolated)");
+    avg.writeCsv("fig1_avg.csv");
+    worst.print("Figure 1b: worst-case latency increase "
+                "(normalized to isolated)");
+    worst.writeCsv("fig1_worst.csv");
+
+    std::printf("\npaper shape check: >=1.4x average at x=4; AlexNet "
+                "worst average case;\nSqueezeNet worst-case > 3x.\n");
+    return 0;
+}

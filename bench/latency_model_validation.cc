@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Algorithm 1 validation: the paper reports that the MoCA runtime's
+ * latency prediction is "within 10% of measured runtimes across
+ * networks and layers".  This harness compares the analytical
+ * prediction against the simulator's measured isolated latency for
+ * every model at 1/2/4/8 tiles, and demonstrates the overlap_f tuning
+ * utility (Sec. III-C) by recovering the overlap factor from a small
+ * set of measured layers.
+ *
+ * Usage: latency_model_validation
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/oracle.h"
+#include "moca/runtime/latency_model.h"
+
+using namespace moca;
+
+namespace {
+
+/** Measure a single layer's isolated latency by running it as a
+ *  one-layer model on the simulator. */
+double
+measureLayer(const dnn::Layer &layer, int tiles,
+             const sim::SocConfig &cfg)
+{
+    const dnn::Model one("single", dnn::ModelSize::Light, {layer});
+    exp::SoloPolicy policy(tiles);
+    sim::Soc soc(cfg, policy);
+    sim::JobSpec spec;
+    spec.id = 0;
+    spec.model = &one;
+    soc.addJob(spec);
+    soc.run();
+    return static_cast<double>(soc.results()[0].latency());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+
+    std::printf("== Algorithm 1 validation: prediction vs. measured "
+                "isolated latency ==\n\n");
+    bench::printSocBanner(cfg);
+
+    runtime::LatencyModel model(cfg);
+
+    Table t({"Model", "Tiles", "Measured (Kcyc)", "Predicted (Kcyc)",
+             "Error %"});
+    StatAccum errors;
+    double worst = 0.0;
+    for (dnn::ModelId id : dnn::allModelIds()) {
+        for (int tiles : {1, 2, 4, 8}) {
+            const double measured = static_cast<double>(
+                exp::isolatedLatency(id, tiles, cfg));
+            const double predicted =
+                model.estimateModel(dnn::getModel(id), tiles);
+            const double err =
+                100.0 * (predicted - measured) / measured;
+            errors.add(std::abs(err));
+            worst = std::max(worst, std::abs(err));
+            t.row().cell(dnn::modelIdName(id))
+                .cell(static_cast<long long>(tiles))
+                .cell(measured / 1e3, 1)
+                .cell(predicted / 1e3, 1)
+                .cell(err, 1);
+        }
+    }
+    t.print("Per-model prediction error");
+    t.writeCsv("latency_validation.csv");
+
+    std::printf("\nmean |error| = %.2f%%, worst |error| = %.2f%% "
+                "(paper: within 10%%)\n", errors.mean(), worst);
+
+    // --- overlap_f tuning utility demo --------------------------------
+    std::printf("\n== overlap_f tuning utility (Sec. III-C) ==\n");
+    std::vector<std::pair<const dnn::Layer *, double>> measured;
+    const auto &probe = dnn::getModel(dnn::ModelId::ResNet50);
+    // "running a few DNN layers before starting inference queries"
+    for (std::size_t i = 2; i < probe.numLayers() && measured.size() < 6;
+         i += 7) {
+        const dnn::Layer &l = probe.layer(i);
+        if (l.layerClass() != dnn::LayerClass::Compute)
+            continue;
+        measured.push_back({&l, measureLayer(l, 2, cfg)});
+    }
+    const double tuned = runtime::tuneOverlapF(cfg, measured, 2);
+    std::printf("tuned overlap_f = %.2f (SoC configured with %.2f)\n",
+                tuned, cfg.overlapF);
+    return 0;
+}

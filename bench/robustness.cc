@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Robustness study: the headline MoCA-over-baselines ratios must not
+ * be artifacts of one random trace.  Sweeps (a) five seeds and (b)
+ * three arrival processes (Poisson / uniform-jitter / bursty) on
+ * Workload-C QoS-M, and (c) compares the paper's layer-*block*
+ * reconfiguration granularity against per-layer reconfiguration
+ * (Sec. IV-D adopts blocks following Veltair).
+ *
+ * Usage: robustness [tasks=N]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+
+using namespace moca;
+
+namespace {
+
+struct Ratios
+{
+    double vsStatic = 0.0;
+    double vsPlanaria = 0.0;
+    double vsPrema = 0.0;
+    double mocaSla = 0.0;
+};
+
+Ratios
+runOnce(const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    const auto specs = exp::makeTrace(trace, cfg);
+    auto sla = [&](exp::PolicyKind k) {
+        return std::max(
+            exp::runTrace(k, specs, trace, cfg).metrics.slaRate,
+            1e-3);
+    };
+    Ratios r;
+    r.mocaSla = sla(exp::PolicyKind::Moca);
+    r.vsStatic = r.mocaSla / sla(exp::PolicyKind::StaticPartition);
+    r.vsPlanaria = r.mocaSla / sla(exp::PolicyKind::Planaria);
+    r.vsPrema = r.mocaSla / sla(exp::PolicyKind::Prema);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const int tasks = static_cast<int>(args.getInt("tasks", 150));
+
+    std::printf("== Robustness: seeds, arrival processes, reconfig "
+                "granularity (Workload-C QoS-M, tasks=%d) ==\n\n",
+                tasks);
+
+    // ---- (a) seed sweep ----------------------------------------------
+    {
+        Table t({"Seed", "MoCA SLA", "MoCA/Static", "MoCA/Planaria",
+                 "MoCA/Prema"});
+        StatAccum vs_static;
+        for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+            workload::TraceConfig trace;
+            trace.numTasks = tasks;
+            trace.seed = seed;
+            const Ratios r = runOnce(trace, cfg);
+            vs_static.add(r.vsStatic);
+            t.row().cell(static_cast<long long>(seed))
+                .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
+                .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
+        }
+        t.print("Seed sweep");
+        t.writeCsv("robustness_seeds.csv");
+        std::printf("\nMoCA/Static across seeds: mean %.2f, "
+                    "stddev %.2f, min %.2f\n", vs_static.mean(),
+                    vs_static.stddev(), vs_static.min());
+    }
+
+    // ---- (b) arrival-pattern sweep -------------------------------------
+    {
+        Table t({"Arrivals", "MoCA SLA", "MoCA/Static",
+                 "MoCA/Planaria", "MoCA/Prema"});
+        for (auto pattern : {workload::ArrivalPattern::Poisson,
+                             workload::ArrivalPattern::Uniform,
+                             workload::ArrivalPattern::Bursty}) {
+            workload::TraceConfig trace;
+            trace.numTasks = tasks;
+            trace.seed = 1;
+            trace.arrivals = pattern;
+            const Ratios r = runOnce(trace, cfg);
+            t.row().cell(workload::arrivalPatternName(pattern))
+                .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
+                .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
+        }
+        t.print("Arrival-process sweep");
+        t.writeCsv("robustness_arrivals.csv");
+    }
+
+    // ---- (c) reconfiguration granularity ------------------------------
+    {
+        Table t({"Granularity", "MoCA SLA", "STP",
+                 "Throttle reconfigs"});
+        for (bool per_layer : {false, true}) {
+            sim::SocConfig c2 = cfg;
+            c2.layerBoundaryEvents = per_layer;
+            workload::TraceConfig trace;
+            trace.numTasks = tasks;
+            trace.seed = 1;
+            exp::clearOracleCache();
+            const auto specs = exp::makeTrace(trace, c2);
+            const auto r = exp::runTrace(exp::PolicyKind::Moca, specs,
+                                         trace, c2);
+            t.row().cell(per_layer ? "per layer" : "layer block")
+                .cell(r.metrics.slaRate, 3).cell(r.metrics.stp, 2)
+                .cell(static_cast<long long>(
+                    r.totalThrottleReconfigs));
+        }
+        exp::clearOracleCache();
+        t.print("Reconfiguration granularity (Sec. IV-D)");
+        t.writeCsv("robustness_granularity.csv");
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SoC-configuration sensitivity study, mirroring the artifact
+ * appendix's "Experiment customization" (users can reconfigure the
+ * shared L2, the accelerator tiles, and the memory system):
+ *
+ *  - DRAM bandwidth sweep: contention management matters most when
+ *    bandwidth is scarce; MoCA's margin over static should shrink as
+ *    the channel gets faster.
+ *  - Shared L2 capacity sweep: capacity contention drives DRAM
+ *    traffic (Fig. 1's AlexNet pathology); more L2 relieves it.
+ *  - Tile-count sweep: how the mechanisms scale with the number of
+ *    co-located partitions.
+ *
+ * Usage: sensitivity_sweeps [tasks=N] [seed=S]
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+
+using namespace moca;
+
+namespace {
+
+struct Point
+{
+    double mocaSla = 0.0;
+    double staticSla = 0.0;
+    double mocaStp = 0.0;
+    double staticStp = 0.0;
+};
+
+Point
+runPoint(const sim::SocConfig &cfg, int tasks, std::uint64_t seed)
+{
+    workload::TraceConfig trace;
+    trace.set = workload::WorkloadSet::C;
+    trace.qos = workload::QosLevel::Medium;
+    trace.numTasks = tasks;
+    trace.seed = seed;
+    trace.numTiles = cfg.numTiles;
+
+    exp::clearOracleCache();
+    const auto specs = exp::makeTrace(trace, cfg);
+    const auto moca =
+        exp::runTrace(exp::PolicyKind::Moca, specs, trace, cfg);
+    const auto stat = exp::runTrace(exp::PolicyKind::StaticPartition,
+                                    specs, trace, cfg);
+    exp::clearOracleCache();
+
+    Point p;
+    p.mocaSla = moca.metrics.slaRate;
+    p.staticSla = stat.metrics.slaRate;
+    p.mocaStp = moca.metrics.stp;
+    p.staticStp = stat.metrics.stp;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    const int tasks = static_cast<int>(args.getInt("tasks", 120));
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    std::printf("== SoC sensitivity sweeps (MoCA vs static, "
+                "Workload-C QoS-M, tasks=%d) ==\n\n", tasks);
+
+    {
+        Table t({"DRAM (GB/s)", "MoCA SLA", "Static SLA",
+                 "MoCA/Static", "MoCA STP", "Static STP"});
+        for (double bw : {8.0, 16.0, 32.0, 64.0}) {
+            sim::SocConfig cfg;
+            cfg.dramBytesPerCycle = bw;
+            const Point p = runPoint(cfg, tasks, seed);
+            t.row().cell(bw, 0).cell(p.mocaSla, 3)
+                .cell(p.staticSla, 3)
+                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
+                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
+        }
+        t.print("DRAM bandwidth sweep");
+        t.writeCsv("sweep_dram_bw.csv");
+    }
+
+    {
+        Table t({"L2 (MB)", "MoCA SLA", "Static SLA", "MoCA/Static",
+                 "MoCA STP", "Static STP"});
+        for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
+            sim::SocConfig cfg;
+            cfg.l2Bytes = mb * MiB;
+            const Point p = runPoint(cfg, tasks, seed);
+            t.row().cell(static_cast<long long>(mb))
+                .cell(p.mocaSla, 3).cell(p.staticSla, 3)
+                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
+                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
+        }
+        t.print("Shared L2 capacity sweep");
+        t.writeCsv("sweep_l2.csv");
+    }
+
+    {
+        Table t({"Tiles", "MoCA SLA", "Static SLA", "MoCA/Static",
+                 "MoCA STP", "Static STP"});
+        for (int tiles : {4, 8, 16}) {
+            sim::SocConfig cfg;
+            cfg.numTiles = tiles;
+            const Point p = runPoint(cfg, tasks, seed);
+            t.row().cell(static_cast<long long>(tiles))
+                .cell(p.mocaSla, 3).cell(p.staticSla, 3)
+                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
+                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
+        }
+        t.print("Accelerator tile-count sweep");
+        t.writeCsv("sweep_tiles.csv");
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "area/area_model.h"
+
+namespace moca::area {
+
+double
+MocaHwModel::areaUm2() const
+{
+    const int flops = accessCounterBits + thresholdRegBits +
+        windowCounterBits + windowRegBits + fsmStateBits;
+    const double flop_area = flops * um2PerFlop;
+
+    // Comparator logic: one magnitude comparator per comparison,
+    // sized by the wider operand (use the counter width).
+    const double cmp_nand2 =
+        comparators * nand2PerComparatorBit * accessCounterBits;
+    // Increment logic for the two counters (~3 NAND2 per bit).
+    const double inc_nand2 =
+        3.0 * (accessCounterBits + windowCounterBits);
+    const double logic_area = (cmp_nand2 + inc_nand2) * um2PerNand2;
+
+    return (flop_area + logic_area) * prOverhead;
+}
+
+TileAreaBreakdown
+tileAreaBreakdown(const MocaHwModel &hw)
+{
+    TileAreaBreakdown b;
+    // Paper Table IV, GlobalFoundries 12 nm synthesis + P&R.
+    b.components = {
+        {"Rocket CPU", 101'000.0},
+        {"Scratchpad", 58'000.0},
+        {"Accumulator", 75'000.0},
+        {"Systolic Array", 78'000.0},
+        {"Instruction Queues", 14'000.0},
+        {"Memory Interface w/o MoCA", 8'600.0},
+    };
+    b.memIfUm2 = 8'600.0;
+    b.mocaHwUm2 = hw.areaUm2();
+    b.components.push_back({"MoCA hardware", b.mocaHwUm2});
+    b.tileTotalUm2 = 493'000.0 + b.mocaHwUm2;
+    return b;
+}
+
+} // namespace moca::area

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytical area model for a MoCA-enabled accelerator tile in a
+ * 12 nm process (paper Sec. V-E, Table IV).  The fixed component
+ * areas reproduce the paper's published breakdown; the MoCA hardware
+ * area is additionally derived from a gate-count model of its
+ * counters, configuration registers, comparators and FSM, calibrated
+ * to the process's flop/NAND2 footprints, so that configuration
+ * changes (counter widths, per-tile engine counts) update the
+ * overhead estimate.
+ */
+
+#ifndef MOCA_AREA_AREA_MODEL_H
+#define MOCA_AREA_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace moca::area {
+
+/** One row of the tile area breakdown. */
+struct AreaComponent
+{
+    std::string name;
+    double areaUm2 = 0.0; ///< Component area in um^2.
+};
+
+/** Gate-count model parameters for the MoCA hardware engine. */
+struct MocaHwModel
+{
+    int accessCounterBits = 32;  ///< Access Counter width.
+    int thresholdRegBits = 32;   ///< threshold_load config register.
+    int windowCounterBits = 32;  ///< Window position counter.
+    int windowRegBits = 32;      ///< window config register.
+    int fsmStateBits = 2;        ///< Thresholding-module FSM state.
+    int comparators = 2;         ///< counter>=threshold, window roll.
+
+    /** 12 nm standard-cell footprints. */
+    double um2PerFlop = 0.55;
+    double um2PerNand2 = 0.12;
+    /** NAND2-equivalents per comparator bit. */
+    double nand2PerComparatorBit = 4.5;
+    /** Wiring/overhead multiplier after place-and-route. */
+    double prOverhead = 1.25;
+
+    /** Estimated engine area in um^2. */
+    double areaUm2() const;
+};
+
+/** Tile area breakdown (Table IV). */
+struct TileAreaBreakdown
+{
+    std::vector<AreaComponent> components;
+    double tileTotalUm2 = 0.0;
+
+    /** MoCA hardware area in um^2. */
+    double mocaHwUm2 = 0.0;
+    /** Memory interface area without MoCA. */
+    double memIfUm2 = 0.0;
+
+    /** MoCA overhead as a fraction of the memory interface. */
+    double mocaVsMemIf() const { return mocaHwUm2 / memIfUm2; }
+    /** MoCA overhead as a fraction of the whole tile. */
+    double mocaVsTile() const { return mocaHwUm2 / tileTotalUm2; }
+};
+
+/**
+ * Build the Table IV breakdown.  Fixed component areas come from the
+ * paper's GlobalFoundries 12 nm synthesis; the MoCA hardware entry
+ * uses the gate-count model.
+ */
+TileAreaBreakdown tileAreaBreakdown(const MocaHwModel &hw = MocaHwModel());
+
+} // namespace moca::area
+
+#endif // MOCA_AREA_AREA_MODEL_H

@@ -1,0 +1,25 @@
+#include "baselines/compute_estimator.h"
+
+#include "sim/compute_model.h"
+
+namespace moca::baselines {
+
+double
+computeOnlyEstimate(const dnn::Model &model, std::size_t from_layer,
+                    int num_tiles, const sim::SocConfig &cfg)
+{
+    double total = 0.0;
+    for (std::size_t i = from_layer; i < model.numLayers(); ++i)
+        total += static_cast<double>(
+            sim::computeCycles(model.layer(i), num_tiles, cfg));
+    return total;
+}
+
+double
+computeOnlyEstimate(const dnn::Model &model, int num_tiles,
+                    const sim::SocConfig &cfg)
+{
+    return computeOnlyEstimate(model, 0, num_tiles, cfg);
+}
+
+} // namespace moca::baselines

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Compute-oriented latency estimation, as used by the prior
+ * multi-tenant schedulers the paper compares against (PREMA [9],
+ * Planaria [18]): remaining latency is the sum of systolic-array
+ * compute cycles, with no model of the shared memory system.  The
+ * paper's critique ("compute-oriented latency estimation in prior
+ * multi-tenant solutions") is precisely that this underestimates
+ * memory-bound work — which is why the baselines' schedulers make
+ * memory-oblivious decisions here.
+ */
+
+#ifndef MOCA_BASELINES_COMPUTE_ESTIMATOR_H
+#define MOCA_BASELINES_COMPUTE_ESTIMATOR_H
+
+#include "dnn/model.h"
+#include "sim/config.h"
+
+namespace moca::baselines {
+
+/** Compute-only cycle estimate for layers [from_layer, end) on
+ *  `num_tiles` tiles. */
+double computeOnlyEstimate(const dnn::Model &model,
+                           std::size_t from_layer, int num_tiles,
+                           const sim::SocConfig &cfg);
+
+/** Whole-model compute-only estimate. */
+double computeOnlyEstimate(const dnn::Model &model, int num_tiles,
+                           const sim::SocConfig &cfg);
+
+} // namespace moca::baselines
+
+#endif // MOCA_BASELINES_COMPUTE_ESTIMATOR_H

@@ -1,0 +1,191 @@
+#include "baselines/planaria.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/compute_estimator.h"
+#include "common/log.h"
+
+namespace moca::baselines {
+
+PlanariaPolicy::PlanariaPolicy(const sim::SocConfig &soc_cfg,
+                               const PlanariaConfig &cfg)
+    : cfg_(cfg), socCfg_(soc_cfg)
+{
+    if (cfg_.minTiles < 1)
+        fatal("planaria: minTiles must be >= 1");
+}
+
+double
+PlanariaPolicy::demandWeight(const sim::Soc &soc,
+                             const sim::Job &job) const
+{
+    // Deadline pressure: compute-only remaining work on one tile over
+    // the time left to the SLA target, scaled by priority.  This is
+    // the memory-oblivious estimate the paper critiques.
+    const double remain = computeOnlyEstimate(
+        *job.spec.model, job.layerIdx, 1, socCfg_);
+    const double deadline = static_cast<double>(job.spec.dispatch) +
+        static_cast<double>(job.spec.slaLatency);
+    const double slack =
+        std::max(1000.0, deadline - static_cast<double>(soc.now()));
+    return (job.spec.priority + 1.0) * remain / slack;
+}
+
+void
+PlanariaPolicy::refission(sim::Soc &soc)
+{
+    // Candidate set: running jobs plus the highest-scored waiting
+    // jobs, up to the concurrency cap.
+    std::vector<int> candidates = soc.runningJobs();
+    {
+        // Admission order is deadline-driven: priority over remaining
+        // slack, so short-deadline (light) tasks are not starved by
+        // heavyweight arrivals.
+        auto urgency = [&](int id) {
+            const sim::Job &j = soc.job(id);
+            const double deadline =
+                static_cast<double>(j.spec.dispatch) +
+                static_cast<double>(j.spec.slaLatency);
+            const double slack = std::max(
+                1000.0, deadline - static_cast<double>(soc.now()));
+            return (j.spec.priority + 1.0) / slack;
+        };
+        std::vector<int> waiting = soc.waitingJobs();
+        std::stable_sort(waiting.begin(), waiting.end(),
+                         [&](int a, int b) {
+                             return urgency(a) > urgency(b);
+                         });
+        for (int id : waiting) {
+            if (static_cast<int>(candidates.size()) >=
+                std::min(cfg_.maxConcurrent, socCfg_.numTiles))
+                break;
+            candidates.push_back(id);
+        }
+    }
+
+    desired_.clear();
+    if (candidates.empty())
+        return;
+
+    // Proportional apportionment of tiles by demand weight, with a
+    // per-job floor of minTiles (largest-remainder rounding).
+    double total_weight = 0.0;
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (int id : candidates) {
+        const double w = std::max(1e-9, demandWeight(soc, soc.job(id)));
+        weights.push_back(w);
+        total_weight += w;
+    }
+
+    const int tiles = socCfg_.numTiles;
+    const int floor_tiles = cfg_.minTiles;
+    std::vector<int> alloc(candidates.size(), floor_tiles);
+    int remaining = tiles -
+        floor_tiles * static_cast<int>(candidates.size());
+    if (remaining < 0) {
+        // More candidates than tiles allow at the floor: drop the
+        // lowest-weight tail.
+        while (remaining < 0 && !candidates.empty()) {
+            std::size_t worst = 0;
+            for (std::size_t i = 1; i < candidates.size(); ++i)
+                if (weights[i] < weights[worst])
+                    worst = i;
+            total_weight -= weights[worst];
+            candidates.erase(candidates.begin() +
+                             static_cast<std::ptrdiff_t>(worst));
+            weights.erase(weights.begin() +
+                          static_cast<std::ptrdiff_t>(worst));
+            alloc.pop_back();
+            remaining += floor_tiles;
+        }
+    }
+
+    std::vector<std::pair<double, std::size_t>> fracs;
+    double frac_total = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const double share =
+            remaining * weights[i] / std::max(1e-12, total_weight);
+        const int whole = static_cast<int>(share);
+        alloc[i] += whole;
+        fracs.push_back({share - whole, i});
+        frac_total += share;
+    }
+    int leftover = remaining;
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        leftover -= alloc[i] - floor_tiles;
+    std::stable_sort(fracs.begin(), fracs.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    for (int k = 0; k < leftover && k < static_cast<int>(fracs.size());
+         ++k)
+        alloc[fracs[static_cast<std::size_t>(k)].second]++;
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const int id = candidates[i];
+        // Hysteresis at pod granularity: a running job's allocation
+        // only changes when the target moves by more than one tile,
+        // avoiding migration churn on every +-1 rebalance.
+        const sim::Job &j = soc.job(id);
+        if (j.state == sim::JobState::Running &&
+            std::abs(alloc[i] - j.numTiles) <= 1) {
+            desired_[id] = j.numTiles;
+        } else {
+            desired_[id] = alloc[i];
+        }
+    }
+}
+
+void
+PlanariaPolicy::admit(sim::Soc &soc)
+{
+    for (int id : soc.waitingJobs()) {
+        auto it = desired_.find(id);
+        if (it == desired_.end())
+            continue;
+        const int want = std::min(it->second, soc.freeTiles());
+        if (want >= cfg_.minTiles)
+            soc.startJob(id, want);
+    }
+    // Safety: never idle the whole SoC while work is queued.
+    if (soc.runningJobs().empty() && !soc.waitingJobs().empty()) {
+        const int id = soc.waitingJobs().front();
+        soc.startJob(id, std::max(cfg_.minTiles, soc.freeTiles()));
+        desired_[id] = soc.job(id).numTiles;
+    }
+}
+
+void
+PlanariaPolicy::schedule(sim::Soc &soc, sim::SchedEvent event)
+{
+    if (event == sim::SchedEvent::JobArrival ||
+        event == sim::SchedEvent::JobCompletion ||
+        soc.runningJobs().empty())
+        refission(soc);
+    admit(soc);
+}
+
+void
+PlanariaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+{
+    // Apply this job's pending fission target, paying the
+    // thread-migration penalty.
+    auto it = desired_.find(job.spec.id);
+    if (it == desired_.end())
+        return;
+    const int target = std::min(it->second,
+                                job.numTiles + soc.freeTiles());
+    if (target >= cfg_.minTiles && target != job.numTiles)
+        soc.resizeJob(job.spec.id, target);
+}
+
+void
+PlanariaPolicy::onJobComplete(sim::Soc &, sim::Job &job)
+{
+    desired_.erase(job.spec.id);
+}
+
+} // namespace moca::baselines

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Planaria baseline [18]: dynamic architecture *fission* — the tile
+ * array is spatially repartitioned among co-located jobs at runtime.
+ * On every arrival and completion the policy recomputes each job's
+ * tile allocation from its deadline pressure (compute-only remaining
+ * work over slack, scaled by priority); allocation changes are
+ * applied at the affected job's next layer-block boundary and charge
+ * the thread-migration penalty (~1 M cycles, paper Sec. V-A).
+ *
+ * Two deliberate omissions mirror the paper's critique: the scheduler
+ * is memory-oblivious (compute-only estimates; no pairing of
+ * memory-bound with compute-bound jobs) and there is no memory-access
+ * regulation whatsoever.
+ */
+
+#ifndef MOCA_BASELINES_PLANARIA_H
+#define MOCA_BASELINES_PLANARIA_H
+
+#include <map>
+
+#include "sim/policy.h"
+#include "sim/soc.h"
+
+namespace moca::baselines {
+
+/** Planaria tuning knobs. */
+struct PlanariaConfig
+{
+    /** Smallest pod a job can be fissioned down to, in tiles. */
+    int minTiles = 1;
+
+    /** Cap on concurrently co-located jobs. */
+    int maxConcurrent = 8;
+};
+
+/** Dynamic compute-fission baseline policy. */
+class PlanariaPolicy : public sim::Policy
+{
+  public:
+    explicit PlanariaPolicy(const sim::SocConfig &soc_cfg,
+                            const PlanariaConfig &cfg = PlanariaConfig());
+
+    const char *name() const override { return "planaria"; }
+
+    void schedule(sim::Soc &soc, sim::SchedEvent event) override;
+    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
+    void onJobComplete(sim::Soc &soc, sim::Job &job) override;
+
+  private:
+    PlanariaConfig cfg_;
+    sim::SocConfig socCfg_;
+
+    /** Target allocation decided by the last fission; applied lazily
+     *  at each job's next block boundary. */
+    std::map<int, int> desired_;
+
+    /** Deadline-pressure weight of a job. */
+    double demandWeight(const sim::Soc &soc, const sim::Job &job) const;
+
+    /** Recompute the fission targets for running + admissible jobs. */
+    void refission(sim::Soc &soc);
+
+    /** Start waiting jobs that have a target and fit in free tiles. */
+    void admit(sim::Soc &soc);
+};
+
+} // namespace moca::baselines
+
+#endif // MOCA_BASELINES_PLANARIA_H

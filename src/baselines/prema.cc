@@ -1,0 +1,100 @@
+#include "baselines/prema.h"
+
+#include <algorithm>
+
+#include "baselines/compute_estimator.h"
+#include "common/log.h"
+
+namespace moca::baselines {
+
+PremaPolicy::PremaPolicy(const sim::SocConfig &soc_cfg,
+                         const PremaConfig &cfg)
+    : cfg_(cfg), socCfg_(soc_cfg)
+{
+}
+
+Cycles
+PremaPolicy::checkpointCycles(const sim::SocConfig &cfg)
+{
+    // Drain + restore every tile's scratchpad and accumulator through
+    // DRAM (the shared path all tiles contend on).
+    const double bytes = 2.0 *
+        static_cast<double>(cfg.scratchpadBytes +
+                            cfg.accumulatorBytes) *
+        cfg.numTiles;
+    return static_cast<Cycles>(bytes / cfg.dramBytesPerCycle);
+}
+
+double
+PremaPolicy::token(const sim::Soc &soc, const sim::Job &job) const
+{
+    // PREMA's token: static priority escalated by waiting time
+    // normalized to the job's (compute-oriented) estimated runtime.
+    const double wait = static_cast<double>(
+        soc.now() >= job.spec.dispatch
+            ? soc.now() - job.spec.dispatch : 0);
+    const double est = std::max(1.0,
+        computeOnlyEstimate(*job.spec.model, job.layerIdx,
+                            socCfg_.numTiles, socCfg_));
+    return static_cast<double>(job.spec.priority) + wait / est;
+}
+
+int
+PremaPolicy::bestCandidate(const sim::Soc &soc) const
+{
+    int best = -1;
+    double best_token = -1.0;
+    for (int id : soc.waitingJobs()) {
+        const double t = token(soc, soc.job(id));
+        if (t > best_token) {
+            best_token = t;
+            best = id;
+        }
+    }
+    return best;
+}
+
+void
+PremaPolicy::startNext(sim::Soc &soc)
+{
+    const int id = bestCandidate(soc);
+    if (id < 0)
+        return;
+    const sim::Job &j = soc.job(id);
+    // Restoring a preempted job refills its checkpointed on-chip
+    // state; a fresh job starts clean.
+    const Cycles penalty = j.state == sim::JobState::Paused
+        ? checkpointCycles(socCfg_) : 0;
+    soc.startJob(id, socCfg_.numTiles, penalty);
+}
+
+void
+PremaPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
+{
+    if (soc.runningJobs().empty())
+        startNext(soc);
+}
+
+void
+PremaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+{
+    // Preemption check: a waiting job whose token exceeds the
+    // runner's by the margin takes over at this block boundary,
+    // charging the checkpoint drain to the preempted job.
+    const int challenger = bestCandidate(soc);
+    if (challenger < 0)
+        return;
+    const double challenger_token =
+        token(soc, soc.job(challenger));
+    const double runner_token = token(soc, job);
+    if (challenger_token > runner_token + cfg_.preemptMargin) {
+        soc.pauseJob(job.spec.id);
+        const sim::Job &c = soc.job(challenger);
+        const Cycles penalty = checkpointCycles(socCfg_) +
+            (c.state == sim::JobState::Paused
+                 ? checkpointCycles(socCfg_) : 0);
+        soc.startJob(challenger, socCfg_.numTiles, penalty);
+    }
+}
+
+} // namespace moca::baselines

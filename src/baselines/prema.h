@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PREMA baseline [9]: predictive multi-task scheduling on a
+ * *time-multiplexed* accelerator.  One job at a time owns every tile;
+ * a token-based priority scheme (static priority escalated by
+ * normalized waiting time) picks the next job, and a higher-token
+ * arrival may preempt the current job at a layer-block boundary.
+ * Preemption drains and later restores the on-chip state
+ * (scratchpads + accumulators) through DRAM, which we charge as a
+ * checkpoint penalty derived from the SoC configuration.
+ */
+
+#ifndef MOCA_BASELINES_PREMA_H
+#define MOCA_BASELINES_PREMA_H
+
+#include "sim/policy.h"
+#include "sim/soc.h"
+
+namespace moca::baselines {
+
+/** PREMA tuning knobs. */
+struct PremaConfig
+{
+    /** Token advantage a challenger needs to preempt the runner. */
+    double preemptMargin = 2.0;
+};
+
+/** Temporal-multiplexing baseline policy. */
+class PremaPolicy : public sim::Policy
+{
+  public:
+    explicit PremaPolicy(const sim::SocConfig &soc_cfg,
+                         const PremaConfig &cfg = PremaConfig());
+
+    const char *name() const override { return "prema"; }
+
+    void schedule(sim::Soc &soc, sim::SchedEvent event) override;
+    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
+
+    /** Checkpoint (drain + restore) cost for one preemption. */
+    static Cycles checkpointCycles(const sim::SocConfig &cfg);
+
+  private:
+    PremaConfig cfg_;
+    sim::SocConfig socCfg_;
+
+    double token(const sim::Soc &soc, const sim::Job &job) const;
+    int bestCandidate(const sim::Soc &soc) const;
+    void startNext(sim::Soc &soc);
+};
+
+} // namespace moca::baselines
+
+#endif // MOCA_BASELINES_PREMA_H

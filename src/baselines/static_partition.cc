@@ -1,0 +1,55 @@
+#include "baselines/static_partition.h"
+
+#include <algorithm>
+
+#include "baselines/compute_estimator.h"
+#include "common/log.h"
+
+namespace moca::baselines {
+
+StaticPartitionPolicy::StaticPartitionPolicy(
+    const sim::SocConfig &soc_cfg, const StaticPartitionConfig &cfg)
+    : cfg_(cfg), socCfg_(soc_cfg)
+{
+    if (cfg_.partitions < 1 || cfg_.partitions > soc_cfg.numTiles)
+        fatal("static partitioning: partitions must be in "
+              "[1, numTiles]");
+}
+
+int
+StaticPartitionPolicy::tilesPerSlot() const
+{
+    return std::max(1, socCfg_.numTiles / cfg_.partitions);
+}
+
+void
+StaticPartitionPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
+{
+    const int per_slot = tilesPerSlot();
+
+    while (soc.freeTiles() >= per_slot) {
+        // Admit the waiting job with the best priority-plus-age
+        // score (ties broken by dispatch order).
+        int best = -1;
+        double best_score = -1.0;
+        for (int id : soc.waitingJobs()) {
+            const sim::Job &j = soc.job(id);
+            const double wait = static_cast<double>(
+                soc.now() >= j.spec.dispatch
+                    ? soc.now() - j.spec.dispatch : 0);
+            const double est = std::max(1.0,
+                computeOnlyEstimate(*j.spec.model, per_slot, socCfg_));
+            const double score =
+                static_cast<double>(j.spec.priority) + wait / est;
+            if (score > best_score) {
+                best_score = score;
+                best = id;
+            }
+        }
+        if (best < 0)
+            break;
+        soc.startJob(best, per_slot);
+    }
+}
+
+} // namespace moca::baselines

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static spatial-partitioning baseline (paper Sec. IV-D baseline 2):
+ * the tile array is split into fixed equal partitions at boot; each
+ * partition runs one job at a time, jobs are admitted in
+ * priority-plus-age order, and nothing is ever repartitioned,
+ * throttled, or preempted at runtime.
+ */
+
+#ifndef MOCA_BASELINES_STATIC_PARTITION_H
+#define MOCA_BASELINES_STATIC_PARTITION_H
+
+#include "sim/policy.h"
+#include "sim/soc.h"
+
+namespace moca::baselines {
+
+/** Static-partition tuning knobs. */
+struct StaticPartitionConfig
+{
+    /** Number of fixed partitions (tiles per slot =
+     *  numTiles / partitions). */
+    int partitions = 4;
+};
+
+/** Fixed spatial-partitioning baseline policy. */
+class StaticPartitionPolicy : public sim::Policy
+{
+  public:
+    explicit StaticPartitionPolicy(
+        const sim::SocConfig &soc_cfg,
+        const StaticPartitionConfig &cfg = StaticPartitionConfig());
+
+    const char *name() const override { return "static"; }
+
+    void schedule(sim::Soc &soc, sim::SchedEvent event) override;
+
+  private:
+    StaticPartitionConfig cfg_;
+    sim::SocConfig socCfg_;
+
+    int tilesPerSlot() const;
+};
+
+} // namespace moca::baselines
+
+#endif // MOCA_BASELINES_STATIC_PARTITION_H

@@ -1,0 +1,77 @@
+#include "common/argparse.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace moca {
+
+ArgMap::ArgMap(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            values_[arg] = "1";
+        } else {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+}
+
+bool
+ArgMap::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+ArgMap::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+ArgMap::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("argument %s=%s is not an integer",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+ArgMap::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("argument %s=%s is not a number",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+bool
+ArgMap::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("argument %s=%s is not a boolean", key.c_str(), v.c_str());
+}
+
+} // namespace moca

@@ -1,0 +1,148 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace moca {
+
+void
+StatAccum::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+StatAccum::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+StatAccum::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+StatAccum::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+StatAccum::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+StatAccum::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+StatAccum::reset()
+{
+    *this = StatAccum();
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!dirty_ && sorted_.size() == samples_.size())
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double s : samples_)
+        total += s;
+    return total / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+SampleSet::max() const
+{
+    ensureSorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (p < 0.0 || p > 100.0)
+        panic("percentile out of range: %f", p);
+    ensureSorted();
+    if (sorted_.empty())
+        return 0.0;
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+} // namespace moca

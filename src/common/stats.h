@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulator and the
+ * evaluation harness: streaming mean/min/max/stddev, percentile
+ * sampling, and geometric-mean helpers for the paper-style summary
+ * numbers.
+ */
+
+#ifndef MOCA_COMMON_STATS_H
+#define MOCA_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moca {
+
+/**
+ * Streaming accumulator with Welford's online variance algorithm.
+ * Cheap enough to keep one per hardware counter.
+ */
+class StatAccum
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Accumulator that retains all samples so that percentiles and tail
+ * statistics can be computed; used for latency distributions.
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Percentile with linear interpolation between closest ranks.
+     * @param p in [0, 100].
+     */
+    double percentile(double p) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = true;
+
+    void ensureSorted() const;
+};
+
+/** Geometric mean of positive values; fatals on non-positive input. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+/** Format a double with the given precision into a string. */
+std::string fmtDouble(double v, int precision = 3);
+
+} // namespace moca
+
+#endif // MOCA_COMMON_STATS_H

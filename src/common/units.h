@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator: cycle counts, byte sizes,
+ * and the conversions between bandwidth expressed in GB/s and
+ * bytes/cycle at the SoC clock.
+ */
+
+#ifndef MOCA_COMMON_UNITS_H
+#define MOCA_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace moca {
+
+/** Simulated clock cycles (1 GHz SoC clock in the default config). */
+using Cycles = std::uint64_t;
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * 1024ULL;
+constexpr std::uint64_t GiB = 1024ULL * 1024ULL * 1024ULL;
+
+/**
+ * Convert a bandwidth in GB/s (decimal gigabytes, as vendor specs use)
+ * to bytes per cycle at the given clock frequency in GHz.
+ */
+constexpr double
+gbpsToBytesPerCycle(double gbps, double clock_ghz = 1.0)
+{
+    return gbps / clock_ghz;
+}
+
+/** Ceiling division for integral types. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace moca
+
+#endif // MOCA_COMMON_UNITS_H

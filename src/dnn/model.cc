@@ -1,0 +1,95 @@
+#include "dnn/model.h"
+
+#include "common/log.h"
+
+namespace moca::dnn {
+
+Model::Model(std::string name, ModelSize size, std::vector<Layer> layers)
+    : name_(std::move(name)), size_(size), layers_(std::move(layers))
+{
+    if (layers_.empty())
+        fatal("model %s has no layers", name_.c_str());
+    for (const auto &l : layers_) {
+        total_macs_ += l.macCount();
+        total_weight_bytes_ += l.weightBytes() + l.biasBytes();
+    }
+}
+
+std::uint64_t
+Model::inputBytes() const
+{
+    return layers_.front().inputBytes();
+}
+
+const std::vector<LayerBlock> &
+Model::blocks() const
+{
+    if (!blocks_.empty())
+        return blocks_;
+
+    LayerBlock cur;
+    std::uint64_t cur_mem_traffic = 0;
+    std::uint64_t cur_compute_traffic = 0;
+
+    auto flush = [&]() {
+        if (cur.count == 0)
+            return;
+        cur.memBound = cur_mem_traffic > cur_compute_traffic;
+        blocks_.push_back(cur);
+        cur = LayerBlock();
+        cur.first = blocks_.back().first + blocks_.back().count;
+        cur_mem_traffic = 0;
+        cur_compute_traffic = 0;
+    };
+
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const Layer &l = layers_[i];
+        const bool is_mem = l.layerClass() == LayerClass::Mem;
+        const std::uint64_t traffic =
+            l.inputBytes() + l.outputBytes() + l.weightBytes() +
+            l.biasBytes();
+
+        // Close the block when it already met the MAC target and the
+        // next layer starts a compute region (MEM layers are folded
+        // into the preceding block; see header comment).
+        if (cur.count > 0 && !is_mem && cur.macs >= block_mac_target)
+            flush();
+
+        cur.count++;
+        cur.macs += l.macCount();
+        cur.weightBytes += l.weightBytes() + l.biasBytes();
+        cur.activationBytes += l.inputBytes() + l.outputBytes();
+        if (is_mem)
+            cur_mem_traffic += traffic;
+        else
+            cur_compute_traffic += traffic;
+    }
+    flush();
+
+    // Sanity: the blocks must tile the layer list exactly.
+    std::size_t covered = 0;
+    for (const auto &b : blocks_)
+        covered += b.count;
+    if (covered != layers_.size())
+        panic("block formation covered %zu of %zu layers in %s",
+              covered, layers_.size(), name_.c_str());
+    return blocks_;
+}
+
+Model
+sparsifyModel(const Model &model, double density)
+{
+    if (density <= 0.0 || density > 1.0)
+        fatal("sparsifyModel: density must be in (0, 1], got %f",
+              density);
+    std::vector<Layer> layers = model.layers();
+    for (auto &l : layers) {
+        if (l.layerClass() == LayerClass::Compute)
+            l.weightDensity = density;
+    }
+    return Model(model.name() + strprintf("-d%02d",
+                     static_cast<int>(density * 100)),
+                 model.size(), std::move(layers));
+}
+
+} // namespace moca::dnn

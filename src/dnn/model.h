@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A DNN inference model: an ordered list of layers plus the
+ * layer-block grouping the schedulers reconfigure at (Sec. IV-D of the
+ * paper: "we break down DNN networks into layer blocks, which consist
+ * of multiple layers, and reconfigure at the layer-block granularity").
+ */
+
+#ifndef MOCA_DNN_MODEL_H
+#define MOCA_DNN_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace moca::dnn {
+
+/** Model-size class used to form the paper's workload sets. */
+enum class ModelSize
+{
+    Light, ///< Workload set A members.
+    Heavy, ///< Workload set B members.
+};
+
+/**
+ * A contiguous group of layers executed under one resource
+ * configuration.  Blocks are formed so that layers inside a block have
+ * similar compute-to-memory character and the block is long enough to
+ * amortize a reconfiguration.
+ */
+struct LayerBlock
+{
+    std::size_t first = 0; ///< Index of the first layer in the block.
+    std::size_t count = 0; ///< Number of layers.
+
+    /** Aggregate MACs of the block's layers. */
+    std::uint64_t macs = 0;
+    /** Aggregate weight+bias bytes. */
+    std::uint64_t weightBytes = 0;
+    /** Aggregate input+output activation bytes. */
+    std::uint64_t activationBytes = 0;
+    /** True when MEM-class traffic dominates the block. */
+    bool memBound = false;
+};
+
+/** An inference network. */
+class Model
+{
+  public:
+    Model(std::string name, ModelSize size, std::vector<Layer> layers);
+
+    const std::string &name() const { return name_; }
+    ModelSize size() const { return size_; }
+    const std::vector<Layer> &layers() const { return layers_; }
+    std::size_t numLayers() const { return layers_.size(); }
+    const Layer &layer(std::size_t i) const { return layers_.at(i); }
+
+    /** Total MAC count over all layers. */
+    std::uint64_t totalMacs() const { return total_macs_; }
+    /** Total parameter (weight+bias) bytes. */
+    std::uint64_t totalWeightBytes() const { return total_weight_bytes_; }
+    /** Input image/tensor footprint in bytes (first layer's input). */
+    std::uint64_t inputBytes() const;
+
+    /**
+     * Layer blocks formed by the greedy grouping below.  Computed once
+     * on first use.
+     *
+     * Grouping rule: accumulate consecutive layers while (a) the
+     * block's MAC total is below `block_mac_target` or the block would
+     * otherwise be a single tiny layer, and (b) the layer class
+     * (COMPUTE vs MEM) matches the block's dominant class, except that
+     * short MEM layers (pool/add) are folded into the preceding
+     * compute block since they cannot be fused but are too short to
+     * schedule alone.
+     */
+    const std::vector<LayerBlock> &blocks() const;
+
+    /** Number of blocks (forces block formation). */
+    std::size_t numBlocks() const { return blocks().size(); }
+
+  private:
+    std::string name_;
+    ModelSize size_;
+    std::vector<Layer> layers_;
+    std::uint64_t total_macs_ = 0;
+    std::uint64_t total_weight_bytes_ = 0;
+
+    mutable std::vector<LayerBlock> blocks_;
+
+    /**
+     * Block granularity: fine enough that memory-bound regions (e.g.
+     * AlexNet's FC layers) form their own blocks — the runtime's
+     * contention detection works on per-block bandwidth averages, so
+     * over-coarse blocks would dilute bursty demand.
+     */
+    static constexpr std::uint64_t block_mac_target = 16'000'000;
+};
+
+/**
+ * Sparse variant of a model: every conv/dense layer's weightDensity
+ * is set to `density` (activations and MEM layers are untouched).
+ * Models magnitude-pruned networks running on a sparsity-capable
+ * tile; see Layer::weightDensity.
+ */
+Model sparsifyModel(const Model &model, double density);
+
+} // namespace moca::dnn
+
+#endif // MOCA_DNN_MODEL_H

@@ -1,0 +1,494 @@
+#include "dnn/model_zoo.h"
+
+#include <map>
+
+#include "common/log.h"
+
+namespace moca::dnn {
+
+namespace {
+
+/**
+ * Helper that appends layers while tracking the running tensor shape,
+ * so the zoo reads like the paper's architecture tables.
+ */
+class NetBuilder
+{
+  public:
+    NetBuilder(int h, int w, int c) : h_(h), w_(w), c_(c) {}
+
+    NetBuilder &
+    conv(const std::string &name, int out_c, int k, int s, int p,
+         int groups = 1)
+    {
+        Layer l = Layer::conv(name, h_, w_, c_, out_c, k, s, p, groups);
+        h_ = l.outH();
+        w_ = l.outW();
+        c_ = out_c;
+        layers_.push_back(std::move(l));
+        return *this;
+    }
+
+    NetBuilder &
+    pool(const std::string &name, int k, int s, int p = 0)
+    {
+        Layer l = Layer::pool(name, h_, w_, c_, k, s, p);
+        h_ = l.outH();
+        w_ = l.outW();
+        layers_.push_back(std::move(l));
+        return *this;
+    }
+
+    NetBuilder &
+    lrn(const std::string &name)
+    {
+        layers_.push_back(Layer::lrn(name, h_, w_, c_));
+        return *this;
+    }
+
+    NetBuilder &
+    add(const std::string &name)
+    {
+        layers_.push_back(Layer::add(name, h_, w_, c_));
+        return *this;
+    }
+
+    NetBuilder &
+    globalPool(const std::string &name)
+    {
+        layers_.push_back(Layer::globalPool(name, h_, w_, c_));
+        h_ = 1;
+        w_ = 1;
+        return *this;
+    }
+
+    NetBuilder &
+    dense(const std::string &name, int out_features)
+    {
+        layers_.push_back(
+            Layer::dense(name, h_ * w_ * c_, out_features));
+        h_ = 1;
+        w_ = 1;
+        c_ = out_features;
+        return *this;
+    }
+
+    /**
+     * SqueezeNet Fire module: squeeze 1x1 (s_c) then parallel expand
+     * 1x1 (e1) and expand 3x3 (e3, pad 1); outputs concatenated to
+     * e1+e3 channels (concat itself is free).
+     */
+    NetBuilder &
+    fire(const std::string &name, int s_c, int e1, int e3)
+    {
+        conv(name + "/squeeze1x1", s_c, 1, 1, 0);
+        const int h = h_, w = w_, c = c_;
+        layers_.push_back(
+            Layer::conv(name + "/expand1x1", h, w, c, e1, 1, 1, 0));
+        layers_.push_back(
+            Layer::conv(name + "/expand3x3", h, w, c, e3, 3, 1, 1));
+        c_ = e1 + e3;
+        return *this;
+    }
+
+    /**
+     * GoogLeNet Inception module with branch widths
+     * (b1, b3r->b3, b5r->b5, pool_proj); output b1+b3+b5+pp channels.
+     */
+    NetBuilder &
+    inception(const std::string &name, int b1, int b3r, int b3, int b5r,
+              int b5, int pp)
+    {
+        const int h = h_, w = w_, c = c_;
+        layers_.push_back(
+            Layer::conv(name + "/1x1", h, w, c, b1, 1, 1, 0));
+        layers_.push_back(
+            Layer::conv(name + "/3x3_reduce", h, w, c, b3r, 1, 1, 0));
+        layers_.push_back(
+            Layer::conv(name + "/3x3", h, w, b3r, b3, 3, 1, 1));
+        layers_.push_back(
+            Layer::conv(name + "/5x5_reduce", h, w, c, b5r, 1, 1, 0));
+        layers_.push_back(
+            Layer::conv(name + "/5x5", h, w, b5r, b5, 5, 1, 2));
+        layers_.push_back(
+            Layer::pool(name + "/pool", h, w, c, 3, 1, 1));
+        layers_.push_back(
+            Layer::conv(name + "/pool_proj", h, w, c, pp, 1, 1, 0));
+        c_ = b1 + b3 + b5 + pp;
+        return *this;
+    }
+
+    /**
+     * ResNet bottleneck: 1x1 (mid) -> 3x3 (mid, stride s) -> 1x1
+     * (4*mid) with residual Add; `project` adds the 1x1/stride-s
+     * projection on the shortcut (first block of each stage).
+     */
+    NetBuilder &
+    bottleneck(const std::string &name, int mid, int s, bool project)
+    {
+        const int in_c = c_;
+        conv(name + "/conv1", mid, 1, 1, 0);
+        conv(name + "/conv2", mid, 3, s, 1);
+        conv(name + "/conv3", 4 * mid, 1, 1, 0);
+        if (project) {
+            // Shortcut projection runs on the block's input shape.
+            const int proj_h = h_ * s;
+            const int proj_w = w_ * s;
+            layers_.push_back(Layer::conv(name + "/proj", proj_h,
+                                          proj_w, in_c, 4 * mid, 1, s,
+                                          0));
+        }
+        add(name + "/add");
+        return *this;
+    }
+
+    /**
+     * KWS res8 residual block: two 3x3 convolutions at constant width
+     * plus the residual Add.
+     */
+    NetBuilder &
+    res8Block(const std::string &name, int width)
+    {
+        conv(name + "/conv1", width, 3, 1, 1);
+        conv(name + "/conv2", width, 3, 1, 1);
+        add(name + "/add");
+        return *this;
+    }
+
+    std::vector<Layer> take() { return std::move(layers_); }
+
+    int h() const { return h_; }
+    int w() const { return w_; }
+    int c() const { return c_; }
+
+  private:
+    int h_, w_, c_;
+    std::vector<Layer> layers_;
+};
+
+} // anonymous namespace
+
+Model
+makeSqueezeNet()
+{
+    // SqueezeNet v1.0 macroarchitecture (Table 1 of [23]).
+    NetBuilder b(224, 224, 3);
+    b.conv("conv1", 96, 7, 2, 2)
+        .pool("maxpool1", 3, 2)
+        .fire("fire2", 16, 64, 64)
+        .fire("fire3", 16, 64, 64)
+        .fire("fire4", 32, 128, 128)
+        .pool("maxpool4", 3, 2)
+        .fire("fire5", 32, 128, 128)
+        .fire("fire6", 48, 192, 192)
+        .fire("fire7", 48, 192, 192)
+        .fire("fire8", 64, 256, 256)
+        .pool("maxpool8", 3, 2)
+        .fire("fire9", 64, 256, 256)
+        .conv("conv10", 1000, 1, 1, 0)
+        .globalPool("gap");
+    return Model("squeezenet", ModelSize::Light, b.take());
+}
+
+Model
+makeYoloLite()
+{
+    // YOLO-Lite [21]: 7 convolutional layers, VOC detection head.
+    NetBuilder b(224, 224, 3);
+    b.conv("conv1", 16, 3, 1, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 32, 3, 1, 1)
+        .pool("pool2", 2, 2)
+        .conv("conv3", 64, 3, 1, 1)
+        .pool("pool3", 2, 2)
+        .conv("conv4", 128, 3, 1, 1)
+        .pool("pool4", 2, 2)
+        .conv("conv5", 128, 3, 1, 1)
+        .pool("pool5", 2, 2)
+        .conv("conv6", 256, 3, 1, 1)
+        .conv("conv7", 125, 1, 1, 0);
+    return Model("yolo-lite", ModelSize::Light, b.take());
+}
+
+Model
+makeKws()
+{
+    // res8 keyword-spotting network [51]: first conv, 4x3 average
+    // pool, three residual blocks at width 45, global pool, 12-way
+    // classifier.
+    NetBuilder b(101, 40, 1);
+    b.conv("conv0", 45, 3, 1, 1)
+        .pool("avgpool", 4, 4) // 4x3 pool modelled as stride-4 square
+        .res8Block("res1", 45)
+        .res8Block("res2", 45)
+        .res8Block("res3", 45)
+        .globalPool("gap")
+        .dense("fc", 12);
+    return Model("kws", ModelSize::Light, b.take());
+}
+
+Model
+makeGoogleNet()
+{
+    NetBuilder b(224, 224, 3);
+    b.conv("conv1/7x7_s2", 64, 7, 2, 3)
+        .pool("pool1/3x3_s2", 3, 2)
+        .lrn("pool1/norm1")
+        .conv("conv2/3x3_reduce", 64, 1, 1, 0)
+        .conv("conv2/3x3", 192, 3, 1, 1)
+        .lrn("conv2/norm2")
+        .pool("pool2/3x3_s2", 3, 2)
+        .inception("inception_3a", 64, 96, 128, 16, 32, 32)
+        .inception("inception_3b", 128, 128, 192, 32, 96, 64)
+        .pool("pool3/3x3_s2", 3, 2)
+        .inception("inception_4a", 192, 96, 208, 16, 48, 64)
+        .inception("inception_4b", 160, 112, 224, 24, 64, 64)
+        .inception("inception_4c", 128, 128, 256, 24, 64, 64)
+        .inception("inception_4d", 112, 144, 288, 32, 64, 64)
+        .inception("inception_4e", 256, 160, 320, 32, 128, 128)
+        .pool("pool4/3x3_s2", 3, 2)
+        .inception("inception_5a", 256, 160, 320, 32, 128, 128)
+        .inception("inception_5b", 384, 192, 384, 48, 128, 128)
+        .globalPool("pool5/gap")
+        .dense("loss3/classifier", 1000);
+    return Model("googlenet", ModelSize::Heavy, b.take());
+}
+
+Model
+makeAlexNet()
+{
+    NetBuilder b(227, 227, 3);
+    b.conv("conv1", 96, 11, 4, 0)
+        .lrn("norm1")
+        .pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1, 2, 2)
+        .lrn("norm2")
+        .pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1)
+        .conv("conv4", 384, 3, 1, 1, 2)
+        .conv("conv5", 256, 3, 1, 1, 2)
+        .pool("pool5", 3, 2)
+        .dense("fc6", 4096)
+        .dense("fc7", 4096)
+        .dense("fc8", 1000);
+    return Model("alexnet", ModelSize::Heavy, b.take());
+}
+
+Model
+makeResNet50()
+{
+    NetBuilder b(224, 224, 3);
+    b.conv("conv1", 64, 7, 2, 3)
+        .pool("pool1", 3, 2, 1);
+    // Stage 2: 3 bottlenecks at width 64, stride 1.
+    b.bottleneck("res2a", 64, 1, true)
+        .bottleneck("res2b", 64, 1, false)
+        .bottleneck("res2c", 64, 1, false);
+    // Stage 3: 4 bottlenecks at width 128, first strided.
+    b.bottleneck("res3a", 128, 2, true)
+        .bottleneck("res3b", 128, 1, false)
+        .bottleneck("res3c", 128, 1, false)
+        .bottleneck("res3d", 128, 1, false);
+    // Stage 4: 6 bottlenecks at width 256, first strided.
+    b.bottleneck("res4a", 256, 2, true)
+        .bottleneck("res4b", 256, 1, false)
+        .bottleneck("res4c", 256, 1, false)
+        .bottleneck("res4d", 256, 1, false)
+        .bottleneck("res4e", 256, 1, false)
+        .bottleneck("res4f", 256, 1, false);
+    // Stage 5: 3 bottlenecks at width 512, first strided.
+    b.bottleneck("res5a", 512, 2, true)
+        .bottleneck("res5b", 512, 1, false)
+        .bottleneck("res5c", 512, 1, false);
+    b.globalPool("pool5").dense("fc1000", 1000);
+    return Model("resnet50", ModelSize::Heavy, b.take());
+}
+
+Model
+makeYoloV2()
+{
+    // Darknet-19 backbone + detection head; the 26x26 passthrough is
+    // linearized as its 1x1/64 conv (reorg is a data-layout move whose
+    // traffic is folded into the following conv's input).
+    NetBuilder b(416, 416, 3);
+    b.conv("conv1", 32, 3, 1, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 64, 3, 1, 1)
+        .pool("pool2", 2, 2)
+        .conv("conv3", 128, 3, 1, 1)
+        .conv("conv4", 64, 1, 1, 0)
+        .conv("conv5", 128, 3, 1, 1)
+        .pool("pool3", 2, 2)
+        .conv("conv6", 256, 3, 1, 1)
+        .conv("conv7", 128, 1, 1, 0)
+        .conv("conv8", 256, 3, 1, 1)
+        .pool("pool4", 2, 2)
+        .conv("conv9", 512, 3, 1, 1)
+        .conv("conv10", 256, 1, 1, 0)
+        .conv("conv11", 512, 3, 1, 1)
+        .conv("conv12", 256, 1, 1, 0)
+        .conv("conv13", 512, 3, 1, 1)
+        .pool("pool5", 2, 2)
+        .conv("conv14", 1024, 3, 1, 1)
+        .conv("conv15", 512, 1, 1, 0)
+        .conv("conv16", 1024, 3, 1, 1)
+        .conv("conv17", 512, 1, 1, 0)
+        .conv("conv18", 1024, 3, 1, 1)
+        .conv("conv19", 1024, 3, 1, 1)
+        .conv("conv20", 1024, 3, 1, 1);
+    // Passthrough branch on the 26x26x512 feature map.
+    std::vector<Layer> layers = b.take();
+    layers.push_back(
+        Layer::conv("conv21_passthrough", 26, 26, 512, 64, 1, 1, 0));
+    // After reorg (26x26x64 -> 13x13x256) and concat: 1024+256 = 1280.
+    layers.push_back(
+        Layer::conv("conv22", 13, 13, 1280, 1024, 3, 1, 1));
+    layers.push_back(
+        Layer::conv("conv23_det", 13, 13, 1024, 425, 1, 1, 0));
+    return Model("yolov2", ModelSize::Heavy, std::move(layers));
+}
+
+
+Model
+makeMobileNetV1()
+{
+    // MobileNetV1 1.0x: conv stem then 13 depthwise-separable pairs
+    // (depthwise 3x3 with groups == channels, then pointwise 1x1).
+    NetBuilder b(224, 224, 3);
+    b.conv("conv1", 32, 3, 2, 1);
+    auto dw_pw = [&b](const std::string &name, int in_c, int out_c,
+                      int stride) {
+        b.conv(name + "/dw", in_c, 3, stride, 1, in_c);
+        b.conv(name + "/pw", out_c, 1, 1, 0);
+    };
+    dw_pw("sep1", 32, 64, 1);
+    dw_pw("sep2", 64, 128, 2);
+    dw_pw("sep3", 128, 128, 1);
+    dw_pw("sep4", 128, 256, 2);
+    dw_pw("sep5", 256, 256, 1);
+    dw_pw("sep6", 256, 512, 2);
+    dw_pw("sep7", 512, 512, 1);
+    dw_pw("sep8", 512, 512, 1);
+    dw_pw("sep9", 512, 512, 1);
+    dw_pw("sep10", 512, 512, 1);
+    dw_pw("sep11", 512, 512, 1);
+    dw_pw("sep12", 512, 1024, 2);
+    dw_pw("sep13", 1024, 1024, 1);
+    b.globalPool("gap").dense("fc", 1000);
+    return Model("mobilenetv1", ModelSize::Light, b.take());
+}
+
+const std::vector<ModelId> &
+allModelIds()
+{
+    static const std::vector<ModelId> ids = {
+        ModelId::SqueezeNet, ModelId::YoloLite, ModelId::Kws,
+        ModelId::GoogleNet, ModelId::AlexNet, ModelId::ResNet50,
+        ModelId::YoloV2,
+    };
+    return ids;
+}
+
+const std::vector<ModelId> &
+extensionModelIds()
+{
+    static const std::vector<ModelId> ids = {ModelId::MobileNetV1};
+    return ids;
+}
+
+const std::vector<ModelId> &
+workloadSetA()
+{
+    static const std::vector<ModelId> ids = {
+        ModelId::SqueezeNet, ModelId::YoloLite, ModelId::Kws,
+    };
+    return ids;
+}
+
+const std::vector<ModelId> &
+workloadSetB()
+{
+    static const std::vector<ModelId> ids = {
+        ModelId::GoogleNet, ModelId::AlexNet, ModelId::ResNet50,
+        ModelId::YoloV2,
+    };
+    return ids;
+}
+
+const std::vector<ModelId> &
+workloadSetC()
+{
+    return allModelIds();
+}
+
+const Model &
+getModel(ModelId id)
+{
+    static std::map<ModelId, Model> cache;
+    auto it = cache.find(id);
+    if (it != cache.end())
+        return it->second;
+
+    Model m = [&]() {
+        switch (id) {
+          case ModelId::SqueezeNet: return makeSqueezeNet();
+          case ModelId::YoloLite: return makeYoloLite();
+          case ModelId::Kws: return makeKws();
+          case ModelId::GoogleNet: return makeGoogleNet();
+          case ModelId::AlexNet: return makeAlexNet();
+          case ModelId::ResNet50: return makeResNet50();
+          case ModelId::YoloV2: return makeYoloV2();
+          case ModelId::MobileNetV1: return makeMobileNetV1();
+        }
+        panic("unknown model id");
+    }();
+    return cache.emplace(id, std::move(m)).first->second;
+}
+
+const char *
+modelIdName(ModelId id)
+{
+    switch (id) {
+      case ModelId::SqueezeNet: return "squeezenet";
+      case ModelId::YoloLite: return "yolo-lite";
+      case ModelId::Kws: return "kws";
+      case ModelId::GoogleNet: return "googlenet";
+      case ModelId::AlexNet: return "alexnet";
+      case ModelId::ResNet50: return "resnet50";
+      case ModelId::YoloV2: return "yolov2";
+      case ModelId::MobileNetV1: return "mobilenetv1";
+    }
+    return "?";
+}
+
+ModelId
+modelIdFromName(const std::string &name)
+{
+    for (ModelId id : allModelIds()) {
+        if (name == modelIdName(id))
+            return id;
+    }
+    for (ModelId id : extensionModelIds()) {
+        if (name == modelIdName(id))
+            return id;
+    }
+    // Derived variants keep the base name as a prefix followed by a
+    // suffix (e.g. "resnet50-d25" from sparsifyModel); resolve them
+    // to the base network, longest prefix first.
+    const ModelId *best = nullptr;
+    std::size_t best_len = 0;
+    for (const ModelId &id : allModelIds()) {
+        const std::string base = modelIdName(id);
+        if (name.size() > base.size() &&
+            name.compare(0, base.size(), base) == 0 &&
+            name[base.size()] == '-' && base.size() > best_len) {
+            best = &id;
+            best_len = base.size();
+        }
+    }
+    if (best != nullptr)
+        return *best;
+    fatal("unknown model name '%s'", name.c_str());
+}
+
+} // namespace moca::dnn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The seven benchmark DNNs from Table III of the paper, described
+ * layer by layer:
+ *
+ *  - Workload set A (light): SqueezeNet v1.0, YOLO-Lite, KWS (res8).
+ *  - Workload set B (heavy): GoogLeNet, AlexNet, ResNet-50, YOLOv2.
+ *  - Workload set C (mixed): all of the above.
+ *
+ * Branching modules (Fire, Inception, ResNet bottlenecks, YOLOv2's
+ * passthrough) are linearized into their constituent convolutions plus
+ * explicit Add layers for residuals; concatenations are free (adjacent
+ * output buffers) and carry no layer of their own.
+ */
+
+#ifndef MOCA_DNN_MODEL_ZOO_H
+#define MOCA_DNN_MODEL_ZOO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/model.h"
+
+namespace moca::dnn {
+
+/** SqueezeNet v1.0 [23], 224x224x3 input. */
+Model makeSqueezeNet();
+
+/** YOLO-Lite [21], 224x224x3 input, VOC head (125 outputs). */
+Model makeYoloLite();
+
+/** Keyword spotting res8 [51], 101x40x1 MFCC input. */
+Model makeKws();
+
+/** GoogLeNet [48], 224x224x3 input. */
+Model makeGoogleNet();
+
+/** AlexNet [29], 227x227x3 input (grouped conv2/4/5, LRN). */
+Model makeAlexNet();
+
+/** ResNet-50 [20], 224x224x3 input, explicit residual Add layers. */
+Model makeResNet50();
+
+/** YOLOv2 [45], 416x416x3 input, COCO head (425 outputs). */
+Model makeYoloV2();
+
+/**
+ * MobileNetV1 (1.0x, 224x224x3) — an *extension* model outside the
+ * paper's Table III benchmark set.  Its depthwise convolutions
+ * exercise grouped execution with groups == channels, where a
+ * weight-stationary systolic array is famously inefficient (1 of 16
+ * columns active); useful for studying scheduler behaviour on
+ * low-arithmetic-intensity compute layers.
+ */
+Model makeMobileNetV1();
+
+/** Identifiers for zoo lookup. */
+enum class ModelId
+{
+    SqueezeNet,
+    YoloLite,
+    Kws,
+    GoogleNet,
+    AlexNet,
+    ResNet50,
+    YoloV2,
+    MobileNetV1, ///< Extension model, not part of Table III.
+};
+
+/** The paper's seven Table III model ids, in zoo order. */
+const std::vector<ModelId> &allModelIds();
+
+/** Extension models beyond the paper's benchmark set. */
+const std::vector<ModelId> &extensionModelIds();
+
+/** Model ids in workload set A (light models). */
+const std::vector<ModelId> &workloadSetA();
+/** Model ids in workload set B (heavy models). */
+const std::vector<ModelId> &workloadSetB();
+/** Model ids in workload set C (all models). */
+const std::vector<ModelId> &workloadSetC();
+
+/** Build (and memoize) the model for an id. */
+const Model &getModel(ModelId id);
+
+/** Printable model name. */
+const char *modelIdName(ModelId id);
+
+/** Lookup by name ("resnet50", "alexnet", ...); fatal if unknown. */
+ModelId modelIdFromName(const std::string &name);
+
+} // namespace moca::dnn
+
+#endif // MOCA_DNN_MODEL_ZOO_H

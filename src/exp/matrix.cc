@@ -1,0 +1,69 @@
+#include "exp/matrix.h"
+
+#include "common/log.h"
+
+namespace moca::exp {
+
+const ScenarioResult &
+MatrixCell::result(PolicyKind kind) const
+{
+    for (const auto &r : byPolicy)
+        if (r.policy == kind)
+            return r;
+    panic("matrix cell has no result for policy %s",
+          policyKindName(kind));
+}
+
+const std::vector<std::pair<workload::WorkloadSet,
+                            workload::QosLevel>> &
+matrixCells()
+{
+    using workload::QosLevel;
+    using workload::WorkloadSet;
+    static const std::vector<std::pair<WorkloadSet, QosLevel>> cells = {
+        {WorkloadSet::A, QosLevel::Light},
+        {WorkloadSet::A, QosLevel::Medium},
+        {WorkloadSet::A, QosLevel::Hard},
+        {WorkloadSet::B, QosLevel::Light},
+        {WorkloadSet::B, QosLevel::Medium},
+        {WorkloadSet::B, QosLevel::Hard},
+        {WorkloadSet::C, QosLevel::Light},
+        {WorkloadSet::C, QosLevel::Medium},
+        {WorkloadSet::C, QosLevel::Hard},
+    };
+    return cells;
+}
+
+std::vector<MatrixCell>
+runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
+{
+    std::vector<MatrixCell> out;
+    for (const auto &[set, qos] : matrixCells()) {
+        workload::TraceConfig trace;
+        trace.set = set;
+        trace.qos = qos;
+        trace.numTasks = mcfg.numTasks;
+        trace.loadFactor = mcfg.loadFactor;
+        trace.qosScale = mcfg.qosScale;
+        trace.seed = mcfg.seed;
+
+        const auto specs = makeTrace(trace, cfg);
+
+        MatrixCell cell;
+        cell.set = set;
+        cell.qos = qos;
+        for (PolicyKind kind : allPolicies()) {
+            if (mcfg.verbose)
+                inform("running %s / %s / %s (%d tasks)...",
+                       workload::workloadSetName(set),
+                       workload::qosLevelName(qos),
+                       policyKindName(kind), mcfg.numTasks);
+            cell.byPolicy.push_back(
+                runTrace(kind, specs, trace, cfg));
+        }
+        out.push_back(std::move(cell));
+    }
+    return out;
+}
+
+} // namespace moca::exp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The 9-scenario evaluation matrix of the paper (Sec. V): three
+ * workload sets {A, B, C} x three QoS levels {L, M, H}, each run
+ * under the four policies on identical traces.  Shared by the
+ * Fig. 5-8 benches.
+ */
+
+#ifndef MOCA_EXP_MATRIX_H
+#define MOCA_EXP_MATRIX_H
+
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace moca::exp {
+
+/** One (set, qos) cell with the four policies' results. */
+struct MatrixCell
+{
+    workload::WorkloadSet set;
+    workload::QosLevel qos;
+    std::vector<ScenarioResult> byPolicy; ///< allPolicies() order.
+
+    const ScenarioResult &result(PolicyKind kind) const;
+};
+
+/** Parameters of a matrix sweep. */
+struct MatrixConfig
+{
+    int numTasks = 250;
+    double loadFactor = 0.8;
+    double qosScale = 4.0;
+    std::uint64_t seed = 1;
+    bool verbose = true; ///< Print progress lines while running.
+};
+
+/**
+ * Run the full 3x3x4 matrix.  Traces are generated once per (set,
+ * qos) cell and replayed identically under every policy.
+ */
+std::vector<MatrixCell> runMatrix(const MatrixConfig &mcfg,
+                                  const sim::SocConfig &cfg);
+
+/** All (set, qos) pairs in presentation order (A/B/C x L/M/H). */
+const std::vector<std::pair<workload::WorkloadSet,
+                            workload::QosLevel>> &matrixCells();
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_MATRIX_H

@@ -1,0 +1,78 @@
+#include "exp/oracle.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/log.h"
+
+namespace moca::exp {
+
+void
+SoloPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
+{
+    while (soc.freeTiles() >= tilesPerJob_) {
+        const auto waiting = soc.waitingJobs();
+        if (waiting.empty())
+            break;
+        soc.startJob(waiting.front(), tilesPerJob_);
+    }
+}
+
+namespace {
+
+/** Cache key: model, tiles, and the config fields that affect
+ *  isolated latency. */
+using OracleKey = std::tuple<int, int, std::uint64_t, std::uint64_t,
+                             int, long, long, long>;
+
+OracleKey
+makeKey(dnn::ModelId id, int num_tiles, const sim::SocConfig &cfg)
+{
+    return {static_cast<int>(id), num_tiles, cfg.scratchpadBytes,
+            cfg.l2Bytes, cfg.arrayDim,
+            static_cast<long>(cfg.dramBytesPerCycle * 1000),
+            static_cast<long>(cfg.l2BytesPerCycle() * 1000),
+            static_cast<long>(cfg.overlapF * 1000)};
+}
+
+std::map<OracleKey, Cycles> &
+cache()
+{
+    static std::map<OracleKey, Cycles> c;
+    return c;
+}
+
+} // anonymous namespace
+
+Cycles
+isolatedLatency(dnn::ModelId id, int num_tiles,
+                const sim::SocConfig &cfg)
+{
+    const OracleKey key = makeKey(id, num_tiles, cfg);
+    auto it = cache().find(key);
+    if (it != cache().end())
+        return it->second;
+
+    SoloPolicy policy(num_tiles);
+    sim::Soc soc(cfg, policy);
+    sim::JobSpec spec;
+    spec.id = 0;
+    spec.model = &dnn::getModel(id);
+    spec.dispatch = 0;
+    spec.priority = 0;
+    spec.slaLatency = 0;
+    soc.addJob(spec);
+    soc.run();
+
+    const Cycles latency = soc.results().front().latency();
+    cache()[key] = latency;
+    return latency;
+}
+
+void
+clearOracleCache()
+{
+    cache().clear();
+}
+
+} // namespace moca::exp

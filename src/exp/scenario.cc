@@ -1,0 +1,101 @@
+#include "exp/scenario.h"
+
+#include "baselines/planaria.h"
+#include "baselines/prema.h"
+#include "baselines/static_partition.h"
+#include "common/log.h"
+#include "exp/oracle.h"
+#include "moca/moca_policy.h"
+#include "sim/soc.h"
+
+namespace moca::exp {
+
+const std::vector<PolicyKind> &
+allPolicies()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Prema,
+        PolicyKind::StaticPartition,
+        PolicyKind::Planaria,
+        PolicyKind::Moca,
+    };
+    return kinds;
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Prema: return "prema";
+      case PolicyKind::StaticPartition: return "static";
+      case PolicyKind::Planaria: return "planaria";
+      case PolicyKind::Moca: return "moca";
+    }
+    return "?";
+}
+
+std::unique_ptr<sim::Policy>
+makePolicy(PolicyKind kind, const sim::SocConfig &cfg)
+{
+    switch (kind) {
+      case PolicyKind::Prema:
+        return std::make_unique<baselines::PremaPolicy>(cfg);
+      case PolicyKind::StaticPartition:
+        return std::make_unique<baselines::StaticPartitionPolicy>(cfg);
+      case PolicyKind::Planaria:
+        return std::make_unique<baselines::PlanariaPolicy>(cfg);
+      case PolicyKind::Moca:
+        return std::make_unique<MocaPolicy>(cfg);
+    }
+    panic("bad policy kind");
+}
+
+std::vector<sim::JobSpec>
+makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    workload::TraceConfig t = trace;
+    t.numTiles = cfg.numTiles;
+    return workload::generateTrace(t, [&](dnn::ModelId id) {
+        // QoS targets reference the isolated single-tile latency
+        // ("each tile is close to an edge device", Sec. IV-B).
+        return isolatedLatency(id, 1, cfg);
+    });
+}
+
+ScenarioResult
+runTrace(PolicyKind kind, const std::vector<sim::JobSpec> &specs,
+         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    auto policy = makePolicy(kind, cfg);
+    sim::Soc soc(cfg, *policy);
+    for (const auto &spec : specs)
+        soc.addJob(spec);
+    soc.run();
+
+    ScenarioResult r;
+    r.policy = kind;
+    r.trace = trace;
+    r.jobs = soc.results();
+    r.metrics = metrics::computeMetrics(r.jobs, [&](dnn::ModelId id) {
+        // C_single: the no-contention full-SoC reference, identical
+        // across policies.
+        return isolatedLatency(id, cfg.numTiles, cfg);
+    });
+    for (const auto &j : r.jobs) {
+        r.makespan = std::max(r.makespan, j.finish);
+        r.totalMigrations += j.migrations;
+        r.totalPreemptions += j.preemptions;
+        r.totalThrottleReconfigs += j.throttleReconfigs;
+    }
+    r.dramBusyFraction = soc.stats().dramBusyFraction;
+    return r;
+}
+
+ScenarioResult
+runScenario(PolicyKind kind, const workload::TraceConfig &trace,
+            const sim::SocConfig &cfg)
+{
+    return runTrace(kind, makeTrace(trace, cfg), trace, cfg);
+}
+
+} // namespace moca::exp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario runner shared by the benchmark binaries and examples: it
+ * builds an SoC + policy, replays a generated multi-tenant trace, and
+ * computes the paper's metrics.  One `Scenario` corresponds to one
+ * cell of Figures 5-8 (a workload set x QoS level x policy).
+ */
+
+#ifndef MOCA_EXP_SCENARIO_H
+#define MOCA_EXP_SCENARIO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "sim/config.h"
+#include "sim/job.h"
+#include "sim/policy.h"
+#include "workload/workload.h"
+
+namespace moca::exp {
+
+/** The four multi-tenancy mechanisms under comparison. */
+enum class PolicyKind
+{
+    Prema,
+    StaticPartition,
+    Planaria,
+    Moca,
+};
+
+/** All policies in the paper's presentation order. */
+const std::vector<PolicyKind> &allPolicies();
+
+/** Printable name ("prema", "static", "planaria", "moca"). */
+const char *policyKindName(PolicyKind kind);
+
+/** Instantiate a policy for the given SoC configuration. */
+std::unique_ptr<sim::Policy> makePolicy(PolicyKind kind,
+                                        const sim::SocConfig &cfg);
+
+/** Outcome of one scenario run. */
+struct ScenarioResult
+{
+    PolicyKind policy;
+    workload::TraceConfig trace;
+    metrics::RunMetrics metrics;
+    std::vector<sim::JobResult> jobs;
+    Cycles makespan = 0;         ///< Cycle the last job finished.
+    double dramBusyFraction = 0.0;
+    int totalMigrations = 0;
+    int totalPreemptions = 0;
+    int totalThrottleReconfigs = 0;
+};
+
+/**
+ * Run one scenario: generate the trace for `trace`, execute it under
+ * `kind`, and compute metrics against the full-SoC isolated-latency
+ * oracle.
+ */
+ScenarioResult runScenario(PolicyKind kind,
+                           const workload::TraceConfig &trace,
+                           const sim::SocConfig &cfg);
+
+/**
+ * Run a pre-generated trace (used when several policies must see the
+ * identical job stream).
+ */
+ScenarioResult runTrace(PolicyKind kind,
+                        const std::vector<sim::JobSpec> &specs,
+                        const workload::TraceConfig &trace,
+                        const sim::SocConfig &cfg);
+
+/** Generate the trace for a TraceConfig (oracle-backed QoS targets). */
+std::vector<sim::JobSpec>
+makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg);
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_SCENARIO_H

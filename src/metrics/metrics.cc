@@ -1,0 +1,107 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::metrics {
+
+namespace {
+
+Cycles
+isolatedFor(const sim::JobResult &r,
+            const std::function<Cycles(dnn::ModelId)> &isolated_latency)
+{
+    const dnn::ModelId id = dnn::modelIdFromName(r.spec.model->name());
+    const Cycles iso = isolated_latency(id);
+    if (iso == 0)
+        panic("isolated latency oracle returned 0 for %s",
+              r.spec.model->name().c_str());
+    return iso;
+}
+
+} // anonymous namespace
+
+RunMetrics
+computeMetrics(const std::vector<sim::JobResult> &results,
+               const std::function<Cycles(dnn::ModelId)> &isolated_latency)
+{
+    RunMetrics m;
+    m.numJobs = static_cast<int>(results.size());
+    if (results.empty())
+        return m;
+
+    int met = 0;
+    int group_total[3] = {0, 0, 0};
+    int group_met[3] = {0, 0, 0};
+
+    double prio_sum = 0.0;
+    for (const auto &r : results)
+        prio_sum += static_cast<double>(r.spec.priority + 1);
+
+    double pp_min = 0.0, pp_max = 0.0;
+    bool first = true;
+    double norm_sum = 0.0, norm_worst = 0.0;
+
+    for (const auto &r : results) {
+        const Cycles iso = isolatedFor(r, isolated_latency);
+        const double progress = static_cast<double>(iso) /
+            static_cast<double>(r.latency());
+        m.stp += progress;
+
+        const double norm = static_cast<double>(r.latency()) /
+            static_cast<double>(iso);
+        norm_sum += norm;
+        norm_worst = std::max(norm_worst, norm);
+
+        const double prio_share =
+            static_cast<double>(r.spec.priority + 1) / prio_sum;
+        const double pp = progress / prio_share;
+        if (first) {
+            pp_min = pp_max = pp;
+            first = false;
+        } else {
+            pp_min = std::min(pp_min, pp);
+            pp_max = std::max(pp_max, pp);
+        }
+
+        const bool ok = r.slaMet();
+        if (ok)
+            ++met;
+        const auto g = static_cast<int>(
+            workload::priorityGroup(r.spec.priority));
+        group_total[g]++;
+        if (ok)
+            group_met[g]++;
+    }
+
+    const auto n = static_cast<double>(results.size());
+    m.slaRate = static_cast<double>(met) / n;
+    m.slaRateLow = group_total[0]
+        ? static_cast<double>(group_met[0]) / group_total[0] : 0.0;
+    m.slaRateMid = group_total[1]
+        ? static_cast<double>(group_met[1]) / group_total[1] : 0.0;
+    m.slaRateHigh = group_total[2]
+        ? static_cast<double>(group_met[2]) / group_total[2] : 0.0;
+    m.fairness = pp_max > 0.0 ? pp_min / pp_max : 0.0;
+    m.meanNormLatency = norm_sum / n;
+    m.worstNormLatency = norm_worst;
+    return m;
+}
+
+double
+slaRateWhere(const std::vector<sim::JobResult> &results,
+             const std::function<bool(const sim::JobResult &)> &pred)
+{
+    int total = 0, met = 0;
+    for (const auto &r : results) {
+        if (!pred(r))
+            continue;
+        ++total;
+        if (r.slaMet())
+            ++met;
+    }
+    return total ? static_cast<double>(met) / total : 0.0;
+}
+
+} // namespace moca::metrics

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System-level multi-program metrics (paper Sec. IV-C, after Eyerman &
+ * Eeckhout [16]):
+ *
+ *  - SLA satisfaction rate: fraction of jobs whose end-to-end latency
+ *    (queue wait + runtime) meets the QoS target; also broken down by
+ *    priority group.
+ *  - STP (system throughput): sum of per-job normalized progress
+ *    C_single / C_MT  (Eq. 2).
+ *  - Fairness: min-over-pairs ratio of priority-weighted proportional
+ *    progress PP_i (Eq. 1).
+ */
+
+#ifndef MOCA_METRICS_METRICS_H
+#define MOCA_METRICS_METRICS_H
+
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/model_zoo.h"
+#include "sim/job.h"
+#include "workload/workload.h"
+
+namespace moca::metrics {
+
+/** Metrics for one multi-tenant run. */
+struct RunMetrics
+{
+    double slaRate = 0.0; ///< Overall SLA satisfaction rate in [0, 1].
+
+    /** SLA satisfaction per priority group (Low, Mid, High). */
+    double slaRateLow = 0.0;
+    double slaRateMid = 0.0;
+    double slaRateHigh = 0.0;
+
+    double stp = 0.0;      ///< System throughput (Eq. 2).
+    double fairness = 0.0; ///< min_ij PP_i / PP_j (Eq. 1).
+
+    /** Mean end-to-end latency normalized to isolated latency. */
+    double meanNormLatency = 0.0;
+    /** Worst-case normalized latency. */
+    double worstNormLatency = 0.0;
+
+    int numJobs = 0;
+};
+
+/**
+ * Compute run metrics.
+ *
+ * @param results completed-job records from the simulator.
+ * @param isolated_latency per-model isolated latency C_single on the
+ *        full SoC (the no-contention reference, identical across
+ *        policies).
+ *
+ * Fairness uses (priority + 1) as the weight so that priority level 0
+ * remains well-defined in Eq. 1's Priority_i denominator.
+ */
+RunMetrics
+computeMetrics(const std::vector<sim::JobResult> &results,
+               const std::function<Cycles(dnn::ModelId)> &isolated_latency);
+
+/** SLA satisfaction rate of an arbitrary subset (predicate). */
+double
+slaRateWhere(const std::vector<sim::JobResult> &results,
+             const std::function<bool(const sim::JobResult &)> &pred);
+
+} // namespace moca::metrics
+
+#endif // MOCA_METRICS_METRICS_H

@@ -1,0 +1,213 @@
+#include "moca/moca_policy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca {
+
+MocaPolicy::MocaPolicy(const sim::SocConfig &soc_cfg,
+                       const MocaPolicyConfig &cfg)
+    : cfg_(cfg),
+      cm_(soc_cfg, cfg.sparsityAwarePredictor),
+      scheduler_(sched::SchedulerConfig{
+          cfg.scoreThreshold, 0.5, cfg.enableMemAwarePairing},
+          soc_cfg.dramBytesPerCycle),
+      estimator_(soc_cfg, cfg.sparsityAwarePredictor)
+{
+    if (cfg_.slots < 1 || cfg_.slots > soc_cfg.numTiles)
+        fatal("moca: slots must be in [1, numTiles]");
+}
+
+int
+MocaPolicy::tilesPerSlot(const sim::Soc &soc) const
+{
+    return std::max(1, soc.config().numTiles / cfg_.slots);
+}
+
+bool
+MocaPolicy::reconfigure(sim::Soc &soc, const sim::Job &job)
+{
+    runtime::JobSnapshot snap;
+    snap.appId = job.spec.id;
+    snap.model = job.spec.model;
+    snap.nextLayer = job.layerIdx;
+    snap.numTiles = std::max(1, job.numTiles);
+    snap.userPriority = job.spec.priority;
+    if (cfg_.enableDynamicScore) {
+        const double deadline = static_cast<double>(job.spec.dispatch) +
+            static_cast<double>(job.spec.slaLatency);
+        snap.slackCycles = deadline - static_cast<double>(soc.now());
+    } else {
+        // Ablation: static priority only (slack -> infinity kills the
+        // remaining/slack term).
+        snap.slackCycles = 1e18;
+    }
+
+    const runtime::ContentionDecision d = cm_.onBlockBoundary(snap);
+    stats_.reconfigurations++;
+    if (d.contention)
+        stats_.contentionDetected++;
+    if (cfg_.enableThrottling)
+        soc.configureThrottle(job.spec.id, d.hwConfig);
+    return d.contention;
+}
+
+void
+MocaPolicy::reconfigureCorunners(sim::Soc &soc, int except_id)
+{
+    // "The MoCA hardware engine is reconfigured each time the dynamic
+    // scores are updated" (Sec. III-C): once contention is detected,
+    // every co-runner's allocation is refreshed so the aggregate
+    // issue rate respects the DRAM bandwidth.
+    for (int id : soc.runningJobs()) {
+        if (id == except_id)
+            continue;
+        const sim::Job &j = soc.job(id);
+        if (j.state == sim::JobState::Running)
+            reconfigure(soc, j);
+    }
+}
+
+void
+MocaPolicy::admitJobs(sim::Soc &soc)
+{
+    const int per_slot = tilesPerSlot(soc);
+    const int slots_free = soc.freeTiles() / per_slot;
+    if (slots_free <= 0)
+        return;
+
+    std::vector<sched::SchedTask> queue;
+    for (int id : soc.waitingJobs()) {
+        const sim::Job &j = soc.job(id);
+        if (j.state != sim::JobState::Waiting)
+            continue; // MoCA never pauses jobs.
+        sched::SchedTask t;
+        t.id = id;
+        t.priority = j.spec.priority;
+        t.dispatched = j.spec.dispatch;
+        t.estimatedTime =
+            estimator_.estimateModel(*j.spec.model, per_slot);
+        t.estimatedAvgBw =
+            estimator_.estimateAvgBw(*j.spec.model, per_slot);
+        queue.push_back(t);
+    }
+    if (queue.empty())
+        return;
+
+    // Bias the pick against the running mix: if the current
+    // co-runners are mostly memory-intensive, prefer a compute-bound
+    // task (and vice versa) so the co-scheduled set stays balanced.
+    auto bias = sched::MocaScheduler::MixBias::None;
+    {
+        int mem = 0, total = 0;
+        for (int id : soc.runningJobs()) {
+            const sim::Job &j = soc.job(id);
+            const double bw = estimator_.estimateAvgBw(
+                *j.spec.model, std::max(1, j.numTiles));
+            ++total;
+            if (bw > 0.5 * soc.config().dramBytesPerCycle)
+                ++mem;
+        }
+        if (total > 0 && 2 * mem >= total + 1)
+            bias = sched::MocaScheduler::MixBias::PreferNonMem;
+        else if (total > 1 && mem == 0)
+            bias = sched::MocaScheduler::MixBias::PreferMem;
+    }
+
+    const std::vector<int> group =
+        scheduler_.selectGroup(queue, soc.now(), slots_free, bias);
+    for (int id : group) {
+        if (soc.freeTiles() < per_slot)
+            break;
+        soc.startJob(id, per_slot);
+        stats_.jobsAdmitted++;
+        reconfigure(soc, soc.job(id));
+    }
+}
+
+void
+MocaPolicy::maybeRepartition(sim::Soc &soc, sim::SchedEvent event)
+{
+    if (!cfg_.enableComputeRepartition)
+        return;
+    const int per_slot = tilesPerSlot(soc);
+    const auto running = soc.runningJobs();
+    const auto waiting = soc.waitingJobs();
+    const double migration =
+        static_cast<double>(soc.config().migrationCycles);
+
+    if (waiting.empty() && running.size() == 1 &&
+        soc.freeTiles() > 0) {
+        // Expand a lone job when the remaining work amortizes the
+        // migration penalty.
+        sim::Job &j = soc.job(running.front());
+        if (j.stallUntil > soc.now())
+            return;
+        const double remain = estimator_
+            .estimateRemaining(*j.spec.model, j.layerIdx, j.numTiles)
+            .prediction;
+        if (remain > cfg_.repartitionBenefit * migration) {
+            soc.resizeJob(j.spec.id,
+                          j.numTiles + soc.freeTiles());
+            stats_.repartitions++;
+            reconfigure(soc, j);
+        }
+        return;
+    }
+
+    if (event == sim::SchedEvent::JobArrival && !waiting.empty() &&
+        soc.freeTiles() < per_slot) {
+        // Shrink an expanded job back to one slot so new arrivals can
+        // be admitted, when it still has enough work left to justify
+        // paying the migration.
+        for (int id : running) {
+            sim::Job &j = soc.job(id);
+            if (j.numTiles <= per_slot)
+                continue;
+            const double remain = estimator_
+                .estimateRemaining(*j.spec.model, j.layerIdx,
+                                   j.numTiles)
+                .prediction;
+            if (remain > cfg_.repartitionBenefit * migration) {
+                soc.resizeJob(id, per_slot);
+                stats_.repartitions++;
+                reconfigure(soc, j);
+                break;
+            }
+        }
+    }
+}
+
+void
+MocaPolicy::schedule(sim::Soc &soc, sim::SchedEvent event)
+{
+    maybeRepartition(soc, event);
+    admitJobs(soc);
+
+    // Fallback: if nothing could be admitted at slot granularity but
+    // the machine is otherwise idle, run the best waiting job on
+    // whatever tiles remain (avoids idling a nearly-free SoC).
+    if (soc.runningJobs().empty() && !soc.waitingJobs().empty() &&
+        soc.freeTiles() > 0) {
+        const auto waiting = soc.waitingJobs();
+        soc.startJob(waiting.front(),
+                     std::min(soc.freeTiles(), tilesPerSlot(soc)));
+        reconfigure(soc, soc.job(waiting.front()));
+    }
+}
+
+void
+MocaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+{
+    if (reconfigure(soc, job))
+        reconfigureCorunners(soc, job.spec.id);
+}
+
+void
+MocaPolicy::onJobComplete(sim::Soc &, sim::Job &job)
+{
+    cm_.onJobComplete(job.spec.id);
+}
+
+} // namespace moca

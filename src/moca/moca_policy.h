@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The full-stack MoCA execution policy: Algorithm 3 scheduling of
+ * co-running jobs, Algorithm 2 contention detection + throttle
+ * programming at layer-block boundaries, and infrequent compute-tile
+ * repartitioning (the paper triggers compute repartition "much less
+ * frequently to avoid its high overhead"; memory repartition costs
+ * only the DMA reconfiguration).
+ *
+ * Ablation knobs expose each design choice (throttling, memory-aware
+ * pairing, dynamic priority score, compute repartition) for the
+ * component-ablation bench.
+ */
+
+#ifndef MOCA_MOCA_POLICY_H
+#define MOCA_MOCA_POLICY_H
+
+#include "moca/runtime/contention_manager.h"
+#include "moca/sched/scheduler.h"
+#include "sim/policy.h"
+#include "sim/soc.h"
+
+namespace moca {
+
+/** MoCA policy configuration + ablation knobs. */
+struct MocaPolicyConfig
+{
+    /** Concurrent job slots; tiles per slot = numTiles / slots. */
+    int slots = 4;
+
+    /** Program the MoCA throttle engines (core mechanism). */
+    bool enableThrottling = true;
+
+    /** Algorithm 3's memory-intensive pairing. */
+    bool enableMemAwarePairing = true;
+
+    /** Dynamic priority score (remaining/slack term) in Algorithm 2;
+     *  disabled -> static user priority only. */
+    bool enableDynamicScore = true;
+
+    /** Allow the rare compute-tile repartitioning. */
+    bool enableComputeRepartition = true;
+
+    /** Scheduler score threshold (Algorithm 3 line 14). */
+    double scoreThreshold = 0.0;
+
+    /** Use the sparsity-aware performance predictor (the paper's
+     *  Limitations-section extension); false models a dense-only
+     *  runtime mis-estimating pruned workloads. */
+    bool sparsityAwarePredictor = true;
+
+    /** Expand a lone job only when the estimated remaining work on
+     *  its current tiles exceeds this many migration penalties
+     *  (compute repartition is deliberately rare, Sec. III-C). */
+    double repartitionBenefit = 6.0;
+};
+
+/** MoCA as a pluggable execution policy for the SoC simulator. */
+class MocaPolicy : public sim::Policy
+{
+  public:
+    MocaPolicy(const sim::SocConfig &soc_cfg,
+               const MocaPolicyConfig &cfg = MocaPolicyConfig());
+
+    const char *name() const override { return "moca"; }
+
+    void schedule(sim::Soc &soc, sim::SchedEvent event) override;
+    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
+    void onJobComplete(sim::Soc &soc, sim::Job &job) override;
+
+    const runtime::ContentionManager &contentionManager() const
+    {
+        return cm_;
+    }
+
+    /** Diagnostics for benches/tests. */
+    struct PolicyStats
+    {
+        long reconfigurations = 0;   ///< Algorithm 2 invocations.
+        long contentionDetected = 0; ///< ... that found overflow > 0.
+        long jobsAdmitted = 0;
+        long repartitions = 0;       ///< Compute-tile resizes.
+    };
+    const PolicyStats &policyStats() const { return stats_; }
+
+  private:
+    MocaPolicyConfig cfg_;
+    runtime::ContentionManager cm_;
+    sched::MocaScheduler scheduler_;
+    runtime::LatencyModel estimator_;
+    PolicyStats stats_;
+
+    int tilesPerSlot(const sim::Soc &soc) const;
+
+    /**
+     * Run Algorithm 2 for a job and program its throttle engines.
+     * @return true when contention (overflow) was detected.
+     */
+    bool reconfigure(sim::Soc &soc, const sim::Job &job);
+
+    /** Refresh every co-runner's allocation (on contention). */
+    void reconfigureCorunners(sim::Soc &soc, int except_id);
+
+    /** Start jobs selected by Algorithm 3 while slots are free. */
+    void admitJobs(sim::Soc &soc);
+
+    /** The rare compute repartition (expand a lone long job / shrink
+     *  an expanded job when new work arrives). */
+    void maybeRepartition(sim::Soc &soc, sim::SchedEvent event);
+};
+
+} // namespace moca
+
+#endif // MOCA_MOCA_POLICY_H

@@ -1,0 +1,48 @@
+#include "moca/runtime/scoreboard.h"
+
+#include "common/log.h"
+
+namespace moca::runtime {
+
+void
+Scoreboard::update(int app_id, double bw_rate, double score)
+{
+    entries_[app_id] = ScoreboardEntry{bw_rate, score};
+}
+
+void
+Scoreboard::remove(int app_id)
+{
+    entries_.erase(app_id);
+}
+
+const ScoreboardEntry &
+Scoreboard::entry(int app_id) const
+{
+    auto it = entries_.find(app_id);
+    if (it == entries_.end())
+        panic("scoreboard has no entry for app %d", app_id);
+    return it->second;
+}
+
+double
+Scoreboard::otherBwRate(int app_id) const
+{
+    double total = 0.0;
+    for (const auto &[id, e] : entries_)
+        if (id != app_id)
+            total += e.bwRate;
+    return total;
+}
+
+double
+Scoreboard::otherWeightSum(int app_id) const
+{
+    double total = 0.0;
+    for (const auto &[id, e] : entries_)
+        if (id != app_id)
+            total += e.score * e.bwRate;
+    return total;
+}
+
+} // namespace moca::runtime

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The MoCA runtime's scoreboard (Sec. IV-A: "a lightweight software
+ * look-up table ... used to manage the bandwidth usage of each
+ * application").  Each running application records its current DRAM
+ * bandwidth usage (BW_rate, bytes/cycle) and its dynamic priority
+ * score; Algorithm 2 reads co-runners' entries to detect contention
+ * and compute the weighted reallocation.
+ */
+
+#ifndef MOCA_RUNTIME_SCOREBOARD_H
+#define MOCA_RUNTIME_SCOREBOARD_H
+
+#include <map>
+
+namespace moca::runtime {
+
+/** One application's scoreboard entry. */
+struct ScoreboardEntry
+{
+    /** Current-block DRAM bandwidth demand, bytes/cycle (the
+     *  unthrottled rate Algorithm 1 predicts). */
+    double bwRate = 0.0;
+    double score = 0.0; ///< Dynamic priority score (Algorithm 2).
+};
+
+/** Bandwidth-usage lookup table keyed by application (job) id. */
+class Scoreboard
+{
+  public:
+    /** Insert or update an application's entry. */
+    void update(int app_id, double bw_rate, double score);
+
+    /** Remove a finished application. */
+    void remove(int app_id);
+
+    bool contains(int app_id) const { return entries_.count(app_id); }
+
+    const ScoreboardEntry &entry(int app_id) const;
+
+    /** Sum of co-runners' bandwidth usage, excluding `app_id`
+     *  (Algorithm 2 line 10). */
+    double otherBwRate(int app_id) const;
+
+    /** Weighted sum of co-runners' score x BW usage, excluding
+     *  `app_id` (Algorithm 2 line 11). */
+    double otherWeightSum(int app_id) const;
+
+    std::size_t size() const { return entries_.size(); }
+    void clear() { entries_.clear(); }
+
+    const std::map<int, ScoreboardEntry> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<int, ScoreboardEntry> entries_;
+};
+
+} // namespace moca::runtime
+
+#endif // MOCA_RUNTIME_SCOREBOARD_H

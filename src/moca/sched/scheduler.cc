@@ -1,0 +1,100 @@
+#include "moca/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::sched {
+
+double
+MocaScheduler::score(const SchedTask &task, Cycles now)
+{
+    const double waiting = now >= task.dispatched
+        ? static_cast<double>(now - task.dispatched) : 0.0;
+    const double est = std::max(1.0, task.estimatedTime);
+    return static_cast<double>(task.priority) + waiting / est;
+}
+
+bool
+MocaScheduler::isMemIntensive(const SchedTask &task) const
+{
+    return task.estimatedAvgBw >
+        cfg_.memIntensiveFraction * dram_bw_;
+}
+
+std::vector<int>
+MocaScheduler::selectGroup(const std::vector<SchedTask> &queue,
+                           Cycles now, int max_slots,
+                           MixBias bias) const
+{
+    std::vector<int> group;
+    if (max_slots <= 0 || queue.empty())
+        return group;
+
+    // Lines 13-15: populate the ExQueue with above-threshold tasks
+    // sorted by descending score (stable on id for determinism).
+    struct Scored
+    {
+        const SchedTask *task;
+        double score;
+        bool taken = false;
+    };
+    std::vector<Scored> ex;
+    ex.reserve(queue.size());
+    for (const auto &t : queue) {
+        const double s = score(t, now);
+        // ">=" so that freshly dispatched priority-0 tasks (score
+        // exactly 0) pass the default threshold of 0.
+        if (s >= cfg_.scoreThreshold)
+            ex.push_back({&t, s});
+    }
+    std::stable_sort(ex.begin(), ex.end(),
+                     [](const Scored &a, const Scored &b) {
+                         if (a.score != b.score)
+                             return a.score > b.score;
+                         return a.task->id < b.task->id;
+                     });
+
+    // Lines 17-25: form the co-running group; pair memory-intensive
+    // picks with the next non-memory-intensive task in the queue.
+    auto pop_first = [&](auto &&pred) -> const SchedTask * {
+        for (auto &s : ex) {
+            if (!s.taken && pred(*s.task)) {
+                s.taken = true;
+                return s.task;
+            }
+        }
+        return nullptr;
+    };
+
+    bool first_pick = true;
+    while (static_cast<int>(group.size()) < max_slots) {
+        const SchedTask *curr = nullptr;
+        if (first_pick && cfg_.memAwarePairing &&
+            bias != MixBias::None) {
+            // Rebalance against the running mix: prefer the
+            // highest-scored task of the under-represented kind.
+            const bool want_mem = bias == MixBias::PreferMem;
+            curr = pop_first([&](const SchedTask &t) {
+                return isMemIntensive(t) == want_mem;
+            });
+        }
+        first_pick = false;
+        if (curr == nullptr)
+            curr = pop_first([](const SchedTask &) { return true; });
+        if (curr == nullptr)
+            break;
+        group.push_back(curr->id);
+
+        if (cfg_.memAwarePairing && isMemIntensive(*curr) &&
+            static_cast<int>(group.size()) < max_slots) {
+            const SchedTask *co = pop_first(
+                [&](const SchedTask &t) { return !isMemIntensive(t); });
+            if (co != nullptr)
+                group.push_back(co->id);
+        }
+    }
+    return group;
+}
+
+} // namespace moca::sched

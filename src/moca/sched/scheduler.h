@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Algorithm 3 of the paper: the MoCA scheduler.  At each scheduling
+ * round it scores every task in the TaskQueue as
+ *
+ *   Score_i = user_given_priority_i + Slowdown_i,
+ *   Slowdown_i = WaitingTime_i / EstimatedTime(Task_i),
+ *
+ * flags tasks whose estimated average DRAM bandwidth demand exceeds
+ * half the DRAM bandwidth as memory-intensive, populates an execution
+ * queue with tasks above the score threshold (sorted by score), and
+ * forms the co-running group by popping the highest-scored task and,
+ * whenever that task is memory-intensive, pairing it with the best
+ * non-memory-intensive task remaining in the queue.
+ */
+
+#ifndef MOCA_SCHED_SCHEDULER_H
+#define MOCA_SCHED_SCHEDULER_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace moca::sched {
+
+/** A TaskQueue entry as the scheduler sees it. */
+struct SchedTask
+{
+    int id = -1;
+    int priority = 0;            ///< user_given_priority, 0..11.
+    Cycles dispatched = 0;       ///< Time entered into the TaskQueue.
+    double estimatedTime = 1.0;  ///< Isolated latency estimate.
+    double estimatedAvgBw = 0.0; ///< Mean DRAM demand, bytes/cycle.
+};
+
+/** Scheduler tuning knobs. */
+struct SchedulerConfig
+{
+    /** ExQueue admission threshold on the score (Algorithm 3
+     *  line 14); 0 admits every dispatched task. */
+    double scoreThreshold = 0.0;
+
+    /** Memory-intensive flag cutoff as a fraction of DRAM bandwidth
+     *  (Algorithm 3 line 7 uses 0.5). */
+    double memIntensiveFraction = 0.5;
+
+    /** Disable the memory-aware pairing (ablation knob); selection
+     *  then degenerates to pure score order. */
+    bool memAwarePairing = true;
+};
+
+/** The MoCA scheduler. */
+class MocaScheduler
+{
+  public:
+    MocaScheduler(const SchedulerConfig &cfg, double dram_bw)
+        : cfg_(cfg), dram_bw_(dram_bw)
+    {
+    }
+
+    /** Score of a task at time `now` (Algorithm 3 lines 3-6). */
+    static double score(const SchedTask &task, Cycles now);
+
+    /** Memory-intensiveness flag (Algorithm 3 lines 7-11). */
+    bool isMemIntensive(const SchedTask &task) const;
+
+    /** Bias applied when filling slots next to already-running jobs:
+     *  steer the mix toward a memory/compute balance. */
+    enum class MixBias { None, PreferNonMem, PreferMem };
+
+    /**
+     * One scheduling round: select up to `max_slots` tasks to run
+     * concurrently (Algorithm 3 lines 13-26).
+     *
+     * @param bias when the co-runner set is already skewed (e.g.
+     *        mostly memory-intensive jobs running), the first pick
+     *        prefers a task that rebalances the mix; Algorithm 3's
+     *        pairing then applies within the selected group.
+     * @return task ids in launch order.
+     */
+    std::vector<int> selectGroup(const std::vector<SchedTask> &queue,
+                                 Cycles now, int max_slots,
+                                 MixBias bias = MixBias::None) const;
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    SchedulerConfig cfg_;
+    double dram_bw_;
+};
+
+} // namespace moca::sched
+
+#endif // MOCA_SCHED_SCHEDULER_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Max-min fair bandwidth arbitration for the shared DRAM channel and
+ * L2 banks.  Requesters present byte demands for the current quantum;
+ * the arbiter grants each the minimum of its demand and a fair share,
+ * redistributing leftover capacity (water-filling).  Weights model a
+ * job's DMA-engine count: a job running on k tiles has k request
+ * streams and therefore receives a k-proportional share under
+ * round-robin service, which is what the weight captures.
+ */
+
+#ifndef MOCA_SIM_ARBITER_H
+#define MOCA_SIM_ARBITER_H
+
+#include <vector>
+
+namespace moca::sim {
+
+/** One requester's demand for a quantum. */
+struct BwDemand
+{
+    double bytes = 0.0;  ///< Bytes wanted this quantum.
+    double weight = 1.0; ///< Fair-share weight (number of DMA engines).
+};
+
+/**
+ * Weighted max-min fair allocation.
+ *
+ * @param demands   per-requester demands (bytes >= 0, weight > 0).
+ * @param capacity  total bytes available this quantum.
+ * @return per-requester grants; sum(grants) <= capacity and
+ *         grants[i] <= demands[i].bytes.
+ */
+std::vector<double> allocateBandwidth(const std::vector<BwDemand> &demands,
+                                      double capacity);
+
+/**
+ * Demand-proportional allocation: models an unregulated FCFS-style
+ * DRAM controller, where a requester's service share is proportional
+ * to the requests it has in flight (demand x weight).  This is what
+ * makes memory hogs harmful to co-runners — and what MoCA's throttle
+ * regulates by capping the hog's issued demand.  Work-conserving:
+ * grants capped at demand redistribute their leftover.
+ */
+std::vector<double>
+allocateBandwidthProportional(const std::vector<BwDemand> &demands,
+                              double capacity);
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_ARBITER_H

@@ -1,0 +1,107 @@
+#include "sim/compute_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::sim {
+
+GemmShape
+gemmShape(const dnn::Layer &layer)
+{
+    using dnn::LayerKind;
+    GemmShape g;
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        g.m = static_cast<std::uint64_t>(layer.outH()) * layer.outW();
+        g.k = static_cast<std::uint64_t>(layer.kernel) * layer.kernel *
+            (static_cast<std::uint64_t>(layer.inC) / layer.groups);
+        g.n = static_cast<std::uint64_t>(layer.outC) / layer.groups;
+        g.groups = static_cast<std::uint64_t>(layer.groups);
+        return g;
+      case LayerKind::Dense:
+        g.m = 1; // batch-1 inference
+        g.k = static_cast<std::uint64_t>(layer.inC);
+        g.n = static_cast<std::uint64_t>(layer.outC);
+        return g;
+      default:
+        return g; // MEM layer: no GEMM
+    }
+}
+
+Cycles
+computeCycles(const dnn::Layer &layer, int num_tiles,
+              const SocConfig &cfg)
+{
+    if (num_tiles < 1)
+        panic("computeCycles with %d tiles", num_tiles);
+
+    const auto a = static_cast<std::uint64_t>(cfg.arrayDim);
+    const GemmShape g = gemmShape(layer);
+
+    // Multi-tile jobs pay a per-layer coordination cost: work split,
+    // per-tile dispatch, and the end-of-layer barrier.
+    Cycles sync = 0;
+    for (int t = 1; t < num_tiles; t *= 2)
+        sync += cfg.interTileSyncCycles;
+
+    if (g.m == 0) {
+        // MEM layer: element-wise traffic through the vector path,
+        // one element per PE per cycle, split across tiles.
+        const std::uint64_t elems =
+            (layer.inputBytes() + layer.outputBytes()) /
+            dnn::kElemBytes;
+        const std::uint64_t per_tile =
+            ceilDiv<std::uint64_t>(elems,
+                static_cast<std::uint64_t>(num_tiles));
+        return std::max<Cycles>(1, per_tile / (a * a)) + sync;
+    }
+
+    const std::uint64_t tiles_k = ceilDiv(g.k, a);
+    const std::uint64_t tiles_n = ceilDiv(g.n, a);
+    const std::uint64_t tiles = static_cast<std::uint64_t>(num_tiles);
+
+    std::uint64_t m_per_tile;
+    std::uint64_t kn_tiles_per_tile;
+    if (g.m >= tiles) {
+        // Split the streamed rows across tiles.
+        m_per_tile = ceilDiv(g.m, tiles);
+        kn_tiles_per_tile = tiles_k * tiles_n;
+    } else {
+        // Small-M layers (dense): split output-channel tiles instead.
+        m_per_tile = g.m;
+        kn_tiles_per_tile = tiles_k * ceilDiv(tiles_n, tiles);
+    }
+
+    // Per KxN weight tile the array streams m rows; loading the next
+    // weight tile (a rows) is double-buffered behind the streaming, so
+    // the tile costs max(m, a) cycles.  One pipeline fill/drain (2a)
+    // is paid per group.
+    const std::uint64_t per_tile_cost = std::max(m_per_tile, a);
+    const std::uint64_t per_group =
+        kn_tiles_per_tile * per_tile_cost + 2 * a;
+    const double serial =
+        1.0 + cfg.multiTileSerialFraction * (num_tiles - 1);
+    // Sparsity-capable datapath skips zero weights; throughput scales
+    // with density down to a structural floor (load imbalance across
+    // PE rows limits the speedup).
+    const double density =
+        std::max(0.1, std::min(1.0, layer.weightDensity));
+    const auto cycles = static_cast<Cycles>(
+        static_cast<double>(per_group * g.groups) * serial * density);
+    return std::max<Cycles>(1, cycles) + sync;
+}
+
+double
+arrayUtilization(const dnn::Layer &layer, const SocConfig &cfg)
+{
+    const Cycles cycles = computeCycles(layer, 1, cfg);
+    const double peak =
+        static_cast<double>(cfg.tileMacsPerCycle()) *
+        static_cast<double>(cycles);
+    if (peak <= 0.0)
+        return 0.0;
+    return static_cast<double>(layer.macCount()) / peak;
+}
+
+} // namespace moca::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Mapping-aware compute-cycle model for a Gemmini-style 16x16
+ * weight-stationary systolic array.  Convolutions and dense layers
+ * lower to GEMM (im2col); the array processes one KxN weight tile at a
+ * time, streaming M input rows through it, with fill/drain overhead
+ * per weight tile.  MEM-class layers run through the tile's vector
+ * path at one element per PE per cycle.
+ *
+ * Multi-tile jobs split the GEMM across tiles: over output rows (M)
+ * when M is large enough, otherwise over output-channel tiles (N).
+ */
+
+#ifndef MOCA_SIM_COMPUTE_MODEL_H
+#define MOCA_SIM_COMPUTE_MODEL_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "dnn/layer.h"
+#include "sim/config.h"
+
+namespace moca::sim {
+
+/** GEMM dimensions a layer lowers to (per group). */
+struct GemmShape
+{
+    std::uint64_t m = 0; ///< Output spatial positions (rows streamed).
+    std::uint64_t k = 0; ///< Reduction dimension.
+    std::uint64_t n = 0; ///< Output channels.
+    std::uint64_t groups = 1;
+};
+
+/** Lower a layer to its GEMM shape (MEM layers return m=k=n=0). */
+GemmShape gemmShape(const dnn::Layer &layer);
+
+/**
+ * Cycles to execute `layer` on `num_tiles` cooperating tiles,
+ * counting array fill/drain and dimension-padding under-utilization.
+ */
+Cycles computeCycles(const dnn::Layer &layer, int num_tiles,
+                     const SocConfig &cfg);
+
+/**
+ * Achieved array utilization for the layer on one tile: ideal MACs /
+ * (cycles * peak MACs/cycle).  1.0 for perfectly aligned shapes; used
+ * by tests and the model-zoo characterization example.
+ */
+double arrayUtilization(const dnn::Layer &layer, const SocConfig &cfg);
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_COMPUTE_MODEL_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Job state tracked by the SoC simulator.  A *job* is one dispatched
+ * inference request: a model instance with a user priority and an SLA
+ * (QoS) target.  Jobs wait in the task queue, run on a set of tiles,
+ * may be paused (PREMA preemption) or stalled (thread migration,
+ * MoCA reconfiguration), and finish with a measured latency.
+ */
+
+#ifndef MOCA_SIM_JOB_H
+#define MOCA_SIM_JOB_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "dnn/model.h"
+#include "moca/hw/throttle_engine.h"
+
+namespace moca::sim {
+
+/** Immutable description of a dispatched inference request. */
+struct JobSpec
+{
+    int id = -1;
+    const dnn::Model *model = nullptr;
+    Cycles dispatch = 0;   ///< Cycle the request enters the task queue.
+    int priority = 0;      ///< User-defined static priority, 0..11.
+    Cycles slaLatency = 0; ///< QoS target latency (from dispatch).
+};
+
+/** Lifecycle of a job. */
+enum class JobState
+{
+    NotArrived, ///< dispatch cycle is still in the future.
+    Waiting,    ///< In the task queue (dispatched, not yet running).
+    Running,    ///< Executing on >= 1 tiles.
+    Paused,     ///< Preempted with saved progress (PREMA).
+    Done,
+};
+
+/** Execution state of the job's current layer. */
+struct LayerExecState
+{
+    double computeRem = 0.0; ///< Remaining compute cycles.
+    double l2Rem = 0.0;      ///< Remaining L2-side bytes.
+    double dramRem = 0.0;    ///< Remaining DRAM-side bytes.
+    bool valid = false;
+};
+
+/** Per-job bookkeeping inside the simulator. */
+struct Job
+{
+    JobSpec spec;
+    JobState state = JobState::NotArrived;
+
+    int numTiles = 0;        ///< Tiles currently allocated.
+    std::size_t layerIdx = 0;
+    std::size_t blockIdx = 0;
+    LayerExecState exec;
+
+    Cycles stallUntil = 0;   ///< Migration/preemption stall deadline.
+    bool started = false;
+    Cycles firstStart = 0;
+    Cycles finish = 0;
+
+    /** Per-tile MoCA throttle engine (all tiles configured alike). */
+    hw::ThrottleEngine throttle;
+
+    // --- statistics ---------------------------------------------------
+    std::uint64_t dramBytesMoved = 0;
+    std::uint64_t l2BytesMoved = 0;
+    Cycles stallCycles = 0;
+    int migrations = 0;
+    int preemptions = 0;
+
+    /** Layers executed so far (monotonic, survives preemption). */
+    std::size_t layersDone() const { return layerIdx; }
+
+    bool complete() const { return state == JobState::Done; }
+};
+
+/** Result record for one finished job. */
+struct JobResult
+{
+    JobSpec spec;
+    Cycles firstStart = 0;
+    Cycles finish = 0;
+    std::uint64_t dramBytesMoved = 0;
+    std::uint64_t l2BytesMoved = 0;
+    Cycles stallCycles = 0;
+    int migrations = 0;
+    int preemptions = 0;
+    int throttleReconfigs = 0;
+
+    /** End-to-end latency: queue wait + runtime (paper Sec. IV-C). */
+    Cycles latency() const { return finish - spec.dispatch; }
+
+    /** True when the job met its SLA target. */
+    bool slaMet() const { return latency() <= spec.slaLatency; }
+};
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_JOB_H

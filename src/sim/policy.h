@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution-policy interface: the seam where MoCA and the baseline
+ * multi-tenancy mechanisms (PREMA, static partitioning, Planaria)
+ * plug into the SoC simulator.  The simulator invokes the policy at
+ * scheduling points (arrivals, completions, periodic ticks) and at
+ * layer-block boundaries; the policy reacts by starting, resizing,
+ * pausing, or throttling jobs through the Soc's control interface.
+ */
+
+#ifndef MOCA_SIM_POLICY_H
+#define MOCA_SIM_POLICY_H
+
+#include "sim/job.h"
+
+namespace moca::sim {
+
+class Soc;
+
+/** Why the policy's schedule() hook is being invoked. */
+enum class SchedEvent
+{
+    JobArrival,
+    JobCompletion,
+    PeriodicTick,
+    BlockBoundary,
+};
+
+/** Base class for multi-tenancy execution policies. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Short policy name for reports ("moca", "prema", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Main scheduling hook.  Inspect the Soc's job queues and issue
+     * control calls (startJob / resizeJob / pauseJob /
+     * configureThrottle).  Invoked whenever `event` occurs.
+     */
+    virtual void schedule(Soc &soc, SchedEvent event) = 0;
+
+    /**
+     * A running job crossed a layer-block boundary (it is about to
+     * begin block `job.blockIdx`).  Policies reconfigure resources at
+     * this granularity (Sec. IV-D).  Default: no action.
+     */
+    virtual void onBlockBoundary(Soc &soc, Job &job);
+
+    /** A job finished; called before the follow-up schedule(). */
+    virtual void onJobComplete(Soc &soc, Job &job);
+};
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_POLICY_H

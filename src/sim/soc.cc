@@ -1,0 +1,620 @@
+#include "sim/soc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "sim/arbiter.h"
+#include "sim/compute_model.h"
+#include "sim/traffic_model.h"
+
+namespace moca::sim {
+
+namespace {
+
+constexpr double kInf = 1e30;
+constexpr Cycles kNoArrival = std::numeric_limits<Cycles>::max();
+
+} // anonymous namespace
+
+void
+Policy::onBlockBoundary(Soc &, Job &)
+{
+}
+
+void
+Policy::onJobComplete(Soc &, Job &)
+{
+}
+
+Soc::Soc(const SocConfig &cfg, Policy &policy)
+    : cfg_(cfg), policy_(policy)
+{
+    if (cfg_.numTiles < 1)
+        fatal("SoC needs at least one tile");
+    if (cfg_.quantum < 1)
+        fatal("quantum must be positive");
+}
+
+void
+Soc::addJob(const JobSpec &spec)
+{
+    if (spec.model == nullptr)
+        fatal("job %d has no model", spec.id);
+    if (spec.id != static_cast<int>(jobs_.size()))
+        fatal("job ids must be dense and in insertion order "
+              "(got %d, expected %zu)", spec.id, jobs_.size());
+    Job job;
+    job.spec = spec;
+    jobs_.push_back(std::move(job));
+    sorted_ = false;
+}
+
+void
+Soc::sortArrivals()
+{
+    arrival_order_.resize(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        arrival_order_[i] = static_cast<int>(i);
+    std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                     [&](int a, int b) {
+                         return jobs_[a].spec.dispatch <
+                             jobs_[b].spec.dispatch;
+                     });
+    next_arrival_ = 0;
+    sorted_ = true;
+}
+
+bool
+Soc::allDone() const
+{
+    for (const auto &j : jobs_)
+        if (!j.complete())
+            return false;
+    return true;
+}
+
+Cycles
+Soc::nextArrivalCycle() const
+{
+    if (next_arrival_ >= arrival_order_.size())
+        return kNoArrival;
+    return jobs_[arrival_order_[next_arrival_]].spec.dispatch;
+}
+
+bool
+Soc::admitArrivals()
+{
+    bool any = false;
+    while (next_arrival_ < arrival_order_.size()) {
+        Job &j = jobs_[arrival_order_[next_arrival_]];
+        if (j.spec.dispatch > now_)
+            break;
+        j.state = JobState::Waiting;
+        trace_.record(now_, TraceEventKind::JobDispatched, j.spec.id);
+        ++next_arrival_;
+        any = true;
+    }
+    return any;
+}
+
+Job &
+Soc::job(int id)
+{
+    if (id < 0 || id >= static_cast<int>(jobs_.size()))
+        panic("bad job id %d", id);
+    return jobs_[static_cast<std::size_t>(id)];
+}
+
+const Job &
+Soc::job(int id) const
+{
+    return const_cast<Soc *>(this)->job(id);
+}
+
+std::vector<int>
+Soc::waitingJobs() const
+{
+    std::vector<int> ids;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Waiting || j.state == JobState::Paused)
+            ids.push_back(j.spec.id);
+    return ids;
+}
+
+std::vector<int>
+Soc::runningJobs() const
+{
+    std::vector<int> ids;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Running)
+            ids.push_back(j.spec.id);
+    return ids;
+}
+
+int
+Soc::freeTiles() const
+{
+    int used = 0;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Running)
+            used += j.numTiles;
+    if (used > cfg_.numTiles)
+        panic("tile over-allocation: %d of %d", used, cfg_.numTiles);
+    return cfg_.numTiles - used;
+}
+
+std::uint64_t
+Soc::effectiveCacheBytes() const
+{
+    int running = 0;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Running)
+            ++running;
+    return cfg_.l2Bytes / static_cast<std::uint64_t>(
+        std::max(1, running));
+}
+
+void
+Soc::startJob(int id, int num_tiles, Cycles resume_penalty)
+{
+    Job &j = job(id);
+    if (j.state != JobState::Waiting && j.state != JobState::Paused)
+        panic("startJob(%d): job is not startable (state %d)",
+              id, static_cast<int>(j.state));
+    if (num_tiles < 1)
+        panic("startJob(%d): need >= 1 tile", id);
+    if (num_tiles > freeTiles())
+        panic("startJob(%d): %d tiles requested, %d free",
+              id, num_tiles, freeTiles());
+
+    j.state = JobState::Running;
+    j.numTiles = num_tiles;
+    j.exec.valid = false;
+    if (resume_penalty > 0)
+        j.stallUntil = std::max(j.stallUntil, now_ + resume_penalty);
+    trace_.record(now_,
+                  j.started ? TraceEventKind::JobResumed
+                            : TraceEventKind::JobStarted,
+                  id, num_tiles);
+    if (!j.started) {
+        j.started = true;
+        j.firstStart = now_;
+    }
+    j.throttle.reset();
+}
+
+void
+Soc::resizeJob(int id, int num_tiles, bool charge_migration)
+{
+    Job &j = job(id);
+    if (j.state != JobState::Running)
+        panic("resizeJob(%d): job is not running", id);
+    if (num_tiles == j.numTiles)
+        return;
+    if (num_tiles < 1)
+        panic("resizeJob(%d): need >= 1 tile", id);
+    const int avail = freeTiles() + j.numTiles;
+    if (num_tiles > avail)
+        panic("resizeJob(%d): %d tiles requested, %d available",
+              id, num_tiles, avail);
+
+    j.numTiles = num_tiles;
+    // The layer restarts under the new tiling; the migration stall
+    // dominates the lost partial-layer work.
+    j.exec.valid = false;
+    if (charge_migration) {
+        j.stallUntil = std::max(j.stallUntil,
+                                now_ + cfg_.migrationCycles);
+        j.migrations++;
+    }
+    trace_.record(now_, TraceEventKind::JobResized, id, num_tiles);
+}
+
+void
+Soc::pauseJob(int id)
+{
+    Job &j = job(id);
+    if (j.state != JobState::Running)
+        panic("pauseJob(%d): job is not running", id);
+    j.state = JobState::Paused;
+    j.numTiles = 0;
+    j.exec.valid = false; // partial layer progress is discarded
+    j.preemptions++;
+    trace_.record(now_, TraceEventKind::JobPaused, id);
+}
+
+void
+Soc::configureThrottle(int id, const hw::ThrottleConfig &tcfg)
+{
+    Job &j = job(id);
+    j.throttle.configure(tcfg);
+    trace_.record(now_, TraceEventKind::ThrottleConfig, id,
+                  static_cast<long long>(tcfg.windowCycles));
+}
+
+void
+Soc::beginLayer(Job &job)
+{
+    const dnn::Model &model = *job.spec.model;
+    const dnn::Layer &layer = model.layer(job.layerIdx);
+
+    const Cycles cc = computeCycles(layer, job.numTiles, cfg_);
+    const LayerTraffic traffic =
+        layerTraffic(layer, job.numTiles, cfg_, effectiveCacheBytes());
+
+    job.exec.computeRem = static_cast<double>(cc);
+    job.exec.l2Rem = static_cast<double>(traffic.l2Bytes);
+    job.exec.dramRem = static_cast<double>(traffic.dramBytes);
+    job.exec.valid = true;
+}
+
+double
+Soc::layerRemainingTime(const Job &job, double service) const
+{
+    const LayerExecState &e = job.exec;
+    const double c = e.computeRem;
+    if (service <= 0.0)
+        return kInf;
+    // Memory time at the job's private DMA caps, inflated by the
+    // service ratio the shared channels granted.  DRAM refills flow
+    // through the L2 pipeline concurrently, so the memory time is the
+    // slower of the two channels, not their sum.
+    const double cap = cfg_.tileDmaBytesPerCycle *
+        std::max(1, job.numTiles);
+    const double dram_cap = std::min(cap, cfg_.dramBytesPerCycle);
+    const double l2_cap = std::min(cap, cfg_.l2BytesPerCycle());
+    const double m_cap =
+        std::max(e.dramRem / dram_cap, e.l2Rem / l2_cap);
+    const double m = m_cap / service;
+    const double f = cfg_.overlapF;
+    return std::max(c, m) + f * std::min(c, m);
+}
+
+Soc::AdvanceOutcome
+Soc::advanceJob(Job &job, Cycles quantum, double service,
+                double dram_budget, double l2_budget)
+{
+    AdvanceOutcome out;
+    double t = static_cast<double>(quantum);
+    const dnn::Model &model = *job.spec.model;
+
+    while (t > 1e-9) {
+        if (!job.exec.valid)
+            beginLayer(job);
+
+        double t_rem = layerRemainingTime(job, service);
+        // Hard grant clamps: progress cannot consume more bytes than
+        // the arbiters granted this quantum.
+        double df_max = t / t_rem;
+        if (job.exec.dramRem > 1e-9)
+            df_max = std::min(df_max,
+                              dram_budget / job.exec.dramRem);
+        if (job.exec.l2Rem > 1e-9)
+            df_max = std::min(df_max, l2_budget / job.exec.l2Rem);
+
+        if (df_max >= 1.0 && t_rem <= t) {
+            // Layer completes within this quantum.
+            out.dramConsumed += job.exec.dramRem;
+            out.l2Consumed += job.exec.l2Rem;
+            dram_budget -= job.exec.dramRem;
+            l2_budget -= job.exec.l2Rem;
+            t -= t_rem;
+            job.exec = LayerExecState();
+            job.layerIdx++;
+
+            if (job.layerIdx >= model.numLayers()) {
+                out.jobComplete = true;
+                break;
+            }
+            const auto &blocks = model.blocks();
+            if (job.blockIdx + 1 < blocks.size() &&
+                job.layerIdx >= blocks[job.blockIdx + 1].first) {
+                job.blockIdx++;
+                out.blockBoundary = true;
+                // Give the policy a reconfiguration opportunity
+                // before the next block begins.
+                break;
+            }
+            if (cfg_.layerBoundaryEvents) {
+                // Granularity ablation: boundary hook per layer.
+                out.blockBoundary = true;
+                break;
+            }
+        } else {
+            const double frac = std::min(df_max, t / t_rem);
+            const double dram_used = frac * job.exec.dramRem;
+            const double l2_used = frac * job.exec.l2Rem;
+            out.dramConsumed += dram_used;
+            out.l2Consumed += l2_used;
+            dram_budget -= dram_used;
+            l2_budget -= l2_used;
+            job.exec.computeRem *= 1.0 - frac;
+            job.exec.dramRem *= 1.0 - frac;
+            job.exec.l2Rem *= 1.0 - frac;
+            t = 0.0;
+        }
+    }
+    return out;
+}
+
+void
+Soc::completeJob(Job &job)
+{
+    job.state = JobState::Done;
+    job.numTiles = 0;
+    job.finish = now_;
+
+    JobResult r;
+    r.spec = job.spec;
+    r.firstStart = job.firstStart;
+    r.finish = job.finish;
+    r.dramBytesMoved = job.dramBytesMoved;
+    r.l2BytesMoved = job.l2BytesMoved;
+    r.stallCycles = job.stallCycles;
+    r.migrations = job.migrations;
+    r.preemptions = job.preemptions;
+    r.throttleReconfigs =
+        static_cast<int>(job.throttle.stats().reconfigurations);
+    results_.push_back(r);
+    trace_.record(now_, TraceEventKind::JobCompleted, job.spec.id);
+}
+
+void
+Soc::invokePolicy(SchedEvent event)
+{
+    stats_.schedInvocations++;
+    policy_.schedule(*this, event);
+}
+
+void
+Soc::run(Cycles max_cycles)
+{
+    if (!sorted_)
+        sortArrivals();
+    if (max_cycles == 0)
+        max_cycles = 1'000'000'000'000ULL;
+    next_sched_tick_ = 0;
+
+    while (!allDone()) {
+        if (now_ > max_cycles)
+            fatal("simulation exceeded %llu cycles; policy deadlock?",
+                  static_cast<unsigned long long>(max_cycles));
+
+        if (admitArrivals())
+            invokePolicy(SchedEvent::JobArrival);
+        if (now_ >= next_sched_tick_) {
+            invokePolicy(SchedEvent::PeriodicTick);
+            next_sched_tick_ = now_ + cfg_.schedPeriod;
+        }
+
+        std::vector<int> running = runningJobs();
+        if (running.empty()) {
+            const Cycles na = nextArrivalCycle();
+            if (na != kNoArrival) {
+                now_ = std::max(now_, na);
+                continue;
+            }
+            // No arrivals left and nothing running: the policy must
+            // start a waiting/paused job now or we are deadlocked.
+            invokePolicy(SchedEvent::PeriodicTick);
+            running = runningJobs();
+            if (running.empty()) {
+                if (allDone())
+                    break;
+                fatal("policy deadlock: %zu jobs unfinished, nothing "
+                      "running, no arrivals pending",
+                      waitingJobs().size());
+            }
+        }
+
+        Cycles quantum = cfg_.quantum;
+        const Cycles na = nextArrivalCycle();
+        if (na != kNoArrival && na > now_)
+            quantum = std::min<Cycles>(quantum, na - now_);
+        quantum = std::max<Cycles>(quantum, 1);
+
+        // ---- Demand phase --------------------------------------------
+        struct Entry
+        {
+            int id;
+            double dramDemand = 0.0;
+            double l2Demand = 0.0;
+            bool stalled = false;
+        };
+        std::vector<Entry> entries;
+        entries.reserve(running.size());
+
+        for (int id : running) {
+            Job &j = jobs_[static_cast<std::size_t>(id)];
+            Entry e;
+            e.id = id;
+            if (j.stallUntil > now_) {
+                e.stalled = true;
+                j.stallCycles += std::min<Cycles>(
+                    quantum, j.stallUntil - now_);
+                entries.push_back(e);
+                continue;
+            }
+            if (!j.exec.valid)
+                beginLayer(j);
+
+            // Private (uncontended) rate cap of the job's DMA engines.
+            const double cap =
+                cfg_.tileDmaBytesPerCycle * j.numTiles;
+            const double t_full = layerRemainingTime(j, 1.0);
+            const double q = static_cast<double>(quantum);
+
+            double l2_des, dram_des;
+            if (t_full >= kInf) {
+                l2_des = dram_des = 0.0;
+            } else if (t_full <= q) {
+                // Layer (and possibly more) finishes within the
+                // quantum at private speed: ask for the full rate.
+                l2_des = std::min(j.exec.l2Rem + q * cap * 0.25,
+                                  q * cap);
+                dram_des = std::min(j.exec.dramRem + q * cap * 0.25,
+                                    q * cap);
+            } else {
+                // The decoupled DMA runs ahead of compute: it issues
+                // at up to dmaRunAhead x the balanced rate until the
+                // scratchpad double-buffer backpressures.
+                const double ahead = std::max(1.0, cfg_.dmaRunAhead);
+                l2_des = std::min(q * cap,
+                                  ahead * q * (j.exec.l2Rem / t_full));
+                dram_des = std::min(
+                    q * cap, ahead * q * (j.exec.dramRem / t_full));
+            }
+
+            // MoCA throttle: cap by the per-tile window allowance.
+            if (j.throttle.config().enabled() || l2_des > 0.0) {
+                const std::uint64_t beats_per_tile =
+                    j.throttle.peekAllowance(quantum);
+                const double allowed =
+                    static_cast<double>(beats_per_tile) *
+                    static_cast<double>(cfg_.dmaBeatBytes) *
+                    j.numTiles;
+                if (l2_des > allowed) {
+                    const double scale =
+                        l2_des > 0.0 ? allowed / l2_des : 0.0;
+                    l2_des = allowed;
+                    dram_des *= scale;
+                }
+            }
+            e.l2Demand = l2_des;
+            e.dramDemand = dram_des;
+            entries.push_back(e);
+        }
+
+        // ---- Arbitration ---------------------------------------------
+        std::vector<BwDemand> dram_req, l2_req;
+        dram_req.reserve(entries.size());
+        l2_req.reserve(entries.size());
+        for (const auto &e : entries) {
+            const Job &j = jobs_[static_cast<std::size_t>(e.id)];
+            const double w = std::max(1, j.numTiles);
+            dram_req.push_back({e.dramDemand, w});
+            l2_req.push_back({e.l2Demand, w});
+        }
+        const double q = static_cast<double>(quantum);
+        double dram_cap = cfg_.dramBytesPerCycle * q;
+        {
+            // Oversubscription thrash: aggregate issued demand beyond
+            // the channel bandwidth costs row-buffer locality — but
+            // only when the excess comes from *interleaved* streams
+            // of different jobs (a lone streamer keeps locality).
+            double total_demand = 0.0;
+            double max_demand = 0.0;
+            for (const auto &e : entries) {
+                total_demand += e.dramDemand;
+                max_demand = std::max(max_demand, e.dramDemand);
+            }
+            if (total_demand > dram_cap * cfg_.dramThrashOnset &&
+                dram_cap > 0.0) {
+                const double over = std::min(
+                    1.0,
+                    (total_demand / dram_cap - cfg_.dramThrashOnset) /
+                        2.0);
+                const double interleave =
+                    1.0 - max_demand / total_demand;
+                const double loss = cfg_.dramThrashFactor * over *
+                    2.0 * std::min(0.5, interleave);
+                if (loss > 0.0) {
+                    stats_.thrashQuanta++;
+                    stats_.thrashLostBytes += dram_cap * loss;
+                }
+                dram_cap *= 1.0 - loss;
+            }
+        }
+        const auto dram_grants = cfg_.dramProportionalArbitration
+            ? allocateBandwidthProportional(dram_req, dram_cap)
+            : allocateBandwidth(dram_req, dram_cap);
+        const auto l2_grants =
+            allocateBandwidth(l2_req, cfg_.l2BytesPerCycle() * q);
+
+        // ---- Advance phase -------------------------------------------
+        struct Event
+        {
+            int id;
+            bool blockBoundary;
+            bool complete;
+        };
+        std::vector<Event> events;
+        double dram_used = 0.0;
+
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            Job &j = jobs_[static_cast<std::size_t>(entries[i].id)];
+            if (entries[i].stalled) {
+                j.throttle.advance(quantum, 0);
+                continue;
+            }
+            // Service ratio: how much of the demanded issue rate the
+            // shared channels actually granted.
+            double service = 1.0;
+            if (entries[i].dramDemand > 1e-9)
+                service = std::min(
+                    service, dram_grants[i] / entries[i].dramDemand);
+            if (entries[i].l2Demand > 1e-9)
+                service = std::min(
+                    service, l2_grants[i] / entries[i].l2Demand);
+            // The demand already includes the run-ahead margin; the
+            // balanced rate is demand / runAhead, so a grant of
+            // demand/runAhead still sustains full-speed execution.
+            service = std::min(
+                1.0, service * std::max(1.0, cfg_.dmaRunAhead));
+            const AdvanceOutcome out =
+                advanceJob(j, quantum, service,
+                           dram_grants[i], l2_grants[i]);
+
+            j.dramBytesMoved +=
+                static_cast<std::uint64_t>(out.dramConsumed);
+            j.l2BytesMoved +=
+                static_cast<std::uint64_t>(out.l2Consumed);
+            dram_used += out.dramConsumed;
+
+            // Account the consumed traffic in the throttle engine
+            // (per tile).
+            const std::uint64_t beats = static_cast<std::uint64_t>(
+                out.l2Consumed /
+                (static_cast<double>(cfg_.dmaBeatBytes) *
+                 std::max(1, j.numTiles)));
+            j.throttle.advance(quantum, beats);
+
+            if (out.blockBoundary || out.jobComplete)
+                events.push_back({entries[i].id, out.blockBoundary,
+                                  out.jobComplete});
+        }
+
+        now_ += quantum;
+        stats_.quanta++;
+        stats_.dramBytes += static_cast<std::uint64_t>(dram_used);
+        dram_busy_cycles_ += dram_used / cfg_.dramBytesPerCycle;
+
+        // ---- Post-quantum events -------------------------------------
+        bool completion = false;
+        for (const auto &ev : events) {
+            Job &j = jobs_[static_cast<std::size_t>(ev.id)];
+            if (ev.complete) {
+                completeJob(j);
+                policy_.onJobComplete(*this, j);
+                completion = true;
+            } else if (ev.blockBoundary) {
+                trace_.record(now_, TraceEventKind::BlockBoundary,
+                              ev.id,
+                              static_cast<long long>(j.blockIdx));
+                policy_.onBlockBoundary(*this, j);
+            }
+        }
+        if (completion)
+            invokePolicy(SchedEvent::JobCompletion);
+    }
+
+    stats_.cyclesSimulated = now_;
+    stats_.l2Bytes = 0;
+    for (const auto &j : jobs_)
+        stats_.l2Bytes += j.l2BytesMoved;
+    stats_.dramBusyFraction =
+        now_ > 0 ? dram_busy_cycles_ / static_cast<double>(now_) : 0.0;
+}
+
+} // namespace moca::sim

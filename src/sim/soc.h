@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Quantum-stepped cycle-level SoC simulator.
+ *
+ * Execution model: every quantum (default 512 cycles) each running
+ * job computes the byte demand its DMA engines would issue, capped by
+ * its MoCA throttle allowance; the shared DRAM channel and L2 banks
+ * arbitrate demands with weighted max-min fairness; each job then
+ * advances its current layer using the granted rates, combining
+ * compute and memory progress with the overlap factor
+ * (latency = max(C, M) + f * min(C, M), Algorithm 1 semantics).
+ *
+ * Layer DRAM traffic is determined at layer start from the job's
+ * *effective* L2 share (capacity divided among co-runners), which
+ * models shared-cache capacity contention.  Scheduling points invoke
+ * the pluggable Policy (MoCA or a baseline).
+ */
+
+#ifndef MOCA_SIM_SOC_H
+#define MOCA_SIM_SOC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/job.h"
+#include "sim/policy.h"
+#include "sim/trace.h"
+
+namespace moca::sim {
+
+/** Aggregate SoC-level statistics for a run. */
+struct SocStats
+{
+    Cycles cyclesSimulated = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t l2Bytes = 0;
+    double dramBusyFraction = 0.0; ///< Time-averaged DRAM utilization.
+    std::uint64_t quanta = 0;
+    std::uint64_t schedInvocations = 0;
+    /** Quanta where oversubscribed interleaved demand degraded the
+     *  effective DRAM bandwidth. */
+    std::uint64_t thrashQuanta = 0;
+    /** Bandwidth-cycles lost to thrash (bytes not servable). */
+    double thrashLostBytes = 0.0;
+};
+
+/** The simulated SoC. */
+class Soc
+{
+  public:
+    Soc(const SocConfig &cfg, Policy &policy);
+
+    /** Queue a job for dispatch at spec.dispatch. */
+    void addJob(const JobSpec &spec);
+
+    /**
+     * Run until every job has completed.
+     * @param max_cycles safety limit; fatal when exceeded (deadlock
+     *        in a policy).
+     */
+    void run(Cycles max_cycles = 0);
+
+    Cycles now() const { return now_; }
+    const SocConfig &config() const { return cfg_; }
+    const SocStats &stats() const { return stats_; }
+
+    // --- Policy-facing state inspection ------------------------------
+
+    /** All jobs, indexed by id (ids are dense, assigned by addJob). */
+    const std::vector<Job> &jobs() const { return jobs_; }
+    Job &job(int id);
+    const Job &job(int id) const;
+
+    /** Ids of jobs waiting (or paused) and visible at `now`. */
+    std::vector<int> waitingJobs() const;
+    /** Ids of running jobs. */
+    std::vector<int> runningJobs() const;
+    /** Tiles not allocated to any running job. */
+    int freeTiles() const;
+
+    // --- Policy-facing control ----------------------------------------
+
+    /**
+     * Move a Waiting/Paused job onto `num_tiles` tiles.
+     * @param resume_penalty stall charged before execution begins
+     *        (e.g. PREMA scratchpad restore); 0 for a fresh start.
+     */
+    void startJob(int id, int num_tiles, Cycles resume_penalty = 0);
+
+    /**
+     * Change a running job's tile allocation.  Charges the
+     * thread-migration penalty (cfg.migrationCycles) unless
+     * `charge_migration` is false.
+     */
+    void resizeJob(int id, int num_tiles, bool charge_migration = true);
+
+    /**
+     * Preempt a running job at its current layer boundary, saving
+     * progress (PREMA).  Frees the job's tiles.
+     */
+    void pauseJob(int id);
+
+    /** Program the job's MoCA throttle engines (Algorithm 2 output). */
+    void configureThrottle(int id, const hw::ThrottleConfig &cfg);
+
+    /** Results of completed jobs (valid after run()). */
+    const std::vector<JobResult> &results() const { return results_; }
+
+    /**
+     * Effective L2 capacity a job sees right now: total capacity
+     * divided by the number of running jobs (capacity contention).
+     */
+    std::uint64_t effectiveCacheBytes() const;
+
+    /** Event log; call trace().enable() before run() to record. */
+    TraceRecorder &trace() { return trace_; }
+    const TraceRecorder &trace() const { return trace_; }
+
+  private:
+    SocConfig cfg_;
+    Policy &policy_;
+    Cycles now_ = 0;
+
+    std::vector<Job> jobs_;
+    std::vector<int> arrival_order_; ///< Job ids sorted by dispatch.
+    std::size_t next_arrival_ = 0;   ///< Index into arrival_order_.
+
+    std::vector<JobResult> results_;
+    SocStats stats_;
+    TraceRecorder trace_;
+    double dram_busy_cycles_ = 0.0;
+    Cycles next_sched_tick_ = 0;
+    bool sorted_ = false;
+
+    void sortArrivals();
+    bool allDone() const;
+    Cycles nextArrivalCycle() const;
+
+    /** Admit arrivals with dispatch <= now; returns true if any. */
+    bool admitArrivals();
+
+    /** Initialize exec state for the job's current layer. */
+    void beginLayer(Job &job);
+
+    /**
+     * Advance a running job by up to `quantum` cycles.
+     *
+     * @param service grant/demand service ratio in (0, 1]: the memory
+     *        pipeline runs 1/service times slower than at the job's
+     *        private DMA caps.
+     * @param dram_budget,l2_budget granted bytes this quantum (hard
+     *        consumption clamps).
+     */
+    struct AdvanceOutcome
+    {
+        double dramConsumed = 0.0;
+        double l2Consumed = 0.0;
+        bool blockBoundary = false;
+        bool jobComplete = false;
+    };
+    AdvanceOutcome advanceJob(Job &job, Cycles quantum, double service,
+                              double dram_budget, double l2_budget);
+
+    /**
+     * Remaining time of the current layer when the memory pipeline
+     * runs at `service` x the job's private cap rates.
+     */
+    double layerRemainingTime(const Job &job, double service) const;
+
+    void completeJob(Job &job);
+    void invokePolicy(SchedEvent event);
+};
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_SOC_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Execution-trace recording: an optional, low-overhead event log the
+ * SoC simulator fills while running (job lifecycle, layer-block
+ * boundaries, throttle reconfigurations, migrations).  Used by the
+ * timeline example and by tests that assert ordering properties that
+ * aggregate metrics cannot see.
+ */
+
+#ifndef MOCA_SIM_TRACE_H
+#define MOCA_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace moca::sim {
+
+/** Kind of a trace event. */
+enum class TraceEventKind
+{
+    JobDispatched,  ///< Entered the task queue.
+    JobStarted,     ///< First placed on tiles.
+    JobResumed,     ///< Re-placed after preemption.
+    JobPaused,      ///< Preempted (PREMA).
+    JobResized,     ///< Tile allocation changed.
+    JobCompleted,
+    BlockBoundary,  ///< Crossed into a new layer block.
+    ThrottleConfig, ///< MoCA throttle engines reprogrammed.
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    Cycles cycle = 0;
+    TraceEventKind kind = TraceEventKind::JobDispatched;
+    int jobId = -1;
+    /** Event-dependent value: tiles for start/resize, block index
+     *  for boundaries, window cycles for throttle configs. */
+    long long value = 0;
+};
+
+/** Printable event-kind name. */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** Append-only event log. */
+class TraceRecorder
+{
+  public:
+    /** Recording is off until enabled (zero overhead when off). */
+    void enable() { enabled_ = true; }
+    bool enabled() const { return enabled_; }
+
+    void
+    record(Cycles cycle, TraceEventKind kind, int job_id,
+           long long value = 0)
+    {
+        if (enabled_)
+            events_.push_back({cycle, kind, job_id, value});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events of one job, in time order. */
+    std::vector<TraceEvent> forJob(int job_id) const;
+
+    /** Count of events of a kind (optionally for one job). */
+    std::size_t count(TraceEventKind kind, int job_id = -1) const;
+
+    /** Render a human-readable timeline (cycles in Kcyc). */
+    std::string render(std::size_t max_events = 200) const;
+
+    void clear() { events_.clear(); }
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_TRACE_H

@@ -1,0 +1,140 @@
+#include "sim/traffic_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::sim {
+
+namespace {
+
+/** Streaming traffic options for the two loop orders of the GEMM. */
+struct StreamPlan
+{
+    std::uint64_t streamBytes = 0; ///< Total streamed bytes (L2 side).
+    std::uint64_t reloaded = 0;    ///< Bytes re-fetched beyond 1 pass.
+    std::uint64_t residentOperand = 0; ///< Size of the held operand.
+};
+
+StreamPlan
+planGemmStreaming(std::uint64_t weight_bytes, std::uint64_t input_bytes,
+                  const SocConfig &cfg)
+{
+    // Half the scratchpad holds the resident operand; the other half
+    // double-buffers the streamed one.
+    const std::uint64_t sp_half = cfg.scratchpadBytes / 2;
+
+    // Option A: weights resident in chunks, inputs streamed once per
+    // weight chunk.
+    const std::uint64_t w_chunks =
+        std::max<std::uint64_t>(1, ceilDiv(weight_bytes, sp_half));
+    const std::uint64_t opt_a = weight_bytes + input_bytes * w_chunks;
+
+    // Option B: inputs resident in chunks, weights streamed once per
+    // input chunk.
+    const std::uint64_t i_chunks =
+        std::max<std::uint64_t>(1, ceilDiv(input_bytes, sp_half));
+    const std::uint64_t opt_b = input_bytes + weight_bytes * i_chunks;
+
+    StreamPlan plan;
+    if (opt_a <= opt_b) {
+        plan.streamBytes = opt_a;
+        plan.reloaded = input_bytes * (w_chunks - 1);
+        plan.residentOperand = weight_bytes;
+    } else {
+        plan.streamBytes = opt_b;
+        plan.reloaded = weight_bytes * (i_chunks - 1);
+        plan.residentOperand = input_bytes;
+    }
+    return plan;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+streamReloadFactor(const dnn::Layer &layer, const SocConfig &cfg)
+{
+    if (layer.layerClass() == dnn::LayerClass::Mem)
+        return 1;
+    const std::uint64_t sp_half = cfg.scratchpadBytes / 2;
+    const std::uint64_t w = layer.weightBytes();
+    const std::uint64_t in = layer.inputBytes();
+    const std::uint64_t w_chunks =
+        std::max<std::uint64_t>(1, ceilDiv(w, sp_half));
+    const std::uint64_t i_chunks =
+        std::max<std::uint64_t>(1, ceilDiv(in, sp_half));
+    // Reload factor of whichever loop order streams fewer bytes.
+    const std::uint64_t opt_a = w + in * w_chunks;
+    const std::uint64_t opt_b = in + w * i_chunks;
+    return opt_a <= opt_b ? w_chunks : i_chunks;
+}
+
+LayerTraffic
+layerTraffic(const dnn::Layer &layer, int num_tiles,
+             const SocConfig &cfg, std::uint64_t effective_cache_bytes)
+{
+    if (num_tiles < 1)
+        panic("layerTraffic with %d tiles", num_tiles);
+
+    LayerTraffic t;
+    const std::uint64_t in = layer.inputBytes();
+    const std::uint64_t out = layer.outputBytes();
+    const std::uint64_t w = layer.weightBytes();
+    const std::uint64_t bias = layer.biasBytes();
+
+    if (layer.layerClass() == dnn::LayerClass::Mem) {
+        // MEM layers stream input(s) and write output; no weights.
+        t.l2Bytes = in + out;
+        // Outputs are written through; at least one input operand
+        // (the residual saved many layers earlier, or an evicted
+        // tensor) comes from DRAM when it no longer fits in the
+        // job's L2 share.
+        t.dramBytes = out;
+        if (layer.kind == dnn::LayerKind::Add) {
+            // The second (older) operand has been evicted unless the
+            // cache comfortably holds both operands.
+            const std::uint64_t operand = in / 2;
+            if (in + out > effective_cache_bytes)
+                t.dramBytes += operand;
+        } else if (in > effective_cache_bytes) {
+            t.dramBytes += in;
+        }
+        return t;
+    }
+
+    const StreamPlan plan = planGemmStreaming(w, in, cfg);
+
+    t.l2Bytes = plan.streamBytes + out + bias;
+
+    // DRAM side: weights and biases have no producer on chip and are
+    // fetched from DRAM; outputs are written through.
+    t.dramBytes = w + bias + out;
+
+    // Input activations were produced by the previous layer into L2;
+    // they hit unless the tensor exceeds the job's effective share.
+    if (in > effective_cache_bytes)
+        t.dramBytes += in;
+
+    // Re-fetched streaming passes hit L2 only if the streamed operand
+    // survives there between passes.
+    if (plan.reloaded > 0) {
+        const std::uint64_t streamed_operand =
+            plan.residentOperand == w ? in : w;
+        if (streamed_operand > effective_cache_bytes)
+            t.dramBytes += plan.reloaded;
+    }
+
+    // Multi-tile jobs duplicate the shared operand's fetches into
+    // each tile's scratchpad; the duplicates are L2 hits (the first
+    // tile's fetch warms the cache) so only l2Bytes grows.
+    if (num_tiles > 1) {
+        const std::uint64_t dup =
+            plan.residentOperand *
+            static_cast<std::uint64_t>(num_tiles - 1);
+        t.l2Bytes += dup;
+    }
+
+    return t;
+}
+
+} // namespace moca::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory-traffic model: how many bytes a layer moves through the
+ * shared L2 and how many of those reach DRAM, as a function of the
+ * scratchpad-constrained tiling and the *effective* L2 capacity the
+ * job sees (total capacity divided among co-running jobs, which is the
+ * capacity-contention effect that hurts e.g. AlexNet's FC layers when
+ * co-located — Fig. 1 of the paper).
+ *
+ * This is the simulator's ground truth.  The MoCA runtime's Algorithm
+ * 1 (src/moca/runtime/latency_model.*) computes its own estimate from
+ * the paper's coarser rules; the two are deliberately independent so
+ * the prediction-error validation (paper: within 10%) is meaningful.
+ */
+
+#ifndef MOCA_SIM_TRAFFIC_MODEL_H
+#define MOCA_SIM_TRAFFIC_MODEL_H
+
+#include <cstdint>
+
+#include "dnn/layer.h"
+#include "sim/config.h"
+
+namespace moca::sim {
+
+/** Bytes a layer moves at each level of the shared memory system. */
+struct LayerTraffic
+{
+    /** Total bytes transferred between the tiles and the L2. */
+    std::uint64_t l2Bytes = 0;
+    /** Subset of l2Bytes that misses L2 and reaches DRAM. */
+    std::uint64_t dramBytes = 0;
+};
+
+/**
+ * Traffic for executing `layer` on `num_tiles` tiles when the job's
+ * effective L2 share is `effective_cache_bytes`.
+ *
+ * Tiling: the per-tile scratchpad is double-buffered; the smaller
+ * GEMM operand is held resident when possible and the other streamed.
+ * When neither operand fits, the streamed operand is re-fetched once
+ * per resident-operand chunk (the reload factor).
+ */
+LayerTraffic layerTraffic(const dnn::Layer &layer, int num_tiles,
+                          const SocConfig &cfg,
+                          std::uint64_t effective_cache_bytes);
+
+/** Reload factor (>= 1) of the streamed GEMM operand for the layer. */
+std::uint64_t streamReloadFactor(const dnn::Layer &layer,
+                                 const SocConfig &cfg);
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_TRAFFIC_MODEL_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit and property tests for the weighted max-min fair bandwidth
+ * arbiter shared by the DRAM channel and L2 banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "sim/arbiter.h"
+
+namespace moca::sim {
+namespace {
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Arbiter, UnderloadedGrantsEverything)
+{
+    const auto g = allocateBandwidth({{100, 1}, {200, 1}}, 1000);
+    EXPECT_DOUBLE_EQ(g[0], 100);
+    EXPECT_DOUBLE_EQ(g[1], 200);
+}
+
+TEST(Arbiter, OverloadedSplitsEqually)
+{
+    const auto g = allocateBandwidth({{1000, 1}, {1000, 1}}, 600);
+    EXPECT_DOUBLE_EQ(g[0], 300);
+    EXPECT_DOUBLE_EQ(g[1], 300);
+}
+
+TEST(Arbiter, WaterFillingRedistributesLeftover)
+{
+    // One small demand frees capacity for the two big ones.
+    const auto g =
+        allocateBandwidth({{100, 1}, {1000, 1}, {1000, 1}}, 900);
+    EXPECT_DOUBLE_EQ(g[0], 100);
+    EXPECT_DOUBLE_EQ(g[1], 400);
+    EXPECT_DOUBLE_EQ(g[2], 400);
+}
+
+TEST(Arbiter, WeightsScaleShares)
+{
+    // A 3-tile job gets 3x the share of a 1-tile job.
+    const auto g = allocateBandwidth({{1000, 3}, {1000, 1}}, 400);
+    EXPECT_DOUBLE_EQ(g[0], 300);
+    EXPECT_DOUBLE_EQ(g[1], 100);
+}
+
+TEST(Arbiter, ZeroDemand)
+{
+    const auto g = allocateBandwidth({{0, 1}, {500, 1}}, 300);
+    EXPECT_DOUBLE_EQ(g[0], 0);
+    EXPECT_DOUBLE_EQ(g[1], 300);
+}
+
+TEST(Arbiter, EmptyAndZeroCapacity)
+{
+    EXPECT_TRUE(allocateBandwidth({}, 100).empty());
+    const auto g = allocateBandwidth({{100, 1}}, 0);
+    EXPECT_DOUBLE_EQ(g[0], 0);
+}
+
+/** Property: grants are feasible, demand-bounded and work-conserving. */
+TEST(Arbiter, PropertyFeasibleAndWorkConserving)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(1, 12));
+        std::vector<BwDemand> d;
+        double total_demand = 0.0;
+        for (int i = 0; i < n; ++i) {
+            BwDemand b;
+            b.bytes = rng.uniform(0.0, 2000.0);
+            b.weight = rng.uniform(0.5, 8.0);
+            total_demand += b.bytes;
+            d.push_back(b);
+        }
+        const double cap = rng.uniform(1.0, 3000.0);
+        const auto g = allocateBandwidth(d, cap);
+
+        ASSERT_EQ(g.size(), d.size());
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            EXPECT_GE(g[i], -1e-9);
+            EXPECT_LE(g[i], d[i].bytes + 1e-6);
+        }
+        EXPECT_LE(sum(g), cap + 1e-6);
+        // Work conservation: either all demand served or capacity
+        // (nearly) exhausted.
+        if (total_demand <= cap)
+            EXPECT_NEAR(sum(g), total_demand, 1e-6);
+        else
+            EXPECT_NEAR(sum(g), cap, cap * 1e-6 + 1e-6);
+    }
+}
+
+/** Property: max-min fairness — an unsatisfied requester's weighted
+ *  grant is >= every other requester's weighted grant (no one it
+ *  could take from has more). */
+TEST(Arbiter, PropertyMaxMinFairness)
+{
+    Rng rng(67);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(2, 8));
+        std::vector<BwDemand> d;
+        for (int i = 0; i < n; ++i)
+            d.push_back({rng.uniform(0.0, 1000.0),
+                         rng.uniform(0.5, 4.0)});
+        const double cap = rng.uniform(10.0, 1200.0);
+        const auto g = allocateBandwidth(d, cap);
+
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            const bool unsatisfied = g[i] < d[i].bytes - 1e-6;
+            if (!unsatisfied)
+                continue;
+            const double norm_i = g[i] / d[i].weight;
+            for (std::size_t j = 0; j < g.size(); ++j) {
+                if (j == i)
+                    continue;
+                const double norm_j = g[j] / d[j].weight;
+                EXPECT_LE(norm_j, norm_i + 1e-6)
+                    << "requester " << j
+                    << " holds more than unsatisfied " << i;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace moca::sim

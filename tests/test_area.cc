@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the Table IV area model: the gate-count estimate of the
+ * MoCA hardware, the fixed component breakdown, and the paper's
+ * overhead claims (MoCA ~0.1 Kum^2; ~2% of the memory interface;
+ * well under 0.1% of the tile).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+
+namespace moca::area {
+namespace {
+
+TEST(AreaModel, MocaHwNearPaperValue)
+{
+    const MocaHwModel hw;
+    // Paper: ~0.1 Kum^2.
+    EXPECT_GT(hw.areaUm2(), 50.0);
+    EXPECT_LT(hw.areaUm2(), 400.0);
+}
+
+TEST(AreaModel, AreaGrowsWithCounterWidth)
+{
+    MocaHwModel narrow;
+    narrow.accessCounterBits = 16;
+    MocaHwModel wide;
+    wide.accessCounterBits = 64;
+    EXPECT_GT(wide.areaUm2(), narrow.areaUm2());
+}
+
+TEST(AreaModel, BreakdownMatchesTableIV)
+{
+    const TileAreaBreakdown b = tileAreaBreakdown();
+    // Seven components incl. the MoCA hardware row.
+    EXPECT_EQ(b.components.size(), 7u);
+    // Paper's fixed entries.
+    EXPECT_DOUBLE_EQ(b.components[0].areaUm2, 101'000.0); // Rocket
+    EXPECT_DOUBLE_EQ(b.memIfUm2, 8'600.0);
+    EXPECT_NEAR(b.tileTotalUm2, 493'000.0, 500.0);
+}
+
+TEST(AreaModel, OverheadClaims)
+{
+    const TileAreaBreakdown b = tileAreaBreakdown();
+    // ~1.7% of the memory interface in the paper; our gate-count
+    // model lands in the same band.
+    EXPECT_GT(b.mocaVsMemIf(), 0.005);
+    EXPECT_LT(b.mocaVsMemIf(), 0.05);
+    // Far below 0.1% of the tile (paper: 0.02%).
+    EXPECT_LT(b.mocaVsTile(), 0.001);
+}
+
+TEST(AreaModel, PrOverheadMultiplies)
+{
+    MocaHwModel flat;
+    flat.prOverhead = 1.0;
+    MocaHwModel routed;
+    routed.prOverhead = 1.5;
+    EXPECT_NEAR(routed.areaUm2() / flat.areaUm2(), 1.5, 1e-9);
+}
+
+} // namespace
+} // namespace moca::area

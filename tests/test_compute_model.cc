@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the systolic compute-cycle model: ideal utilization
+ * for aligned shapes, padding penalties, multi-tile scaling, and the
+ * batch-1 dense behaviour (weight-load bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "sim/compute_model.h"
+
+namespace moca::sim {
+namespace {
+
+SocConfig
+cfg()
+{
+    return SocConfig{};
+}
+
+TEST(ComputeModel, GemmShapeConv)
+{
+    const auto l = dnn::Layer::conv("c", 56, 56, 64, 128, 3, 1, 1);
+    const GemmShape g = gemmShape(l);
+    EXPECT_EQ(g.m, 56ull * 56);
+    EXPECT_EQ(g.k, 9ull * 64);
+    EXPECT_EQ(g.n, 128ull);
+    EXPECT_EQ(g.groups, 1ull);
+}
+
+TEST(ComputeModel, GemmShapeGrouped)
+{
+    const auto l = dnn::Layer::conv("c", 27, 27, 96, 256, 5, 1, 2, 2);
+    const GemmShape g = gemmShape(l);
+    EXPECT_EQ(g.k, 25ull * 48);
+    EXPECT_EQ(g.n, 128ull);
+    EXPECT_EQ(g.groups, 2ull);
+}
+
+TEST(ComputeModel, AlignedConvNearIdeal)
+{
+    // K and N multiples of 16, M large: utilization should be high.
+    const auto l = dnn::Layer::conv("c", 64, 64, 64, 64, 3, 1, 1);
+    const double util = arrayUtilization(l, cfg());
+    EXPECT_GT(util, 0.9);
+    EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+TEST(ComputeModel, RaggedChannelsWasteArray)
+{
+    // 3 input channels (first layer): K = 27 pads to 2 tiles of 16,
+    // wasting 5/32 of the array (util ~ 27/32 = 0.84).
+    const auto l = dnn::Layer::conv("c", 224, 224, 3, 64, 3, 1, 1);
+    const double util = arrayUtilization(l, cfg());
+    EXPECT_LT(util, 0.87);
+    EXPECT_GT(util, 0.80);
+}
+
+TEST(ComputeModel, DenseBatchOneIsWeightBound)
+{
+    // FC at batch 1: cycles ~ weight tiles x array dim, far above
+    // MACs / peak.
+    const auto l = dnn::Layer::dense("fc", 4096, 4096);
+    const Cycles c = computeCycles(l, 1, cfg());
+    const Cycles ideal = l.macCount() / cfg().tileMacsPerCycle();
+    EXPECT_GT(c, 10 * ideal);
+}
+
+TEST(ComputeModel, MultiTileSpeedsUpLargeConv)
+{
+    const auto l = dnn::Layer::conv("c", 56, 56, 256, 256, 3, 1, 1);
+    const Cycles c1 = computeCycles(l, 1, cfg());
+    const Cycles c4 = computeCycles(l, 4, cfg());
+    const Cycles c8 = computeCycles(l, 8, cfg());
+    EXPECT_LT(c4, c1);
+    EXPECT_LT(c8, c4);
+    // Sub-linear scaling: the Amdahl-style serial fraction f bounds
+    // the 8-tile speedup at 8 / (1 + 7f).
+    const double f = cfg().multiTileSerialFraction;
+    const double bound = 8.0 / (1.0 + 7.0 * f);
+    EXPECT_NEAR(static_cast<double>(c1) / c8, bound, 0.5);
+    EXPECT_LT(static_cast<double>(c1) / c8, 8.0);
+}
+
+TEST(ComputeModel, MemLayerCheapButNonzero)
+{
+    const auto l = dnn::Layer::add("a", 56, 56, 256);
+    const Cycles c = computeCycles(l, 1, cfg());
+    EXPECT_GE(c, 1u);
+    EXPECT_LT(c, 20000u);
+}
+
+TEST(ComputeModel, SmallLayersDoNotScale)
+{
+    // Coordination overheads mean a tiny layer can be *slower* on
+    // many tiles than on one — the reason monolithic full-array
+    // execution wastes the machine on small networks.
+    const auto l = dnn::Layer::conv("c", 13, 13, 64, 64, 3, 1, 1);
+    const Cycles c1 = computeCycles(l, 1, cfg());
+    const Cycles c8 = computeCycles(l, 8, cfg());
+    EXPECT_GT(static_cast<double>(c8),
+              0.5 * static_cast<double>(c1));
+}
+
+TEST(ComputeModel, LargeLayersScaleDespiteOverheads)
+{
+    // For heavyweight layers the split still pays off on every
+    // model's dominant convolutions.
+    for (dnn::ModelId id :
+         {dnn::ModelId::ResNet50, dnn::ModelId::YoloV2}) {
+        const auto &m = dnn::getModel(id);
+        std::uint64_t biggest_macs = 0;
+        const dnn::Layer *biggest = nullptr;
+        for (const auto &l : m.layers()) {
+            if (l.macCount() > biggest_macs) {
+                biggest_macs = l.macCount();
+                biggest = &l;
+            }
+        }
+        ASSERT_NE(biggest, nullptr);
+        const Cycles c1 = computeCycles(*biggest, 1, cfg());
+        const Cycles c8 = computeCycles(*biggest, 8, cfg());
+        EXPECT_GT(static_cast<double>(c1) / c8, 2.0)
+            << m.name() << "/" << biggest->name;
+    }
+}
+
+
+TEST(ComputeModel, DepthwiseConvWastesSystolicArray)
+{
+    // groups == channels: one output channel per group means only one
+    // array column does useful work -- the well-known depthwise
+    // inefficiency of weight-stationary systolic arrays.
+    const auto dw =
+        dnn::Layer::conv("dw", 56, 56, 128, 128, 3, 1, 1, 128);
+    const double util = arrayUtilization(dw, cfg());
+    EXPECT_LT(util, 0.05);
+    // The paired pointwise 1x1 is efficient.
+    const auto pw = dnn::Layer::conv("pw", 56, 56, 128, 256, 1, 1, 0);
+    EXPECT_GT(arrayUtilization(pw, cfg()), 0.5);
+}
+
+/** Parameterized sweep: utilization in (0, 1] for every zoo layer. */
+class UtilizationSweep
+    : public ::testing::TestWithParam<dnn::ModelId>
+{
+};
+
+TEST_P(UtilizationSweep, UtilizationBounded)
+{
+    const auto &m = dnn::getModel(GetParam());
+    for (const auto &l : m.layers()) {
+        if (l.layerClass() != dnn::LayerClass::Compute)
+            continue;
+        const double u = arrayUtilization(l, cfg());
+        EXPECT_GT(u, 0.0) << m.name() << "/" << l.name;
+        EXPECT_LE(u, 1.0 + 1e-9) << m.name() << "/" << l.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, UtilizationSweep,
+    ::testing::ValuesIn(dnn::allModelIds()),
+    [](const ::testing::TestParamInfo<dnn::ModelId> &info) {
+        std::string n = dnn::modelIdName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace moca::sim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for Algorithm 2 (contention detection + HW update) and
+ * the scoreboard: overflow detection, score computation (priority +
+ * capped urgency, hopeless-deadline guard), score-weighted bandwidth
+ * allocation, throttle programming, and allocation stability across
+ * co-runner sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "moca/runtime/contention_manager.h"
+
+namespace moca::runtime {
+namespace {
+
+sim::SocConfig
+cfg()
+{
+    return sim::SocConfig{};
+}
+
+JobSnapshot
+snap(int id, dnn::ModelId model, int priority = 0,
+     double slack = 1e9, std::size_t next_layer = 0)
+{
+    JobSnapshot s;
+    s.appId = id;
+    s.model = &dnn::getModel(model);
+    s.nextLayer = next_layer;
+    s.numTiles = 2;
+    s.userPriority = priority;
+    s.slackCycles = slack;
+    return s;
+}
+
+TEST(Scoreboard, UpdateRemoveLookup)
+{
+    Scoreboard sb;
+    sb.update(1, 4.0, 2.0);
+    sb.update(2, 8.0, 1.0);
+    EXPECT_TRUE(sb.contains(1));
+    EXPECT_DOUBLE_EQ(sb.entry(1).bwRate, 4.0);
+    EXPECT_DOUBLE_EQ(sb.otherBwRate(1), 8.0);
+    EXPECT_DOUBLE_EQ(sb.otherWeightSum(1), 8.0);
+    sb.remove(1);
+    EXPECT_FALSE(sb.contains(1));
+    EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(ContentionManager, SingleJobNoContention)
+{
+    ContentionManager cm(cfg());
+    const auto d = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::ResNet50));
+    EXPECT_FALSE(d.contention);
+    EXPECT_FALSE(d.hwConfig.enabled());
+    EXPECT_GT(d.prediction, 0.0);
+}
+
+TEST(ContentionManager, OverflowDetectedWithMemoryHogs)
+{
+    ContentionManager cm(cfg());
+    // Several co-located AlexNets at their FC blocks demand far more
+    // than 16 B/cycle in aggregate.
+    const auto &alex = dnn::getModel(dnn::ModelId::AlexNet);
+    std::size_t fc_layer = 0;
+    for (std::size_t i = 0; i < alex.numLayers(); ++i) {
+        if (alex.layer(i).kind == dnn::LayerKind::Dense) {
+            fc_layer = i;
+            break;
+        }
+    }
+    ContentionDecision last;
+    for (int id = 0; id < 3; ++id)
+        last = cm.onBlockBoundary(
+            snap(id, dnn::ModelId::AlexNet, 0, 1e9, fc_layer));
+    EXPECT_TRUE(last.contention);
+    EXPECT_TRUE(last.hwConfig.enabled());
+    EXPECT_GT(last.hwConfig.thresholdLoad, 0u);
+    // Allocated rate below the unthrottled demand.
+    EXPECT_LT(last.bwRate, cfg().dramBytesPerCycle);
+}
+
+TEST(ContentionManager, HigherScoreGetsMoreBandwidth)
+{
+    const auto &alex = dnn::getModel(dnn::ModelId::AlexNet);
+    std::size_t fc_layer = 0;
+    for (std::size_t i = 0; i < alex.numLayers(); ++i) {
+        if (alex.layer(i).kind == dnn::LayerKind::Dense) {
+            fc_layer = i;
+            break;
+        }
+    }
+    ContentionManager cm(cfg());
+    cm.onBlockBoundary(snap(0, dnn::ModelId::AlexNet, 0, 1e9,
+                            fc_layer));
+    cm.onBlockBoundary(snap(1, dnn::ModelId::AlexNet, 11, 1e9,
+                            fc_layer));
+    // Re-run both against the fully populated scoreboard.
+    const auto low = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::AlexNet, 0, 1e9, fc_layer));
+    const auto high = cm.onBlockBoundary(
+        snap(1, dnn::ModelId::AlexNet, 11, 1e9, fc_layer));
+    ASSERT_TRUE(low.contention);
+    ASSERT_TRUE(high.contention);
+    EXPECT_GT(high.bwRate, low.bwRate);
+    EXPECT_GT(high.score, low.score);
+}
+
+TEST(ContentionManager, UrgencyRaisesScore)
+{
+    ContentionManager cm(cfg());
+    const auto relaxed = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::ResNet50, 5, 1e12));
+    const auto urgent = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::ResNet50, 5, 1e5));
+    EXPECT_GT(urgent.score, relaxed.score);
+}
+
+TEST(ContentionManager, UrgencyIsCapped)
+{
+    ContentionManager cm(cfg());
+    const auto d = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::YoloV2, 3, 1.0));
+    EXPECT_LE(d.score, 3.0 + ContentionManager::kMaxUrgency + 1e-9);
+}
+
+TEST(ContentionManager, HopelessDeadlineFallsBackToPriority)
+{
+    ContentionManager cm(cfg());
+    const auto d = cm.onBlockBoundary(
+        snap(0, dnn::ModelId::ResNet50, 7, -5e6));
+    EXPECT_DOUBLE_EQ(d.score, 7.0);
+}
+
+TEST(ContentionManager, AllocationIsStableAcrossSweeps)
+{
+    // Re-running Algorithm 2 for every co-runner against the same
+    // demands must converge (no oscillation): the second sweep
+    // reproduces the first sweep's allocations.
+    const auto &alex = dnn::getModel(dnn::ModelId::AlexNet);
+    std::size_t fc_layer = 0;
+    for (std::size_t i = 0; i < alex.numLayers(); ++i) {
+        if (alex.layer(i).kind == dnn::LayerKind::Dense) {
+            fc_layer = i;
+            break;
+        }
+    }
+    ContentionManager cm(cfg());
+    for (int id = 0; id < 4; ++id)
+        cm.onBlockBoundary(
+            snap(id, dnn::ModelId::AlexNet, id, 1e9, fc_layer));
+
+    std::vector<double> first, second;
+    for (int id = 0; id < 4; ++id)
+        first.push_back(
+            cm.onBlockBoundary(
+                  snap(id, dnn::ModelId::AlexNet, id, 1e9, fc_layer))
+                .bwRate);
+    for (int id = 0; id < 4; ++id)
+        second.push_back(
+            cm.onBlockBoundary(
+                  snap(id, dnn::ModelId::AlexNet, id, 1e9, fc_layer))
+                .bwRate);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_NEAR(first[i], second[i], 1e-9) << "job " << i;
+}
+
+TEST(ContentionManager, AllocationsRespectChannelBandwidth)
+{
+    const auto &alex = dnn::getModel(dnn::ModelId::AlexNet);
+    std::size_t fc_layer = 0;
+    for (std::size_t i = 0; i < alex.numLayers(); ++i) {
+        if (alex.layer(i).kind == dnn::LayerKind::Dense) {
+            fc_layer = i;
+            break;
+        }
+    }
+    ContentionManager cm(cfg());
+    for (int id = 0; id < 4; ++id)
+        cm.onBlockBoundary(
+            snap(id, dnn::ModelId::AlexNet, id * 3, 1e9, fc_layer));
+    double total = 0.0;
+    for (int id = 0; id < 4; ++id)
+        total += cm.onBlockBoundary(
+                       snap(id, dnn::ModelId::AlexNet, id * 3, 1e9,
+                            fc_layer))
+                     .bwRate;
+    // Sum of allocations stays within the channel bandwidth plus the
+    // per-job minimum-trickle guarantee.
+    EXPECT_LE(total, cfg().dramBytesPerCycle * 1.25);
+}
+
+TEST(ContentionManager, ComputeBoundBlockNotThrottled)
+{
+    // Saturate the scoreboard with hogs, then reconfigure a job in a
+    // genuinely compute-bound region (high-reuse 3x3 convolutions):
+    // contention is reported but no window is programmed (not worth
+    // regulating).
+    const auto &alex = dnn::getModel(dnn::ModelId::AlexNet);
+    std::size_t fc_layer = 0;
+    for (std::size_t i = 0; i < alex.numLayers(); ++i) {
+        if (alex.layer(i).kind == dnn::LayerKind::Dense) {
+            fc_layer = i;
+            break;
+        }
+    }
+    ContentionManager cm(cfg());
+    for (int id = 1; id <= 3; ++id)
+        cm.onBlockBoundary(
+            snap(id, dnn::ModelId::AlexNet, 0, 1e9, fc_layer));
+
+    static const dnn::Model compute_net(
+        "compute-heavy", dnn::ModelSize::Light,
+        {dnn::Layer::conv("c1", 56, 56, 256, 256, 3, 1, 1),
+         dnn::Layer::conv("c2", 56, 56, 256, 256, 3, 1, 1),
+         dnn::Layer::conv("c3", 56, 56, 256, 256, 3, 1, 1)});
+    JobSnapshot s;
+    s.appId = 0;
+    s.model = &compute_net;
+    s.nextLayer = 0;
+    s.numTiles = 2;
+    s.userPriority = 0;
+    s.slackCycles = 1e9;
+    const auto d = cm.onBlockBoundary(s);
+    EXPECT_FALSE(d.hwConfig.enabled());
+}
+
+TEST(ContentionManager, CompletionRemovesFromScoreboard)
+{
+    ContentionManager cm(cfg());
+    cm.onBlockBoundary(snap(0, dnn::ModelId::AlexNet));
+    cm.onBlockBoundary(snap(1, dnn::ModelId::AlexNet));
+    EXPECT_EQ(cm.scoreboard().size(), 2u);
+    cm.onJobComplete(0);
+    EXPECT_EQ(cm.scoreboard().size(), 1u);
+}
+
+} // namespace
+} // namespace moca::runtime

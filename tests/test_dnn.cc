@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the DNN layer/model substrate: shape arithmetic,
+ * footprints, MAC counts, the COMPUTE/MEM classification, the model
+ * zoo's published parameter/MAC totals, and layer-block formation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.h"
+#include "dnn/model.h"
+#include "dnn/model_zoo.h"
+
+namespace moca::dnn {
+namespace {
+
+TEST(Layer, ConvOutputDims)
+{
+    const Layer l = Layer::conv("c", 224, 224, 3, 64, 7, 2, 3);
+    EXPECT_EQ(l.outH(), 112);
+    EXPECT_EQ(l.outW(), 112);
+}
+
+TEST(Layer, ConvMacCount)
+{
+    // 3x3 conv, 8->16 channels on 10x10 (pad 1): 10*10*16*3*3*8.
+    const Layer l = Layer::conv("c", 10, 10, 8, 16, 3, 1, 1);
+    EXPECT_EQ(l.macCount(), 10ull * 10 * 16 * 3 * 3 * 8);
+}
+
+TEST(Layer, GroupedConvDividesMacsAndWeights)
+{
+    const Layer full = Layer::conv("c", 27, 27, 96, 256, 5, 1, 2, 1);
+    const Layer grouped = Layer::conv("g", 27, 27, 96, 256, 5, 1, 2, 2);
+    EXPECT_EQ(grouped.macCount(), full.macCount() / 2);
+    EXPECT_EQ(grouped.weightBytes(), full.weightBytes() / 2);
+}
+
+TEST(Layer, DenseFootprints)
+{
+    const Layer l = Layer::dense("fc", 9216, 4096);
+    EXPECT_EQ(l.macCount(), 9216ull * 4096);
+    EXPECT_EQ(l.weightBytes(), 9216ull * 4096 * kElemBytes);
+    EXPECT_EQ(l.biasBytes(), 4096ull * kAccBytes);
+    EXPECT_EQ(l.inputBytes(), 9216ull);
+    EXPECT_EQ(l.outputBytes(), 4096ull);
+}
+
+TEST(Layer, AddReadsBothOperands)
+{
+    const Layer l = Layer::add("add", 14, 14, 256);
+    EXPECT_EQ(l.inputBytes(), 2ull * 14 * 14 * 256);
+    EXPECT_EQ(l.outputBytes(), 14ull * 14 * 256);
+    EXPECT_EQ(l.macCount(), 0ull);
+}
+
+TEST(Layer, PoolShrinksOutput)
+{
+    const Layer l = Layer::pool("p", 55, 55, 96, 3, 2);
+    EXPECT_EQ(l.outH(), 27);
+    EXPECT_EQ(l.outputBytes(), 27ull * 27 * 96);
+}
+
+TEST(Layer, Classification)
+{
+    EXPECT_EQ(Layer::conv("c", 8, 8, 8, 8, 3, 1, 1).layerClass(),
+              LayerClass::Compute);
+    EXPECT_EQ(Layer::dense("d", 64, 64).layerClass(),
+              LayerClass::Compute);
+    EXPECT_EQ(Layer::pool("p", 8, 8, 8, 2, 2).layerClass(),
+              LayerClass::Mem);
+    EXPECT_EQ(Layer::add("a", 8, 8, 8).layerClass(), LayerClass::Mem);
+    EXPECT_EQ(Layer::lrn("l", 8, 8, 8).layerClass(), LayerClass::Mem);
+    EXPECT_EQ(Layer::globalPool("g", 8, 8, 8).layerClass(),
+              LayerClass::Mem);
+}
+
+TEST(Layer, ArithmeticIntensityOrdering)
+{
+    // A 3x3 conv reuses weights across spatial positions; a dense
+    // layer at batch 1 touches each weight once.
+    const Layer conv = Layer::conv("c", 56, 56, 64, 64, 3, 1, 1);
+    const Layer fc = Layer::dense("d", 4096, 4096);
+    EXPECT_GT(conv.arithmeticIntensity(), fc.arithmeticIntensity());
+    EXPECT_LT(fc.arithmeticIntensity(), 1.1);
+}
+
+// --- Model zoo ------------------------------------------------------
+
+TEST(ModelZoo, AlexNetShapes)
+{
+    const Model &m = getModel(ModelId::AlexNet);
+    // Published totals: ~61 M parameters, ~0.72 G MACs.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 61e6,
+                3e6);
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 0.72e9, 0.08e9);
+    EXPECT_EQ(m.size(), ModelSize::Heavy);
+}
+
+TEST(ModelZoo, ResNet50Shapes)
+{
+    const Model &m = getModel(ModelId::ResNet50);
+    // ~25.5 M parameters, ~4.1 G MACs.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 25.5e6,
+                1.5e6);
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 4.1e9, 0.3e9);
+}
+
+TEST(ModelZoo, SqueezeNetShapes)
+{
+    const Model &m = getModel(ModelId::SqueezeNet);
+    // ~1.25 M parameters (v1.0), ~0.8-0.9 G MACs.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 1.25e6,
+                0.2e6);
+    EXPECT_GT(m.totalMacs(), 0.5e9);
+    EXPECT_LT(m.totalMacs(), 1.1e9);
+    EXPECT_EQ(m.size(), ModelSize::Light);
+}
+
+TEST(ModelZoo, GoogleNetShapes)
+{
+    const Model &m = getModel(ModelId::GoogleNet);
+    // ~7 M parameters, ~1.5 G MACs.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 7e6, 1e6);
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 1.5e9, 0.2e9);
+}
+
+TEST(ModelZoo, YoloV2Shapes)
+{
+    const Model &m = getModel(ModelId::YoloV2);
+    // ~50 M parameters, ~14.7 G MACs at 416x416.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 50e6,
+                5e6);
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 14.7e9, 1.5e9);
+}
+
+TEST(ModelZoo, YoloLiteIsTiny)
+{
+    const Model &m = getModel(ModelId::YoloLite);
+    EXPECT_LT(m.totalWeightBytes(), 1e6);
+    EXPECT_LT(m.totalMacs(), 2.5e9);
+    EXPECT_EQ(m.size(), ModelSize::Light);
+}
+
+TEST(ModelZoo, KwsIsSmallFootprint)
+{
+    const Model &m = getModel(ModelId::Kws);
+    // res8: ~110 K parameters.
+    EXPECT_LT(m.totalWeightBytes(), 300e3);
+    EXPECT_EQ(m.size(), ModelSize::Light);
+}
+
+TEST(ModelZoo, WorkloadSets)
+{
+    EXPECT_EQ(workloadSetA().size(), 3u);
+    EXPECT_EQ(workloadSetB().size(), 4u);
+    EXPECT_EQ(workloadSetC().size(), 7u);
+    for (ModelId id : workloadSetA())
+        EXPECT_EQ(getModel(id).size(), ModelSize::Light);
+    for (ModelId id : workloadSetB())
+        EXPECT_EQ(getModel(id).size(), ModelSize::Heavy);
+}
+
+TEST(ModelZoo, NameRoundTrip)
+{
+    for (ModelId id : allModelIds())
+        EXPECT_EQ(modelIdFromName(modelIdName(id)), id);
+}
+
+TEST(ModelZoo, GetModelIsMemoized)
+{
+    const Model &a = getModel(ModelId::ResNet50);
+    const Model &b = getModel(ModelId::ResNet50);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(ModelZoo, ResNetHasResidualAdds)
+{
+    const Model &m = getModel(ModelId::ResNet50);
+    int adds = 0;
+    for (const auto &l : m.layers())
+        if (l.kind == LayerKind::Add)
+            ++adds;
+    EXPECT_EQ(adds, 16); // one per bottleneck
+}
+
+
+// --- Extension models ---------------------------------------------------
+
+TEST(ModelZoo, MobileNetV1Shapes)
+{
+    const Model &m = getModel(ModelId::MobileNetV1);
+    // ~4.2 M parameters, ~0.57 G MACs.
+    EXPECT_NEAR(static_cast<double>(m.totalWeightBytes()), 4.2e6,
+                0.4e6);
+    EXPECT_NEAR(static_cast<double>(m.totalMacs()), 0.57e9, 0.06e9);
+    // Depthwise layers present: groups == inC.
+    int depthwise = 0;
+    for (const auto &l : m.layers())
+        if (l.kind == LayerKind::Conv && l.groups == l.inC &&
+            l.groups > 1)
+            ++depthwise;
+    EXPECT_EQ(depthwise, 13);
+}
+
+TEST(ModelZoo, ExtensionModelsOutsideTableIII)
+{
+    // The paper's workload sets must not pick up extension models.
+    for (ModelId id : workloadSetC())
+        EXPECT_NE(id, ModelId::MobileNetV1);
+    EXPECT_EQ(extensionModelIds().size(), 1u);
+    EXPECT_EQ(modelIdFromName("mobilenetv1"), ModelId::MobileNetV1);
+}
+
+// --- Layer blocks -----------------------------------------------------
+
+TEST(Model, BlocksTileLayerList)
+{
+    for (ModelId id : allModelIds()) {
+        const Model &m = getModel(id);
+        const auto &blocks = m.blocks();
+        ASSERT_FALSE(blocks.empty());
+        std::size_t next = 0;
+        for (const auto &b : blocks) {
+            EXPECT_EQ(b.first, next);
+            EXPECT_GT(b.count, 0u);
+            next += b.count;
+        }
+        EXPECT_EQ(next, m.numLayers());
+    }
+}
+
+TEST(Model, HeavyModelsHaveMultipleBlocks)
+{
+    EXPECT_GT(getModel(ModelId::ResNet50).numBlocks(), 5u);
+    EXPECT_GT(getModel(ModelId::YoloV2).numBlocks(), 10u);
+}
+
+TEST(Model, TinyModelFewBlocks)
+{
+    EXPECT_LE(getModel(ModelId::Kws).numBlocks(), 3u);
+}
+
+} // namespace
+} // namespace moca::dnn

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the extension features: the execution-trace recorder and
+ * the sparse-DNN support (pruned layers, compressed storage,
+ * sparsity-aware vs dense-assuming prediction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "exp/oracle.h"
+#include "moca/moca_policy.h"
+#include "moca/runtime/latency_model.h"
+#include "sim/compute_model.h"
+#include "sim/soc.h"
+
+namespace moca {
+namespace {
+
+sim::JobSpec
+spec(int id, const dnn::Model *model, Cycles dispatch = 0)
+{
+    sim::JobSpec s;
+    s.id = id;
+    s.model = model;
+    s.dispatch = dispatch;
+    s.slaLatency = 1'000'000'000;
+    return s;
+}
+
+// --- Trace recorder -----------------------------------------------------
+
+TEST(Trace, DisabledByDefaultAndEmpty)
+{
+    sim::SocConfig cfg;
+    exp::SoloPolicy policy(8);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, &dnn::getModel(dnn::ModelId::Kws)));
+    soc.run();
+    EXPECT_TRUE(soc.trace().events().empty());
+}
+
+TEST(Trace, RecordsJobLifecycle)
+{
+    sim::SocConfig cfg;
+    exp::SoloPolicy policy(8);
+    sim::Soc soc(cfg, policy);
+    soc.trace().enable();
+    soc.addJob(spec(0, &dnn::getModel(dnn::ModelId::SqueezeNet)));
+    soc.run();
+    using sim::TraceEventKind;
+    EXPECT_EQ(soc.trace().count(TraceEventKind::JobDispatched, 0), 1u);
+    EXPECT_EQ(soc.trace().count(TraceEventKind::JobStarted, 0), 1u);
+    EXPECT_EQ(soc.trace().count(TraceEventKind::JobCompleted, 0), 1u);
+    EXPECT_GT(soc.trace().count(TraceEventKind::BlockBoundary, 0), 0u);
+}
+
+TEST(Trace, EventsAreTimeOrdered)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    soc.trace().enable();
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, &dnn::getModel(dnn::ModelId::AlexNet),
+                        static_cast<Cycles>(i) * 100'000));
+    soc.run();
+    Cycles prev = 0;
+    for (const auto &e : soc.trace().events()) {
+        EXPECT_GE(e.cycle, prev);
+        prev = e.cycle;
+    }
+    // MoCA programs throttles; the trace sees them.
+    EXPECT_GT(soc.trace().count(sim::TraceEventKind::ThrottleConfig),
+              0u);
+}
+
+TEST(Trace, PerJobViewIsConsistent)
+{
+    sim::SocConfig cfg;
+    exp::SoloPolicy policy(4);
+    sim::Soc soc(cfg, policy);
+    soc.trace().enable();
+    soc.addJob(spec(0, &dnn::getModel(dnn::ModelId::Kws)));
+    soc.addJob(spec(1, &dnn::getModel(dnn::ModelId::Kws)));
+    soc.run();
+    const auto job0 = soc.trace().forJob(0);
+    for (const auto &e : job0)
+        EXPECT_EQ(e.jobId, 0);
+    EXPECT_FALSE(job0.empty());
+    EXPECT_FALSE(soc.trace().render().empty());
+}
+
+// --- Sparsity -----------------------------------------------------------
+
+TEST(Sparsity, DenseLayerUnchanged)
+{
+    const auto l = dnn::Layer::conv("c", 28, 28, 64, 64, 3, 1, 1);
+    EXPECT_EQ(l.macCount(), l.denseMacCount());
+    EXPECT_EQ(l.weightBytes(), l.denseWeightBytes());
+}
+
+TEST(Sparsity, PrunedLayerScalesMacsAndStorage)
+{
+    auto l = dnn::Layer::conv("c", 28, 28, 64, 64, 3, 1, 1);
+    l.weightDensity = 0.25;
+    EXPECT_NEAR(static_cast<double>(l.macCount()),
+                0.25 * static_cast<double>(l.denseMacCount()),
+                static_cast<double>(l.denseMacCount()) * 0.01);
+    // Compressed storage: non-zeros + index overhead.
+    EXPECT_NEAR(static_cast<double>(l.weightBytes()),
+                0.375 * static_cast<double>(l.denseWeightBytes()),
+                1.0);
+    EXPECT_LT(l.weightBytes(), l.denseWeightBytes());
+}
+
+TEST(Sparsity, SparsifyModelTouchesComputeLayersOnly)
+{
+    const dnn::Model sparse =
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::ResNet50),
+                           0.5);
+    for (const auto &l : sparse.layers()) {
+        if (l.layerClass() == dnn::LayerClass::Compute)
+            EXPECT_DOUBLE_EQ(l.weightDensity, 0.5);
+        else
+            EXPECT_DOUBLE_EQ(l.weightDensity, 1.0);
+    }
+    EXPECT_LT(sparse.totalMacs(),
+              dnn::getModel(dnn::ModelId::ResNet50).totalMacs());
+}
+
+TEST(Sparsity, SparseNameResolvesToBaseModel)
+{
+    const dnn::Model sparse =
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::YoloLite),
+                           0.25);
+    EXPECT_EQ(dnn::modelIdFromName(sparse.name()),
+              dnn::ModelId::YoloLite);
+}
+
+TEST(Sparsity, ComputeCyclesShrinkWithDensity)
+{
+    sim::SocConfig cfg;
+    auto l = dnn::Layer::conv("c", 56, 56, 256, 256, 3, 1, 1);
+    const Cycles dense = sim::computeCycles(l, 1, cfg);
+    l.weightDensity = 0.5;
+    const Cycles half = sim::computeCycles(l, 1, cfg);
+    l.weightDensity = 0.05; // below the structural floor of 0.1
+    const Cycles tiny = sim::computeCycles(l, 1, cfg);
+    EXPECT_LT(half, dense);
+    EXPECT_GE(static_cast<double>(tiny),
+              0.09 * static_cast<double>(dense));
+}
+
+TEST(Sparsity, SparseModelRunsFasterInSimulation)
+{
+    sim::SocConfig cfg;
+    const dnn::Model sparse =
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::ResNet50),
+                           0.25);
+    exp::SoloPolicy p1(2), p2(2);
+    sim::Soc dense_soc(cfg, p1), sparse_soc(cfg, p2);
+    dense_soc.addJob(spec(0, &dnn::getModel(dnn::ModelId::ResNet50)));
+    sparse_soc.addJob(spec(0, &sparse));
+    dense_soc.run();
+    sparse_soc.run();
+    EXPECT_LT(sparse_soc.results()[0].latency(),
+              dense_soc.results()[0].latency());
+}
+
+TEST(Sparsity, AwarePredictorAccurateDenseAssumingIsNot)
+{
+    sim::SocConfig cfg;
+    const dnn::Model sparse =
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::AlexNet),
+                           0.25);
+    exp::SoloPolicy policy(2);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, &sparse));
+    soc.run();
+    const double measured =
+        static_cast<double>(soc.results()[0].latency());
+
+    runtime::LatencyModel aware(cfg, true);
+    runtime::LatencyModel dense(cfg, false);
+    const double aware_err =
+        std::abs(aware.estimateModel(sparse, 2) - measured) /
+        measured;
+    const double dense_err =
+        std::abs(dense.estimateModel(sparse, 2) - measured) /
+        measured;
+    EXPECT_LT(aware_err, 0.10);
+    EXPECT_GT(dense_err, 0.50);
+}
+
+TEST(Sparsity, MocaRunsSparseWorkloads)
+{
+    sim::SocConfig cfg;
+    const dnn::Model s1 =
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::AlexNet), 0.5);
+    const dnn::Model s2 = dnn::sparsifyModel(
+        dnn::getModel(dnn::ModelId::GoogleNet), 0.25);
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, &s1));
+    soc.addJob(spec(1, &s2));
+    soc.addJob(spec(2, &dnn::getModel(dnn::ModelId::SqueezeNet)));
+    soc.run();
+    EXPECT_EQ(soc.results().size(), 3u);
+}
+
+TEST(Sparsity, InvalidDensityRejected)
+{
+    EXPECT_DEATH(
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::Kws), 0.0),
+        "density");
+    EXPECT_DEATH(
+        dnn::sparsifyModel(dnn::getModel(dnn::ModelId::Kws), 1.5),
+        "density");
+}
+
+} // namespace
+} // namespace moca

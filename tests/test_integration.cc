@@ -1,0 +1,162 @@
+/**
+ * @file
+ * End-to-end integration tests: full multi-tenant scenarios through
+ * the trace generator, simulator, policies and metrics, asserting the
+ * paper's headline *shapes* (who wins, and where) on small but
+ * non-trivial traces.  These are the same code paths the Fig. 5-8
+ * benches exercise at full size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/matrix.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+
+namespace moca::exp {
+namespace {
+
+workload::TraceConfig
+trace(workload::WorkloadSet set, workload::QosLevel qos, int tasks,
+      std::uint64_t seed = 3)
+{
+    workload::TraceConfig t;
+    t.set = set;
+    t.qos = qos;
+    t.numTasks = tasks;
+    t.seed = seed;
+    return t;
+}
+
+TEST(Integration, AllPoliciesCompleteEveryJob)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::C,
+                         workload::QosLevel::Medium, 40);
+    const auto specs = makeTrace(t, cfg);
+    for (PolicyKind kind : allPolicies()) {
+        const auto r = runTrace(kind, specs, t, cfg);
+        EXPECT_EQ(r.jobs.size(), 40u) << policyKindName(kind);
+        EXPECT_GT(r.metrics.stp, 0.0) << policyKindName(kind);
+        EXPECT_GT(r.makespan, 0u) << policyKindName(kind);
+    }
+}
+
+TEST(Integration, IdenticalTraceAcrossPolicies)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::A,
+                         workload::QosLevel::Medium, 30);
+    const auto specs = makeTrace(t, cfg);
+    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto prema = runTrace(PolicyKind::Prema, specs, t, cfg);
+    // Same dispatched jobs, different outcomes.
+    ASSERT_EQ(moca.jobs.size(), prema.jobs.size());
+    for (const auto &j : moca.jobs) {
+        bool found = false;
+        for (const auto &k : prema.jobs) {
+            if (k.spec.id == j.spec.id) {
+                EXPECT_EQ(k.spec.dispatch, j.spec.dispatch);
+                EXPECT_EQ(k.spec.priority, j.spec.priority);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(Integration, MocaBeatsPremaUnderLoad)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::C,
+                         workload::QosLevel::Medium, 80);
+    const auto specs = makeTrace(t, cfg);
+    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto prema = runTrace(PolicyKind::Prema, specs, t, cfg);
+    EXPECT_GT(moca.metrics.slaRate, prema.metrics.slaRate);
+    EXPECT_GT(moca.metrics.stp, prema.metrics.stp);
+}
+
+TEST(Integration, MocaBeatsPlanariaOnHeavyMix)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::B,
+                         workload::QosLevel::Medium, 80);
+    const auto specs = makeTrace(t, cfg);
+    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto plan = runTrace(PolicyKind::Planaria, specs, t, cfg);
+    EXPECT_GE(moca.metrics.slaRate, plan.metrics.slaRate);
+    EXPECT_GT(moca.metrics.stp, plan.metrics.stp);
+}
+
+TEST(Integration, MocaAtLeastMatchesStaticOnHeavyMix)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::B,
+                         workload::QosLevel::Hard, 80);
+    const auto specs = makeTrace(t, cfg);
+    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto stat =
+        runTrace(PolicyKind::StaticPartition, specs, t, cfg);
+    EXPECT_GE(moca.metrics.slaRate, stat.metrics.slaRate);
+}
+
+TEST(Integration, TighterQosLowersSatisfaction)
+{
+    const sim::SocConfig cfg;
+    for (PolicyKind kind :
+         {PolicyKind::Moca, PolicyKind::StaticPartition}) {
+        const auto l = runScenario(
+            kind, trace(workload::WorkloadSet::C,
+                        workload::QosLevel::Light, 60), cfg);
+        const auto h = runScenario(
+            kind, trace(workload::WorkloadSet::C,
+                        workload::QosLevel::Hard, 60), cfg);
+        EXPECT_GE(l.metrics.slaRate, h.metrics.slaRate)
+            << policyKindName(kind);
+    }
+}
+
+TEST(Integration, PlanariaMigratesMoreThanMoca)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::A,
+                         workload::QosLevel::Medium, 60);
+    const auto specs = makeTrace(t, cfg);
+    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto plan = runTrace(PolicyKind::Planaria, specs, t, cfg);
+    EXPECT_GT(plan.totalMigrations, moca.totalMigrations);
+}
+
+TEST(Integration, MocaThrottleEngagesOnMemoryHeavyMix)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::B,
+                         workload::QosLevel::Medium, 40);
+    const auto r = runScenario(PolicyKind::Moca, t, cfg);
+    EXPECT_GT(r.totalThrottleReconfigs, 0);
+}
+
+TEST(Integration, ResultsAreDeterministic)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::C,
+                         workload::QosLevel::Medium, 30, 7);
+    const auto a = runScenario(PolicyKind::Moca, t, cfg);
+    const auto b = runScenario(PolicyKind::Moca, t, cfg);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.metrics.slaRate, b.metrics.slaRate);
+    EXPECT_DOUBLE_EQ(a.metrics.stp, b.metrics.stp);
+}
+
+TEST(Integration, HigherPriorityGroupsFareBetterUnderMoca)
+{
+    const sim::SocConfig cfg;
+    const auto t = trace(workload::WorkloadSet::C,
+                         workload::QosLevel::Medium, 120);
+    const auto r = runScenario(PolicyKind::Moca, t, cfg);
+    EXPECT_GE(r.metrics.slaRateHigh, r.metrics.slaRateLow);
+}
+
+} // namespace
+} // namespace moca::exp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for Algorithm 1 (the MoCA runtime's latency and
+ * memory-requirement estimation): COMPUTE vs MEM branches, cache
+ * rules, tile scaling, block/remaining aggregation, bandwidth-demand
+ * derivation, and agreement with the simulator's measured isolated
+ * latency (the paper's "within 10%" validation, asserted per model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/model_zoo.h"
+#include "exp/oracle.h"
+#include "moca/runtime/latency_model.h"
+
+namespace moca::runtime {
+namespace {
+
+sim::SocConfig
+cfg()
+{
+    return sim::SocConfig{};
+}
+
+TEST(LatencyModel, ComputeLayerBranch)
+{
+    LatencyModel model(cfg());
+    const auto l = dnn::Layer::conv("c", 28, 28, 128, 128, 3, 1, 1);
+    const LayerEstimate est = model.estimateLayer(l, 1);
+    EXPECT_GT(est.computeIdeal, 0.0);
+    EXPECT_GT(est.memoryIdeal, 0.0);
+    // Prediction = max + overlap_f * min.
+    const double expect =
+        std::max(est.computeIdeal, est.memoryIdeal) +
+        cfg().overlapF * std::min(est.computeIdeal, est.memoryIdeal);
+    EXPECT_DOUBLE_EQ(est.prediction, expect);
+}
+
+TEST(LatencyModel, MemLayerBranch)
+{
+    LatencyModel model(cfg());
+    const auto l = dnn::Layer::add("a", 56, 56, 256);
+    const LayerEstimate est = model.estimateLayer(l, 1);
+    // MEM layers: InputB + output from DRAM; all operands through L2.
+    EXPECT_EQ(est.totalMem, l.inputBytes() + l.outputBytes());
+    EXPECT_EQ(est.fromDram, l.inputBytes() / 2 + l.outputBytes());
+    EXPECT_GT(est.prediction, 0.0);
+}
+
+TEST(LatencyModel, FcIsMemoryBound)
+{
+    LatencyModel model(cfg());
+    const auto l = dnn::Layer::dense("fc6", 9216, 4096);
+    const LayerEstimate est = model.estimateLayer(l, 1);
+    EXPECT_GT(est.memoryIdeal, est.computeIdeal * 0.5);
+    // Nearly all traffic reaches DRAM (weights dominate).
+    EXPECT_GT(static_cast<double>(est.fromDram),
+              0.9 * static_cast<double>(l.weightBytes()));
+    // Average bandwidth demand approaches the attainable DRAM rate.
+    EXPECT_GT(est.bwRate(), 8.0);
+}
+
+TEST(LatencyModel, BigImageReloadsFromDram)
+{
+    LatencyModel model(cfg());
+    // Input tensor far above the 2 MB L2.
+    const auto big = dnn::Layer::conv("c", 416, 416, 32, 64, 3, 1, 1);
+    const auto est = model.estimateLayer(big, 1);
+    EXPECT_GE(est.fromDram,
+              big.weightBytes() + big.outputBytes() + big.inputBytes());
+}
+
+TEST(LatencyModel, MoreTilesReduceComputeNotDram)
+{
+    LatencyModel model(cfg());
+    const auto l = dnn::Layer::conv("c", 56, 56, 256, 256, 3, 1, 1);
+    const auto e1 = model.estimateLayer(l, 1);
+    const auto e8 = model.estimateLayer(l, 8);
+    EXPECT_LT(e8.computeIdeal, e1.computeIdeal);
+    EXPECT_EQ(e8.fromDram, e1.fromDram);
+}
+
+TEST(LatencyModel, EstimateRemainingDecreases)
+{
+    LatencyModel model(cfg());
+    const auto &net = dnn::getModel(dnn::ModelId::ResNet50);
+    double prev = model.estimateRemaining(net, 0, 2).prediction;
+    for (std::size_t from = 10; from < net.numLayers(); from += 25) {
+        const double cur =
+            model.estimateRemaining(net, from, 2).prediction;
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+    EXPECT_DOUBLE_EQ(
+        model.estimateRemaining(net, net.numLayers(), 2).prediction,
+        0.0);
+}
+
+TEST(LatencyModel, BlocksSumToModel)
+{
+    LatencyModel model(cfg());
+    const auto &net = dnn::getModel(dnn::ModelId::GoogleNet);
+    LayerEstimate total;
+    for (std::size_t b = 0; b < net.numBlocks(); ++b)
+        total += model.estimateBlock(net, b, 2);
+    EXPECT_NEAR(total.prediction, model.estimateModel(net, 2),
+                1e-6 * model.estimateModel(net, 2));
+}
+
+TEST(LatencyModel, AvgBwOrdersModelsByMemoryIntensity)
+{
+    LatencyModel model(cfg());
+    // AlexNet (FC-heavy) demands more average bandwidth than
+    // YOLO-Lite (small convs with reuse).
+    const double alex =
+        model.estimateAvgBw(dnn::getModel(dnn::ModelId::AlexNet), 2);
+    const double lite =
+        model.estimateAvgBw(dnn::getModel(dnn::ModelId::YoloLite), 2);
+    EXPECT_GT(alex, lite);
+}
+
+/**
+ * The paper's validation: prediction within 10% of measured isolated
+ * runtime, across networks and tile counts.
+ */
+class PredictionAccuracy
+    : public ::testing::TestWithParam<dnn::ModelId>
+{
+};
+
+TEST_P(PredictionAccuracy, Within10Percent)
+{
+    LatencyModel model(cfg());
+    const auto &net = dnn::getModel(GetParam());
+    for (int tiles : {1, 2, 8}) {
+        const double measured = static_cast<double>(
+            exp::isolatedLatency(GetParam(), tiles, cfg()));
+        const double predicted = model.estimateModel(net, tiles);
+        const double err = std::abs(predicted - measured) / measured;
+        EXPECT_LT(err, 0.10)
+            << net.name() << " tiles=" << tiles << " measured="
+            << measured << " predicted=" << predicted;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PredictionAccuracy,
+    ::testing::ValuesIn(dnn::allModelIds()),
+    [](const ::testing::TestParamInfo<dnn::ModelId> &info) {
+        std::string n = dnn::modelIdName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(TuneOverlapF, RecoversConfiguredFactor)
+{
+    // Measure a few layers on the simulator, then ask the tuner to
+    // recover overlap_f; it should land near the configured value.
+    const sim::SocConfig c = cfg();
+    const auto &net = dnn::getModel(dnn::ModelId::ResNet50);
+    std::vector<std::pair<const dnn::Layer *, double>> measured;
+    for (std::size_t i = 2; i < net.numLayers() && measured.size() < 5;
+         i += 9) {
+        const dnn::Layer &l = net.layer(i);
+        if (l.layerClass() != dnn::LayerClass::Compute)
+            continue;
+        const dnn::Model one("single", dnn::ModelSize::Light, {l});
+        exp::SoloPolicy policy(2);
+        sim::Soc soc(c, policy);
+        sim::JobSpec spec;
+        spec.id = 0;
+        spec.model = &one;
+        soc.addJob(spec);
+        soc.run();
+        measured.push_back(
+            {&l, static_cast<double>(soc.results()[0].latency())});
+    }
+    ASSERT_GE(measured.size(), 3u);
+    const double tuned = tuneOverlapF(c, measured, 2);
+    EXPECT_NEAR(tuned, c.overlapF, 0.1);
+}
+
+} // namespace
+} // namespace moca::runtime

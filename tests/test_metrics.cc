@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the system-level metrics (Sec. IV-C): SLA
+ * satisfaction rate (overall and per priority group), STP (Eq. 2),
+ * and the priority-weighted proportional-progress fairness (Eq. 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "metrics/metrics.h"
+
+namespace moca::metrics {
+namespace {
+
+sim::JobResult
+result(int id, dnn::ModelId model, int priority, Cycles dispatch,
+       Cycles finish, Cycles sla)
+{
+    sim::JobResult r;
+    r.spec.id = id;
+    r.spec.model = &dnn::getModel(model);
+    r.spec.priority = priority;
+    r.spec.dispatch = dispatch;
+    r.spec.slaLatency = sla;
+    r.finish = finish;
+    return r;
+}
+
+Cycles
+iso(dnn::ModelId)
+{
+    return 1'000'000;
+}
+
+TEST(Metrics, SlaRate)
+{
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 0, 0, 500'000, 600'000),   // met
+        result(1, dnn::ModelId::Kws, 0, 0, 900'000, 600'000),   // miss
+        result(2, dnn::ModelId::Kws, 0, 0, 400'000, 600'000),   // met
+        result(3, dnn::ModelId::Kws, 0, 0, 700'000, 600'000),   // miss
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_DOUBLE_EQ(m.slaRate, 0.5);
+    EXPECT_EQ(m.numJobs, 4);
+}
+
+TEST(Metrics, LatencyIncludesQueueWait)
+{
+    // Dispatch at 100k, finish at 800k: latency 700k > 600k target.
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 0, 100'000, 800'000, 600'000),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_DOUBLE_EQ(m.slaRate, 0.0);
+}
+
+TEST(Metrics, PriorityGroupBreakdown)
+{
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 1, 0, 500'000, 600'000),  // low met
+        result(1, dnn::ModelId::Kws, 1, 0, 900'000, 600'000),  // low miss
+        result(2, dnn::ModelId::Kws, 5, 0, 500'000, 600'000),  // mid met
+        result(3, dnn::ModelId::Kws, 10, 0, 900'000, 600'000), // hi miss
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_DOUBLE_EQ(m.slaRateLow, 0.5);
+    EXPECT_DOUBLE_EQ(m.slaRateMid, 1.0);
+    EXPECT_DOUBLE_EQ(m.slaRateHigh, 0.0);
+}
+
+TEST(Metrics, StpSumsNormalizedProgress)
+{
+    // Progress = iso / latency: 1e6/2e6 = 0.5 and 1e6/1e6 = 1.0.
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 0, 0, 2'000'000, 1),
+        result(1, dnn::ModelId::Kws, 0, 0, 1'000'000, 1),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_NEAR(m.stp, 1.5, 1e-9);
+}
+
+TEST(Metrics, FairnessPerfectWhenProgressMatchesPriority)
+{
+    // Two jobs with equal priority and equal slowdown: PP equal ->
+    // fairness = 1.
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 3, 0, 2'000'000, 1),
+        result(1, dnn::ModelId::Kws, 3, 0, 2'000'000, 1),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_NEAR(m.fairness, 1.0, 1e-9);
+}
+
+TEST(Metrics, FairnessPenalizesDisproportionateSlowdown)
+{
+    // Equal priorities but one job runs 4x slower: fairness = 1/4.
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 3, 0, 1'000'000, 1),
+        result(1, dnn::ModelId::Kws, 3, 0, 4'000'000, 1),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_NEAR(m.fairness, 0.25, 1e-9);
+}
+
+TEST(Metrics, FairnessWeightsByPriority)
+{
+    // Priority weights (p+1): job A p=1 (weight 2), job B p=3
+    // (weight 4).  B runs 2x slower; its PP = (0.5/ (4/6)) = 0.75,
+    // A's PP = (1.0 / (2/6)) = 3.0 -> fairness 0.25.
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 1, 0, 1'000'000, 1),
+        result(1, dnn::ModelId::Kws, 3, 0, 2'000'000, 1),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_NEAR(m.fairness, 0.25, 1e-9);
+}
+
+TEST(Metrics, NormalizedLatencyStats)
+{
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 0, 0, 2'000'000, 1),
+        result(1, dnn::ModelId::Kws, 0, 0, 4'000'000, 1),
+    };
+    const auto m = computeMetrics(rs, iso);
+    EXPECT_NEAR(m.meanNormLatency, 3.0, 1e-9);
+    EXPECT_NEAR(m.worstNormLatency, 4.0, 1e-9);
+}
+
+TEST(Metrics, EmptyResults)
+{
+    const auto m = computeMetrics({}, iso);
+    EXPECT_EQ(m.numJobs, 0);
+    EXPECT_DOUBLE_EQ(m.slaRate, 0.0);
+    EXPECT_DOUBLE_EQ(m.stp, 0.0);
+}
+
+TEST(Metrics, SlaRateWhere)
+{
+    std::vector<sim::JobResult> rs = {
+        result(0, dnn::ModelId::Kws, 2, 0, 500'000, 600'000),
+        result(1, dnn::ModelId::Kws, 9, 0, 900'000, 600'000),
+        result(2, dnn::ModelId::Kws, 9, 0, 100'000, 600'000),
+    };
+    const double high_rate = slaRateWhere(
+        rs, [](const sim::JobResult &r) {
+            return r.spec.priority >= 9;
+        });
+    EXPECT_DOUBLE_EQ(high_rate, 0.5);
+    const double none = slaRateWhere(
+        rs, [](const sim::JobResult &) { return false; });
+    EXPECT_DOUBLE_EQ(none, 0.0);
+}
+
+} // namespace
+} // namespace moca::metrics

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Behavioural tests of the full-stack MoCA policy: admission via
+ * Algorithm 3, throttle programming via Algorithm 2 at block
+ * boundaries, the co-runner reconfiguration sweep, rare compute
+ * repartitioning, and the ablation knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "exp/oracle.h"
+#include "moca/moca_policy.h"
+#include "sim/soc.h"
+
+namespace moca {
+namespace {
+
+sim::JobSpec
+spec(int id, dnn::ModelId model, Cycles dispatch = 0,
+     int priority = 0, Cycles sla = 1'000'000'000)
+{
+    sim::JobSpec s;
+    s.id = id;
+    s.model = &dnn::getModel(model);
+    s.dispatch = dispatch;
+    s.priority = priority;
+    s.slaLatency = sla;
+    return s;
+}
+
+TEST(MocaPolicy, RunsSlotsConcurrently)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, dnn::ModelId::SqueezeNet));
+    soc.run();
+    for (const auto &r : soc.results())
+        EXPECT_EQ(r.firstStart, 0u);
+    EXPECT_EQ(policy.policyStats().jobsAdmitted, 4);
+}
+
+TEST(MocaPolicy, ThrottlesUnderMemoryContention)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    // Four AlexNets: the FC blocks collide on DRAM bandwidth.
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, dnn::ModelId::AlexNet));
+    soc.run();
+    EXPECT_GT(policy.policyStats().contentionDetected, 0);
+    int reconfigs = 0;
+    for (const auto &r : soc.results())
+        reconfigs += r.throttleReconfigs;
+    EXPECT_GT(reconfigs, 4);
+}
+
+TEST(MocaPolicy, NoThrottleWhenAblated)
+{
+    sim::SocConfig cfg;
+    MocaPolicyConfig pc;
+    pc.enableThrottling = false;
+    MocaPolicy policy(cfg, pc);
+    sim::Soc soc(cfg, policy);
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, dnn::ModelId::AlexNet));
+    soc.run();
+    for (const auto &r : soc.results())
+        EXPECT_EQ(r.throttleReconfigs, 0);
+}
+
+TEST(MocaPolicy, LoneHeavyJobExpands)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::YoloV2));
+    soc.run();
+    // The lone long job is worth a compute repartition; it finishes
+    // much faster than a 2-tile (one-slot) run.
+    EXPECT_GE(policy.policyStats().repartitions, 1);
+    const Cycles two_tile =
+        exp::isolatedLatency(dnn::ModelId::YoloV2, 2, cfg);
+    EXPECT_LT(soc.results()[0].latency(), two_tile);
+}
+
+TEST(MocaPolicy, ShortJobNotWorthExpanding)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::Kws));
+    soc.run();
+    // KWS finishes in well under the repartition-benefit horizon.
+    EXPECT_EQ(policy.policyStats().repartitions, 0);
+    EXPECT_EQ(soc.results()[0].migrations, 0);
+}
+
+TEST(MocaPolicy, RepartitionDisabledByKnob)
+{
+    sim::SocConfig cfg;
+    MocaPolicyConfig pc;
+    pc.enableComputeRepartition = false;
+    MocaPolicy policy(cfg, pc);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::YoloV2));
+    soc.run();
+    EXPECT_EQ(policy.policyStats().repartitions, 0);
+}
+
+TEST(MocaPolicy, ThrottlingImprovesHighPriorityLatency)
+{
+    // Two co-located jobs: a low-priority memory hog (AlexNet) and a
+    // high-priority urgent job.  With throttling, the urgent job
+    // finishes no later than without it.
+    sim::SocConfig cfg;
+    auto run_urgent = [&](bool throttle) {
+        MocaPolicyConfig pc;
+        pc.enableThrottling = throttle;
+        MocaPolicy policy(cfg, pc);
+        sim::Soc soc(cfg, policy);
+        soc.addJob(spec(0, dnn::ModelId::AlexNet, 0, 0));
+        soc.addJob(spec(1, dnn::ModelId::AlexNet, 0, 0));
+        // Urgent job with a tight deadline.
+        soc.addJob(spec(2, dnn::ModelId::GoogleNet, 0, 11,
+                        20'000'000));
+        soc.run();
+        for (const auto &r : soc.results())
+            if (r.spec.id == 2)
+                return r.latency();
+        return Cycles(0);
+    };
+    const Cycles with_throttle = run_urgent(true);
+    const Cycles without = run_urgent(false);
+    EXPECT_LE(with_throttle, without + without / 20);
+}
+
+TEST(MocaPolicy, AllJobsComplete)
+{
+    sim::SocConfig cfg;
+    MocaPolicy policy(cfg);
+    sim::Soc soc(cfg, policy);
+    for (int i = 0; i < 12; ++i) {
+        soc.addJob(spec(i,
+                        i % 2 ? dnn::ModelId::AlexNet
+                              : dnn::ModelId::Kws,
+                        static_cast<Cycles>(i) * 700'000, i % 12));
+    }
+    soc.run();
+    EXPECT_EQ(soc.results().size(), 12u);
+}
+
+TEST(MocaPolicy, DeterministicAcrossRuns)
+{
+    sim::SocConfig cfg;
+    auto run_once = [&]() {
+        MocaPolicy policy(cfg);
+        sim::Soc soc(cfg, policy);
+        for (int i = 0; i < 8; ++i)
+            soc.addJob(spec(i,
+                            i % 2 ? dnn::ModelId::GoogleNet
+                                  : dnn::ModelId::SqueezeNet,
+                            static_cast<Cycles>(i) * 400'000));
+        soc.run();
+        std::vector<Cycles> finishes;
+        for (const auto &r : soc.results())
+            finishes.push_back(r.finish);
+        return finishes;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace moca

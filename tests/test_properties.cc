@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-cutting property tests with parameterized sweeps: byte
+ * conservation in the simulator, quantum-size robustness of measured
+ * latencies, throttle-rate enforcement across a config grid, and
+ * policy-independent invariants on completed runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/model_zoo.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+#include "moca/hw/throttle_engine.h"
+#include "sim/soc.h"
+
+namespace moca {
+namespace {
+
+sim::JobSpec
+spec(int id, dnn::ModelId model, Cycles dispatch = 0)
+{
+    sim::JobSpec s;
+    s.id = id;
+    s.model = &dnn::getModel(model);
+    s.dispatch = dispatch;
+    s.slaLatency = 1'000'000'000;
+    return s;
+}
+
+// --- Conservation -------------------------------------------------------
+
+TEST(Properties, DramBytesConserved)
+{
+    sim::SocConfig cfg;
+    exp::SoloPolicy policy(2);
+    sim::Soc soc(cfg, policy);
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, dnn::ModelId::GoogleNet,
+                        static_cast<Cycles>(i) * 300'000));
+    soc.run();
+    std::uint64_t per_job = 0;
+    for (const auto &r : soc.results())
+        per_job += r.dramBytesMoved;
+    // SoC-level accounting matches the per-job sums (within rounding
+    // of one beat per quantum per job).
+    const double tolerance = 1e-3 * static_cast<double>(per_job) +
+        1e4;
+    EXPECT_NEAR(static_cast<double>(soc.stats().dramBytes),
+                static_cast<double>(per_job), tolerance);
+}
+
+TEST(Properties, TrafficAtLeastModelFootprint)
+{
+    // A job must move at least its weights once through DRAM.
+    sim::SocConfig cfg;
+    exp::SoloPolicy policy(8);
+    sim::Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::AlexNet));
+    soc.run();
+    EXPECT_GE(soc.results()[0].dramBytesMoved,
+              dnn::getModel(dnn::ModelId::AlexNet).totalWeightBytes());
+}
+
+// --- Quantum robustness ---------------------------------------------------
+
+class QuantumSweep : public ::testing::TestWithParam<Cycles>
+{
+};
+
+TEST_P(QuantumSweep, IsolatedLatencyQuantumInsensitive)
+{
+    sim::SocConfig base;
+    sim::SocConfig varied;
+    varied.quantum = GetParam();
+
+    exp::clearOracleCache();
+    const double a = static_cast<double>(
+        exp::isolatedLatency(dnn::ModelId::GoogleNet, 2, base));
+    exp::clearOracleCache();
+    const double b = static_cast<double>(
+        exp::isolatedLatency(dnn::ModelId::GoogleNet, 2, varied));
+    exp::clearOracleCache();
+    // Within 3%: the quantum is a simulation step, not a model
+    // parameter.
+    EXPECT_NEAR(b / a, 1.0, 0.03) << "quantum=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(128, 256, 1024, 2048));
+
+// --- Throttle rate enforcement --------------------------------------------
+
+struct ThrottleCase
+{
+    Cycles window;
+    std::uint64_t threshold;
+};
+
+class ThrottleRateSweep
+    : public ::testing::TestWithParam<ThrottleCase>
+{
+};
+
+TEST_P(ThrottleRateSweep, SteadyStateRateMatchesConfig)
+{
+    const auto [window, threshold] = GetParam();
+    hw::ThrottleEngine e;
+    e.configure({window, threshold});
+    constexpr Cycles total = 2'000'000;
+    const std::uint64_t granted = e.advance(total, total);
+    const double rate = static_cast<double>(granted) / total;
+    const double target = std::min(
+        1.0, static_cast<double>(threshold) / window);
+    EXPECT_NEAR(rate, target, 0.01)
+        << "window=" << window << " threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThrottleRateSweep,
+    ::testing::Values(ThrottleCase{64, 16}, ThrottleCase{64, 64},
+                      ThrottleCase{512, 128}, ThrottleCase{4096, 1024},
+                      ThrottleCase{65536, 4096},
+                      ThrottleCase{1000, 333}));
+
+// --- Policy-independent invariants ----------------------------------------
+
+class PolicyInvariants
+    : public ::testing::TestWithParam<exp::PolicyKind>
+{
+};
+
+TEST_P(PolicyInvariants, RunInvariantsHold)
+{
+    const sim::SocConfig cfg;
+    workload::TraceConfig trace;
+    trace.set = workload::WorkloadSet::C;
+    trace.qos = workload::QosLevel::Medium;
+    trace.numTasks = 30;
+    trace.seed = 5;
+    const auto r = exp::runScenario(GetParam(), trace, cfg);
+
+    ASSERT_EQ(r.jobs.size(), 30u);
+    for (const auto &j : r.jobs) {
+        // Causality.
+        EXPECT_GE(j.firstStart, j.spec.dispatch);
+        EXPECT_GT(j.finish, j.firstStart);
+        // A job cannot move fewer DRAM bytes than zero nor more L2
+        // bytes than... L2 >= DRAM always.
+        EXPECT_GE(j.l2BytesMoved, j.dramBytesMoved);
+        // No job finishes faster than its full-SoC isolated run.
+        const Cycles iso = exp::isolatedLatency(
+            dnn::modelIdFromName(j.spec.model->name()),
+            cfg.numTiles, cfg);
+        EXPECT_GE(j.finish - j.firstStart, iso / 2)
+            << exp::policyKindName(GetParam()) << " job "
+            << j.spec.id;
+    }
+    // Metrics are within their domains.
+    EXPECT_GE(r.metrics.slaRate, 0.0);
+    EXPECT_LE(r.metrics.slaRate, 1.0);
+    EXPECT_GE(r.metrics.fairness, 0.0);
+    EXPECT_LE(r.metrics.fairness, 1.0 + 1e-9);
+    EXPECT_GT(r.metrics.stp, 0.0);
+    EXPECT_LE(r.metrics.stp, 30.0 + 1e-9);
+    EXPECT_LE(r.dramBusyFraction, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariants,
+    ::testing::ValuesIn(exp::allPolicies()),
+    [](const ::testing::TestParamInfo<exp::PolicyKind> &info) {
+        return std::string(exp::policyKindName(info.param));
+    });
+
+// --- Load monotonicity ------------------------------------------------------
+
+TEST(Properties, HigherLoadNeverImprovesSla)
+{
+    const sim::SocConfig cfg;
+    double prev = 1.1;
+    for (double load : {0.5, 1.0, 2.0}) {
+        workload::TraceConfig trace;
+        trace.set = workload::WorkloadSet::A;
+        trace.qos = workload::QosLevel::Medium;
+        trace.numTasks = 60;
+        trace.loadFactor = load;
+        trace.seed = 9;
+        const auto r =
+            exp::runScenario(exp::PolicyKind::Moca, trace, cfg);
+        EXPECT_LE(r.metrics.slaRate, prev + 0.08)
+            << "load=" << load;
+        prev = r.metrics.slaRate;
+    }
+}
+
+} // namespace
+} // namespace moca

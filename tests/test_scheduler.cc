@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for Algorithm 3 (the MoCA scheduler): scoring
+ * (priority + waiting-time slowdown), the memory-intensiveness flag,
+ * ExQueue thresholding, group formation with mem/non-mem pairing, and
+ * the mix-rebalancing bias.
+ */
+
+#include <gtest/gtest.h>
+
+#include "moca/sched/scheduler.h"
+
+namespace moca::sched {
+namespace {
+
+constexpr double kDramBw = 16.0;
+
+SchedTask
+task(int id, int priority, Cycles dispatched, double est_time,
+     double avg_bw)
+{
+    SchedTask t;
+    t.id = id;
+    t.priority = priority;
+    t.dispatched = dispatched;
+    t.estimatedTime = est_time;
+    t.estimatedAvgBw = avg_bw;
+    return t;
+}
+
+TEST(Scheduler, ScoreCombinesPriorityAndSlowdown)
+{
+    const SchedTask t = task(0, 5, 1000, 2000.0, 1.0);
+    // waiting = 5000, slowdown = 5000/2000 = 2.5; score = 5 + 2.5.
+    EXPECT_DOUBLE_EQ(MocaScheduler::score(t, 6000), 7.5);
+}
+
+TEST(Scheduler, WaitingEscalatesLowPriority)
+{
+    // An old low-priority task eventually outranks a fresh
+    // high-priority one (anti-starvation).
+    const SchedTask old_low = task(0, 0, 0, 1000.0, 1.0);
+    const SchedTask fresh_high = task(1, 11, 99'000, 1000.0, 1.0);
+    const Cycles now = 100'000;
+    EXPECT_GT(MocaScheduler::score(old_low, now),
+              MocaScheduler::score(fresh_high, now));
+}
+
+TEST(Scheduler, MemIntensiveFlagAtHalfDramBw)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    EXPECT_TRUE(s.isMemIntensive(task(0, 0, 0, 1.0, 8.1)));
+    EXPECT_FALSE(s.isMemIntensive(task(0, 0, 0, 1.0, 7.9)));
+}
+
+TEST(Scheduler, SelectsByScoreOrder)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 2, 0, 1e6, 1.0),
+        task(1, 9, 0, 1e6, 1.0),
+        task(2, 5, 0, 1e6, 1.0),
+    };
+    const auto group = s.selectGroup(queue, 100, 3);
+    ASSERT_EQ(group.size(), 3u);
+    EXPECT_EQ(group[0], 1);
+    EXPECT_EQ(group[1], 2);
+    EXPECT_EQ(group[2], 0);
+}
+
+TEST(Scheduler, RespectsSlotLimit)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue;
+    for (int i = 0; i < 10; ++i)
+        queue.push_back(task(i, i, 0, 1e6, 1.0));
+    EXPECT_EQ(s.selectGroup(queue, 100, 4).size(), 4u);
+    EXPECT_TRUE(s.selectGroup(queue, 100, 0).empty());
+}
+
+TEST(Scheduler, PairsMemIntensiveWithCompute)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 11, 0, 1e6, 12.0), // mem-intensive, top score
+        task(1, 10, 0, 1e6, 12.0), // mem-intensive
+        task(2, 1, 0, 1e6, 1.0),   // compute-bound, low score
+    };
+    const auto group = s.selectGroup(queue, 100, 2);
+    ASSERT_EQ(group.size(), 2u);
+    EXPECT_EQ(group[0], 0);
+    // The pairing pulls the compute-bound task ahead of the
+    // higher-scored second memory hog.
+    EXPECT_EQ(group[1], 2);
+}
+
+TEST(Scheduler, PairingDisabledFollowsScore)
+{
+    SchedulerConfig cfg;
+    cfg.memAwarePairing = false;
+    MocaScheduler s(cfg, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 11, 0, 1e6, 12.0),
+        task(1, 10, 0, 1e6, 12.0),
+        task(2, 1, 0, 1e6, 1.0),
+    };
+    const auto group = s.selectGroup(queue, 100, 2);
+    ASSERT_EQ(group.size(), 2u);
+    EXPECT_EQ(group[0], 0);
+    EXPECT_EQ(group[1], 1);
+}
+
+TEST(Scheduler, ThresholdFiltersQueue)
+{
+    SchedulerConfig cfg;
+    cfg.scoreThreshold = 6.0;
+    MocaScheduler s(cfg, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 2, 0, 1e9, 1.0), // score ~2: below threshold
+        task(1, 9, 0, 1e9, 1.0), // score ~9: above
+    };
+    const auto group = s.selectGroup(queue, 100, 4);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], 1);
+}
+
+TEST(Scheduler, PreferNonMemBiasPicksComputeFirst)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 11, 0, 1e6, 12.0), // mem-intensive, top score
+        task(1, 5, 0, 1e6, 1.0),   // compute-bound
+    };
+    const auto group = s.selectGroup(
+        queue, 100, 1, MocaScheduler::MixBias::PreferNonMem);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], 1);
+}
+
+TEST(Scheduler, PreferMemBiasPicksHogFirst)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 11, 0, 1e6, 1.0), // compute-bound, top score
+        task(1, 5, 0, 1e6, 12.0), // mem-intensive
+    };
+    const auto group = s.selectGroup(
+        queue, 100, 1, MocaScheduler::MixBias::PreferMem);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], 1);
+}
+
+TEST(Scheduler, BiasFallsBackWhenNoMatch)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(0, 3, 0, 1e6, 12.0), // only mem-intensive tasks
+        task(1, 2, 0, 1e6, 12.0),
+    };
+    const auto group = s.selectGroup(
+        queue, 100, 1, MocaScheduler::MixBias::PreferNonMem);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], 0);
+}
+
+TEST(Scheduler, DeterministicTieBreakById)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    std::vector<SchedTask> queue = {
+        task(3, 5, 0, 1e6, 1.0),
+        task(1, 5, 0, 1e6, 1.0),
+        task(2, 5, 0, 1e6, 1.0),
+    };
+    const auto group = s.selectGroup(queue, 100, 3);
+    ASSERT_EQ(group.size(), 3u);
+    EXPECT_EQ(group[0], 1);
+    EXPECT_EQ(group[1], 2);
+    EXPECT_EQ(group[2], 3);
+}
+
+TEST(Scheduler, EmptyQueue)
+{
+    MocaScheduler s(SchedulerConfig{}, kDramBw);
+    EXPECT_TRUE(s.selectGroup({}, 100, 4).empty());
+}
+
+} // namespace
+} // namespace moca::sched

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Integration-level tests of the SoC simulator engine: isolated runs,
+ * co-location slowdowns, tile scaling, stalls, throttling effects,
+ * and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "exp/oracle.h"
+#include "sim/soc.h"
+
+namespace moca::sim {
+namespace {
+
+JobSpec
+spec(int id, dnn::ModelId model, Cycles dispatch = 0, int priority = 0)
+{
+    JobSpec s;
+    s.id = id;
+    s.model = &dnn::getModel(model);
+    s.dispatch = dispatch;
+    s.priority = priority;
+    s.slaLatency = 1'000'000'000;
+    return s;
+}
+
+TEST(Soc, SingleJobCompletes)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(cfg.numTiles);
+    Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::Kws));
+    soc.run();
+    ASSERT_EQ(soc.results().size(), 1u);
+    EXPECT_GT(soc.results()[0].latency(), 0u);
+}
+
+TEST(Soc, IsolatedLatencyDeterministic)
+{
+    SocConfig cfg;
+    exp::clearOracleCache();
+    const Cycles a =
+        exp::isolatedLatency(dnn::ModelId::AlexNet, 8, cfg);
+    exp::clearOracleCache();
+    const Cycles b =
+        exp::isolatedLatency(dnn::ModelId::AlexNet, 8, cfg);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Soc, MoreTilesFaster)
+{
+    SocConfig cfg;
+    for (dnn::ModelId id :
+         {dnn::ModelId::ResNet50, dnn::ModelId::YoloV2}) {
+        const Cycles c1 = exp::isolatedLatency(id, 1, cfg);
+        const Cycles c8 = exp::isolatedLatency(id, 8, cfg);
+        EXPECT_LT(c8, c1) << dnn::modelIdName(id);
+        // Sub-linear but substantial speedup.
+        EXPECT_GT(static_cast<double>(c1) / c8, 2.0)
+            << dnn::modelIdName(id);
+    }
+}
+
+TEST(Soc, IsolatedLatencyOrdering)
+{
+    // Heavier models take longer in isolation.
+    SocConfig cfg;
+    const Cycles kws = exp::isolatedLatency(dnn::ModelId::Kws, 8, cfg);
+    const Cycles squeeze =
+        exp::isolatedLatency(dnn::ModelId::SqueezeNet, 8, cfg);
+    const Cycles resnet =
+        exp::isolatedLatency(dnn::ModelId::ResNet50, 8, cfg);
+    const Cycles yolo =
+        exp::isolatedLatency(dnn::ModelId::YoloV2, 8, cfg);
+    EXPECT_LT(kws, squeeze);
+    EXPECT_LT(squeeze, resnet);
+    EXPECT_LT(resnet, yolo);
+}
+
+TEST(Soc, ColocationSlowsJobsDown)
+{
+    // Two co-located AlexNets on 4 tiles each run slower than one
+    // AlexNet alone on 4 tiles (bandwidth + cache contention).
+    SocConfig cfg;
+    exp::SoloPolicy solo4(4);
+    Soc alone(cfg, solo4);
+    alone.addJob(spec(0, dnn::ModelId::AlexNet));
+    alone.run();
+    const Cycles iso = alone.results()[0].latency();
+
+    exp::SoloPolicy pair4(4);
+    Soc both(cfg, pair4);
+    both.addJob(spec(0, dnn::ModelId::AlexNet));
+    both.addJob(spec(1, dnn::ModelId::AlexNet));
+    both.run();
+    for (const auto &r : both.results())
+        EXPECT_GT(r.latency(), iso);
+}
+
+TEST(Soc, ThrottledJobRunsSlower)
+{
+    SocConfig cfg;
+
+    struct ThrottlingSolo : exp::SoloPolicy
+    {
+        hw::ThrottleConfig tcfg;
+        explicit ThrottlingSolo(int tiles) : exp::SoloPolicy(tiles) {}
+        void
+        schedule(Soc &soc, SchedEvent event) override
+        {
+            exp::SoloPolicy::schedule(soc, event);
+            for (int id : soc.runningJobs())
+                if (soc.job(id).throttle.stats().reconfigurations == 0)
+                    soc.configureThrottle(id, tcfg);
+        }
+    };
+
+    ThrottlingSolo p1(8);
+    Soc free_run(cfg, p1);
+    free_run.addJob(spec(0, dnn::ModelId::SqueezeNet));
+    free_run.run();
+    const Cycles unthrottled = free_run.results()[0].latency();
+
+    ThrottlingSolo p2(8);
+    // Cap each tile at 1/16 of its DMA beats (1 B/cycle/tile).
+    p2.tcfg = {1024, 64};
+    Soc throttled(cfg, p2);
+    throttled.addJob(spec(0, dnn::ModelId::SqueezeNet));
+    throttled.run();
+    const Cycles capped = throttled.results()[0].latency();
+
+    EXPECT_GT(capped, unthrottled + unthrottled / 10);
+}
+
+TEST(Soc, StallDelaysCompletion)
+{
+    SocConfig cfg;
+
+    struct StallingPolicy : exp::SoloPolicy
+    {
+        bool stalled = false;
+        explicit StallingPolicy(int tiles) : exp::SoloPolicy(tiles) {}
+        void
+        schedule(Soc &soc, SchedEvent event) override
+        {
+            exp::SoloPolicy::schedule(soc, event);
+            if (!stalled && !soc.runningJobs().empty()) {
+                stalled = true;
+                // A resize to fewer tiles charges the migration
+                // penalty.
+                soc.resizeJob(soc.runningJobs()[0], 4);
+            }
+        }
+    };
+
+    exp::SoloPolicy plain(8);
+    Soc base(cfg, plain);
+    base.addJob(spec(0, dnn::ModelId::SqueezeNet));
+    base.run();
+
+    StallingPolicy stall(8);
+    Soc delayed(cfg, stall);
+    delayed.addJob(spec(0, dnn::ModelId::SqueezeNet));
+    delayed.run();
+
+    EXPECT_GT(delayed.results()[0].latency(),
+              base.results()[0].latency() + cfg.migrationCycles / 2);
+    EXPECT_EQ(delayed.results()[0].migrations, 1);
+}
+
+TEST(Soc, ArrivalTimesRespected)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(8);
+    Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::Kws, 0));
+    soc.addJob(spec(1, dnn::ModelId::Kws, 5'000'000));
+    soc.run();
+    ASSERT_EQ(soc.results().size(), 2u);
+    for (const auto &r : soc.results()) {
+        if (r.spec.id == 1) {
+            EXPECT_GE(r.firstStart, 5'000'000u);
+        }
+    }
+}
+
+TEST(Soc, FreeTileAccounting)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(3);
+    Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::Kws));
+    soc.addJob(spec(1, dnn::ModelId::Kws));
+    // After starting two 3-tile jobs, 2 tiles remain.
+    soc.run(0);
+    EXPECT_EQ(soc.freeTiles(), cfg.numTiles);
+    EXPECT_EQ(soc.results().size(), 2u);
+}
+
+TEST(Soc, ResultsCarrySpecFields)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(8);
+    Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::YoloLite, 100, 7));
+    soc.run();
+    const auto &r = soc.results()[0];
+    EXPECT_EQ(r.spec.priority, 7);
+    EXPECT_EQ(r.spec.dispatch, 100u);
+    EXPECT_GT(r.dramBytesMoved, 0u);
+    EXPECT_GE(r.l2BytesMoved, r.dramBytesMoved);
+}
+
+TEST(Soc, DramUtilizationBounded)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(2);
+    Soc soc(cfg, policy);
+    for (int i = 0; i < 4; ++i)
+        soc.addJob(spec(i, dnn::ModelId::AlexNet));
+    soc.run();
+    EXPECT_GT(soc.stats().dramBusyFraction, 0.05);
+    EXPECT_LE(soc.stats().dramBusyFraction, 1.0 + 1e-9);
+}
+
+} // namespace
+} // namespace moca::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the MoCA hardware engine (Access
+ * Counter + Thresholding Module), including the equivalence of the
+ * cycle-accurate step() path and the batched advance() path used by
+ * the quantum-stepped simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "moca/hw/throttle_engine.h"
+
+namespace moca::hw {
+namespace {
+
+TEST(ThrottleEngine, DisabledGrantsEverything)
+{
+    ThrottleEngine e;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(e.step(true));
+    EXPECT_EQ(e.stats().accessesGranted, 100u);
+    EXPECT_EQ(e.stats().bubblesInserted, 0u);
+}
+
+TEST(ThrottleEngine, ThresholdBlocksWithinWindow)
+{
+    ThrottleEngine e;
+    e.configure({100, 10});
+    // Burn the reconfiguration dead time.
+    for (Cycles i = 0; i < ThrottleEngine::kReconfigCycles; ++i)
+        EXPECT_FALSE(e.step(true));
+
+    int granted = 0;
+    for (int i = 0; i < 92; ++i) // rest of the 100-cycle window
+        granted += e.step(true) ? 1 : 0;
+    EXPECT_EQ(granted, 10); // exactly threshold_load grants
+}
+
+TEST(ThrottleEngine, WindowRolloverResetsBudget)
+{
+    ThrottleEngine e;
+    e.configure({50, 5});
+    std::uint64_t total = 0;
+    for (int i = 0; i < 8 + 200; ++i)
+        total += e.step(true) ? 1 : 0;
+    // 208 cycles touch 5 windows of 50 ([0,50) holds the 8 reconfig
+    // dead cycles but still has 42 live ones); each window grants
+    // its budget of 5.
+    EXPECT_EQ(total, 25u);
+    EXPECT_GE(e.stats().windowsElapsed, 4u);
+}
+
+TEST(ThrottleEngine, ReconfigurationInsertsDeadCycles)
+{
+    ThrottleEngine e;
+    e.configure({1000, 1000});
+    for (Cycles i = 0; i < ThrottleEngine::kReconfigCycles; ++i) {
+        EXPECT_TRUE(e.throttled());
+        EXPECT_FALSE(e.step(true));
+    }
+    EXPECT_TRUE(e.step(true));
+    EXPECT_EQ(e.stats().reconfigurations, 1u);
+}
+
+TEST(ThrottleEngine, AdvanceMatchesUnthrottled)
+{
+    ThrottleEngine e;
+    EXPECT_EQ(e.advance(100, 40), 40u);
+    EXPECT_EQ(e.advance(100, 1000), 100u); // at most 1/cycle
+}
+
+TEST(ThrottleEngine, AdvanceRespectsWindows)
+{
+    ThrottleEngine e;
+    e.configure({100, 10});
+    // 8 reconfig cycles + 92 window cycles -> 10 grants, then the
+    // next full window grants another 10.
+    EXPECT_EQ(e.advance(100, 1000), 10u);
+    EXPECT_EQ(e.advance(100, 1000), 10u);
+}
+
+TEST(ThrottleEngine, PeekDoesNotMutate)
+{
+    ThrottleEngine e;
+    e.configure({64, 16});
+    const auto before_count = e.windowCount();
+    const auto peek1 = e.peekAllowance(200);
+    const auto peek2 = e.peekAllowance(200);
+    EXPECT_EQ(peek1, peek2);
+    EXPECT_EQ(e.windowCount(), before_count);
+}
+
+TEST(ThrottleEngine, PeekMatchesAdvance)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        ThrottleEngine e;
+        const Cycles window = static_cast<Cycles>(
+            rng.uniformInt(1, 256));
+        const auto thr = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 64));
+        e.configure({window, thr});
+        // Random warm-up.
+        e.advance(static_cast<Cycles>(rng.uniformInt(0, 500)),
+                  static_cast<std::uint64_t>(rng.uniformInt(0, 500)));
+        const Cycles span = static_cast<Cycles>(
+            rng.uniformInt(1, 300));
+        const auto peek = e.peekAllowance(span);
+        const auto granted = e.advance(span, 1'000'000);
+        EXPECT_EQ(peek, granted)
+            << "window=" << window << " thr=" << thr
+            << " span=" << span;
+    }
+}
+
+/**
+ * Property: the batched advance() path grants exactly as many
+ * accesses as driving step() cycle-by-cycle with a saturating
+ * request stream, for random configurations and spans.
+ */
+TEST(ThrottleEngine, StepAdvanceEquivalenceSaturating)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Cycles window = static_cast<Cycles>(
+            rng.uniformInt(1, 128));
+        const auto thr = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 32));
+        ThrottleEngine stepper, batcher;
+        stepper.configure({window, thr});
+        batcher.configure({window, thr});
+
+        for (int seg = 0; seg < 5; ++seg) {
+            const Cycles span = static_cast<Cycles>(
+                rng.uniformInt(1, 200));
+            std::uint64_t step_granted = 0;
+            for (Cycles c = 0; c < span; ++c)
+                step_granted += stepper.step(true) ? 1 : 0;
+            const std::uint64_t batch_granted =
+                batcher.advance(span, span);
+            EXPECT_EQ(step_granted, batch_granted)
+                << "trial " << trial << " seg " << seg;
+            EXPECT_EQ(stepper.windowCount(), batcher.windowCount());
+        }
+        EXPECT_EQ(stepper.stats().accessesGranted,
+                  batcher.stats().accessesGranted);
+    }
+}
+
+/** Property: granted accesses never exceed demand or wall-clock. */
+TEST(ThrottleEngine, GrantsBoundedByDemandAndTime)
+{
+    Rng rng(42);
+    ThrottleEngine e;
+    e.configure({32, 8});
+    for (int i = 0; i < 500; ++i) {
+        const Cycles span = static_cast<Cycles>(rng.uniformInt(1, 64));
+        const auto want = static_cast<std::uint64_t>(
+            rng.uniformInt(0, 80));
+        const auto got = e.advance(span, want);
+        EXPECT_LE(got, want);
+        EXPECT_LE(got, span);
+    }
+}
+
+/** Long-run average rate equals threshold/window under saturation. */
+TEST(ThrottleEngine, SteadyStateRate)
+{
+    ThrottleEngine e;
+    e.configure({1000, 250});
+    std::uint64_t granted = 0;
+    constexpr Cycles total = 1'000'000;
+    granted = e.advance(total, total);
+    const double rate = static_cast<double>(granted) / total;
+    EXPECT_NEAR(rate, 0.25, 0.001);
+}
+
+TEST(ThrottleEngine, ResetClearsState)
+{
+    ThrottleEngine e;
+    e.configure({100, 10});
+    e.advance(500, 500);
+    e.reset();
+    EXPECT_EQ(e.windowCount(), 0u);
+    EXPECT_EQ(e.stats().accessesGranted, 0u);
+    EXPECT_FALSE(e.throttled());
+}
+
+TEST(ThrottleEngine, ZeroThresholdBlocksAll)
+{
+    ThrottleEngine e;
+    e.configure({100, 0});
+    EXPECT_EQ(e.advance(1000, 1000), 0u);
+}
+
+} // namespace
+} // namespace moca::hw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the L2/DRAM traffic model: streaming plans, cache
+ * capacity effects, reload factors, and invariants (DRAM traffic is a
+ * subset of L2 traffic) across the whole model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "sim/traffic_model.h"
+
+namespace moca::sim {
+namespace {
+
+SocConfig
+cfg()
+{
+    return SocConfig{};
+}
+
+TEST(TrafficModel, SmallLayerSingleCachedPass)
+{
+    // Everything fits: stream = W + IA once; DRAM = W + bias + OA.
+    const auto l = dnn::Layer::conv("c", 14, 14, 64, 64, 3, 1, 1);
+    const auto t = layerTraffic(l, 1, cfg(), cfg().l2Bytes);
+    const auto w = l.weightBytes();
+    const auto in = l.inputBytes();
+    const auto out = l.outputBytes();
+    EXPECT_EQ(t.l2Bytes, w + in + out + l.biasBytes());
+    EXPECT_EQ(t.dramBytes, w + l.biasBytes() + out);
+}
+
+TEST(TrafficModel, BigInputEvictedFromCache)
+{
+    // Input tensor larger than effective cache must be re-fetched
+    // from DRAM.
+    const auto l = dnn::Layer::conv("c", 416, 416, 32, 64, 3, 1, 1);
+    const auto in = l.inputBytes();
+    ASSERT_GT(in, 1u * MiB); // > half the 2 MB L2
+    const auto hit = layerTraffic(l, 1, cfg(), 16 * MiB);
+    const auto miss = layerTraffic(l, 1, cfg(), 1 * MiB);
+    EXPECT_EQ(miss.dramBytes, hit.dramBytes + in);
+    EXPECT_EQ(miss.l2Bytes, hit.l2Bytes);
+}
+
+TEST(TrafficModel, HugeWeightsStreamedOnce)
+{
+    // AlexNet fc6: 36 MB of weights stream from DRAM exactly once
+    // (inputs are tiny and held resident).
+    const auto l = dnn::Layer::dense("fc6", 9216, 4096);
+    const auto t = layerTraffic(l, 1, cfg(), cfg().l2Bytes);
+    const auto w = l.weightBytes();
+    EXPECT_GE(t.dramBytes, w);
+    EXPECT_LT(t.dramBytes, w + w / 10); // no weight reloads
+    EXPECT_EQ(streamReloadFactor(l, cfg()), 1u);
+}
+
+TEST(TrafficModel, ReloadFactorWhenNeitherFits)
+{
+    // Both operands far larger than the 64 KiB scratchpad half.
+    const auto l = dnn::Layer::conv("c", 112, 112, 128, 512, 3, 1, 1);
+    EXPECT_GT(streamReloadFactor(l, cfg()), 1u);
+}
+
+TEST(TrafficModel, AddLayerOperandEviction)
+{
+    const auto l = dnn::Layer::add("a", 56, 56, 256);
+    const auto small = layerTraffic(l, 1, cfg(), 16 * MiB);
+    const auto tight = layerTraffic(l, 1, cfg(), 256 * KiB);
+    EXPECT_EQ(small.dramBytes, l.outputBytes());
+    EXPECT_EQ(tight.dramBytes, l.outputBytes() + l.inputBytes() / 2);
+}
+
+TEST(TrafficModel, MultiTileDuplicatesSharedOperandInL2Only)
+{
+    const auto l = dnn::Layer::conv("c", 56, 56, 64, 64, 3, 1, 1);
+    const auto t1 = layerTraffic(l, 1, cfg(), cfg().l2Bytes);
+    const auto t4 = layerTraffic(l, 4, cfg(), cfg().l2Bytes);
+    EXPECT_GT(t4.l2Bytes, t1.l2Bytes);
+    EXPECT_EQ(t4.dramBytes, t1.dramBytes);
+}
+
+/** Invariants across every layer of every model. */
+class TrafficSweep : public ::testing::TestWithParam<dnn::ModelId>
+{
+};
+
+TEST_P(TrafficSweep, DramSubsetOfL2)
+{
+    const auto &m = dnn::getModel(GetParam());
+    for (std::uint64_t cache :
+         {cfg().l2Bytes, cfg().l2Bytes / 4, cfg().l2Bytes / 8}) {
+        for (int tiles : {1, 2, 8}) {
+            for (const auto &l : m.layers()) {
+                const auto t = layerTraffic(l, tiles, cfg(), cache);
+                EXPECT_LE(t.dramBytes, t.l2Bytes)
+                    << m.name() << "/" << l.name << " cache=" << cache
+                    << " tiles=" << tiles;
+                EXPECT_GT(t.l2Bytes, 0u)
+                    << m.name() << "/" << l.name;
+            }
+        }
+    }
+}
+
+TEST_P(TrafficSweep, SmallerCacheNeverReducesDram)
+{
+    const auto &m = dnn::getModel(GetParam());
+    for (const auto &l : m.layers()) {
+        const auto big = layerTraffic(l, 1, cfg(), cfg().l2Bytes);
+        const auto small =
+            layerTraffic(l, 1, cfg(), cfg().l2Bytes / 8);
+        EXPECT_GE(small.dramBytes, big.dramBytes)
+            << m.name() << "/" << l.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TrafficSweep,
+    ::testing::ValuesIn(dnn::allModelIds()),
+    [](const ::testing::TestParamInfo<dnn::ModelId> &info) {
+        std::string n = dnn::modelIdName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace moca::sim
