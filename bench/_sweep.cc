@@ -1,23 +1,123 @@
+/**
+ * @file
+ * Smoke sweep + throughput baseline for the parallel experiment
+ * engine.  The default mode replays the historical 12-point
+ * (load x qos_scale) grid under all four policies through
+ * `exp::SweepRunner`.  `timing=1` instead times a fig5-sized grid at
+ * `--jobs 1` versus `--jobs <hw_concurrency>` and prints the
+ * speedup, so future PRs can track sweep throughput against this
+ * PR's baseline.
+ *
+ * Usage: _sweep [tasks=N] [--jobs N] [--csv PATH] [--json PATH]
+ *               [timing=1 [timing_tasks=N]]
+ */
+
+#include <chrono>
 #include <cstdio>
+
+#include "common/log.h"
+#include "common/table.h"
 #include "exp/matrix.h"
+#include "exp/oracle.h"
+#include "exp/sweep/options.h"
+
 using namespace moca;
-int main(int argc, char** argv) {
-    ArgMap dummy(0,nullptr); (void)argc; (void)argv;
-    sim::SocConfig cfg;
+
+namespace {
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Time the 36-cell fig5 grid at a given worker count. */
+double
+timeMatrix(int tasks, int jobs)
+{
+    exp::MatrixConfig mcfg;
+    mcfg.numTasks = tasks;
+    mcfg.verbose = false;
+    mcfg.jobs = jobs;
+    const sim::SocConfig cfg;
+    return wallSeconds([&] { exp::runMatrix(mcfg, cfg); });
+}
+
+int
+runTimingBaseline(const ArgMap &args)
+{
+    const int tasks = static_cast<int>(args.getInt("timing_tasks", 100));
+    const int hw = exp::resolveJobs(0);
+
+    std::printf("== sweep throughput baseline: fig5-sized grid "
+                "(36 cells, tasks=%d) ==\n\n", tasks);
+
+    // Warm the oracle cache once so both measurements exercise the
+    // same (simulation-only) work.
+    exp::clearOracleCache();
+    (void)timeMatrix(10, 1);
+
+    const double serial = timeMatrix(tasks, 1);
+    const double parallel = timeMatrix(tasks, hw);
+
+    Table t({"jobs", "wall (s)", "speedup"});
+    t.row().cell(1LL).cell(serial, 2).cell(1.0, 2);
+    t.row().cell(static_cast<long long>(hw)).cell(parallel, 2)
+        .cell(serial / parallel, 2);
+    t.print("fig5-sized grid wall-clock");
+    std::printf("\nhardware concurrency: %d\n", hw);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    if (args.getBool("timing", false))
+        return runTimingBaseline(args);
+
+    const int tasks = static_cast<int>(args.getInt("tasks", 150));
+    const sim::SocConfig cfg;
+
+    // The historical smoke grid: Workload-C QoS-M at three offered
+    // loads and four QoS scales, each under all four policies on the
+    // identical trace.
+    std::vector<exp::SweepCell> grid;
     for (double load : {1.0, 1.5, 2.0}) {
         for (double qs : {1.0, 1.5, 2.0, 3.0}) {
             workload::TraceConfig tr;
             tr.set = workload::WorkloadSet::C;
             tr.qos = workload::QosLevel::Medium;
-            tr.numTasks = 150; tr.loadFactor = load; tr.qosScale = qs; tr.seed = 2;
-            const auto specs = exp::makeTrace(tr, cfg);
-            std::printf("load=%.1f qos=%.1f :", load, qs);
-            for (auto kind : exp::allPolicies()) {
-                auto r = exp::runTrace(kind, specs, tr, cfg);
-                std::printf("  %s=%.2f(stp %.1f)", exp::policyKindName(kind), r.metrics.slaRate, r.metrics.stp);
-            }
-            std::printf("\n"); std::fflush(stdout);
+            tr.numTasks = tasks;
+            tr.loadFactor = load;
+            tr.qosScale = qs;
+            tr.seed = 2;
+            exp::appendPolicyCells(
+                grid, strprintf("load=%.1f qos=%.1f", load, qs),
+                exp::allPolicies(), tr, cfg);
         }
+    }
+
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid, sinks.pointers());
+
+    for (std::size_t i = 0; i < results.size();) {
+        std::printf("%s :", grid[i].label.c_str());
+        for (std::size_t p = 0; p < exp::allPolicies().size();
+             ++p, ++i) {
+            std::printf("  %s=%.2f(stp %.1f)",
+                        exp::policyKindName(results[i].policy),
+                        results[i].metrics.slaRate,
+                        results[i].metrics.stp);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
     }
     return 0;
 }

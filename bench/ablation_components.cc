@@ -8,44 +8,42 @@
  * no thrash), which shows how much of MoCA's benefit exists only
  * because real unregulated memory systems misbehave.
  *
- * Usage: ablation_components [tasks=N] [seed=S] [set=a|b|c] [qos=l|m|h]
+ * The six policy variants replay the identical trace as custom-policy
+ * cells on the sweep engine; the memory-realism ablation adds four
+ * more cells with modified SoC configurations.
+ *
+ * Usage: ablation_components [tasks=N] [seed=S] [set=a|b|c]
+ *                            [qos=l|m|h] [--jobs N] [--csv PATH]
+ *                            [--json PATH]
  */
 
 #include <cstdio>
 
-#include "bench/bench_common.h"
 #include "common/table.h"
-#include "exp/oracle.h"
-#include "exp/scenario.h"
+#include "exp/sweep/options.h"
 #include "moca/moca_policy.h"
-#include "sim/soc.h"
 
 using namespace moca;
 
 namespace {
 
-struct Variant
+/** A custom-policy cell running MoCA with the given variant config. */
+exp::SweepCell
+mocaVariantCell(const char *label, const MocaPolicyConfig &pc,
+                const workload::TraceConfig &trace,
+                const sim::SocConfig &cfg,
+                std::shared_ptr<const std::vector<sim::JobSpec>> specs)
 {
-    const char *name;
-    MocaPolicyConfig cfg;
-};
-
-metrics::RunMetrics
-runVariant(const MocaPolicyConfig &pc,
-           const std::vector<sim::JobSpec> &specs,
-           const sim::SocConfig &cfg, sim::SocStats *stats_out)
-{
-    MocaPolicy policy(cfg, pc);
-    sim::Soc soc(cfg, policy);
-    for (const auto &s : specs)
-        soc.addJob(s);
-    soc.run();
-    if (stats_out != nullptr)
-        *stats_out = soc.stats();
-    return metrics::computeMetrics(
-        soc.results(), [&](dnn::ModelId id) {
-            return exp::isolatedLatency(id, cfg.numTiles, cfg);
-        });
+    exp::SweepCell cell;
+    cell.label = label;
+    cell.policy = exp::PolicyKind::Moca;
+    cell.trace = trace;
+    cell.soc = cfg;
+    cell.specs = std::move(specs);
+    cell.policyFactory = [pc](const sim::SocConfig &c) {
+        return std::make_unique<MocaPolicy>(c, pc);
+    };
+    return cell;
 }
 
 } // namespace
@@ -54,7 +52,7 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    sim::SocConfig cfg = exp::socConfigFromArgs(args);
 
     workload::TraceConfig trace;
     trace.numTasks = static_cast<int>(args.getInt("tasks", 200));
@@ -73,12 +71,18 @@ main(int argc, char **argv)
                 workload::workloadSetName(trace.set),
                 workload::qosLevelName(trace.qos), trace.numTasks,
                 static_cast<unsigned long long>(trace.seed));
-    bench::printSocBanner(cfg);
+    exp::printSocBanner(cfg);
 
-    const auto specs = exp::makeTrace(trace, cfg);
+    auto specs = std::make_shared<const std::vector<sim::JobSpec>>(
+        exp::makeTrace(trace, cfg));
 
     MocaPolicyConfig full;
-    Variant variants[] = {
+    struct Variant
+    {
+        const char *name;
+        MocaPolicyConfig cfg;
+    };
+    const Variant variants[] = {
         {"moca (full)", full},
         {"- throttling", [&] {
              auto c = full;
@@ -109,45 +113,70 @@ main(int argc, char **argv)
              return c;
          }()},
     };
+    const std::size_t num_variants = std::size(variants);
+
+    // ---- grid: 6 variant cells + 4 memory-realism cells -------------
+    std::vector<exp::SweepCell> grid;
+    for (const auto &v : variants)
+        grid.push_back(
+            mocaVariantCell(v.name, v.cfg, trace, cfg, specs));
+
+    // Simulator-side ablation: realistic vs idealized memory system.
+    // The realistic pair replays the specs generated above; the
+    // idealized configuration changes the SoC, so its pair shares a
+    // trace regenerated once for that config.
+    for (bool ideal : {false, true}) {
+        sim::SocConfig c2 = cfg;
+        auto pair_specs = specs;
+        if (ideal) {
+            c2.dramProportionalArbitration = false;
+            c2.dramThrashFactor = 0.0;
+            pair_specs = std::make_shared<
+                const std::vector<sim::JobSpec>>(
+                exp::makeTrace(trace, c2));
+        }
+        const char *label = ideal
+            ? "idealized (max-min, no thrash)"
+            : "realistic (FCFS-like + thrash)";
+        grid.push_back(
+            mocaVariantCell(label, MocaPolicyConfig{}, trace, c2,
+                            pair_specs));
+        exp::SweepCell stat;
+        stat.label = label;
+        stat.policy = exp::PolicyKind::StaticPartition;
+        stat.trace = trace;
+        stat.soc = c2;
+        stat.specs = pair_specs;
+        grid.push_back(std::move(stat));
+    }
+
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid, sinks.pointers());
 
     Table t({"Variant", "SLA", "SLA p-High", "STP", "Fairness",
              "Thrash (MB)"});
-    for (const auto &v : variants) {
-        sim::SocStats stats;
-        const auto m = runVariant(v.cfg, specs, cfg, &stats);
-        t.row().cell(v.name).cell(m.slaRate, 3)
-            .cell(m.slaRateHigh, 3).cell(m.stp, 2)
-            .cell(m.fairness, 4)
-            .cell(stats.thrashLostBytes / 1e6, 0);
+    for (std::size_t v = 0; v < num_variants; ++v) {
+        const auto &r = results[v];
+        t.row().cell(grid[v].label).cell(r.metrics.slaRate, 3)
+            .cell(r.metrics.slaRateHigh, 3).cell(r.metrics.stp, 2)
+            .cell(r.metrics.fairness, 4)
+            .cell(r.thrashLostBytes / 1e6, 0);
     }
     t.print("MoCA component ablation");
     t.writeCsv("ablation_components.csv");
 
-    // Simulator-side ablation: idealized memory system.
     Table t2({"DRAM model", "SLA (moca)", "SLA (static)",
               "STP (moca)", "STP (static)"});
-    for (bool ideal : {false, true}) {
-        sim::SocConfig c2 = cfg;
-        if (ideal) {
-            c2.dramProportionalArbitration = false;
-            c2.dramThrashFactor = 0.0;
-        }
-        exp::clearOracleCache();
-        const auto specs2 = exp::makeTrace(trace, c2);
-        sim::SocStats stats;
-        const auto moca_m =
-            runVariant(MocaPolicyConfig{}, specs2, c2, &stats);
-        const auto stat_r = exp::runTrace(
-            exp::PolicyKind::StaticPartition, specs2, trace, c2);
-        t2.row()
-            .cell(ideal ? "idealized (max-min, no thrash)"
-                        : "realistic (FCFS-like + thrash)")
-            .cell(moca_m.slaRate, 3)
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &moca_r = results[num_variants + 2 * i];
+        const auto &stat_r = results[num_variants + 2 * i + 1];
+        t2.row().cell(grid[num_variants + 2 * i].label)
+            .cell(moca_r.metrics.slaRate, 3)
             .cell(stat_r.metrics.slaRate, 3)
-            .cell(moca_m.stp, 2)
+            .cell(moca_r.metrics.stp, 2)
             .cell(stat_r.metrics.stp, 2);
     }
-    exp::clearOracleCache();
     t2.print("Memory-system realism ablation");
     return 0;
 }

@@ -10,25 +10,23 @@
  *
  *  1. Prediction accuracy of the sparsity-aware vs dense-assuming
  *     Algorithm 1 on magnitude-pruned variants of the zoo (density
- *     1.0 / 0.5 / 0.25).
+ *     1.0 / 0.5 / 0.25) — each (model, density) point an independent
+ *     task on the sweep engine.
  *  2. A mixed dense/pruned multi-tenant run under MoCA with each
  *     predictor — end-to-end sensitivity of the runtime to the
- *     prediction error.  (The first-order effect is on prediction
- *     accuracy itself, which SLA budgeting and admission control
- *     depend on; allocation-side effects are second-order because a
- *     uniformly scaled mis-estimate preserves relative orderings.)
+ *     prediction error, as two custom-policy cells replaying the
+ *     identical mutated trace.
  *
- * Usage: ext_sparsity [tasks=N] [seed=S]
+ * Usage: ext_sparsity [tasks=N] [seed=S] [--jobs N]
  */
 
 #include <cmath>
 #include <cstdio>
 
-#include "bench/bench_common.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/oracle.h"
-#include "exp/scenario.h"
+#include "exp/sweep/options.h"
 #include "moca/moca_policy.h"
 #include "moca/runtime/latency_model.h"
 #include "sim/soc.h"
@@ -58,38 +56,56 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
     const int tasks = static_cast<int>(args.getInt("tasks", 120));
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const int jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Sparse-DNN extension (paper Sec. III-E) ==\n\n");
-    bench::printSocBanner(cfg);
+    exp::printSocBanner(cfg);
 
     // ---- 1. Predictor accuracy on pruned networks --------------------
     runtime::LatencyModel aware(cfg, true);
     runtime::LatencyModel dense(cfg, false);
 
+    const std::vector<dnn::ModelId> pred_models = {
+        dnn::ModelId::ResNet50, dnn::ModelId::AlexNet,
+        dnn::ModelId::GoogleNet, dnn::ModelId::YoloV2};
+    const std::vector<double> densities = {1.0, 0.5, 0.25};
+
+    struct PredPoint
+    {
+        double measured = 0.0;
+        double awareErr = 0.0;
+        double denseErr = 0.0;
+    };
+    const std::size_t np = pred_models.size() * densities.size();
+    std::vector<PredPoint> pred(np);
+    exp::SweepRunner::runIndexed(np, jobs, [&](std::size_t i) {
+        const dnn::ModelId id = pred_models[i / densities.size()];
+        const double density = densities[i % densities.size()];
+        const dnn::Model sparse =
+            dnn::sparsifyModel(dnn::getModel(id), density);
+        pred[i].measured = measureIsolated(sparse, 2, cfg);
+        pred[i].awareErr = 100.0 *
+            (aware.estimateModel(sparse, 2) - pred[i].measured) /
+            pred[i].measured;
+        pred[i].denseErr = 100.0 *
+            (dense.estimateModel(sparse, 2) - pred[i].measured) /
+            pred[i].measured;
+    });
+
     Table t({"Model", "Density", "Measured (Kcyc)",
              "Aware err %", "Dense-assume err %"});
     StatAccum aware_err, dense_err;
-    for (dnn::ModelId id :
-         {dnn::ModelId::ResNet50, dnn::ModelId::AlexNet,
-          dnn::ModelId::GoogleNet, dnn::ModelId::YoloV2}) {
-        for (double density : {1.0, 0.5, 0.25}) {
-            const dnn::Model sparse =
-                dnn::sparsifyModel(dnn::getModel(id), density);
-            const double measured = measureIsolated(sparse, 2, cfg);
-            const double ea = 100.0 *
-                (aware.estimateModel(sparse, 2) - measured) /
-                measured;
-            const double ed = 100.0 *
-                (dense.estimateModel(sparse, 2) - measured) /
-                measured;
-            aware_err.add(std::abs(ea));
-            dense_err.add(std::abs(ed));
-            t.row().cell(dnn::getModel(id).name()).cell(density, 2)
-                .cell(measured / 1e3, 1).cell(ea, 1).cell(ed, 1);
-        }
+    for (std::size_t i = 0; i < np; ++i) {
+        const dnn::ModelId id = pred_models[i / densities.size()];
+        aware_err.add(std::abs(pred[i].awareErr));
+        dense_err.add(std::abs(pred[i].denseErr));
+        t.row().cell(dnn::getModel(id).name())
+            .cell(densities[i % densities.size()], 2)
+            .cell(pred[i].measured / 1e3, 1)
+            .cell(pred[i].awareErr, 1).cell(pred[i].denseErr, 1);
     }
     t.print("Algorithm 1 on pruned networks: sparsity-aware vs "
             "dense-assuming predictor");
@@ -118,12 +134,12 @@ main(int argc, char **argv)
     // Memoized isolated latencies of the sparse variants.
     std::vector<double> iso1(by_id.size(), 0.0);
     std::vector<double> iso8(by_id.size(), 0.0);
-    for (std::size_t i = 0; i < by_id.size(); ++i) {
+    exp::SweepRunner::runIndexed(by_id.size(), jobs, [&](std::size_t i) {
         if (by_id[i] != nullptr) {
             iso1[i] = measureIsolated(*by_id[i], 1, cfg);
             iso8[i] = measureIsolated(*by_id[i], cfg.numTiles, cfg);
         }
-    }
+    });
     // Mixed-density deployment: every other job runs the pruned
     // variant.  A uniformly mis-scaled predictor would keep relative
     // allocations intact; the mixed case is where dense assumptions
@@ -142,21 +158,37 @@ main(int argc, char **argv)
             iso1[id]);
     }
 
+    // Both predictor variants replay the identical mutated trace as
+    // custom-policy cells on the sweep engine.
+    auto shared_specs =
+        std::make_shared<const std::vector<sim::JobSpec>>(
+            std::move(specs));
+    std::vector<exp::SweepCell> grid;
+    for (bool is_aware : {true, false}) {
+        exp::SweepCell cell;
+        cell.label = is_aware ? "sparsity-aware" : "dense-assuming";
+        cell.policy = exp::PolicyKind::Moca;
+        cell.trace = trace;
+        cell.soc = cfg;
+        cell.specs = shared_specs;
+        cell.policyFactory = [is_aware](const sim::SocConfig &c) {
+            MocaPolicyConfig pc;
+            pc.sparsityAwarePredictor = is_aware;
+            return std::make_unique<MocaPolicy>(c, pc);
+        };
+        grid.push_back(std::move(cell));
+    }
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid);
+
     Table t2({"Predictor", "SLA (all)", "SLA (pruned jobs)",
               "SLA (dense jobs)", "STP"});
-    for (bool is_aware : {true, false}) {
-        MocaPolicyConfig pc;
-        pc.sparsityAwarePredictor = is_aware;
-        MocaPolicy policy(cfg, pc);
-        sim::Soc soc(cfg, policy);
-        for (const auto &s : specs)
-            soc.addJob(s);
-        soc.run();
+    for (std::size_t v = 0; v < grid.size(); ++v) {
         // C_single per job depends on whether it ran pruned; use a
         // per-kind oracle keyed on the base network with the sparse
         // latency for even ids (matching the substitution above).
         std::vector<sim::JobResult> sparse_jobs, dense_jobs;
-        for (const auto &r : soc.results()) {
+        for (const auto &r : results[v].jobs) {
             if (r.spec.id % 2 == 0)
                 sparse_jobs.push_back(r);
             else
@@ -171,11 +203,13 @@ main(int argc, char **argv)
             dense_jobs, [&](dnn::ModelId id) {
                 return exp::isolatedLatency(id, cfg.numTiles, cfg);
             });
+        const std::size_t total =
+            sparse_jobs.size() + dense_jobs.size();
         const double sla =
             (m_sparse.slaRate * sparse_jobs.size() +
              m_dense.slaRate * dense_jobs.size()) /
-            std::max<std::size_t>(1, soc.results().size());
-        t2.row().cell(is_aware ? "sparsity-aware" : "dense-assuming")
+            std::max<std::size_t>(1, total);
+        t2.row().cell(grid[v].label)
             .cell(sla, 3)
             .cell(m_sparse.slaRate, 3)
             .cell(m_dense.slaRate, 3)

@@ -7,23 +7,28 @@
  * configurable (default 120 to keep a laptop run short — the curves
  * are already stable there).
  *
+ * Every (model, x, repetition) point is an independent task on the
+ * sweep engine's worker pool, with its RNG seeded deterministically
+ * from the point's index — so parallel and serial runs produce
+ * identical tables.
+ *
  * Expected shape (paper Sec. II-B): >= 40% average latency increase at
  * x=4 for every network; AlexNet worst on average (memory-capacity
  * sensitive FC layers); SqueezeNet's worst case > 3x isolated (short
  * runtime, fully overlapped with memory-intensive co-runners).
  *
- * Usage: fig1_colocation_slowdown [reps=N] [seed=S]
+ * Usage: fig1_colocation_slowdown [reps=N] [seed=S] [--jobs N]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_common.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/oracle.h"
+#include "exp/sweep/options.h"
 #include "sim/soc.h"
 
 using namespace moca;
@@ -93,43 +98,62 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
     const int reps = static_cast<int>(args.getInt("reps", 120));
     const auto seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const int jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Figure 1: latency increase under co-location "
-                "(reps=%d seed=%llu) ==\n\n", reps,
-                static_cast<unsigned long long>(seed));
-    bench::printSocBanner(cfg);
+                "(reps=%d seed=%llu jobs=%d) ==\n\n", reps,
+                static_cast<unsigned long long>(seed),
+                exp::resolveJobs(jobs));
+    exp::printSocBanner(cfg);
 
-    Table avg({"Model", "x=1", "x=2", "x=3", "x=4"});
-    Table worst({"Model", "x=1", "x=2", "x=3", "x=4"});
+    const std::size_t num_models = kFig1Models.size();
 
-    for (dnn::ModelId id : kFig1Models) {
-        Rng rng(seed);
-        // Isolated reference: alone on its 2-tile partition.
+    // Isolated references: each model alone on its 2-tile partition.
+    std::vector<Cycles> iso(num_models, 0);
+    exp::SweepRunner::runIndexed(num_models, jobs, [&](std::size_t m) {
         exp::SoloPolicy solo(cfg.numTiles / 4);
         sim::Soc iso_soc(cfg, solo);
         sim::JobSpec spec;
         spec.id = 0;
-        spec.model = &dnn::getModel(id);
+        spec.model = &dnn::getModel(kFig1Models[m]);
         iso_soc.addJob(spec);
         iso_soc.run();
-        const Cycles iso = iso_soc.results()[0].latency();
+        iso[m] = iso_soc.results()[0].latency();
+    });
 
-        avg.row().cell(dnn::modelIdName(id)).cell(1.0, 2);
-        worst.row().cell(dnn::modelIdName(id)).cell(1.0, 2);
-        for (int x = 2; x <= 4; ++x) {
-            SampleSet norm;
-            for (int rep = 0; rep < reps; ++rep) {
-                const Cycles lat =
-                    colocatedLatency(id, x, rng, cfg, iso);
-                norm.add(static_cast<double>(lat) /
-                         static_cast<double>(iso));
-            }
-            avg.cell(norm.mean(), 2);
-            worst.cell(norm.max(), 2);
+    // Flat task grid: (model, x in 2..4, rep), each with its own
+    // index-derived RNG stream.
+    const std::size_t num_x = 3;
+    const auto nreps = static_cast<std::size_t>(reps);
+    const std::size_t n = num_models * num_x * nreps;
+    std::vector<double> norm(n, 0.0);
+    exp::SweepRunner::runIndexed(n, jobs, [&](std::size_t i) {
+        const std::size_t m = i / (num_x * nreps);
+        const int x = static_cast<int>(2 + (i / nreps) % num_x);
+        Rng rng(exp::deriveCellSeed(seed, i));
+        const Cycles lat = colocatedLatency(kFig1Models[m], x, rng,
+                                            cfg, iso[m]);
+        norm[i] = static_cast<double>(lat) /
+            static_cast<double>(iso[m]);
+    });
+
+    Table avg({"Model", "x=1", "x=2", "x=3", "x=4"});
+    Table worst({"Model", "x=1", "x=2", "x=3", "x=4"});
+    for (std::size_t m = 0; m < num_models; ++m) {
+        avg.row().cell(dnn::modelIdName(kFig1Models[m])).cell(1.0, 2);
+        worst.row().cell(dnn::modelIdName(kFig1Models[m]))
+            .cell(1.0, 2);
+        for (std::size_t xi = 0; xi < num_x; ++xi) {
+            SampleSet samples;
+            const std::size_t base = (m * num_x + xi) * nreps;
+            for (std::size_t rep = 0; rep < nreps; ++rep)
+                samples.add(norm[base + rep]);
+            avg.cell(samples.mean(), 2);
+            worst.cell(samples.max(), 2);
         }
     }
 

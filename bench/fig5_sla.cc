@@ -6,16 +6,17 @@
  * prints the Table III workload-set composition and the paper-style
  * improvement summary (geomean / max of MoCA over each baseline).
  *
- * Usage: fig5_sla [tasks=N] [seed=S] [load=F] [qos_scale=F] ...
+ * Usage: fig5_sla [tasks=N] [seed=S] [load=F] [qos_scale=F]
+ *                 [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_common.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/matrix.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
@@ -49,7 +50,7 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -57,16 +58,18 @@ main(int argc, char **argv)
     mcfg.loadFactor = args.getDouble("load", mcfg.loadFactor);
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
+    mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Figure 5: SLA satisfaction rate "
-                "(tasks=%d seed=%llu load=%.2f) ==\n\n",
+                "(tasks=%d seed=%llu load=%.2f jobs=%d) ==\n\n",
                 mcfg.numTasks,
                 static_cast<unsigned long long>(mcfg.seed),
-                mcfg.loadFactor);
-    bench::printSocBanner(cfg);
+                mcfg.loadFactor, exp::resolveJobs(mcfg.jobs));
+    exp::printSocBanner(cfg);
     printWorkloadSets();
 
-    const auto matrix = exp::runMatrix(mcfg, cfg);
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
     Table t({"Scenario", "Prema", "Static", "Planaria", "MoCA"});
     std::vector<double> vs_prema, vs_static, vs_planaria;

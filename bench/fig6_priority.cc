@@ -9,14 +9,15 @@
  * on light models because aggressive compute reclaiming costs
  * migrations.
  *
- * Usage: fig6_priority [tasks=N] [seed=S] [load=F] ...
+ * Usage: fig6_priority [tasks=N] [seed=S] [load=F]
+ *                      [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
 #include <cstdio>
 
-#include "bench/bench_common.h"
 #include "common/table.h"
 #include "exp/matrix.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
@@ -24,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -32,13 +33,16 @@ main(int argc, char **argv)
     mcfg.loadFactor = args.getDouble("load", mcfg.loadFactor);
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
+    mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Figure 6: SLA satisfaction by priority group "
-                "(tasks=%d seed=%llu) ==\n\n", mcfg.numTasks,
-                static_cast<unsigned long long>(mcfg.seed));
-    bench::printSocBanner(cfg);
+                "(tasks=%d seed=%llu jobs=%d) ==\n\n", mcfg.numTasks,
+                static_cast<unsigned long long>(mcfg.seed),
+                exp::resolveJobs(mcfg.jobs));
+    exp::printSocBanner(cfg);
 
-    const auto matrix = exp::runMatrix(mcfg, cfg);
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
     Table t({"Scenario", "Policy", "p-Low", "p-Mid", "p-High"});
     for (const auto &cell : matrix) {

@@ -10,16 +10,17 @@
  * Workload-C where its memory-aware grouping trades fairness for
  * throughput.
  *
- * Usage: fig8_fairness [tasks=N] [seed=S] [load=F] ...
+ * Usage: fig8_fairness [tasks=N] [seed=S] [load=F]
+ *                      [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_common.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/matrix.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
@@ -27,7 +28,7 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -35,13 +36,16 @@ main(int argc, char **argv)
     mcfg.loadFactor = args.getDouble("load", mcfg.loadFactor);
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
+    mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Figure 8: fairness normalized to Planaria "
-                "(tasks=%d seed=%llu) ==\n\n", mcfg.numTasks,
-                static_cast<unsigned long long>(mcfg.seed));
-    bench::printSocBanner(cfg);
+                "(tasks=%d seed=%llu jobs=%d) ==\n\n", mcfg.numTasks,
+                static_cast<unsigned long long>(mcfg.seed),
+                exp::resolveJobs(mcfg.jobs));
+    exp::printSocBanner(cfg);
 
-    const auto matrix = exp::runMatrix(mcfg, cfg);
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
     Table t({"Scenario", "Prema", "Static", "Planaria", "MoCA",
              "MoCA fairness (abs)"});

@@ -4,20 +4,21 @@
  * latency prediction is "within 10% of measured runtimes across
  * networks and layers".  This harness compares the analytical
  * prediction against the simulator's measured isolated latency for
- * every model at 1/2/4/8 tiles, and demonstrates the overlap_f tuning
- * utility (Sec. III-C) by recovering the overlap factor from a small
- * set of measured layers.
+ * every model at 1/2/4/8 tiles — every (model, tiles) point is an
+ * independent task on the sweep engine — and demonstrates the
+ * overlap_f tuning utility (Sec. III-C) by recovering the overlap
+ * factor from a small set of measured layers.
  *
- * Usage: latency_model_validation
+ * Usage: latency_model_validation [--jobs N]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_common.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/oracle.h"
+#include "exp/sweep/options.h"
 #include "moca/runtime/latency_model.h"
 
 using namespace moca;
@@ -47,34 +48,51 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    const int jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Algorithm 1 validation: prediction vs. measured "
                 "isolated latency ==\n\n");
-    bench::printSocBanner(cfg);
+    exp::printSocBanner(cfg);
 
     runtime::LatencyModel model(cfg);
+
+    const auto &ids = dnn::allModelIds();
+    const std::vector<int> tile_counts = {1, 2, 4, 8};
+    const std::size_t n = ids.size() * tile_counts.size();
+
+    struct Point
+    {
+        double measured = 0.0;
+        double predicted = 0.0;
+    };
+    std::vector<Point> points(n);
+    exp::SweepRunner::runIndexed(n, jobs, [&](std::size_t i) {
+        const dnn::ModelId id = ids[i / tile_counts.size()];
+        const int tiles = tile_counts[i % tile_counts.size()];
+        points[i].measured = static_cast<double>(
+            exp::isolatedLatency(id, tiles, cfg));
+        points[i].predicted =
+            model.estimateModel(dnn::getModel(id), tiles);
+    });
 
     Table t({"Model", "Tiles", "Measured (Kcyc)", "Predicted (Kcyc)",
              "Error %"});
     StatAccum errors;
     double worst = 0.0;
-    for (dnn::ModelId id : dnn::allModelIds()) {
-        for (int tiles : {1, 2, 4, 8}) {
-            const double measured = static_cast<double>(
-                exp::isolatedLatency(id, tiles, cfg));
-            const double predicted =
-                model.estimateModel(dnn::getModel(id), tiles);
-            const double err =
-                100.0 * (predicted - measured) / measured;
-            errors.add(std::abs(err));
-            worst = std::max(worst, std::abs(err));
-            t.row().cell(dnn::modelIdName(id))
-                .cell(static_cast<long long>(tiles))
-                .cell(measured / 1e3, 1)
-                .cell(predicted / 1e3, 1)
-                .cell(err, 1);
-        }
+    for (std::size_t i = 0; i < n; ++i) {
+        const dnn::ModelId id = ids[i / tile_counts.size()];
+        const int tiles = tile_counts[i % tile_counts.size()];
+        const double err = 100.0 *
+            (points[i].predicted - points[i].measured) /
+            points[i].measured;
+        errors.add(std::abs(err));
+        worst = std::max(worst, std::abs(err));
+        t.row().cell(dnn::modelIdName(id))
+            .cell(static_cast<long long>(tiles))
+            .cell(points[i].measured / 1e3, 1)
+            .cell(points[i].predicted / 1e3, 1)
+            .cell(err, 1);
     }
     t.print("Per-model prediction error");
     t.writeCsv("latency_validation.csv");

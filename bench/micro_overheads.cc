@@ -6,14 +6,19 @@
  * layer-block boundaries without observable overhead (Sec. IV-A:
  * "implemented in software with little overhead observed"), and the
  * hardware reconfiguration path costs 5-10 cycles versus ~1M-cycle
- * thread migrations (Sec. V-A).
+ * thread migrations (Sec. V-A).  Also measures the sweep engine's
+ * task-dispatch overhead, which must stay negligible relative to a
+ * scenario cell for `--jobs N` parallelism to pay off.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "baselines/compute_estimator.h"
 #include "common/rng.h"
 #include "dnn/model_zoo.h"
+#include "exp/sweep/sweep.h"
 #include "moca/hw/throttle_engine.h"
 #include "moca/runtime/contention_manager.h"
 #include "moca/runtime/latency_model.h"
@@ -128,6 +133,22 @@ BM_Arbiter_MaxMin(benchmark::State &state)
             sim::allocateBandwidth(demands, 8192.0));
 }
 BENCHMARK(BM_Arbiter_MaxMin)->Arg(4)->Arg(8);
+
+void
+BM_SweepEngine_RunIndexed(benchmark::State &state)
+{
+    // Pool spawn + work-queue dispatch cost for an n-task sweep with
+    // trivial cells: the fixed overhead `--jobs N` must amortize.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::atomic<std::uint64_t> sink{0};
+    for (auto _ : state) {
+        exp::SweepRunner::runIndexed(n, 2, [&](std::size_t i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_SweepEngine_RunIndexed)->Arg(16)->Arg(256);
 
 void
 BM_ComputeOnlyEstimate(benchmark::State &state)

@@ -5,19 +5,19 @@
  * three arrival processes (Poisson / uniform-jitter / bursty) on
  * Workload-C QoS-M, and (c) compares the paper's layer-*block*
  * reconfiguration granularity against per-layer reconfiguration
- * (Sec. IV-D adopts blocks following Veltair).
+ * (Sec. IV-D adopts blocks following Veltair).  All 34 scenario
+ * cells run as one grid on the sweep engine.
  *
- * Usage: robustness [tasks=N]
+ * Usage: robustness [tasks=N] [--jobs N] [--csv PATH] [--json PATH]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "exp/oracle.h"
-#include "exp/scenario.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
@@ -31,14 +31,17 @@ struct Ratios
     double mocaSla = 0.0;
 };
 
+/** Ratios of one scenario from its four consecutive results. */
 Ratios
-runOnce(const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+toRatios(const std::vector<exp::ScenarioResult> &results,
+         std::size_t base)
 {
-    const auto specs = exp::makeTrace(trace, cfg);
     auto sla = [&](exp::PolicyKind k) {
-        return std::max(
-            exp::runTrace(k, specs, trace, cfg).metrics.slaRate,
-            1e-3);
+        for (std::size_t p = 0; p < exp::allPolicies().size(); ++p)
+            if (results[base + p].policy == k)
+                return std::max(results[base + p].metrics.slaRate,
+                                1e-3);
+        return 1e-3;
     };
     Ratios r;
     r.mocaSla = sla(exp::PolicyKind::Moca);
@@ -54,25 +57,74 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig cfg = bench::socConfigFromArgs(args);
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
     const int tasks = static_cast<int>(args.getInt("tasks", 150));
 
     std::printf("== Robustness: seeds, arrival processes, reconfig "
                 "granularity (Workload-C QoS-M, tasks=%d) ==\n\n",
                 tasks);
 
-    // ---- (a) seed sweep ----------------------------------------------
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+    const std::vector<workload::ArrivalPattern> patterns = {
+        workload::ArrivalPattern::Poisson,
+        workload::ArrivalPattern::Uniform,
+        workload::ArrivalPattern::Bursty,
+    };
+    const std::size_t per_scenario = exp::allPolicies().size();
+
+    std::vector<exp::SweepCell> grid;
+
+    // ---- (a) seed sweep: cells [0, 20) ------------------------------
+    for (std::uint64_t seed : seeds) {
+        workload::TraceConfig trace;
+        trace.numTasks = tasks;
+        trace.seed = seed;
+        exp::appendPolicyCells(
+            grid,
+            strprintf("seed=%llu",
+                      static_cast<unsigned long long>(seed)),
+            exp::allPolicies(), trace, cfg);
+    }
+
+    // ---- (b) arrival-pattern sweep: cells [20, 32) ------------------
+    for (auto pattern : patterns) {
+        workload::TraceConfig trace;
+        trace.numTasks = tasks;
+        trace.seed = 1;
+        trace.arrivals = pattern;
+        exp::appendPolicyCells(grid,
+                               workload::arrivalPatternName(pattern),
+                               exp::allPolicies(), trace, cfg);
+    }
+
+    // ---- (c) reconfiguration granularity: cells [32, 34) ------------
+    const std::size_t gran_base = grid.size();
+    for (bool per_layer : {false, true}) {
+        sim::SocConfig c2 = cfg;
+        c2.layerBoundaryEvents = per_layer;
+        workload::TraceConfig trace;
+        trace.numTasks = tasks;
+        trace.seed = 1;
+        exp::SweepCell cell;
+        cell.label = per_layer ? "per layer" : "layer block";
+        cell.policy = exp::PolicyKind::Moca;
+        cell.trace = trace;
+        cell.soc = c2;
+        grid.push_back(std::move(cell));
+    }
+
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid, sinks.pointers());
+
     {
         Table t({"Seed", "MoCA SLA", "MoCA/Static", "MoCA/Planaria",
                  "MoCA/Prema"});
         StatAccum vs_static;
-        for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
-            workload::TraceConfig trace;
-            trace.numTasks = tasks;
-            trace.seed = seed;
-            const Ratios r = runOnce(trace, cfg);
+        for (std::size_t s = 0; s < seeds.size(); ++s) {
+            const Ratios r = toRatios(results, s * per_scenario);
             vs_static.add(r.vsStatic);
-            t.row().cell(static_cast<long long>(seed))
+            t.row().cell(static_cast<long long>(seeds[s]))
                 .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
                 .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
         }
@@ -83,19 +135,14 @@ main(int argc, char **argv)
                     vs_static.stddev(), vs_static.min());
     }
 
-    // ---- (b) arrival-pattern sweep -------------------------------------
     {
         Table t({"Arrivals", "MoCA SLA", "MoCA/Static",
                  "MoCA/Planaria", "MoCA/Prema"});
-        for (auto pattern : {workload::ArrivalPattern::Poisson,
-                             workload::ArrivalPattern::Uniform,
-                             workload::ArrivalPattern::Bursty}) {
-            workload::TraceConfig trace;
-            trace.numTasks = tasks;
-            trace.seed = 1;
-            trace.arrivals = pattern;
-            const Ratios r = runOnce(trace, cfg);
-            t.row().cell(workload::arrivalPatternName(pattern))
+        const std::size_t base = seeds.size() * per_scenario;
+        for (std::size_t p = 0; p < patterns.size(); ++p) {
+            const Ratios r =
+                toRatios(results, base + p * per_scenario);
+            t.row().cell(workload::arrivalPatternName(patterns[p]))
                 .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
                 .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
         }
@@ -103,26 +150,16 @@ main(int argc, char **argv)
         t.writeCsv("robustness_arrivals.csv");
     }
 
-    // ---- (c) reconfiguration granularity ------------------------------
     {
         Table t({"Granularity", "MoCA SLA", "STP",
                  "Throttle reconfigs"});
-        for (bool per_layer : {false, true}) {
-            sim::SocConfig c2 = cfg;
-            c2.layerBoundaryEvents = per_layer;
-            workload::TraceConfig trace;
-            trace.numTasks = tasks;
-            trace.seed = 1;
-            exp::clearOracleCache();
-            const auto specs = exp::makeTrace(trace, c2);
-            const auto r = exp::runTrace(exp::PolicyKind::Moca, specs,
-                                         trace, c2);
-            t.row().cell(per_layer ? "per layer" : "layer block")
+        for (std::size_t g = 0; g < 2; ++g) {
+            const auto &r = results[gran_base + g];
+            t.row().cell(grid[gran_base + g].label)
                 .cell(r.metrics.slaRate, 3).cell(r.metrics.stp, 2)
                 .cell(static_cast<long long>(
                     r.totalThrottleReconfigs));
         }
-        exp::clearOracleCache();
         t.print("Reconfiguration granularity (Sec. IV-D)");
         t.writeCsv("robustness_granularity.csv");
     }

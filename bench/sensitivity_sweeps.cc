@@ -12,15 +12,20 @@
  *  - Tile-count sweep: how the mechanisms scale with the number of
  *    co-located partitions.
  *
- * Usage: sensitivity_sweeps [tasks=N] [seed=S]
+ * All eleven configuration points x two policies run as one grid on
+ * the sweep engine; the oracle cache is keyed by the full SoC
+ * configuration, so mixed-config cells share it safely.
+ *
+ * Usage: sensitivity_sweeps [tasks=N] [seed=S] [--jobs N]
+ *                           [--csv PATH] [--json PATH]
  */
 
 #include <cstdio>
 
-#include "bench/bench_common.h"
+#include "common/log.h"
 #include "common/table.h"
-#include "exp/oracle.h"
-#include "exp/scenario.h"
+#include "common/units.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
@@ -28,14 +33,17 @@ namespace {
 
 struct Point
 {
+    std::string axisValue; ///< Row label within its sweep table.
     double mocaSla = 0.0;
     double staticSla = 0.0;
     double mocaStp = 0.0;
     double staticStp = 0.0;
 };
 
-Point
-runPoint(const sim::SocConfig &cfg, int tasks, std::uint64_t seed)
+/** Append the (MoCA, static) cell pair for one configuration. */
+void
+addPoint(std::vector<exp::SweepCell> &grid, const std::string &label,
+         const sim::SocConfig &cfg, int tasks, std::uint64_t seed)
 {
     workload::TraceConfig trace;
     trace.set = workload::WorkloadSet::C;
@@ -44,20 +52,36 @@ runPoint(const sim::SocConfig &cfg, int tasks, std::uint64_t seed)
     trace.seed = seed;
     trace.numTiles = cfg.numTiles;
 
-    exp::clearOracleCache();
-    const auto specs = exp::makeTrace(trace, cfg);
-    const auto moca =
-        exp::runTrace(exp::PolicyKind::Moca, specs, trace, cfg);
-    const auto stat = exp::runTrace(exp::PolicyKind::StaticPartition,
-                                    specs, trace, cfg);
-    exp::clearOracleCache();
+    exp::appendPolicyCells(
+        grid, label,
+        {exp::PolicyKind::Moca, exp::PolicyKind::StaticPartition},
+        trace, cfg);
+}
 
-    Point p;
-    p.mocaSla = moca.metrics.slaRate;
-    p.staticSla = stat.metrics.slaRate;
-    p.mocaStp = moca.metrics.stp;
-    p.staticStp = stat.metrics.stp;
-    return p;
+void
+printSweepTable(const std::string &title, const std::string &axis,
+                const std::vector<exp::SweepCell> &grid,
+                const std::vector<exp::ScenarioResult> &results,
+                std::size_t lo, std::size_t hi,
+                const std::string &csv_path)
+{
+    Table t({axis, "MoCA SLA", "Static SLA", "MoCA/Static",
+             "MoCA STP", "Static STP"});
+    for (std::size_t i = lo; i + 1 < hi && i + 1 < results.size();
+         i += 2) {
+        Point p;
+        p.axisValue = grid[i].label;
+        p.mocaSla = results[i].metrics.slaRate;
+        p.mocaStp = results[i].metrics.stp;
+        p.staticSla = results[i + 1].metrics.slaRate;
+        p.staticStp = results[i + 1].metrics.stp;
+        t.row().cell(p.axisValue).cell(p.mocaSla, 3)
+            .cell(p.staticSla, 3)
+            .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
+            .cell(p.mocaStp, 2).cell(p.staticStp, 2);
+    }
+    t.print(title);
+    t.writeCsv(csv_path);
 }
 
 } // namespace
@@ -72,52 +96,35 @@ main(int argc, char **argv)
     std::printf("== SoC sensitivity sweeps (MoCA vs static, "
                 "Workload-C QoS-M, tasks=%d) ==\n\n", tasks);
 
-    {
-        Table t({"DRAM (GB/s)", "MoCA SLA", "Static SLA",
-                 "MoCA/Static", "MoCA STP", "Static STP"});
-        for (double bw : {8.0, 16.0, 32.0, 64.0}) {
-            sim::SocConfig cfg;
-            cfg.dramBytesPerCycle = bw;
-            const Point p = runPoint(cfg, tasks, seed);
-            t.row().cell(bw, 0).cell(p.mocaSla, 3)
-                .cell(p.staticSla, 3)
-                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
-                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
-        }
-        t.print("DRAM bandwidth sweep");
-        t.writeCsv("sweep_dram_bw.csv");
+    // One grid, three slices: [0,8) DRAM bw, [8,16) L2, [16,22) tiles.
+    std::vector<exp::SweepCell> grid;
+    for (double bw : {8.0, 16.0, 32.0, 64.0}) {
+        sim::SocConfig cfg;
+        cfg.dramBytesPerCycle = bw;
+        addPoint(grid, strprintf("%.0f", bw), cfg, tasks, seed);
+    }
+    for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
+        sim::SocConfig cfg;
+        cfg.l2Bytes = mb * MiB;
+        addPoint(grid,
+                 strprintf("%llu", static_cast<unsigned long long>(mb)),
+                 cfg, tasks, seed);
+    }
+    for (int tiles : {4, 8, 16}) {
+        sim::SocConfig cfg;
+        cfg.numTiles = tiles;
+        addPoint(grid, strprintf("%d", tiles), cfg, tasks, seed);
     }
 
-    {
-        Table t({"L2 (MB)", "MoCA SLA", "Static SLA", "MoCA/Static",
-                 "MoCA STP", "Static STP"});
-        for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
-            sim::SocConfig cfg;
-            cfg.l2Bytes = mb * MiB;
-            const Point p = runPoint(cfg, tasks, seed);
-            t.row().cell(static_cast<long long>(mb))
-                .cell(p.mocaSla, 3).cell(p.staticSla, 3)
-                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
-                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
-        }
-        t.print("Shared L2 capacity sweep");
-        t.writeCsv("sweep_l2.csv");
-    }
+    const auto sinks = exp::fileSinksFromArgs(args);
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid, sinks.pointers());
 
-    {
-        Table t({"Tiles", "MoCA SLA", "Static SLA", "MoCA/Static",
-                 "MoCA STP", "Static STP"});
-        for (int tiles : {4, 8, 16}) {
-            sim::SocConfig cfg;
-            cfg.numTiles = tiles;
-            const Point p = runPoint(cfg, tasks, seed);
-            t.row().cell(static_cast<long long>(tiles))
-                .cell(p.mocaSla, 3).cell(p.staticSla, 3)
-                .cell(p.mocaSla / std::max(p.staticSla, 1e-3), 2)
-                .cell(p.mocaStp, 2).cell(p.staticStp, 2);
-        }
-        t.print("Accelerator tile-count sweep");
-        t.writeCsv("sweep_tiles.csv");
-    }
+    printSweepTable("DRAM bandwidth sweep", "DRAM (GB/s)", grid,
+                    results, 0, 8, "sweep_dram_bw.csv");
+    printSweepTable("Shared L2 capacity sweep", "L2 (MB)", grid,
+                    results, 8, 16, "sweep_l2.csv");
+    printSweepTable("Accelerator tile-count sweep", "Tiles", grid,
+                    results, 16, 22, "sweep_tiles.csv");
     return 0;
 }

@@ -15,14 +15,14 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "exp/oracle.h"
-#include "exp/scenario.h"
+#include "exp/sweep/options.h"
 
 using namespace moca;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgMap args(argc, argv);
     sim::SocConfig soc;
 
     // Mixed-criticality trace: all seven DNNs, medium QoS, saturating
@@ -38,13 +38,18 @@ main()
                 workload::workloadSetName(trace.set),
                 workload::qosLevelName(trace.qos));
 
-    const auto specs = exp::makeTrace(trace, soc);
+    // All four policies replay the identical trace as one sweep grid
+    // (pass --jobs 4 to run them concurrently).
+    std::vector<exp::SweepCell> grid;
+    exp::appendPolicyCells(grid, "all-policies", exp::allPolicies(),
+                           trace, soc);
+    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const auto results = runner.run(grid);
 
     Table t({"Policy", "SLA", "p-Low", "p-Mid", "p-High", "STP",
              "Fairness", "Migrations", "Preempts", "Throttle cfgs"});
-    for (exp::PolicyKind kind : exp::allPolicies()) {
-        const auto r = exp::runTrace(kind, specs, trace, soc);
-        t.row().cell(exp::policyKindName(kind))
+    for (const auto &r : results) {
+        t.row().cell(exp::policyKindName(r.policy))
             .cell(r.metrics.slaRate, 3)
             .cell(r.metrics.slaRateLow, 3)
             .cell(r.metrics.slaRateMid, 3)

@@ -1,20 +1,52 @@
 #include "common/argparse.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "common/log.h"
 
 namespace moca {
 
+namespace {
+
+/** Whether a token can be the value of a preceding dashed option:
+ *  anything not shaped like an option itself.  "-1.5" and "-.5" are
+ *  values (negative numbers); "--jobs" and "-v" are options. */
+bool
+isOptionValue(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    if (token[0] != '-')
+        return token.find('=') == std::string::npos;
+    return token.size() > 1 &&
+        (std::isdigit(static_cast<unsigned char>(token[1])) ||
+         token[1] == '.');
+}
+
+} // namespace
+
 ArgMap::ArgMap(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto eq = arg.find('=');
-        if (eq == std::string::npos) {
-            values_[arg] = "1";
-        } else {
+
+        // GNU-style spellings normalize onto the key=value map:
+        // `--jobs 4`, `--jobs=4`, and `jobs=4` are equivalent.
+        bool dashed = false;
+        while (!arg.empty() && arg[0] == '-') {
+            arg.erase(0, 1);
+            dashed = true;
+        }
+
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
             values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (dashed && i + 1 < argc &&
+                   isOptionValue(argv[i + 1])) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "1";
         }
     }
 }

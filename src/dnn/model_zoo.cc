@@ -1,6 +1,7 @@
 #include "dnn/model_zoo.h"
 
 #include <map>
+#include <mutex>
 
 #include "common/log.h"
 
@@ -424,7 +425,12 @@ workloadSetC()
 const Model &
 getModel(ModelId id)
 {
+    // Memoized and shared across the sweep engine's worker threads;
+    // std::map guarantees reference stability across insertions, so
+    // callers may hold the returned reference without the lock.
+    static std::mutex mutex;
     static std::map<ModelId, Model> cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(id);
     if (it != cache.end())
         return it->second;

@@ -34,10 +34,11 @@ matrixCells()
     return cells;
 }
 
-std::vector<MatrixCell>
-runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
+std::vector<SweepCell>
+matrixGrid(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
 {
-    std::vector<MatrixCell> out;
+    std::vector<SweepCell> grid;
+    grid.reserve(matrixCells().size() * allPolicies().size());
     for (const auto &[set, qos] : matrixCells()) {
         workload::TraceConfig trace;
         trace.set = set;
@@ -47,20 +48,38 @@ runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
         trace.qosScale = mcfg.qosScale;
         trace.seed = mcfg.seed;
 
-        const auto specs = makeTrace(trace, cfg);
+        // One trace per (set, qos), replayed identically under every
+        // policy (shared read-only between the four cells).
+        appendPolicyCells(
+            grid,
+            std::string(workload::workloadSetName(set)) + " " +
+                workload::qosLevelName(qos),
+            allPolicies(), trace, cfg);
+    }
+    return grid;
+}
 
+std::vector<MatrixCell>
+runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg,
+          const std::vector<ResultSink *> &sinks)
+{
+    const auto grid = matrixGrid(mcfg, cfg);
+
+    SweepOptions opts;
+    opts.jobs = mcfg.jobs;
+    opts.verbose = mcfg.verbose;
+    const auto results = SweepRunner(opts).run(grid, sinks);
+
+    // Reassemble the flat grid (policy-major within each scenario)
+    // into the 9 MatrixCells the figure benches pivot on.
+    std::vector<MatrixCell> out;
+    const std::size_t per_cell = allPolicies().size();
+    for (std::size_t c = 0; c < matrixCells().size(); ++c) {
         MatrixCell cell;
-        cell.set = set;
-        cell.qos = qos;
-        for (PolicyKind kind : allPolicies()) {
-            if (mcfg.verbose)
-                inform("running %s / %s / %s (%d tasks)...",
-                       workload::workloadSetName(set),
-                       workload::qosLevelName(qos),
-                       policyKindName(kind), mcfg.numTasks);
-            cell.byPolicy.push_back(
-                runTrace(kind, specs, trace, cfg));
-        }
+        cell.set = matrixCells()[c].first;
+        cell.qos = matrixCells()[c].second;
+        for (std::size_t p = 0; p < per_cell; ++p)
+            cell.byPolicy.push_back(results[c * per_cell + p]);
         out.push_back(std::move(cell));
     }
     return out;

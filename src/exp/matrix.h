@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "exp/scenario.h"
+#include "exp/sweep/sweep.h"
 
 namespace moca::exp {
 
@@ -33,14 +33,22 @@ struct MatrixConfig
     double qosScale = 4.0;
     std::uint64_t seed = 1;
     bool verbose = true; ///< Print progress lines while running.
+    int jobs = 1;        ///< Worker threads (0 = hw concurrency).
 };
 
-/**
- * Run the full 3x3x4 matrix.  Traces are generated once per (set,
- * qos) cell and replayed identically under every policy.
- */
-std::vector<MatrixCell> runMatrix(const MatrixConfig &mcfg,
+/** The 36 (set, qos, policy) cells of the matrix as a sweep grid;
+ *  traces are generated once per (set, qos) and shared read-only. */
+std::vector<SweepCell> matrixGrid(const MatrixConfig &mcfg,
                                   const sim::SocConfig &cfg);
+
+/**
+ * Run the full 3x3x4 matrix on the sweep engine.  Traces are
+ * generated once per (set, qos) cell and replayed identically under
+ * every policy; `sinks` (if any) observe all 36 cells in grid order.
+ */
+std::vector<MatrixCell>
+runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg,
+          const std::vector<ResultSink *> &sinks = {});
 
 /** All (set, qos) pairs in presentation order (A/B/C x L/M/H). */
 const std::vector<std::pair<workload::WorkloadSet,

@@ -1,6 +1,8 @@
 #include "exp/oracle.h"
 
+#include <cstring>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "common/log.h"
@@ -20,19 +22,62 @@ SoloPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
 
 namespace {
 
-/** Cache key: model, tiles, and the config fields that affect
- *  isolated latency. */
-using OracleKey = std::tuple<int, int, std::uint64_t, std::uint64_t,
-                             int, long, long, long>;
+/** FNV-1a over every SocConfig field, so cells with different SoC
+ *  configurations can share the cache concurrently (sensitivity and
+ *  ablation sweeps) without poisoning each other. */
+std::uint64_t
+configFingerprint(const sim::SocConfig &cfg)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ULL;
+        }
+    };
+    auto mixd = [&](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    };
+    mix(static_cast<std::uint64_t>(cfg.numTiles));
+    mix(static_cast<std::uint64_t>(cfg.arrayDim));
+    mix(cfg.scratchpadBytes);
+    mix(cfg.accumulatorBytes);
+    mix(cfg.l2Bytes);
+    mix(static_cast<std::uint64_t>(cfg.l2Banks));
+    mixd(cfg.l2BankBytesPerCycle);
+    mixd(cfg.dramBytesPerCycle);
+    mixd(cfg.tileDmaBytesPerCycle);
+    mixd(cfg.dmaRunAhead);
+    mix(cfg.dmaBeatBytes);
+    mixd(cfg.overlapF);
+    mix(cfg.quantum);
+    mix(cfg.schedPeriod);
+    mix(cfg.layerBoundaryEvents ? 1 : 0);
+    mix(cfg.migrationCycles);
+    mix(cfg.interTileSyncCycles);
+    mixd(cfg.multiTileSerialFraction);
+    mix(cfg.dramProportionalArbitration ? 1 : 0);
+    mixd(cfg.dramThrashFactor);
+    mixd(cfg.dramThrashOnset);
+    return h;
+}
+
+/** Cache key: model, tiles, and the full SoC configuration. */
+using OracleKey = std::tuple<int, int, std::uint64_t>;
 
 OracleKey
 makeKey(dnn::ModelId id, int num_tiles, const sim::SocConfig &cfg)
 {
-    return {static_cast<int>(id), num_tiles, cfg.scratchpadBytes,
-            cfg.l2Bytes, cfg.arrayDim,
-            static_cast<long>(cfg.dramBytesPerCycle * 1000),
-            static_cast<long>(cfg.l2BytesPerCycle() * 1000),
-            static_cast<long>(cfg.overlapF * 1000)};
+    return {static_cast<int>(id), num_tiles, configFingerprint(cfg)};
+}
+
+std::mutex &
+cacheMutex()
+{
+    static std::mutex m;
+    return m;
 }
 
 std::map<OracleKey, Cycles> &
@@ -49,10 +94,15 @@ isolatedLatency(dnn::ModelId id, int num_tiles,
                 const sim::SocConfig &cfg)
 {
     const OracleKey key = makeKey(id, num_tiles, cfg);
-    auto it = cache().find(key);
-    if (it != cache().end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex());
+        auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
 
+    // Simulate outside the lock; a racing duplicate computes the
+    // identical deterministic value, so last-writer-wins is harmless.
     SoloPolicy policy(num_tiles);
     sim::Soc soc(cfg, policy);
     sim::JobSpec spec;
@@ -65,6 +115,7 @@ isolatedLatency(dnn::ModelId id, int num_tiles,
     soc.run();
 
     const Cycles latency = soc.results().front().latency();
+    std::lock_guard<std::mutex> lock(cacheMutex());
     cache()[key] = latency;
     return latency;
 }
@@ -72,6 +123,7 @@ isolatedLatency(dnn::ModelId id, int num_tiles,
 void
 clearOracleCache()
 {
+    std::lock_guard<std::mutex> lock(cacheMutex());
     cache().clear();
 }
 

@@ -67,7 +67,15 @@ runTrace(PolicyKind kind, const std::vector<sim::JobSpec> &specs,
          const workload::TraceConfig &trace, const sim::SocConfig &cfg)
 {
     auto policy = makePolicy(kind, cfg);
-    sim::Soc soc(cfg, *policy);
+    return runTrace(*policy, kind, specs, trace, cfg);
+}
+
+ScenarioResult
+runTrace(sim::Policy &policy, PolicyKind kind,
+         const std::vector<sim::JobSpec> &specs,
+         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    sim::Soc soc(cfg, policy);
     for (const auto &spec : specs)
         soc.addJob(spec);
     soc.run();
@@ -88,6 +96,7 @@ runTrace(PolicyKind kind, const std::vector<sim::JobSpec> &specs,
         r.totalThrottleReconfigs += j.throttleReconfigs;
     }
     r.dramBusyFraction = soc.stats().dramBusyFraction;
+    r.thrashLostBytes = soc.stats().thrashLostBytes;
     return r;
 }
 

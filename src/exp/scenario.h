@@ -49,6 +49,7 @@ struct ScenarioResult
     std::vector<sim::JobResult> jobs;
     Cycles makespan = 0;         ///< Cycle the last job finished.
     double dramBusyFraction = 0.0;
+    double thrashLostBytes = 0.0; ///< DRAM bandwidth lost to thrash.
     int totalMigrations = 0;
     int totalPreemptions = 0;
     int totalThrottleReconfigs = 0;
@@ -68,6 +69,16 @@ ScenarioResult runScenario(PolicyKind kind,
  * identical job stream).
  */
 ScenarioResult runTrace(PolicyKind kind,
+                        const std::vector<sim::JobSpec> &specs,
+                        const workload::TraceConfig &trace,
+                        const sim::SocConfig &cfg);
+
+/**
+ * Run a pre-generated trace under an already-built policy (custom
+ * policy configurations outside the PolicyKind registry).  `kind` is
+ * recorded in the result for reporting only.
+ */
+ScenarioResult runTrace(sim::Policy &policy, PolicyKind kind,
                         const std::vector<sim::JobSpec> &specs,
                         const workload::TraceConfig &trace,
                         const sim::SocConfig &cfg);

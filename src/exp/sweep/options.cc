@@ -1,0 +1,86 @@
+#include "exp/sweep/options.h"
+
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace moca::exp {
+
+sim::SocConfig
+socConfigFromArgs(const ArgMap &args)
+{
+    sim::SocConfig cfg;
+    cfg.numTiles = static_cast<int>(args.getInt("tiles", cfg.numTiles));
+    cfg.dramBytesPerCycle =
+        args.getDouble("dram_bw", cfg.dramBytesPerCycle);
+    cfg.l2Bytes = static_cast<std::uint64_t>(
+        args.getInt("l2_kib",
+                    static_cast<std::int64_t>(cfg.l2Bytes / KiB))) *
+        KiB;
+    cfg.overlapF = args.getDouble("overlap_f", cfg.overlapF);
+    cfg.quantum = static_cast<Cycles>(
+        args.getInt("quantum", static_cast<std::int64_t>(cfg.quantum)));
+    return cfg;
+}
+
+void
+printSocBanner(const sim::SocConfig &cfg)
+{
+    std::printf("SoC configuration (paper Table II):\n");
+    std::printf("  systolic array (per tile)  %dx%d\n", cfg.arrayDim,
+                cfg.arrayDim);
+    std::printf("  scratchpad (per tile)      %llu KiB\n",
+                static_cast<unsigned long long>(
+                    cfg.scratchpadBytes / KiB));
+    std::printf("  accumulator (per tile)     %llu KiB\n",
+                static_cast<unsigned long long>(
+                    cfg.accumulatorBytes / KiB));
+    std::printf("  accelerator tiles          %d\n", cfg.numTiles);
+    std::printf("  shared L2                  %llu MB, %d banks\n",
+                static_cast<unsigned long long>(cfg.l2Bytes / MiB),
+                cfg.l2Banks);
+    std::printf("  DRAM bandwidth             %.0f GB/s @ 1 GHz\n",
+                cfg.dramBytesPerCycle);
+    std::printf("\n");
+}
+
+SweepOptions
+sweepOptionsFromArgs(const ArgMap &args)
+{
+    SweepOptions opts;
+    opts.jobs = static_cast<int>(args.getInt("jobs", 1));
+    opts.verbose = args.getBool("verbose", false);
+    return opts;
+}
+
+ResultSink *
+SinkSet::add(std::unique_ptr<ResultSink> sink)
+{
+    sinks_.push_back(std::move(sink));
+    return sinks_.back().get();
+}
+
+std::vector<ResultSink *>
+SinkSet::pointers() const
+{
+    std::vector<ResultSink *> out;
+    out.reserve(sinks_.size());
+    for (const auto &s : sinks_)
+        out.push_back(s.get());
+    return out;
+}
+
+SinkSet
+fileSinksFromArgs(const ArgMap &args)
+{
+    SinkSet sinks;
+    const std::string csv = args.getString("csv", "");
+    if (!csv.empty())
+        sinks.add(std::make_unique<CsvSink>(csv));
+    const std::string json = args.getString("json", "");
+    if (!json.empty())
+        sinks.add(std::make_unique<JsonSink>(json));
+    return sinks;
+}
+
+} // namespace moca::exp

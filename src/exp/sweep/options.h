@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Command-line plumbing shared by every bench and example binary:
+ * SoC-configuration overrides, the Table II banner, sweep-engine
+ * options (`--jobs N`), and file sinks (`--csv PATH`, `--json PATH`).
+ * This replaces the per-binary boilerplate that used to live in
+ * bench/bench_common.h.
+ */
+
+#ifndef MOCA_EXP_SWEEP_OPTIONS_H
+#define MOCA_EXP_SWEEP_OPTIONS_H
+
+#include <memory>
+#include <vector>
+
+#include "common/argparse.h"
+#include "exp/sweep/sinks.h"
+#include "exp/sweep/sweep.h"
+
+namespace moca::exp {
+
+/** Apply common key=value overrides (tiles, dram_bw, l2_kib,
+ *  overlap_f, quantum) to the SoC configuration. */
+sim::SocConfig socConfigFromArgs(const ArgMap &args);
+
+/** Print the Table II SoC configuration banner. */
+void printSocBanner(const sim::SocConfig &cfg);
+
+/** Sweep-engine options from `--jobs N` (0 = hardware concurrency)
+ *  and `verbose=0/1`. */
+SweepOptions sweepOptionsFromArgs(const ArgMap &args);
+
+/**
+ * Owning bundle of result sinks, so binaries can hold console and
+ * file sinks together and hand the engine a raw-pointer view.
+ */
+class SinkSet
+{
+  public:
+    SinkSet() = default;
+
+    /** Add a sink; returns it for further configuration. */
+    ResultSink *add(std::unique_ptr<ResultSink> sink);
+
+    /** Non-owning view, as SweepRunner::run expects. */
+    std::vector<ResultSink *> pointers() const;
+
+  private:
+    std::vector<std::unique_ptr<ResultSink>> sinks_;
+};
+
+/**
+ * Build file sinks from `--csv PATH` and `--json PATH` arguments.
+ * Returns an empty set when neither is given.
+ */
+SinkSet fileSinksFromArgs(const ArgMap &args);
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_SWEEP_OPTIONS_H

@@ -1,0 +1,230 @@
+#include "exp/sweep/sinks.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace moca::exp {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+namespace {
+
+/** The per-cell record schema: field name + whether JSON emits it
+ *  unquoted.  Typing is by field semantics, not value shape, so the
+ *  schema is stable: a label that happens to look like "8" still
+ *  serializes as a string.  Keep in sync with sweepRecordValues(). */
+struct SweepField
+{
+    const char *name;
+    bool numeric;
+};
+
+const SweepField kSweepFields[] = {
+    {"index", true},
+    {"label", false},
+    {"policy", false},
+    {"workload_set", false},
+    {"qos", false},
+    {"arrivals", false},
+    {"tasks", true},
+    {"seed", true},
+    {"load_factor", true},
+    {"qos_scale", true},
+    {"sla_rate", true},
+    {"sla_low", true},
+    {"sla_mid", true},
+    {"sla_high", true},
+    {"stp", true},
+    {"fairness", true},
+    {"mean_norm_latency", true},
+    {"worst_norm_latency", true},
+    {"num_jobs", true},
+    {"makespan", true},
+    {"dram_busy", true},
+    {"migrations", true},
+    {"preemptions", true},
+    {"throttle_reconfigs", true},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+sweepRecordFields()
+{
+    static const std::vector<std::string> fields = [] {
+        std::vector<std::string> out;
+        for (const auto &f : kSweepFields)
+            out.push_back(f.name);
+        return out;
+    }();
+    return fields;
+}
+
+std::vector<std::string>
+sweepRecordValues(std::size_t index, const SweepCell &cell,
+                  const ScenarioResult &r)
+{
+    const auto &t = r.trace;
+    return {
+        strprintf("%zu", index),
+        cell.label,
+        policyKindName(r.policy),
+        workload::workloadSetName(t.set),
+        workload::qosLevelName(t.qos),
+        workload::arrivalPatternName(t.arrivals),
+        strprintf("%d", t.numTasks),
+        strprintf("%llu", static_cast<unsigned long long>(t.seed)),
+        strprintf("%.6g", t.loadFactor),
+        strprintf("%.6g", t.qosScale),
+        strprintf("%.6f", r.metrics.slaRate),
+        strprintf("%.6f", r.metrics.slaRateLow),
+        strprintf("%.6f", r.metrics.slaRateMid),
+        strprintf("%.6f", r.metrics.slaRateHigh),
+        strprintf("%.6f", r.metrics.stp),
+        strprintf("%.6f", r.metrics.fairness),
+        strprintf("%.6f", r.metrics.meanNormLatency),
+        strprintf("%.6f", r.metrics.worstNormLatency),
+        strprintf("%d", r.metrics.numJobs),
+        strprintf("%llu", static_cast<unsigned long long>(r.makespan)),
+        strprintf("%.6f", r.dramBusyFraction),
+        strprintf("%d", r.totalMigrations),
+        strprintf("%d", r.totalPreemptions),
+        strprintf("%d", r.totalThrottleReconfigs),
+    };
+}
+
+// ---- TableSink -------------------------------------------------------
+
+TableSink::TableSink(std::string title)
+    : title_(std::move(title)),
+      table_({"Cell", "Policy", "SLA", "p-Low", "p-Mid", "p-High",
+              "STP", "Fairness", "Makespan (Mcyc)", "DRAM busy"})
+{
+}
+
+void
+TableSink::onResult(std::size_t, const SweepCell &cell,
+                    const ScenarioResult &r)
+{
+    table_.row()
+        .cell(cell.label)
+        .cell(policyKindName(r.policy))
+        .cell(r.metrics.slaRate, 3)
+        .cell(r.metrics.slaRateLow, 3)
+        .cell(r.metrics.slaRateMid, 3)
+        .cell(r.metrics.slaRateHigh, 3)
+        .cell(r.metrics.stp, 2)
+        .cell(r.metrics.fairness, 4)
+        .cell(static_cast<double>(r.makespan) / 1e6, 1)
+        .cell(r.dramBusyFraction, 3);
+}
+
+void
+TableSink::finish()
+{
+    table_.print(title_);
+}
+
+// ---- CsvSink ---------------------------------------------------------
+
+CsvSink::CsvSink(std::string path)
+    : path_(std::move(path)), table_(sweepRecordFields())
+{
+}
+
+void
+CsvSink::onResult(std::size_t index, const SweepCell &cell,
+                  const ScenarioResult &r)
+{
+    table_.row();
+    for (const auto &value : sweepRecordValues(index, cell, r))
+        table_.cell(value);
+}
+
+std::string
+CsvSink::text() const
+{
+    return table_.csv();
+}
+
+void
+CsvSink::finish()
+{
+    if (!path_.empty())
+        table_.writeCsv(path_);
+}
+
+// ---- JsonSink --------------------------------------------------------
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+void
+JsonSink::onResult(std::size_t index, const SweepCell &cell,
+                   const ScenarioResult &r)
+{
+    records_.push_back(sweepRecordValues(index, cell, r));
+}
+
+std::string
+JsonSink::text() const
+{
+    const auto &fields = sweepRecordFields();
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        out += "  {";
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            const std::string &v = records_[i][f];
+            out += "\"" + fields[f] + "\": ";
+            if (kSweepFields[f].numeric)
+                out += v;
+            else
+                out += "\"" + jsonEscape(v) + "\"";
+            if (f + 1 < fields.size())
+                out += ", ";
+        }
+        out += i + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+void
+JsonSink::finish()
+{
+    if (!path_.empty())
+        writeTextFile(path_, text());
+}
+
+} // namespace moca::exp

@@ -1,0 +1,155 @@
+#include "exp/sweep/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.h"
+
+namespace moca::exp {
+
+std::uint64_t
+deriveCellSeed(std::uint64_t base, std::size_t index)
+{
+    // splitmix64: well-distributed, cheap, and stable across
+    // platforms — adjacent cell indices yield uncorrelated streams.
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+ScenarioResult
+runCell(const SweepCell &cell)
+{
+    if (!cell.policyFactory) {
+        if (cell.specs)
+            return runTrace(cell.policy, *cell.specs, cell.trace,
+                            cell.soc);
+        return runScenario(cell.policy, cell.trace, cell.soc);
+    }
+
+    // Custom-policy cell: the caller's factory instead of the
+    // PolicyKind registry, then the shared runTrace assembly.
+    std::vector<sim::JobSpec> generated;
+    const std::vector<sim::JobSpec> *specs = cell.specs.get();
+    if (specs == nullptr) {
+        generated = makeTrace(cell.trace, cell.soc);
+        specs = &generated;
+    }
+    auto policy = cell.policyFactory(cell.soc);
+    return runTrace(*policy, cell.policy, *specs, cell.trace,
+                    cell.soc);
+}
+
+void
+appendPolicyCells(std::vector<SweepCell> &grid,
+                  const std::string &label,
+                  const std::vector<PolicyKind> &kinds,
+                  const workload::TraceConfig &trace,
+                  const sim::SocConfig &soc)
+{
+    auto specs = std::make_shared<const std::vector<sim::JobSpec>>(
+        makeTrace(trace, soc));
+    for (PolicyKind kind : kinds) {
+        SweepCell cell;
+        cell.label = label;
+        cell.policy = kind;
+        cell.trace = trace;
+        cell.soc = soc;
+        cell.specs = specs;
+        grid.push_back(std::move(cell));
+    }
+}
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+SweepRunner::runIndexed(std::size_t n, int jobs,
+                        const std::function<void(std::size_t)> &task)
+{
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            n, static_cast<std::size_t>(resolveJobs(jobs))));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                next.store(n); // Drain remaining work.
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<ScenarioResult>
+SweepRunner::run(const std::vector<SweepCell> &cells,
+                 const std::vector<ResultSink *> &sinks) const
+{
+    const std::size_t n = cells.size();
+    std::vector<ScenarioResult> results(n);
+
+    // In-order streaming: workers park finished cells here and the
+    // one holding the next-needed index flushes the run of ready
+    // results to every sink.
+    std::mutex emit_mutex;
+    std::vector<bool> ready(n, false);
+    std::size_t next_emit = 0;
+
+    runIndexed(n, opts_.jobs, [&](std::size_t i) {
+        if (opts_.verbose)
+            inform("sweep: running cell %zu/%zu (%s / %s)...", i + 1,
+                   n, cells[i].label.c_str(),
+                   policyKindName(cells[i].policy));
+        results[i] = runCell(cells[i]);
+
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        ready[i] = true;
+        while (next_emit < n && ready[next_emit]) {
+            for (ResultSink *sink : sinks)
+                sink->onResult(next_emit, cells[next_emit],
+                               results[next_emit]);
+            ++next_emit;
+        }
+    });
+
+    for (ResultSink *sink : sinks)
+        sink->finish();
+    return results;
+}
+
+} // namespace moca::exp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Parallel experiment engine: a declarative grid of scenario cells
+ * (policy x TraceConfig x SocConfig) executed on a fixed-size worker
+ * pool.  Every figure in the paper is a grid of independent,
+ * deterministic `Scenario` runs; `SweepRunner` hoists the sweep loop
+ * that the bench binaries used to copy-paste into one shared engine.
+ *
+ * Determinism contract: a cell's result depends only on the cell
+ * itself (its trace seed, policy, and SoC configuration), never on
+ * which worker ran it or in what order.  Parallel (`jobs > 1`) and
+ * serial (`jobs == 1`) sweeps therefore produce bit-identical
+ * `ScenarioResult`s, and sinks observe results in cell-index order
+ * regardless of completion order.
+ */
+
+#ifndef MOCA_EXP_SWEEP_SWEEP_H
+#define MOCA_EXP_SWEEP_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace moca::exp {
+
+/** One cell of a sweep grid: everything needed to run one scenario. */
+struct SweepCell
+{
+    /** Row label for sinks, e.g. "Workload-A QoS-L". */
+    std::string label;
+
+    PolicyKind policy = PolicyKind::Moca;
+
+    workload::TraceConfig trace;
+    sim::SocConfig soc;
+
+    /**
+     * Optional policy factory overriding `policy` (used by the
+     * ablation bench to run custom MocaPolicyConfig variants).  Must
+     * be thread-safe: it is invoked from worker threads.
+     */
+    std::function<std::unique_ptr<sim::Policy>(const sim::SocConfig &)>
+        policyFactory;
+
+    /**
+     * Optional pre-generated job stream shared read-only between
+     * cells (e.g. several policies replaying the identical trace).
+     * When null the cell generates its own trace from `trace`, which
+     * is deterministic given `trace.seed`.
+     */
+    std::shared_ptr<const std::vector<sim::JobSpec>> specs;
+};
+
+/**
+ * Deterministic per-cell seed: splitmix64 of (base, index).  Grid
+ * builders use this so every cell owns an independent RNG stream that
+ * depends only on the cell's index, never on execution order.
+ */
+std::uint64_t deriveCellSeed(std::uint64_t base, std::size_t index);
+
+/** Run one cell (generate or replay its trace, execute, compute
+ *  metrics).  This is the unit of work the pool executes. */
+ScenarioResult runCell(const SweepCell &cell);
+
+/**
+ * Append one cell per policy in `kinds`, all replaying the identical
+ * trace (generated once from `trace` + `soc` and shared read-only).
+ * The standard way grids compare policies on the same job stream.
+ */
+void appendPolicyCells(std::vector<SweepCell> &grid,
+                       const std::string &label,
+                       const std::vector<PolicyKind> &kinds,
+                       const workload::TraceConfig &trace,
+                       const sim::SocConfig &soc);
+
+/**
+ * Streaming consumer of sweep results.  `onResult` is called in cell
+ * order (0, 1, 2, ...) from whichever worker completed the barrier
+ * cell; implementations need no internal locking.  `finish` is called
+ * once after the last cell.
+ */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void onResult(std::size_t index, const SweepCell &cell,
+                          const ScenarioResult &result) = 0;
+    virtual void finish() {}
+};
+
+/** Execution options of a sweep. */
+struct SweepOptions
+{
+    /** Worker count; 0 means hardware concurrency. */
+    int jobs = 1;
+
+    /** Print a progress line as each cell completes. */
+    bool verbose = false;
+};
+
+/** Resolve `jobs` (0 -> hardware concurrency, floor 1). */
+int resolveJobs(int jobs);
+
+/**
+ * The parallel sweep engine.  Cells are share-nothing (each owns its
+ * Soc, Policy, and RNG), so the pool simply pulls cell indices from a
+ * work queue.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Run all cells and return their results in cell order.  Sinks
+     * receive every result in cell order while the sweep is still
+     * running (streamed as soon as the next-in-order cell is done).
+     */
+    std::vector<ScenarioResult>
+    run(const std::vector<SweepCell> &cells,
+        const std::vector<ResultSink *> &sinks = {}) const;
+
+    /**
+     * Low-level engine used by non-scenario grids (co-location
+     * repetitions, per-model validation points): execute task(i) for
+     * i in [0, n) on a pool of `jobs` workers.  task(i) must depend
+     * only on i.
+     */
+    static void runIndexed(std::size_t n, int jobs,
+                           const std::function<void(std::size_t)> &task);
+
+    const SweepOptions &options() const { return opts_; }
+
+  private:
+    SweepOptions opts_;
+};
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_SWEEP_SWEEP_H
