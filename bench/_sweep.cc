@@ -8,8 +8,9 @@
  * speedup, so future PRs can track sweep throughput against this
  * PR's baseline.
  *
- * Usage: _sweep [tasks=N] [--jobs N] [--csv PATH] [--json PATH]
- *               [timing=1 [timing_tasks=N]]
+ * Usage: _sweep [tasks=N] [--policy SPEC[,SPEC...]]
+ *               [--list-policies] [--jobs N] [--csv PATH]
+ *               [--json PATH] [timing=1 [timing_tasks=N]]
  */
 
 #include <chrono>
@@ -78,6 +79,7 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
+    const auto policies = exp::policiesFromArgs(args);
     if (args.getBool("timing", false))
         return runTimingBaseline(args);
 
@@ -85,8 +87,8 @@ main(int argc, char **argv)
     const sim::SocConfig cfg;
 
     // The historical smoke grid: Workload-C QoS-M at three offered
-    // loads and four QoS scales, each under all four policies on the
-    // identical trace.
+    // loads and four QoS scales, each under the selected policies on
+    // the identical trace.
     std::vector<exp::SweepCell> grid;
     for (double load : {1.0, 1.5, 2.0}) {
         for (double qs : {1.0, 1.5, 2.0, 3.0}) {
@@ -99,7 +101,7 @@ main(int argc, char **argv)
             tr.seed = 2;
             exp::appendPolicyCells(
                 grid, strprintf("load=%.1f qos=%.1f", load, qs),
-                exp::allPolicies(), tr, cfg);
+                policies, tr, cfg);
         }
     }
 
@@ -109,10 +111,9 @@ main(int argc, char **argv)
 
     for (std::size_t i = 0; i < results.size();) {
         std::printf("%s :", grid[i].label.c_str());
-        for (std::size_t p = 0; p < exp::allPolicies().size();
-             ++p, ++i) {
+        for (std::size_t p = 0; p < policies.size(); ++p, ++i) {
             std::printf("  %s=%.2f(stp %.1f)",
-                        exp::policyKindName(results[i].policy),
+                        results[i].policy.c_str(),
                         results[i].metrics.slaRate,
                         results[i].metrics.stp);
         }

@@ -8,51 +8,44 @@
  * no thrash), which shows how much of MoCA's benefit exists only
  * because real unregulated memory systems misbehave.
  *
- * The six policy variants replay the identical trace as custom-policy
- * cells on the sweep engine; the memory-realism ablation adds four
- * more cells with modified SoC configurations.
+ * Every policy variant is a registry spec string ("moca:throttle=0",
+ * ...) replaying the identical trace on the sweep engine — the
+ * ablation needs no bespoke factory wiring; the memory-realism
+ * ablation adds four more cells with modified SoC configurations.
  *
  * Usage: ablation_components [tasks=N] [seed=S] [set=a|b|c]
- *                            [qos=l|m|h] [--jobs N] [--csv PATH]
- *                            [--json PATH]
+ *                            [qos=l|m|h] [--policy SPEC[,SPEC...]]
+ *                            [--list-policies] [--jobs N]
+ *                            [--csv PATH] [--json PATH]
  */
 
 #include <cstdio>
 
 #include "common/table.h"
 #include "exp/sweep/options.h"
-#include "moca/moca_policy.h"
 
 using namespace moca;
-
-namespace {
-
-/** A custom-policy cell running MoCA with the given variant config. */
-exp::SweepCell
-mocaVariantCell(const char *label, const MocaPolicyConfig &pc,
-                const workload::TraceConfig &trace,
-                const sim::SocConfig &cfg,
-                std::shared_ptr<const std::vector<sim::JobSpec>> specs)
-{
-    exp::SweepCell cell;
-    cell.label = label;
-    cell.policy = exp::PolicyKind::Moca;
-    cell.trace = trace;
-    cell.soc = cfg;
-    cell.specs = std::move(specs);
-    cell.policyFactory = [pc](const sim::SocConfig &c) {
-        return std::make_unique<MocaPolicy>(c, pc);
-    };
-    return cell;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     sim::SocConfig cfg = exp::socConfigFromArgs(args);
+
+    // The six MoCA variants as parameterized policy specs; --policy
+    // swaps in any other variant list.
+    const std::vector<std::string> variants = exp::policiesFromArgs(
+        args,
+        {
+            "moca",
+            "moca:throttle=0",
+            "moca:pairing=0",
+            "moca:dynamic_score=0",
+            "moca:repartition=0",
+            "moca:throttle=0,pairing=0,dynamic_score=0,"
+            "repartition=0",
+        });
+    const std::size_t num_variants = variants.size();
 
     workload::TraceConfig trace;
     trace.numTasks = static_cast<int>(args.getInt("tasks", 200));
@@ -76,50 +69,17 @@ main(int argc, char **argv)
     auto specs = std::make_shared<const std::vector<sim::JobSpec>>(
         exp::makeTrace(trace, cfg));
 
-    MocaPolicyConfig full;
-    struct Variant
-    {
-        const char *name;
-        MocaPolicyConfig cfg;
-    };
-    const Variant variants[] = {
-        {"moca (full)", full},
-        {"- throttling", [&] {
-             auto c = full;
-             c.enableThrottling = false;
-             return c;
-         }()},
-        {"- mem-aware pairing", [&] {
-             auto c = full;
-             c.enableMemAwarePairing = false;
-             return c;
-         }()},
-        {"- dynamic score", [&] {
-             auto c = full;
-             c.enableDynamicScore = false;
-             return c;
-         }()},
-        {"- compute repartition", [&] {
-             auto c = full;
-             c.enableComputeRepartition = false;
-             return c;
-         }()},
-        {"- all (plain slots)", [&] {
-             auto c = full;
-             c.enableThrottling = false;
-             c.enableMemAwarePairing = false;
-             c.enableDynamicScore = false;
-             c.enableComputeRepartition = false;
-             return c;
-         }()},
-    };
-    const std::size_t num_variants = std::size(variants);
-
-    // ---- grid: 6 variant cells + 4 memory-realism cells -------------
+    // ---- grid: variant cells + 4 memory-realism cells ---------------
     std::vector<exp::SweepCell> grid;
-    for (const auto &v : variants)
-        grid.push_back(
-            mocaVariantCell(v.name, v.cfg, trace, cfg, specs));
+    for (const auto &variant : variants) {
+        exp::SweepCell cell;
+        cell.label = variant;
+        cell.policy = variant;
+        cell.trace = trace;
+        cell.soc = cfg;
+        cell.specs = specs;
+        grid.push_back(std::move(cell));
+    }
 
     // Simulator-side ablation: realistic vs idealized memory system.
     // The realistic pair replays the specs generated above; the
@@ -138,16 +98,15 @@ main(int argc, char **argv)
         const char *label = ideal
             ? "idealized (max-min, no thrash)"
             : "realistic (FCFS-like + thrash)";
-        grid.push_back(
-            mocaVariantCell(label, MocaPolicyConfig{}, trace, c2,
-                            pair_specs));
-        exp::SweepCell stat;
-        stat.label = label;
-        stat.policy = exp::PolicyKind::StaticPartition;
-        stat.trace = trace;
-        stat.soc = c2;
-        stat.specs = pair_specs;
-        grid.push_back(std::move(stat));
+        for (const char *policy : {"moca", "static"}) {
+            exp::SweepCell cell;
+            cell.label = label;
+            cell.policy = policy;
+            cell.trace = trace;
+            cell.soc = c2;
+            cell.specs = pair_specs;
+            grid.push_back(std::move(cell));
+        }
     }
 
     const auto sinks = exp::fileSinksFromArgs(args);

@@ -14,10 +14,12 @@
  *     task on the sweep engine.
  *  2. A mixed dense/pruned multi-tenant run under MoCA with each
  *     predictor — end-to-end sensitivity of the runtime to the
- *     prediction error, as two custom-policy cells replaying the
- *     identical mutated trace.
+ *     prediction error, as two parameterized policy specs
+ *     ("moca:sparsity_aware=1|0") replaying the identical mutated
+ *     trace.
  *
- * Usage: ext_sparsity [tasks=N] [seed=S] [--jobs N]
+ * Usage: ext_sparsity [tasks=N] [seed=S] [--policy SPEC,SPEC]
+ *                     [--list-policies] [--jobs N]
  */
 
 #include <cmath>
@@ -27,7 +29,6 @@
 #include "common/table.h"
 #include "exp/oracle.h"
 #include "exp/sweep/options.h"
-#include "moca/moca_policy.h"
 #include "moca/runtime/latency_model.h"
 #include "sim/soc.h"
 
@@ -60,6 +61,9 @@ main(int argc, char **argv)
     const int tasks = static_cast<int>(args.getInt("tasks", 120));
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const int jobs = static_cast<int>(args.getInt("jobs", 1));
+    // The predictor pair under comparison, overridable via --policy.
+    const auto predictor_specs = exp::policiesFromArgs(
+        args, {"moca:sparsity_aware=1", "moca:sparsity_aware=0"});
 
     std::printf("== Sparse-DNN extension (paper Sec. III-E) ==\n\n");
     exp::printSocBanner(cfg);
@@ -159,23 +163,18 @@ main(int argc, char **argv)
     }
 
     // Both predictor variants replay the identical mutated trace as
-    // custom-policy cells on the sweep engine.
+    // parameterized policy specs on the sweep engine.
     auto shared_specs =
         std::make_shared<const std::vector<sim::JobSpec>>(
             std::move(specs));
     std::vector<exp::SweepCell> grid;
-    for (bool is_aware : {true, false}) {
+    for (const auto &spec : predictor_specs) {
         exp::SweepCell cell;
-        cell.label = is_aware ? "sparsity-aware" : "dense-assuming";
-        cell.policy = exp::PolicyKind::Moca;
+        cell.label = spec;
+        cell.policy = spec;
         cell.trace = trace;
         cell.soc = cfg;
         cell.specs = shared_specs;
-        cell.policyFactory = [is_aware](const sim::SocConfig &c) {
-            MocaPolicyConfig pc;
-            pc.sparsityAwarePredictor = is_aware;
-            return std::make_unique<MocaPolicy>(c, pc);
-        };
         grid.push_back(std::move(cell));
     }
     const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));

@@ -17,7 +17,8 @@
  * sensitive FC layers); SqueezeNet's worst case > 3x isolated (short
  * runtime, fully overlapped with memory-intensive co-runners).
  *
- * Usage: fig1_colocation_slowdown [reps=N] [seed=S] [--jobs N]
+ * Usage: fig1_colocation_slowdown [reps=N] [seed=S]
+ *                                 [--list-policies] [--jobs N]
  */
 
 #include <cstdio>
@@ -99,6 +100,14 @@ main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    // This bench studies *unmanaged* co-location, so the policy under
+    // test is fixed to "solo"; --list-policies still works, and any
+    // other --policy selection is rejected rather than ignored.
+    if (exp::policiesFromArgs(args, {"solo"}) !=
+        std::vector<std::string>{"solo"})
+        fatal("fig1_colocation_slowdown measures unmanaged "
+              "co-location; its policy is fixed to 'solo' and "
+              "--policy cannot change it");
     const int reps = static_cast<int>(args.getInt("reps", 120));
     const auto seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));

@@ -7,10 +7,13 @@
  * improvement summary (geomean / max of MoCA over each baseline).
  *
  * Usage: fig5_sla [tasks=N] [seed=S] [load=F] [qos_scale=F]
+ *                 [--policy SPEC[,SPEC...]] [--list-policies]
  *                 [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -44,6 +47,19 @@ printWorkloadSets()
     t.print("Table III: benchmark DNNs and workload sets");
 }
 
+/** Paper-reported (geomean, max) improvement, per baseline spec. */
+const char *
+paperRef(const std::string &spec, bool is_max)
+{
+    if (spec == "prema")
+        return is_max ? "18.1" : "8.7";
+    if (spec == "static")
+        return is_max ? "2.4" : "1.8";
+    if (spec == "planaria")
+        return is_max ? "3.9" : "1.8";
+    return "-";
+}
+
 } // namespace
 
 int
@@ -51,6 +67,7 @@ main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    const auto policies = exp::policiesFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -59,6 +76,7 @@ main(int argc, char **argv)
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
     mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
+    mcfg.policies = policies;
 
     std::printf("== Figure 5: SLA satisfaction rate "
                 "(tasks=%d seed=%llu load=%.2f jobs=%d) ==\n\n",
@@ -71,45 +89,42 @@ main(int argc, char **argv)
     const auto sinks = exp::fileSinksFromArgs(args);
     const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
-    Table t({"Scenario", "Prema", "Static", "Planaria", "MoCA"});
-    std::vector<double> vs_prema, vs_static, vs_planaria;
+    std::vector<std::string> header = {"Scenario"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    Table t(header);
     for (const auto &cell : matrix) {
         const std::string name =
             std::string(workload::workloadSetName(cell.set)) + " " +
             workload::qosLevelName(cell.qos);
-        const double prema =
-            cell.result(exp::PolicyKind::Prema).metrics.slaRate;
-        const double stat =
-            cell.result(exp::PolicyKind::StaticPartition)
-                .metrics.slaRate;
-        const double plan =
-            cell.result(exp::PolicyKind::Planaria).metrics.slaRate;
-        const double mocaRate =
-            cell.result(exp::PolicyKind::Moca).metrics.slaRate;
-        t.row().cell(name).cell(prema, 3).cell(stat, 3)
-            .cell(plan, 3).cell(mocaRate, 3);
-        auto ratio = [](double moca_v, double base) {
-            return moca_v / std::max(base, 1e-3);
-        };
-        vs_prema.push_back(ratio(mocaRate, prema));
-        vs_static.push_back(ratio(mocaRate, stat));
-        vs_planaria.push_back(ratio(mocaRate, plan));
+        t.row().cell(name);
+        for (const auto &spec : policies)
+            t.cell(cell.result(spec).metrics.slaRate, 3);
     }
     t.print("Figure 5: SLA satisfaction rate by scenario");
     t.writeCsv("fig5_sla.csv");
 
-    Table s({"MoCA vs.", "geomean", "max",
-             "paper geomean", "paper max"});
-    s.row().cell("Prema").cell(geomean(vs_prema), 2)
-        .cell(*std::max_element(vs_prema.begin(), vs_prema.end()), 2)
-        .cell("8.7").cell("18.1");
-    s.row().cell("Static").cell(geomean(vs_static), 2)
-        .cell(*std::max_element(vs_static.begin(), vs_static.end()), 2)
-        .cell("1.8").cell("2.4");
-    s.row().cell("Planaria").cell(geomean(vs_planaria), 2)
-        .cell(*std::max_element(vs_planaria.begin(),
-                                vs_planaria.end()), 2)
-        .cell("1.8").cell("3.9");
-    s.print("MoCA SLA improvement summary (paper Sec. V-A)");
+    // Improvement summary: MoCA against every other selected policy.
+    const std::string ref = "moca";
+    if (std::find(policies.begin(), policies.end(), ref) !=
+        policies.end() && policies.size() > 1) {
+        Table s({"MoCA vs.", "geomean", "max",
+                 "paper geomean", "paper max"});
+        for (const auto &spec : policies) {
+            if (spec == ref)
+                continue;
+            std::vector<double> ratios;
+            for (const auto &cell : matrix)
+                ratios.push_back(
+                    cell.result(ref).metrics.slaRate /
+                    std::max(cell.result(spec).metrics.slaRate,
+                             1e-3));
+            s.row().cell(spec).cell(geomean(ratios), 2)
+                .cell(*std::max_element(ratios.begin(),
+                                        ratios.end()), 2)
+                .cell(paperRef(spec, false))
+                .cell(paperRef(spec, true));
+        }
+        s.print("MoCA SLA improvement summary (paper Sec. V-A)");
+    }
     return 0;
 }

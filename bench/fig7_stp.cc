@@ -9,10 +9,13 @@
  * models' runtimes.
  *
  * Usage: fig7_stp [tasks=N] [seed=S] [load=F]
+ *                 [--policy SPEC[,SPEC...]] [--list-policies]
  *                 [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -27,6 +30,7 @@ main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    const auto policies = exp::policiesFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -35,9 +39,18 @@ main(int argc, char **argv)
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
     mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
+    mcfg.policies = policies;
 
-    std::printf("== Figure 7: system throughput normalized to "
-                "Planaria (tasks=%d seed=%llu jobs=%d) ==\n\n",
+    // The paper normalizes to Planaria; when it was deselected,
+    // normalize to the first policy given.
+    const std::string norm =
+        std::find(policies.begin(), policies.end(), "planaria") !=
+            policies.end()
+        ? "planaria"
+        : policies.front();
+
+    std::printf("== Figure 7: system throughput normalized to %s "
+                "(tasks=%d seed=%llu jobs=%d) ==\n\n", norm.c_str(),
                 mcfg.numTasks,
                 static_cast<unsigned long long>(mcfg.seed),
                 exp::resolveJobs(mcfg.jobs));
@@ -46,41 +59,51 @@ main(int argc, char **argv)
     const auto sinks = exp::fileSinksFromArgs(args);
     const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
-    Table t({"Scenario", "Prema", "Static", "Planaria", "MoCA",
-             "MoCA STP (abs)"});
-    std::vector<double> vs_prema, vs_static, vs_planaria;
+    std::vector<std::string> header = {"Scenario"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    header.push_back("MoCA STP (abs)");
+    Table t(header);
     for (const auto &cell : matrix) {
         const std::string name =
             std::string(workload::workloadSetName(cell.set)) + " " +
             workload::qosLevelName(cell.qos);
-        const double plan =
-            cell.result(exp::PolicyKind::Planaria).metrics.stp;
-        const double prema =
-            cell.result(exp::PolicyKind::Prema).metrics.stp;
-        const double stat =
-            cell.result(exp::PolicyKind::StaticPartition).metrics.stp;
-        const double m = cell.result(exp::PolicyKind::Moca).metrics.stp;
-        t.row().cell(name).cell(prema / plan, 3).cell(stat / plan, 3)
-            .cell(1.0, 3).cell(m / plan, 3).cell(m, 2);
-        vs_prema.push_back(m / prema);
-        vs_static.push_back(m / stat);
-        vs_planaria.push_back(m / plan);
+        const double base = cell.result(norm).metrics.stp;
+        t.row().cell(name);
+        for (const auto &spec : policies)
+            t.cell(cell.result(spec).metrics.stp / base, 3);
+        t.cell(cell.has("moca") ? cell.result("moca").metrics.stp
+                                : 0.0, 2);
     }
-    t.print("Figure 7: STP normalized to Planaria");
+    t.print("Figure 7: STP normalized to " + norm);
     t.writeCsv("fig7_stp.csv");
 
-    Table s({"MoCA STP vs.", "geomean", "max",
-             "paper geomean", "paper max"});
-    s.row().cell("Prema").cell(geomean(vs_prema), 2)
-        .cell(*std::max_element(vs_prema.begin(), vs_prema.end()), 2)
-        .cell("12.5").cell("20.5");
-    s.row().cell("Static").cell(geomean(vs_static), 2)
-        .cell(*std::max_element(vs_static.begin(), vs_static.end()), 2)
-        .cell("1.7").cell("2.1");
-    s.row().cell("Planaria").cell(geomean(vs_planaria), 2)
-        .cell(*std::max_element(vs_planaria.begin(),
-                                vs_planaria.end()), 2)
-        .cell("1.7").cell("2.3");
-    s.print("MoCA STP improvement summary (paper Sec. V-C)");
+    const std::string ref = "moca";
+    if (std::find(policies.begin(), policies.end(), ref) !=
+        policies.end() && policies.size() > 1) {
+        auto paper = [](const std::string &spec, bool is_max) {
+            if (spec == "prema")
+                return is_max ? "20.5" : "12.5";
+            if (spec == "static")
+                return is_max ? "2.1" : "1.7";
+            if (spec == "planaria")
+                return is_max ? "2.3" : "1.7";
+            return "-";
+        };
+        Table s({"MoCA STP vs.", "geomean", "max",
+                 "paper geomean", "paper max"});
+        for (const auto &spec : policies) {
+            if (spec == ref)
+                continue;
+            std::vector<double> ratios;
+            for (const auto &cell : matrix)
+                ratios.push_back(cell.result(ref).metrics.stp /
+                                 cell.result(spec).metrics.stp);
+            s.row().cell(spec).cell(geomean(ratios), 2)
+                .cell(*std::max_element(ratios.begin(),
+                                        ratios.end()), 2)
+                .cell(paper(spec, false)).cell(paper(spec, true));
+        }
+        s.print("MoCA STP improvement summary (paper Sec. V-C)");
+    }
     return 0;
 }

@@ -11,10 +11,13 @@
  * throughput.
  *
  * Usage: fig8_fairness [tasks=N] [seed=S] [load=F]
+ *                      [--policy SPEC[,SPEC...]] [--list-policies]
  *                      [--jobs N] [--csv PATH] [--json PATH] ...
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -29,6 +32,7 @@ main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    const auto policies = exp::policiesFromArgs(args);
 
     exp::MatrixConfig mcfg;
     mcfg.numTasks = static_cast<int>(args.getInt("tasks", 250));
@@ -37,9 +41,17 @@ main(int argc, char **argv)
     mcfg.qosScale = args.getDouble("qos_scale", mcfg.qosScale);
     mcfg.verbose = args.getBool("verbose", true);
     mcfg.jobs = static_cast<int>(args.getInt("jobs", 1));
+    mcfg.policies = policies;
 
-    std::printf("== Figure 8: fairness normalized to Planaria "
-                "(tasks=%d seed=%llu jobs=%d) ==\n\n", mcfg.numTasks,
+    const std::string norm =
+        std::find(policies.begin(), policies.end(), "planaria") !=
+            policies.end()
+        ? "planaria"
+        : policies.front();
+
+    std::printf("== Figure 8: fairness normalized to %s "
+                "(tasks=%d seed=%llu jobs=%d) ==\n\n", norm.c_str(),
+                mcfg.numTasks,
                 static_cast<unsigned long long>(mcfg.seed),
                 exp::resolveJobs(mcfg.jobs));
     exp::printSocBanner(cfg);
@@ -47,41 +59,56 @@ main(int argc, char **argv)
     const auto sinks = exp::fileSinksFromArgs(args);
     const auto matrix = exp::runMatrix(mcfg, cfg, sinks.pointers());
 
-    Table t({"Scenario", "Prema", "Static", "Planaria", "MoCA",
-             "MoCA fairness (abs)"});
-    std::vector<double> vs_prema, vs_static, vs_planaria;
+    std::vector<std::string> header = {"Scenario"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    header.push_back("MoCA fairness (abs)");
+    Table t(header);
     for (const auto &cell : matrix) {
         const std::string name =
             std::string(workload::workloadSetName(cell.set)) + " " +
             workload::qosLevelName(cell.qos);
-        auto fair = [&](exp::PolicyKind k) {
-            return std::max(cell.result(k).metrics.fairness, 1e-6);
+        auto fair = [&](const std::string &spec) {
+            return std::max(cell.result(spec).metrics.fairness, 1e-6);
         };
-        const double plan = fair(exp::PolicyKind::Planaria);
-        const double prema = fair(exp::PolicyKind::Prema);
-        const double stat = fair(exp::PolicyKind::StaticPartition);
-        const double m = fair(exp::PolicyKind::Moca);
-        t.row().cell(name).cell(prema / plan, 3).cell(stat / plan, 3)
-            .cell(1.0, 3).cell(m / plan, 3).cell(m, 4);
-        vs_prema.push_back(m / prema);
-        vs_static.push_back(m / stat);
-        vs_planaria.push_back(m / plan);
+        t.row().cell(name);
+        for (const auto &spec : policies)
+            t.cell(fair(spec) / fair(norm), 3);
+        t.cell(cell.has("moca") ? fair("moca") : 0.0, 4);
     }
-    t.print("Figure 8: fairness normalized to Planaria");
+    t.print("Figure 8: fairness normalized to " + norm);
     t.writeCsv("fig8_fairness.csv");
 
-    Table s({"MoCA fairness vs.", "geomean", "max",
-             "paper geomean", "paper max"});
-    s.row().cell("Prema").cell(geomean(vs_prema), 2)
-        .cell(*std::max_element(vs_prema.begin(), vs_prema.end()), 2)
-        .cell("1.8").cell("2.4");
-    s.row().cell("Static").cell(geomean(vs_static), 2)
-        .cell(*std::max_element(vs_static.begin(), vs_static.end()), 2)
-        .cell("1.07").cell("1.2");
-    s.row().cell("Planaria").cell(geomean(vs_planaria), 2)
-        .cell(*std::max_element(vs_planaria.begin(),
-                                vs_planaria.end()), 2)
-        .cell("1.2").cell("1.3");
-    s.print("MoCA fairness improvement summary (paper Sec. V-D)");
+    const std::string ref = "moca";
+    if (std::find(policies.begin(), policies.end(), ref) !=
+        policies.end() && policies.size() > 1) {
+        auto paper = [](const std::string &spec, bool is_max) {
+            if (spec == "prema")
+                return is_max ? "2.4" : "1.8";
+            if (spec == "static")
+                return is_max ? "1.2" : "1.07";
+            if (spec == "planaria")
+                return is_max ? "1.3" : "1.2";
+            return "-";
+        };
+        Table s({"MoCA fairness vs.", "geomean", "max",
+                 "paper geomean", "paper max"});
+        for (const auto &spec : policies) {
+            if (spec == ref)
+                continue;
+            std::vector<double> ratios;
+            for (const auto &cell : matrix) {
+                const double m = std::max(
+                    cell.result(ref).metrics.fairness, 1e-6);
+                const double b = std::max(
+                    cell.result(spec).metrics.fairness, 1e-6);
+                ratios.push_back(m / b);
+            }
+            s.row().cell(spec).cell(geomean(ratios), 2)
+                .cell(*std::max_element(ratios.begin(),
+                                        ratios.end()), 2)
+                .cell(paper(spec, false)).cell(paper(spec, true));
+        }
+        s.print("MoCA fairness improvement summary (paper Sec. V-D)");
+    }
     return 0;
 }

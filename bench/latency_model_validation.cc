@@ -9,12 +9,13 @@
  * overlap_f tuning utility (Sec. III-C) by recovering the overlap
  * factor from a small set of measured layers.
  *
- * Usage: latency_model_validation [--jobs N]
+ * Usage: latency_model_validation [--list-policies] [--jobs N]
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/oracle.h"
@@ -49,6 +50,14 @@ main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
+    // Prediction accuracy is policy-independent; --list-policies
+    // still works, and any --policy selection is rejected rather
+    // than ignored.
+    if (exp::policiesFromArgs(args, {"solo"}) !=
+        std::vector<std::string>{"solo"})
+        fatal("latency_model_validation measures isolated runs; its "
+              "policy is fixed to 'solo' and --policy cannot change "
+              "it");
     const int jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Algorithm 1 validation: prediction vs. measured "

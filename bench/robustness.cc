@@ -8,10 +8,14 @@
  * (Sec. IV-D adopts blocks following Veltair).  All 34 scenario
  * cells run as one grid on the sweep engine.
  *
- * Usage: robustness [tasks=N] [--jobs N] [--csv PATH] [--json PATH]
+ * Usage: robustness [tasks=N] [--policy SPEC[,SPEC...]]
+ *                   [--list-policies] [--jobs N] [--csv PATH]
+ *                   [--json PATH]
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/log.h"
@@ -23,32 +27,47 @@ using namespace moca;
 
 namespace {
 
+/**
+ * The reference policy's SLA and its ratio over every other selected
+ * policy, from one scenario's consecutive results.
+ */
 struct Ratios
 {
-    double vsStatic = 0.0;
-    double vsPlanaria = 0.0;
-    double vsPrema = 0.0;
-    double mocaSla = 0.0;
+    double refSla = 0.0;
+    std::vector<double> vsOthers; ///< ref/other, others in list order.
 };
 
-/** Ratios of one scenario from its four consecutive results. */
 Ratios
 toRatios(const std::vector<exp::ScenarioResult> &results,
-         std::size_t base)
+         std::size_t base, const std::vector<std::string> &policies,
+         const std::string &ref)
 {
-    auto sla = [&](exp::PolicyKind k) {
-        for (std::size_t p = 0; p < exp::allPolicies().size(); ++p)
-            if (results[base + p].policy == k)
+    auto sla = [&](const std::string &spec) {
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            if (results[base + p].policy == spec)
                 return std::max(results[base + p].metrics.slaRate,
                                 1e-3);
         return 1e-3;
     };
     Ratios r;
-    r.mocaSla = sla(exp::PolicyKind::Moca);
-    r.vsStatic = r.mocaSla / sla(exp::PolicyKind::StaticPartition);
-    r.vsPlanaria = r.mocaSla / sla(exp::PolicyKind::Planaria);
-    r.vsPrema = r.mocaSla / sla(exp::PolicyKind::Prema);
+    r.refSla = sla(ref);
+    for (const auto &spec : policies)
+        if (spec != ref)
+            r.vsOthers.push_back(r.refSla / sla(spec));
     return r;
+}
+
+/** Header row for a ratio table: ref SLA + ref/other columns. */
+std::vector<std::string>
+ratioHeader(const std::string &axis,
+            const std::vector<std::string> &policies,
+            const std::string &ref)
+{
+    std::vector<std::string> h = {axis, ref + " SLA"};
+    for (const auto &spec : policies)
+        if (spec != ref)
+            h.push_back(ref + "/" + spec);
+    return h;
 }
 
 } // namespace
@@ -59,6 +78,12 @@ main(int argc, char **argv)
     ArgMap args(argc, argv);
     const sim::SocConfig cfg = exp::socConfigFromArgs(args);
     const int tasks = static_cast<int>(args.getInt("tasks", 150));
+    const auto policies = exp::policiesFromArgs(args);
+    const std::string ref =
+        std::find(policies.begin(), policies.end(), "moca") !=
+            policies.end()
+        ? "moca"
+        : policies.front();
 
     std::printf("== Robustness: seeds, arrival processes, reconfig "
                 "granularity (Workload-C QoS-M, tasks=%d) ==\n\n",
@@ -70,7 +95,7 @@ main(int argc, char **argv)
         workload::ArrivalPattern::Uniform,
         workload::ArrivalPattern::Bursty,
     };
-    const std::size_t per_scenario = exp::allPolicies().size();
+    const std::size_t per_scenario = policies.size();
 
     std::vector<exp::SweepCell> grid;
 
@@ -83,7 +108,7 @@ main(int argc, char **argv)
             grid,
             strprintf("seed=%llu",
                       static_cast<unsigned long long>(seed)),
-            exp::allPolicies(), trace, cfg);
+            policies, trace, cfg);
     }
 
     // ---- (b) arrival-pattern sweep: cells [20, 32) ------------------
@@ -94,7 +119,7 @@ main(int argc, char **argv)
         trace.arrivals = pattern;
         exp::appendPolicyCells(grid,
                                workload::arrivalPatternName(pattern),
-                               exp::allPolicies(), trace, cfg);
+                               policies, trace, cfg);
     }
 
     // ---- (c) reconfiguration granularity: cells [32, 34) ------------
@@ -107,7 +132,7 @@ main(int argc, char **argv)
         trace.seed = 1;
         exp::SweepCell cell;
         cell.label = per_layer ? "per layer" : "layer block";
-        cell.policy = exp::PolicyKind::Moca;
+        cell.policy = ref;
         cell.trace = trace;
         cell.soc = c2;
         grid.push_back(std::move(cell));
@@ -118,40 +143,45 @@ main(int argc, char **argv)
     const auto results = runner.run(grid, sinks.pointers());
 
     {
-        Table t({"Seed", "MoCA SLA", "MoCA/Static", "MoCA/Planaria",
-                 "MoCA/Prema"});
-        StatAccum vs_static;
+        Table t(ratioHeader("Seed", policies, ref));
+        StatAccum first_ratio;
         for (std::size_t s = 0; s < seeds.size(); ++s) {
-            const Ratios r = toRatios(results, s * per_scenario);
-            vs_static.add(r.vsStatic);
+            const Ratios r =
+                toRatios(results, s * per_scenario, policies, ref);
+            if (!r.vsOthers.empty())
+                first_ratio.add(r.vsOthers.front());
             t.row().cell(static_cast<long long>(seeds[s]))
-                .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
-                .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
+                .cell(r.refSla, 3);
+            for (double v : r.vsOthers)
+                t.cell(v, 2);
         }
         t.print("Seed sweep");
         t.writeCsv("robustness_seeds.csv");
-        std::printf("\nMoCA/Static across seeds: mean %.2f, "
-                    "stddev %.2f, min %.2f\n", vs_static.mean(),
-                    vs_static.stddev(), vs_static.min());
+        if (first_ratio.count() > 0)
+            std::printf("\n%s across seeds: mean %.2f, "
+                        "stddev %.2f, min %.2f\n",
+                        ratioHeader("", policies, ref)[2].c_str(),
+                        first_ratio.mean(), first_ratio.stddev(),
+                        first_ratio.min());
     }
 
     {
-        Table t({"Arrivals", "MoCA SLA", "MoCA/Static",
-                 "MoCA/Planaria", "MoCA/Prema"});
+        Table t(ratioHeader("Arrivals", policies, ref));
         const std::size_t base = seeds.size() * per_scenario;
         for (std::size_t p = 0; p < patterns.size(); ++p) {
-            const Ratios r =
-                toRatios(results, base + p * per_scenario);
+            const Ratios r = toRatios(
+                results, base + p * per_scenario, policies, ref);
             t.row().cell(workload::arrivalPatternName(patterns[p]))
-                .cell(r.mocaSla, 3).cell(r.vsStatic, 2)
-                .cell(r.vsPlanaria, 2).cell(r.vsPrema, 2);
+                .cell(r.refSla, 3);
+            for (double v : r.vsOthers)
+                t.cell(v, 2);
         }
         t.print("Arrival-process sweep");
         t.writeCsv("robustness_arrivals.csv");
     }
 
     {
-        Table t({"Granularity", "MoCA SLA", "STP",
+        Table t({"Granularity", ref + " SLA", "STP",
                  "Throttle reconfigs"});
         for (std::size_t g = 0; g < 2; ++g) {
             const auto &r = results[gran_base + g];

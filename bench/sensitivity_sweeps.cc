@@ -16,8 +16,9 @@
  * the sweep engine; the oracle cache is keyed by the full SoC
  * configuration, so mixed-config cells share it safely.
  *
- * Usage: sensitivity_sweeps [tasks=N] [seed=S] [--jobs N]
- *                           [--csv PATH] [--json PATH]
+ * Usage: sensitivity_sweeps [tasks=N] [seed=S]
+ *                           [--policy SPEC,SPEC] [--list-policies]
+ *                           [--jobs N] [--csv PATH] [--json PATH]
  */
 
 #include <cstdio>
@@ -40,9 +41,10 @@ struct Point
     double staticStp = 0.0;
 };
 
-/** Append the (MoCA, static) cell pair for one configuration. */
+/** Append the policy-pair cells for one configuration. */
 void
 addPoint(std::vector<exp::SweepCell> &grid, const std::string &label,
+         const std::vector<std::string> &policies,
          const sim::SocConfig &cfg, int tasks, std::uint64_t seed)
 {
     workload::TraceConfig trace;
@@ -52,21 +54,20 @@ addPoint(std::vector<exp::SweepCell> &grid, const std::string &label,
     trace.seed = seed;
     trace.numTiles = cfg.numTiles;
 
-    exp::appendPolicyCells(
-        grid, label,
-        {exp::PolicyKind::Moca, exp::PolicyKind::StaticPartition},
-        trace, cfg);
+    exp::appendPolicyCells(grid, label, policies, trace, cfg);
 }
 
 void
 printSweepTable(const std::string &title, const std::string &axis,
+                const std::vector<std::string> &policies,
                 const std::vector<exp::SweepCell> &grid,
                 const std::vector<exp::ScenarioResult> &results,
                 std::size_t lo, std::size_t hi,
                 const std::string &csv_path)
 {
-    Table t({axis, "MoCA SLA", "Static SLA", "MoCA/Static",
-             "MoCA STP", "Static STP"});
+    const std::string &a = policies[0], &b = policies[1];
+    Table t({axis, a + " SLA", b + " SLA", a + "/" + b,
+             a + " STP", b + " STP"});
     for (std::size_t i = lo; i + 1 < hi && i + 1 < results.size();
          i += 2) {
         Point p;
@@ -93,38 +94,49 @@ main(int argc, char **argv)
     const int tasks = static_cast<int>(args.getInt("tasks", 120));
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
 
-    std::printf("== SoC sensitivity sweeps (MoCA vs static, "
-                "Workload-C QoS-M, tasks=%d) ==\n\n", tasks);
+    // The sweep compares a managed against an unmanaged mechanism;
+    // --policy substitutes any two specs (e.g. "moca:tick=2048,moca").
+    const auto policies =
+        exp::policiesFromArgs(args, {"moca", "static"});
+    if (policies.size() != 2)
+        fatal("sensitivity_sweeps needs exactly two policy specs, "
+              "got %zu", policies.size());
+
+    std::printf("== SoC sensitivity sweeps (%s vs %s, "
+                "Workload-C QoS-M, tasks=%d) ==\n\n",
+                policies[0].c_str(), policies[1].c_str(), tasks);
 
     // One grid, three slices: [0,8) DRAM bw, [8,16) L2, [16,22) tiles.
     std::vector<exp::SweepCell> grid;
     for (double bw : {8.0, 16.0, 32.0, 64.0}) {
         sim::SocConfig cfg;
         cfg.dramBytesPerCycle = bw;
-        addPoint(grid, strprintf("%.0f", bw), cfg, tasks, seed);
+        addPoint(grid, strprintf("%.0f", bw), policies, cfg, tasks,
+                 seed);
     }
     for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
         sim::SocConfig cfg;
         cfg.l2Bytes = mb * MiB;
         addPoint(grid,
                  strprintf("%llu", static_cast<unsigned long long>(mb)),
-                 cfg, tasks, seed);
+                 policies, cfg, tasks, seed);
     }
     for (int tiles : {4, 8, 16}) {
         sim::SocConfig cfg;
         cfg.numTiles = tiles;
-        addPoint(grid, strprintf("%d", tiles), cfg, tasks, seed);
+        addPoint(grid, strprintf("%d", tiles), policies, cfg, tasks,
+                 seed);
     }
 
     const auto sinks = exp::fileSinksFromArgs(args);
     const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
     const auto results = runner.run(grid, sinks.pointers());
 
-    printSweepTable("DRAM bandwidth sweep", "DRAM (GB/s)", grid,
-                    results, 0, 8, "sweep_dram_bw.csv");
-    printSweepTable("Shared L2 capacity sweep", "L2 (MB)", grid,
-                    results, 8, 16, "sweep_l2.csv");
-    printSweepTable("Accelerator tile-count sweep", "Tiles", grid,
-                    results, 16, 22, "sweep_tiles.csv");
+    printSweepTable("DRAM bandwidth sweep", "DRAM (GB/s)", policies,
+                    grid, results, 0, 8, "sweep_dram_bw.csv");
+    printSweepTable("Shared L2 capacity sweep", "L2 (MB)", policies,
+                    grid, results, 8, 16, "sweep_l2.csv");
+    printSweepTable("Accelerator tile-count sweep", "Tiles", policies,
+                    grid, results, 16, 22, "sweep_tiles.csv");
     return 0;
 }

@@ -10,7 +10,7 @@
  * engine) shows how far the width can grow before the overhead claim
  * breaks.
  *
- * Usage: table4_area [--jobs N]
+ * Usage: table4_area [--list-policies] [--jobs N]
  */
 
 #include <cstdio>
@@ -18,8 +18,9 @@
 
 #include "area/area_model.h"
 #include "common/argparse.h"
+#include "common/log.h"
 #include "common/table.h"
-#include "exp/sweep/sweep.h"
+#include "exp/sweep/options.h"
 
 int
 main(int argc, char **argv)
@@ -27,6 +28,13 @@ main(int argc, char **argv)
     using namespace moca;
 
     ArgMap args(argc, argv);
+    // Area accounting is policy-independent; --list-policies still
+    // works, and any --policy selection is rejected rather than
+    // ignored.
+    if (exp::policiesFromArgs(args, {"moca"}) !=
+        std::vector<std::string>{"moca"})
+        fatal("table4_area models the MoCA hardware area; --policy "
+              "cannot change what it measures");
     const int jobs = static_cast<int>(args.getInt("jobs", 1));
 
     std::printf("== Table IV: area breakdown of an accelerator tile "

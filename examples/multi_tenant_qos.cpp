@@ -38,18 +38,19 @@ main(int argc, char **argv)
                 workload::workloadSetName(trace.set),
                 workload::qosLevelName(trace.qos));
 
-    // All four policies replay the identical trace as one sweep grid
-    // (pass --jobs 4 to run them concurrently).
+    // The selected policies (default: all four mechanisms) replay the
+    // identical trace as one sweep grid (pass --jobs 4 to run them
+    // concurrently, --policy to swap mechanisms in and out).
     std::vector<exp::SweepCell> grid;
-    exp::appendPolicyCells(grid, "all-policies", exp::allPolicies(),
-                           trace, soc);
+    exp::appendPolicyCells(grid, "all-policies",
+                           exp::policiesFromArgs(args), trace, soc);
     const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
     const auto results = runner.run(grid);
 
     Table t({"Policy", "SLA", "p-Low", "p-Mid", "p-High", "STP",
              "Fairness", "Migrations", "Preempts", "Throttle cfgs"});
     for (const auto &r : results) {
-        t.row().cell(exp::policyKindName(r.policy))
+        t.row().cell(r.policy)
             .cell(r.metrics.slaRate, 3)
             .cell(r.metrics.slaRateLow, 3)
             .cell(r.metrics.slaRateMid, 3)

@@ -10,16 +10,76 @@
  *     estimates each block, detects bandwidth overflow, computes
  *     dynamic priority scores, and programs per-tile throttle
  *     windows.  The scoreboard state is printed at each step.
+ *  3. A *user-registered* toy policy shows the open policy registry:
+ *     define a sim::Policy, register it once with PolicyRegistrar,
+ *     and it becomes addressable everywhere by spec string —
+ *     including every bench binary's --policy flag.
  */
 
 #include <cstdio>
 
+#include "common/argparse.h"
+#include "common/log.h"
 #include "common/table.h"
 #include "dnn/model_zoo.h"
+#include "exp/experiment.h"
+#include "exp/registry.h"
 #include "moca/runtime/contention_manager.h"
 #include "moca/sched/scheduler.h"
+#include "sim/soc.h"
 
 using namespace moca;
+
+namespace {
+
+/**
+ * Toy mechanism: admit jobs strictly in arrival order onto a fixed
+ * tile count, never preempt, never throttle.  Deliberately naive —
+ * the point is how little code a new registered policy needs.
+ */
+class FifoPolicy : public sim::Policy
+{
+  public:
+    explicit FifoPolicy(int tiles) : tiles_(tiles) {}
+
+    const char *name() const override { return "fifo"; }
+
+    void schedule(sim::Soc &soc, sim::SchedEvent) override
+    {
+        for (int id : soc.waitingJobs()) {
+            if (soc.freeTiles() < tiles_)
+                break;
+            soc.startJob(id, tiles_);
+        }
+    }
+
+  private:
+    int tiles_;
+};
+
+/**
+ * One-time registration: name, description, parameter schema, and a
+ * factory applying the parsed spec parameters.  From here on
+ * "fifo" / "fifo:tiles=4" is a valid --policy spec everywhere.
+ */
+const exp::PolicyRegistrar fifoRegistrar({
+    "fifo",
+    "toy example policy: FCFS onto a fixed tile count "
+    "(examples/scheduler_playground.cpp)",
+    {{"tiles", "int", "2", "tiles each admitted job runs on"}},
+    [](const sim::SocConfig &cfg, const exp::PolicySpec &spec) {
+        int tiles = 2;
+        for (const auto &[key, value] : spec.params)
+            if (key == "tiles")
+                tiles = static_cast<int>(
+                    parseIntValue("fifo:tiles", value));
+        if (tiles < 1 || tiles > cfg.numTiles)
+            fatal("fifo: tiles must be in [1, %d]", cfg.numTiles);
+        return std::make_unique<FifoPolicy>(tiles);
+    },
+});
+
+} // namespace
 
 int
 main()
@@ -127,5 +187,32 @@ main()
     }
     std::printf("\nwindow = 0 means the job runs unthrottled "
                 "(compute-bound or no overflow).\n");
+
+    // ---- The open policy registry: a user-defined policy -------------
+    std::printf("\n== Open policy registry: the toy 'fifo' policy "
+                "==\n\n");
+    std::printf("registered policies: ");
+    for (const auto &name : exp::PolicyRegistry::instance().names())
+        std::printf("%s ", name.c_str());
+    std::printf("\n\n");
+
+    workload::TraceConfig trace;
+    trace.set = workload::WorkloadSet::C;
+    trace.qos = workload::QosLevel::Medium;
+    trace.numTasks = 40;
+    trace.seed = 4;
+    const auto results = exp::Experiment()
+                             .soc(cfg)
+                             .trace(trace)
+                             .policies({"fifo:tiles=2", "moca"})
+                             .run();
+
+    Table r({"Policy spec", "SLA", "STP", "Fairness"});
+    for (const auto &res : results)
+        r.row().cell(res.policy).cell(res.metrics.slaRate, 3)
+            .cell(res.metrics.stp, 2).cell(res.metrics.fairness, 4);
+    r.print("Toy policy vs MoCA on the identical trace");
+    std::printf("\nthe same spec works in every bench: "
+                "fig5_sla --policy fifo:tiles=4,moca\n");
     return 0;
 }

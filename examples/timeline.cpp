@@ -8,7 +8,8 @@
  * AlexNet jobs reach their FC blocks) rather than just the aggregate
  * metrics.
  *
- * Usage: timeline [policy=moca|prema|static|planaria]
+ * Usage: timeline [--policy SPEC] — any registry spec works, e.g.
+ *        --policy prema or --policy moca:tick=2048
  */
 
 #include <cstdio>
@@ -26,13 +27,8 @@ main(int argc, char **argv)
     ArgMap args(argc, argv);
     const std::string which = args.getString("policy", "moca");
 
-    exp::PolicyKind kind = exp::PolicyKind::Moca;
-    for (exp::PolicyKind k : exp::allPolicies())
-        if (which == exp::policyKindName(k))
-            kind = k;
-
     sim::SocConfig cfg;
-    auto policy = exp::makePolicy(kind, cfg);
+    auto policy = exp::makePolicy(which, cfg);
     sim::Soc soc(cfg, *policy);
     soc.trace().enable();
 
@@ -62,7 +58,7 @@ main(int argc, char **argv)
     soc.run();
 
     std::printf("timeline under %s (cycles in K):\n\n",
-                exp::policyKindName(kind));
+                which.c_str());
     for (int j = 0; j < id; ++j) {
         const auto &job = soc.job(j);
         std::printf("-- job %d: %s (priority %d, dispatched %.0fK)\n",

@@ -5,9 +5,26 @@
 #include <vector>
 
 #include "baselines/compute_estimator.h"
+#include "common/argparse.h"
 #include "common/log.h"
 
 namespace moca::baselines {
+
+bool
+PlanariaConfig::applyParam(const std::string &key,
+                           const std::string &value)
+{
+    if (key == "min_tiles") {
+        minTiles = static_cast<int>(
+            parseIntValue("planaria:" + key, value));
+    } else if (key == "max_concurrent") {
+        maxConcurrent = static_cast<int>(
+            parseIntValue("planaria:" + key, value));
+    } else {
+        return false;
+    }
+    return true;
+}
 
 PlanariaPolicy::PlanariaPolicy(const sim::SocConfig &soc_cfg,
                                const PlanariaConfig &cfg)

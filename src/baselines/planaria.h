@@ -18,6 +18,7 @@
 #define MOCA_BASELINES_PLANARIA_H
 
 #include <map>
+#include <string>
 
 #include "sim/policy.h"
 #include "sim/soc.h"
@@ -32,6 +33,10 @@ struct PlanariaConfig
 
     /** Cap on concurrently co-located jobs. */
     int maxConcurrent = 8;
+
+    /** Uniform spec-string parameter surface (exp::PolicyRegistry).
+     *  @return false for unknown keys; fatal on malformed values. */
+    bool applyParam(const std::string &key, const std::string &value);
 };
 
 /** Dynamic compute-fission baseline policy. */

@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "baselines/compute_estimator.h"
+#include "common/argparse.h"
 #include "common/log.h"
 
 namespace moca::baselines {
+
+bool
+PremaConfig::applyParam(const std::string &key,
+                        const std::string &value)
+{
+    if (key == "preempt_margin") {
+        preemptMargin = parseDoubleValue("prema:" + key, value);
+        return true;
+    }
+    return false;
+}
 
 PremaPolicy::PremaPolicy(const sim::SocConfig &soc_cfg,
                          const PremaConfig &cfg)

@@ -13,6 +13,8 @@
 #ifndef MOCA_BASELINES_PREMA_H
 #define MOCA_BASELINES_PREMA_H
 
+#include <string>
+
 #include "sim/policy.h"
 #include "sim/soc.h"
 
@@ -23,6 +25,10 @@ struct PremaConfig
 {
     /** Token advantage a challenger needs to preempt the runner. */
     double preemptMargin = 2.0;
+
+    /** Uniform spec-string parameter surface (exp::PolicyRegistry).
+     *  @return false for unknown keys; fatal on malformed values. */
+    bool applyParam(const std::string &key, const std::string &value);
 };
 
 /** Temporal-multiplexing baseline policy. */

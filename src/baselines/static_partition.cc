@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "baselines/compute_estimator.h"
+#include "common/argparse.h"
 #include "common/log.h"
 
 namespace moca::baselines {
+
+bool
+StaticPartitionConfig::applyParam(const std::string &key,
+                                  const std::string &value)
+{
+    if (key == "partitions") {
+        partitions = static_cast<int>(
+            parseIntValue("static:" + key, value));
+        return true;
+    }
+    return false;
+}
 
 StaticPartitionPolicy::StaticPartitionPolicy(
     const sim::SocConfig &soc_cfg, const StaticPartitionConfig &cfg)

@@ -10,6 +10,8 @@
 #ifndef MOCA_BASELINES_STATIC_PARTITION_H
 #define MOCA_BASELINES_STATIC_PARTITION_H
 
+#include <string>
+
 #include "sim/policy.h"
 #include "sim/soc.h"
 
@@ -21,6 +23,10 @@ struct StaticPartitionConfig
     /** Number of fixed partitions (tiles per slot =
      *  numTiles / partitions). */
     int partitions = 4;
+
+    /** Uniform spec-string parameter surface (exp::PolicyRegistry).
+     *  @return false for unknown keys; fatal on malformed values. */
+    bool applyParam(const std::string &key, const std::string &value);
 };
 
 /** Fixed spatial-partitioning baseline policy. */

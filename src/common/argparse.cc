@@ -11,20 +11,57 @@ namespace {
 
 /** Whether a token can be the value of a preceding dashed option:
  *  anything not shaped like an option itself.  "-1.5" and "-.5" are
- *  values (negative numbers); "--jobs" and "-v" are options. */
+ *  values (negative numbers); "--jobs" and "-v" are options.  A bare
+ *  key=value token is its own argument — except when a ':' precedes
+ *  the first '=', which marks a policy spec ("moca:tick=2048"). */
 bool
 isOptionValue(const std::string &token)
 {
     if (token.empty())
         return false;
-    if (token[0] != '-')
-        return token.find('=') == std::string::npos;
+    if (token[0] != '-') {
+        const auto eq = token.find('=');
+        return eq == std::string::npos ||
+            token.find(':') < eq;
+    }
     return token.size() > 1 &&
         (std::isdigit(static_cast<unsigned char>(token[1])) ||
          token[1] == '.');
 }
 
 } // namespace
+
+std::int64_t
+parseIntValue(const std::string &what, const std::string &value)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s=%s is not an integer", what.c_str(), value.c_str());
+    return v;
+}
+
+double
+parseDoubleValue(const std::string &what, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s=%s is not a number", what.c_str(), value.c_str());
+    return v;
+}
+
+bool
+parseBoolValue(const std::string &what, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "yes" ||
+        value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "no" ||
+        value == "off")
+        return false;
+    fatal("%s=%s is not a boolean", what.c_str(), value.c_str());
+}
 
 ArgMap::ArgMap(int argc, char **argv)
 {
@@ -70,12 +107,7 @@ ArgMap::getInt(const std::string &key, std::int64_t def) const
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
-        fatal("argument %s=%s is not an integer",
-              key.c_str(), it->second.c_str());
-    return v;
+    return parseIntValue("argument " + key, it->second);
 }
 
 double
@@ -84,12 +116,7 @@ ArgMap::getDouble(const std::string &key, double def) const
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
-        fatal("argument %s=%s is not a number",
-              key.c_str(), it->second.c_str());
-    return v;
+    return parseDoubleValue("argument " + key, it->second);
 }
 
 bool
@@ -98,12 +125,7 @@ ArgMap::getBool(const std::string &key, bool def) const
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
-    const std::string &v = it->second;
-    if (v == "1" || v == "true" || v == "yes" || v == "on")
-        return true;
-    if (v == "0" || v == "false" || v == "no" || v == "off")
-        return false;
-    fatal("argument %s=%s is not a boolean", key.c_str(), v.c_str());
+    return parseBoolValue("argument " + key, it->second);
 }
 
 } // namespace moca

@@ -13,6 +13,17 @@
 
 namespace moca {
 
+/**
+ * Parse a typed value out of a free-standing string (shared by ArgMap
+ * and the policy-spec parameter surface).  `what` names the setting in
+ * the fatal() message on malformed input.
+ */
+std::int64_t parseIntValue(const std::string &what,
+                           const std::string &value);
+double parseDoubleValue(const std::string &what,
+                        const std::string &value);
+bool parseBoolValue(const std::string &what, const std::string &value);
+
 /** Parsed key=value command-line overrides with typed lookups. */
 class ArgMap
 {

@@ -1,0 +1,144 @@
+#include "exp/experiment.h"
+
+#include "common/log.h"
+#include "exp/registry.h"
+
+namespace moca::exp {
+
+ExperimentResults::ExperimentResults(
+    std::vector<std::string> specs,
+    std::vector<ScenarioResult> results)
+    : specs_(std::move(specs)), results_(std::move(results))
+{
+}
+
+bool
+ExperimentResults::has(const std::string &spec) const
+{
+    for (const auto &s : specs_)
+        if (s == spec)
+            return true;
+    return false;
+}
+
+const ScenarioResult &
+ExperimentResults::operator[](const std::string &spec) const
+{
+    for (std::size_t i = 0; i < specs_.size(); ++i)
+        if (specs_[i] == spec)
+            return results_[i];
+    std::string known;
+    for (const auto &s : specs_) {
+        if (!known.empty())
+            known += ", ";
+        known += s;
+    }
+    fatal("experiment has no result for policy '%s'; ran: %s",
+          spec.c_str(), known.c_str());
+}
+
+Experiment &
+Experiment::soc(const sim::SocConfig &cfg)
+{
+    soc_ = cfg;
+    return *this;
+}
+
+Experiment &
+Experiment::trace(const workload::TraceConfig &tc)
+{
+    trace_ = tc;
+    return *this;
+}
+
+Experiment &
+Experiment::policies(std::vector<std::string> specs)
+{
+    policies_ = std::move(specs);
+    return *this;
+}
+
+Experiment &
+Experiment::policy(std::string spec)
+{
+    policies_.push_back(std::move(spec));
+    return *this;
+}
+
+Experiment &
+Experiment::withTrace(
+    std::shared_ptr<const std::vector<sim::JobSpec>> specs)
+{
+    stream_ = std::move(specs);
+    return *this;
+}
+
+Experiment &
+Experiment::withTrace(std::vector<sim::JobSpec> specs)
+{
+    stream_ = std::make_shared<const std::vector<sim::JobSpec>>(
+        std::move(specs));
+    return *this;
+}
+
+Experiment &
+Experiment::label(std::string text)
+{
+    label_ = std::move(text);
+    return *this;
+}
+
+Experiment &
+Experiment::jobs(int n)
+{
+    opts_.jobs = n;
+    return *this;
+}
+
+Experiment &
+Experiment::verbose(bool on)
+{
+    opts_.verbose = on;
+    return *this;
+}
+
+Experiment &
+Experiment::sink(ResultSink *s)
+{
+    sinks_.push_back(s);
+    return *this;
+}
+
+ExperimentResults
+Experiment::run() const
+{
+    if (policies_.empty())
+        fatal("experiment: no policies given (use .policy(\"moca\") "
+              "or .policies({...}))");
+    for (const auto &spec : policies_)
+        PolicyRegistry::instance().validate(spec);
+
+    // All policies replay the identical job stream: the caller's
+    // pre-generated stream, or one generated once here and shared.
+    auto stream = stream_;
+    if (!stream)
+        stream = std::make_shared<const std::vector<sim::JobSpec>>(
+            makeTrace(trace_, soc_));
+
+    std::vector<SweepCell> grid;
+    grid.reserve(policies_.size());
+    for (const auto &spec : policies_) {
+        SweepCell cell;
+        cell.label = label_;
+        cell.policy = spec;
+        cell.trace = trace_;
+        cell.soc = soc_;
+        cell.specs = stream;
+        grid.push_back(std::move(cell));
+    }
+
+    auto results = SweepRunner(opts_).run(grid, sinks_);
+    return ExperimentResults(policies_, std::move(results));
+}
+
+} // namespace moca::exp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fluent experiment builder — the user-facing front end of the
+ * experiment layer.  One `Experiment` describes a set of policies
+ * replaying the identical job stream on one SoC configuration:
+ *
+ *     const auto res = exp::Experiment()
+ *                          .soc(cfg)
+ *                          .trace(tc)
+ *                          .policies({"moca", "prema",
+ *                                     "moca:tick=2048"})
+ *                          .jobs(4)
+ *                          .run();
+ *     double sla = res["moca"].metrics.slaRate;
+ *
+ * Policies are named by registry spec strings (registry.h); results
+ * come back keyed by exactly the spec strings given.  This subsumes
+ * the old runScenario/runTrace free-function triple: a default-built
+ * Experiment with one policy is runScenario, withTrace() replaces the
+ * pre-generated-trace overloads.  Execution goes through the parallel
+ * sweep engine, so `jobs(N)` and `sink()` streaming come for free.
+ */
+
+#ifndef MOCA_EXP_EXPERIMENT_H
+#define MOCA_EXP_EXPERIMENT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/sweep/sweep.h"
+
+namespace moca::exp {
+
+/** Results of an Experiment, keyed by policy spec string. */
+class ExperimentResults
+{
+  public:
+    ExperimentResults(std::vector<std::string> specs,
+                      std::vector<ScenarioResult> results);
+
+    /** Result of one policy spec; fatal when the spec was not run. */
+    const ScenarioResult &operator[](const std::string &spec) const;
+
+    bool has(const std::string &spec) const;
+
+    /** All results in the order the policies were given. */
+    const std::vector<ScenarioResult> &all() const { return results_; }
+
+    std::size_t size() const { return results_.size(); }
+    auto begin() const { return results_.begin(); }
+    auto end() const { return results_.end(); }
+
+  private:
+    std::vector<std::string> specs_;
+    std::vector<ScenarioResult> results_;
+};
+
+/** Fluent builder for one multi-policy experiment. */
+class Experiment
+{
+  public:
+    Experiment() = default;
+
+    /** SoC configuration (default: Table II). */
+    Experiment &soc(const sim::SocConfig &cfg);
+
+    /** Trace-generation parameters (workload set, QoS, tasks, seed). */
+    Experiment &trace(const workload::TraceConfig &tc);
+
+    /** Replace the policy list (registry spec strings). */
+    Experiment &policies(std::vector<std::string> specs);
+
+    /** Append one policy spec. */
+    Experiment &policy(std::string spec);
+
+    /**
+     * Replay this pre-generated job stream instead of generating one
+     * from trace() — e.g. a stream mutated by the caller, or one
+     * shared with other experiments.
+     */
+    Experiment &
+    withTrace(std::shared_ptr<const std::vector<sim::JobSpec>> specs);
+    Experiment &withTrace(std::vector<sim::JobSpec> specs);
+
+    /** Row label recorded in streamed sink records. */
+    Experiment &label(std::string text);
+
+    /** Worker threads (0 = hardware concurrency; default 1). */
+    Experiment &jobs(int n);
+
+    /** Per-cell progress lines while running. */
+    Experiment &verbose(bool on);
+
+    /** Attach a streaming result sink (not owned; repeatable). */
+    Experiment &sink(ResultSink *s);
+
+    /**
+     * Validate every spec, run all policies on the identical job
+     * stream, and return the results keyed by spec string.  Fatal on
+     * unknown specs or an empty policy list.
+     */
+    ExperimentResults run() const;
+
+  private:
+    sim::SocConfig soc_;
+    workload::TraceConfig trace_;
+    std::vector<std::string> policies_;
+    std::shared_ptr<const std::vector<sim::JobSpec>> stream_;
+    std::string label_ = "experiment";
+    SweepOptions opts_;
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_EXPERIMENT_H

@@ -5,13 +5,27 @@
 namespace moca::exp {
 
 const ScenarioResult &
-MatrixCell::result(PolicyKind kind) const
+MatrixCell::result(const std::string &spec) const
 {
     for (const auto &r : byPolicy)
-        if (r.policy == kind)
+        if (r.policy == spec)
             return r;
-    panic("matrix cell has no result for policy %s",
-          policyKindName(kind));
+    fatal("matrix cell has no result for policy '%s'", spec.c_str());
+}
+
+bool
+MatrixCell::has(const std::string &spec) const
+{
+    for (const auto &r : byPolicy)
+        if (r.policy == spec)
+            return true;
+    return false;
+}
+
+const std::vector<std::string> &
+MatrixConfig::policyList() const
+{
+    return policies.empty() ? allPolicySpecs() : policies;
 }
 
 const std::vector<std::pair<workload::WorkloadSet,
@@ -38,7 +52,7 @@ std::vector<SweepCell>
 matrixGrid(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
 {
     std::vector<SweepCell> grid;
-    grid.reserve(matrixCells().size() * allPolicies().size());
+    grid.reserve(matrixCells().size() * mcfg.policyList().size());
     for (const auto &[set, qos] : matrixCells()) {
         workload::TraceConfig trace;
         trace.set = set;
@@ -54,7 +68,7 @@ matrixGrid(const MatrixConfig &mcfg, const sim::SocConfig &cfg)
             grid,
             std::string(workload::workloadSetName(set)) + " " +
                 workload::qosLevelName(qos),
-            allPolicies(), trace, cfg);
+            mcfg.policyList(), trace, cfg);
     }
     return grid;
 }
@@ -73,7 +87,7 @@ runMatrix(const MatrixConfig &mcfg, const sim::SocConfig &cfg,
     // Reassemble the flat grid (policy-major within each scenario)
     // into the 9 MatrixCells the figure benches pivot on.
     std::vector<MatrixCell> out;
-    const std::size_t per_cell = allPolicies().size();
+    const std::size_t per_cell = mcfg.policyList().size();
     for (std::size_t c = 0; c < matrixCells().size(); ++c) {
         MatrixCell cell;
         cell.set = matrixCells()[c].first;

@@ -15,14 +15,18 @@
 
 namespace moca::exp {
 
-/** One (set, qos) cell with the four policies' results. */
+/** One (set, qos) cell with the selected policies' results. */
 struct MatrixCell
 {
     workload::WorkloadSet set;
     workload::QosLevel qos;
-    std::vector<ScenarioResult> byPolicy; ///< allPolicies() order.
+    std::vector<ScenarioResult> byPolicy; ///< MatrixConfig::policies order.
 
-    const ScenarioResult &result(PolicyKind kind) const;
+    /** Result of the given policy spec; fatal when absent. */
+    const ScenarioResult &result(const std::string &spec) const;
+
+    /** Whether this cell holds a result for the spec. */
+    bool has(const std::string &spec) const;
 };
 
 /** Parameters of a matrix sweep. */
@@ -34,6 +38,13 @@ struct MatrixConfig
     std::uint64_t seed = 1;
     bool verbose = true; ///< Print progress lines while running.
     int jobs = 1;        ///< Worker threads (0 = hw concurrency).
+
+    /** Policy specs each scenario runs under; empty selects the four
+     *  built-in policies (allPolicySpecs()). */
+    std::vector<std::string> policies;
+
+    /** `policies` with the default applied. */
+    const std::vector<std::string> &policyList() const;
 };
 
 /** The 36 (set, qos, policy) cells of the matrix as a sweep grid;

@@ -1,0 +1,385 @@
+#include "exp/registry.h"
+
+#include <algorithm>
+
+#include "baselines/planaria.h"
+#include "baselines/prema.h"
+#include "baselines/static_partition.h"
+#include "common/argparse.h"
+#include "common/log.h"
+#include "exp/oracle.h"
+#include "moca/moca_policy.h"
+
+namespace moca::exp {
+
+namespace {
+
+/** Levenshtein distance for the did-you-mean suggestion. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+/**
+ * Apply a validated spec's parameters to a policy config struct via
+ * its applyParam surface.  The registry has already checked every key
+ * against the declared schema, so an unknown key here is a schema /
+ * applyParam mismatch — a programming error in the registration.
+ */
+template <typename Config>
+Config
+configFromSpec(const PolicySpec &spec, Config cfg = Config())
+{
+    for (const auto &[key, value] : spec.params) {
+        if (!cfg.applyParam(key, value))
+            panic("policy %s declares parameter '%s' but its "
+                  "applyParam does not handle it",
+                  spec.name.c_str(), key.c_str());
+    }
+    return cfg;
+}
+
+void
+registerBuiltins(PolicyRegistry &reg)
+{
+    // The paper's presentation order: the three baselines, then MoCA.
+    reg.add({
+        "prema",
+        "PREMA [9]: time-multiplexed baseline, token-based "
+        "priorities, checkpointing preemption",
+        {{"preempt_margin", "double", "2.0",
+          "token advantage a challenger needs to preempt"}},
+        [](const sim::SocConfig &cfg, const PolicySpec &spec) {
+            return std::make_unique<baselines::PremaPolicy>(
+                cfg, configFromSpec<baselines::PremaConfig>(spec));
+        },
+    });
+    reg.add({
+        "static",
+        "static spatial partitioning: fixed equal partitions, "
+        "priority-plus-age admission, no runtime adaptation",
+        {{"partitions", "int", "4",
+          "number of fixed partitions of the tile array"}},
+        [](const sim::SocConfig &cfg, const PolicySpec &spec) {
+            return std::make_unique<baselines::StaticPartitionPolicy>(
+                cfg,
+                configFromSpec<baselines::StaticPartitionConfig>(
+                    spec));
+        },
+    });
+    reg.add({
+        "planaria",
+        "Planaria [18]: dynamic compute fission by deadline "
+        "pressure, memory-oblivious",
+        {{"min_tiles", "int", "1",
+          "smallest pod a job can be fissioned down to"},
+         {"max_concurrent", "int", "8",
+          "cap on concurrently co-located jobs"}},
+        [](const sim::SocConfig &cfg, const PolicySpec &spec) {
+            return std::make_unique<baselines::PlanariaPolicy>(
+                cfg, configFromSpec<baselines::PlanariaConfig>(spec));
+        },
+    });
+    reg.add({
+        "moca",
+        "MoCA: memory-centric adaptive execution — Alg. 3 "
+        "scheduling, Alg. 2 contention detection, HW throttling",
+        {{"slots", "int", "4", "concurrent job slots"},
+         {"throttle", "bool", "1",
+          "program the MoCA throttle engines"},
+         {"pairing", "bool", "1",
+          "Algorithm 3 memory-aware pairing"},
+         {"dynamic_score", "bool", "1",
+          "dynamic priority score (remaining/slack term)"},
+         {"repartition", "bool", "1",
+          "allow the rare compute-tile repartitioning"},
+         {"score_threshold", "double", "0",
+          "ExQueue admission threshold (Alg. 3 line 14)"},
+         {"sparsity_aware", "bool", "1",
+          "sparsity-aware performance predictor"},
+         {"repartition_benefit", "double", "6",
+          "migration penalties a repartition must amortize"},
+         {"tick", "int", "0",
+          "fixed throttle window in cycles (0 = prediction-derived)"},
+         {"threshold", "scaled|fixed", "scaled",
+          "throttle budget from score-weighted allocation or the "
+          "equal 1/N share"}},
+        [](const sim::SocConfig &cfg, const PolicySpec &spec) {
+            return std::make_unique<MocaPolicy>(
+                cfg, configFromSpec<MocaPolicyConfig>(spec));
+        },
+    });
+    reg.add({
+        "solo",
+        "no management: FCFS onto a fixed tile count per job (the "
+        "Fig. 1 co-location baseline)",
+        {{"tiles", "int", "0",
+          "tiles per job (0 = the whole array)"}},
+        [](const sim::SocConfig &cfg, const PolicySpec &spec) {
+            int tiles = 0;
+            for (const auto &[key, value] : spec.params)
+                if (key == "tiles")
+                    tiles = static_cast<int>(
+                        parseIntValue("solo:tiles", value));
+            if (tiles == 0)
+                tiles = cfg.numTiles; // 0 = the whole array.
+            if (tiles < 0 || tiles > cfg.numTiles)
+                fatal("solo: tiles must be in [0, %d]", cfg.numTiles);
+            return std::make_unique<SoloPolicy>(tiles);
+        },
+    });
+}
+
+} // namespace
+
+PolicySpec
+PolicySpec::parse(const std::string &spec)
+{
+    PolicySpec out;
+    const auto colon = spec.find(':');
+    out.name = spec.substr(0, colon);
+    if (out.name.empty())
+        fatal("empty policy spec%s",
+              spec.empty() ? "" : (" in '" + spec + "'").c_str());
+    if (colon == std::string::npos)
+        return out;
+
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        auto comma = rest.find(',', pos);
+        if (comma == std::string::npos)
+            comma = rest.size();
+        const std::string item = rest.substr(pos, comma - pos);
+        const auto eq = item.find('=');
+        if (item.empty() || eq == 0 || eq == std::string::npos)
+            fatal("malformed policy spec '%s': expected "
+                  "key=value after ':', got '%s'",
+                  spec.c_str(), item.c_str());
+        out.params.emplace_back(item.substr(0, eq),
+                                item.substr(eq + 1));
+        pos = comma + 1;
+        if (comma == rest.size())
+            break;
+    }
+    return out;
+}
+
+std::string
+PolicySpec::canonical() const
+{
+    std::string out = name;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        out += i == 0 ? ":" : ",";
+        out += params[i].first + "=" + params[i].second;
+    }
+    return out;
+}
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry reg = [] {
+        PolicyRegistry r;
+        registerBuiltins(r);
+        return r;
+    }();
+    return reg;
+}
+
+void
+PolicyRegistry::add(PolicyInfo info)
+{
+    if (info.name.empty())
+        fatal("cannot register a policy with an empty name");
+    if (info.name.find(':') != std::string::npos ||
+        info.name.find(',') != std::string::npos ||
+        info.name.find('=') != std::string::npos)
+        fatal("policy name '%s' may not contain ':', ',' or '='",
+              info.name.c_str());
+    if (!info.factory)
+        fatal("policy '%s' registered without a factory",
+              info.name.c_str());
+    if (byName_.count(info.name) > 0)
+        fatal("policy '%s' is already registered", info.name.c_str());
+    byName_[info.name] = policies_.size();
+    policies_.push_back(std::move(info));
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    return byName_.count(name) > 0;
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(policies_.size());
+    for (const auto &p : policies_)
+        out.push_back(p.name);
+    return out;
+}
+
+const PolicyInfo *
+PolicyRegistry::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : &policies_[it->second];
+}
+
+void
+PolicyRegistry::unknownPolicy(const std::string &name) const
+{
+    // Did-you-mean: the registered name closest in edit distance,
+    // suggested only when it is plausibly a typo.
+    std::string nearest;
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (const auto &p : policies_) {
+        const std::size_t d = editDistance(name, p.name);
+        if (d < best) {
+            best = d;
+            nearest = p.name;
+        }
+    }
+    const bool suggest =
+        !nearest.empty() && best <= std::max<std::size_t>(
+            2, name.size() / 3);
+    fatal("unknown policy '%s'%s%s%s; known policies: %s "
+          "(run with --list-policies for parameters)",
+          name.c_str(), suggest ? " (did you mean '" : "",
+          suggest ? nearest.c_str() : "", suggest ? "'?)" : "",
+          joinNames(names()).c_str());
+}
+
+const PolicyInfo &
+PolicyRegistry::info(const std::string &name) const
+{
+    const PolicyInfo *p = find(name);
+    if (p == nullptr)
+        unknownPolicy(name);
+    return *p;
+}
+
+const PolicyInfo &
+PolicyRegistry::checkSpec(const PolicySpec &spec) const
+{
+    const PolicyInfo &pi = info(spec.name);
+    for (const auto &[key, value] : spec.params) {
+        (void)value;
+        const bool declared = std::any_of(
+            pi.params.begin(), pi.params.end(),
+            [&](const PolicyParam &p) { return p.key == key; });
+        if (!declared) {
+            std::string keys;
+            for (const auto &p : pi.params) {
+                if (!keys.empty())
+                    keys += ", ";
+                keys += p.key;
+            }
+            fatal("policy '%s' has no parameter '%s'; declared "
+                  "parameters: %s",
+                  spec.name.c_str(), key.c_str(),
+                  keys.empty() ? "(none)" : keys.c_str());
+        }
+    }
+    return pi;
+}
+
+std::unique_ptr<sim::Policy>
+PolicyRegistry::make(const PolicySpec &spec,
+                     const sim::SocConfig &cfg) const
+{
+    return checkSpec(spec).factory(cfg, spec);
+}
+
+std::unique_ptr<sim::Policy>
+PolicyRegistry::make(const std::string &spec,
+                     const sim::SocConfig &cfg) const
+{
+    return make(PolicySpec::parse(spec), cfg);
+}
+
+void
+PolicyRegistry::validate(const std::string &spec) const
+{
+    // Structural validation only: grammar, policy name (with
+    // did-you-mean), and declared parameter keys.  Parameter
+    // *values* are checked at construction time against the SoC
+    // configuration the policy actually runs on — range checks like
+    // "solo:tiles=16" depend on it, so validating them against a
+    // default-constructed config would falsely reject specs.
+    (void)checkSpec(PolicySpec::parse(spec));
+}
+
+std::string
+PolicyRegistry::listText() const
+{
+    std::string out = "registered policies "
+                      "(spec grammar: name[:key=value,...]):\n";
+    for (const auto &p : policies_) {
+        out += "  " + p.name + " — " + p.description + "\n";
+        for (const auto &param : p.params)
+            out += strprintf("      %-20s %-13s default %-7s %s\n",
+                             param.key.c_str(), param.type.c_str(),
+                             param.defaultValue.c_str(),
+                             param.description.c_str());
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitPolicyList(const std::string &list)
+{
+    std::vector<std::string> specs;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        auto comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string token = list.substr(pos, comma - pos);
+        if (!token.empty() &&
+            token.find('=') != std::string::npos &&
+            token.find(':') == std::string::npos && !specs.empty()) {
+            // A bare key=value continues the previous spec's
+            // parameter list ("moca:tick=2048,threshold=fixed").
+            specs.back() += "," + token;
+        } else if (!token.empty()) {
+            specs.push_back(token);
+        }
+        if (comma == list.size())
+            break;
+        pos = comma + 1;
+    }
+    if (specs.empty())
+        fatal("--policy: empty policy list");
+    return specs;
+}
+
+} // namespace moca::exp

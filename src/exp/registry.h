@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Open, string-keyed policy registry: the seam through which every
+ * multi-tenancy mechanism — the paper's four plus any user-defined
+ * policy — is named, parameterized, and instantiated.
+ *
+ * A *policy spec* is a string of the form
+ *
+ *     name[:key=value[,key=value...]]
+ *
+ * e.g. "moca", "moca:tick=2048,threshold=fixed", or
+ * "prema:preempt_margin=1.5".  Each registered policy declares a
+ * factory, a one-line description, and a parameter schema; the
+ * registry validates specs against the schema and fails loudly with
+ * actionable errors (unknown names get a did-you-mean suggestion,
+ * unknown parameters get the declared parameter list).
+ *
+ * Registration is open: link-time self-registration through
+ * `PolicyRegistrar` lets examples and downstream users plug in new
+ * policies without touching this file (see
+ * examples/scheduler_playground.cpp).  The four built-in policies are
+ * registered by the registry itself so they are always available.
+ */
+
+#ifndef MOCA_EXP_REGISTRY_H
+#define MOCA_EXP_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/policy.h"
+
+namespace moca::exp {
+
+/** A parsed policy spec: base name + key=value parameters in the
+ *  order given. */
+struct PolicySpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Parse "name:key=value,..."; fatal on syntax errors. */
+    static PolicySpec parse(const std::string &spec);
+
+    /** Re-serialize to the canonical "name:key=value,..." form. */
+    std::string canonical() const;
+};
+
+/** One declared parameter of a registered policy (schema entry used
+ *  by --list-policies and spec validation). */
+struct PolicyParam
+{
+    std::string key;
+    std::string type; ///< "int", "double", "bool", or an enum list.
+    std::string defaultValue;
+    std::string description;
+};
+
+/** Everything the registry knows about one policy. */
+struct PolicyInfo
+{
+    std::string name;
+    std::string description;
+    std::vector<PolicyParam> params;
+
+    /**
+     * Build the policy for `cfg` with `spec`'s parameters applied.
+     * Called with an already-validated spec (name matches, every
+     * param key is declared); factories apply values through the
+     * config structs' applyParam surface, which is fatal on
+     * malformed values.  Must be thread-safe: sweep workers invoke
+     * it concurrently.
+     */
+    std::function<std::unique_ptr<sim::Policy>(
+        const sim::SocConfig &cfg, const PolicySpec &spec)>
+        factory;
+};
+
+/**
+ * The process-wide policy registry.  All lookups go through spec
+ * strings; iteration order is registration order (built-ins first, in
+ * the paper's presentation order).
+ */
+class PolicyRegistry
+{
+  public:
+    /** The singleton (built-ins are registered on first use). */
+    static PolicyRegistry &instance();
+
+    /** Register a policy; fatal on a duplicate name. */
+    void add(PolicyInfo info);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Metadata for `name`; fatal (with did-you-mean) when unknown. */
+    const PolicyInfo &info(const std::string &name) const;
+
+    /**
+     * Parse, validate, and build a policy from a spec string.  This
+     * is the one entry point scenario/sweep/Experiment use; unknown
+     * names and undeclared parameters are fatal with actionable
+     * messages.
+     */
+    std::unique_ptr<sim::Policy> make(const std::string &spec,
+                                      const sim::SocConfig &cfg) const;
+    std::unique_ptr<sim::Policy> make(const PolicySpec &spec,
+                                      const sim::SocConfig &cfg) const;
+
+    /**
+     * Structurally validate a spec string without building the
+     * policy: grammar, name (did-you-mean on typos), and declared
+     * parameter keys.  Parameter values are checked when the policy
+     * is built against its actual SoC configuration.
+     */
+    void validate(const std::string &spec) const;
+
+    /** Human-readable catalogue (--list-policies output). */
+    std::string listText() const;
+
+  private:
+    PolicyRegistry() = default;
+
+    std::vector<PolicyInfo> policies_;
+    std::map<std::string, std::size_t> byName_;
+
+    const PolicyInfo *find(const std::string &name) const;
+    [[noreturn]] void unknownPolicy(const std::string &name) const;
+
+    /** Name + declared-parameter-key validation shared by make() and
+     *  validate(); fatal with actionable messages. */
+    const PolicyInfo &checkSpec(const PolicySpec &spec) const;
+};
+
+/**
+ * Link-time self-registration hook:
+ *
+ *     static exp::PolicyRegistrar reg({"mine", "...", {...}, factory});
+ */
+struct PolicyRegistrar
+{
+    explicit PolicyRegistrar(PolicyInfo info)
+    {
+        PolicyRegistry::instance().add(std::move(info));
+    }
+};
+
+/**
+ * Split a `--policy` list into individual specs.  Commas separate
+ * both specs and parameters; a token containing '=' extends the
+ * previous spec's parameter list, any other token starts a new spec:
+ * "moca:tick=2048,threshold=fixed,prema" is the parameterized moca
+ * spec followed by plain prema.
+ */
+std::vector<std::string> splitPolicyList(const std::string &list);
+
+} // namespace moca::exp
+
+#endif // MOCA_EXP_REGISTRY_H

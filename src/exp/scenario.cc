@@ -1,14 +1,89 @@
 #include "exp/scenario.h"
 
-#include "baselines/planaria.h"
-#include "baselines/prema.h"
-#include "baselines/static_partition.h"
 #include "common/log.h"
 #include "exp/oracle.h"
-#include "moca/moca_policy.h"
+#include "exp/registry.h"
 #include "sim/soc.h"
 
 namespace moca::exp {
+
+const std::vector<std::string> &
+allPolicySpecs()
+{
+    static const std::vector<std::string> specs = {
+        "prema",
+        "static",
+        "planaria",
+        "moca",
+    };
+    return specs;
+}
+
+std::unique_ptr<sim::Policy>
+makePolicy(const std::string &spec, const sim::SocConfig &cfg)
+{
+    return PolicyRegistry::instance().make(spec, cfg);
+}
+
+std::vector<sim::JobSpec>
+makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    workload::TraceConfig t = trace;
+    t.numTiles = cfg.numTiles;
+    return workload::generateTrace(t, [&](dnn::ModelId id) {
+        // QoS targets reference the isolated single-tile latency
+        // ("each tile is close to an edge device", Sec. IV-B).
+        return isolatedLatency(id, 1, cfg);
+    });
+}
+
+ScenarioResult
+runTrace(const std::string &spec,
+         const std::vector<sim::JobSpec> &specs,
+         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    auto policy = makePolicy(spec, cfg);
+    return runTrace(*policy, spec, specs, trace, cfg);
+}
+
+ScenarioResult
+runTrace(sim::Policy &policy, const std::string &label,
+         const std::vector<sim::JobSpec> &specs,
+         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
+{
+    sim::Soc soc(cfg, policy);
+    for (const auto &spec : specs)
+        soc.addJob(spec);
+    soc.run();
+
+    ScenarioResult r;
+    r.policy = label;
+    r.trace = trace;
+    r.jobs = soc.results();
+    r.metrics = metrics::computeMetrics(r.jobs, [&](dnn::ModelId id) {
+        // C_single: the no-contention full-SoC reference, identical
+        // across policies.
+        return isolatedLatency(id, cfg.numTiles, cfg);
+    });
+    for (const auto &j : r.jobs) {
+        r.makespan = std::max(r.makespan, j.finish);
+        r.totalMigrations += j.migrations;
+        r.totalPreemptions += j.preemptions;
+        r.totalThrottleReconfigs += j.throttleReconfigs;
+    }
+    r.dramBusyFraction = soc.stats().dramBusyFraction;
+    r.thrashLostBytes = soc.stats().thrashLostBytes;
+    return r;
+}
+
+ScenarioResult
+runScenario(const std::string &spec, const workload::TraceConfig &trace,
+            const sim::SocConfig &cfg)
+{
+    return runTrace(spec, makeTrace(trace, cfg), trace, cfg);
+}
+
+// --- Deprecated PolicyKind shim --------------------------------------
 
 const std::vector<PolicyKind> &
 allPolicies()
@@ -31,80 +106,33 @@ policyKindName(PolicyKind kind)
       case PolicyKind::Planaria: return "planaria";
       case PolicyKind::Moca: return "moca";
     }
-    return "?";
+    // Out-of-range enum values fail loudly through the registry's
+    // unknown-policy path (lists known policies) instead of the old
+    // silent "?" placeholder.
+    (void)PolicyRegistry::instance().info(
+        strprintf("PolicyKind(%d)", static_cast<int>(kind)));
+    panic("unreachable");
 }
 
 std::unique_ptr<sim::Policy>
 makePolicy(PolicyKind kind, const sim::SocConfig &cfg)
 {
-    switch (kind) {
-      case PolicyKind::Prema:
-        return std::make_unique<baselines::PremaPolicy>(cfg);
-      case PolicyKind::StaticPartition:
-        return std::make_unique<baselines::StaticPartitionPolicy>(cfg);
-      case PolicyKind::Planaria:
-        return std::make_unique<baselines::PlanariaPolicy>(cfg);
-      case PolicyKind::Moca:
-        return std::make_unique<MocaPolicy>(cfg);
-    }
-    panic("bad policy kind");
-}
-
-std::vector<sim::JobSpec>
-makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg)
-{
-    workload::TraceConfig t = trace;
-    t.numTiles = cfg.numTiles;
-    return workload::generateTrace(t, [&](dnn::ModelId id) {
-        // QoS targets reference the isolated single-tile latency
-        // ("each tile is close to an edge device", Sec. IV-B).
-        return isolatedLatency(id, 1, cfg);
-    });
+    return makePolicy(std::string(policyKindName(kind)), cfg);
 }
 
 ScenarioResult
 runTrace(PolicyKind kind, const std::vector<sim::JobSpec> &specs,
          const workload::TraceConfig &trace, const sim::SocConfig &cfg)
 {
-    auto policy = makePolicy(kind, cfg);
-    return runTrace(*policy, kind, specs, trace, cfg);
-}
-
-ScenarioResult
-runTrace(sim::Policy &policy, PolicyKind kind,
-         const std::vector<sim::JobSpec> &specs,
-         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
-{
-    sim::Soc soc(cfg, policy);
-    for (const auto &spec : specs)
-        soc.addJob(spec);
-    soc.run();
-
-    ScenarioResult r;
-    r.policy = kind;
-    r.trace = trace;
-    r.jobs = soc.results();
-    r.metrics = metrics::computeMetrics(r.jobs, [&](dnn::ModelId id) {
-        // C_single: the no-contention full-SoC reference, identical
-        // across policies.
-        return isolatedLatency(id, cfg.numTiles, cfg);
-    });
-    for (const auto &j : r.jobs) {
-        r.makespan = std::max(r.makespan, j.finish);
-        r.totalMigrations += j.migrations;
-        r.totalPreemptions += j.preemptions;
-        r.totalThrottleReconfigs += j.throttleReconfigs;
-    }
-    r.dramBusyFraction = soc.stats().dramBusyFraction;
-    r.thrashLostBytes = soc.stats().thrashLostBytes;
-    return r;
+    return runTrace(std::string(policyKindName(kind)), specs, trace,
+                    cfg);
 }
 
 ScenarioResult
 runScenario(PolicyKind kind, const workload::TraceConfig &trace,
             const sim::SocConfig &cfg)
 {
-    return runTrace(kind, makeTrace(trace, cfg), trace, cfg);
+    return runScenario(std::string(policyKindName(kind)), trace, cfg);
 }
 
 } // namespace moca::exp

@@ -4,6 +4,12 @@
  * builds an SoC + policy, replays a generated multi-tenant trace, and
  * computes the paper's metrics.  One `Scenario` corresponds to one
  * cell of Figures 5-8 (a workload set x QoS level x policy).
+ *
+ * Policies are identified by *spec strings* resolved through
+ * exp::PolicyRegistry ("moca", "prema", "moca:tick=2048", ...); see
+ * registry.h for the grammar.  The fluent exp::Experiment builder
+ * (experiment.h) is the preferred front end; the free functions here
+ * are the single-run primitives it (and the sweep engine) compose.
  */
 
 #ifndef MOCA_EXP_SCENARIO_H
@@ -21,29 +27,20 @@
 
 namespace moca::exp {
 
-/** The four multi-tenancy mechanisms under comparison. */
-enum class PolicyKind
-{
-    Prema,
-    StaticPartition,
-    Planaria,
-    Moca,
-};
+/** The four built-in policy specs in the paper's presentation order
+ *  ("prema", "static", "planaria", "moca"). */
+const std::vector<std::string> &allPolicySpecs();
 
-/** All policies in the paper's presentation order. */
-const std::vector<PolicyKind> &allPolicies();
-
-/** Printable name ("prema", "static", "planaria", "moca"). */
-const char *policyKindName(PolicyKind kind);
-
-/** Instantiate a policy for the given SoC configuration. */
-std::unique_ptr<sim::Policy> makePolicy(PolicyKind kind,
+/** Instantiate a policy from a spec string via the registry; fatal
+ *  (with did-you-mean) on unknown names or parameters. */
+std::unique_ptr<sim::Policy> makePolicy(const std::string &spec,
                                         const sim::SocConfig &cfg);
 
 /** Outcome of one scenario run. */
 struct ScenarioResult
 {
-    PolicyKind policy;
+    /** The policy spec string the scenario ran under. */
+    std::string policy;
     workload::TraceConfig trace;
     metrics::RunMetrics metrics;
     std::vector<sim::JobResult> jobs;
@@ -57,10 +54,10 @@ struct ScenarioResult
 
 /**
  * Run one scenario: generate the trace for `trace`, execute it under
- * `kind`, and compute metrics against the full-SoC isolated-latency
- * oracle.
+ * the policy named by `spec`, and compute metrics against the
+ * full-SoC isolated-latency oracle.
  */
-ScenarioResult runScenario(PolicyKind kind,
+ScenarioResult runScenario(const std::string &spec,
                            const workload::TraceConfig &trace,
                            const sim::SocConfig &cfg);
 
@@ -68,17 +65,17 @@ ScenarioResult runScenario(PolicyKind kind,
  * Run a pre-generated trace (used when several policies must see the
  * identical job stream).
  */
-ScenarioResult runTrace(PolicyKind kind,
+ScenarioResult runTrace(const std::string &spec,
                         const std::vector<sim::JobSpec> &specs,
                         const workload::TraceConfig &trace,
                         const sim::SocConfig &cfg);
 
 /**
- * Run a pre-generated trace under an already-built policy (custom
- * policy configurations outside the PolicyKind registry).  `kind` is
- * recorded in the result for reporting only.
+ * Run a pre-generated trace under an already-built policy (policies
+ * constructed outside the registry).  `label` is recorded as the
+ * result's policy string for reporting only.
  */
-ScenarioResult runTrace(sim::Policy &policy, PolicyKind kind,
+ScenarioResult runTrace(sim::Policy &policy, const std::string &label,
                         const std::vector<sim::JobSpec> &specs,
                         const workload::TraceConfig &trace,
                         const sim::SocConfig &cfg);
@@ -86,6 +83,43 @@ ScenarioResult runTrace(sim::Policy &policy, PolicyKind kind,
 /** Generate the trace for a TraceConfig (oracle-backed QoS targets). */
 std::vector<sim::JobSpec>
 makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg);
+
+// --- Deprecated PolicyKind shim --------------------------------------
+//
+// The closed enum the registry replaced.  Kept for one PR so
+// out-of-tree users can migrate; new code names policies by spec
+// string.  Will be removed.
+
+/** @deprecated Use spec strings ("moca", ...) via the registry. */
+enum class PolicyKind
+{
+    Prema,
+    StaticPartition,
+    Planaria,
+    Moca,
+};
+
+/** @deprecated Use allPolicySpecs(). */
+const std::vector<PolicyKind> &allPolicies();
+
+/** @deprecated The enum's spec string; fatal on an out-of-range
+ *  value (through the registry's unknown-policy error path). */
+const char *policyKindName(PolicyKind kind);
+
+/** @deprecated Use makePolicy(spec, cfg). */
+std::unique_ptr<sim::Policy> makePolicy(PolicyKind kind,
+                                        const sim::SocConfig &cfg);
+
+/** @deprecated Use the spec-string overload. */
+ScenarioResult runScenario(PolicyKind kind,
+                           const workload::TraceConfig &trace,
+                           const sim::SocConfig &cfg);
+
+/** @deprecated Use the spec-string overload. */
+ScenarioResult runTrace(PolicyKind kind,
+                        const std::vector<sim::JobSpec> &specs,
+                        const workload::TraceConfig &trace,
+                        const sim::SocConfig &cfg);
 
 } // namespace moca::exp
 

@@ -1,8 +1,10 @@
 #include "exp/sweep/options.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/units.h"
+#include "exp/registry.h"
 
 namespace moca::exp {
 
@@ -51,6 +53,24 @@ sweepOptionsFromArgs(const ArgMap &args)
     opts.jobs = static_cast<int>(args.getInt("jobs", 1));
     opts.verbose = args.getBool("verbose", false);
     return opts;
+}
+
+std::vector<std::string>
+policiesFromArgs(const ArgMap &args,
+                 const std::vector<std::string> &def)
+{
+    if (args.has("list-policies")) {
+        std::fputs(PolicyRegistry::instance().listText().c_str(),
+                   stdout);
+        std::exit(0);
+    }
+    std::vector<std::string> specs =
+        def.empty() ? allPolicySpecs() : def;
+    if (args.has("policy"))
+        specs = splitPolicyList(args.getString("policy", ""));
+    for (const auto &spec : specs)
+        PolicyRegistry::instance().validate(spec);
+    return specs;
 }
 
 ResultSink *

@@ -11,6 +11,7 @@
 #define MOCA_EXP_SWEEP_OPTIONS_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/argparse.h"
@@ -29,6 +30,18 @@ void printSocBanner(const sim::SocConfig &cfg);
 /** Sweep-engine options from `--jobs N` (0 = hardware concurrency)
  *  and `verbose=0/1`. */
 SweepOptions sweepOptionsFromArgs(const ArgMap &args);
+
+/**
+ * Shared `--policy <spec>[,<spec>...]` / `--list-policies` handling
+ * for every bench binary.  `--list-policies` prints the registry
+ * catalogue and exits; `--policy` selects (and validates) the policy
+ * specs to run, defaulting to `def` (or the four built-in policies
+ * when `def` is empty).  Unknown specs are fatal with a did-you-mean
+ * suggestion.
+ */
+std::vector<std::string>
+policiesFromArgs(const ArgMap &args,
+                 const std::vector<std::string> &def = {});
 
 /**
  * Owning bundle of result sinks, so binaries can hold console and

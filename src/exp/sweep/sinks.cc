@@ -100,7 +100,7 @@ sweepRecordValues(std::size_t index, const SweepCell &cell,
     return {
         strprintf("%zu", index),
         cell.label,
-        policyKindName(r.policy),
+        r.policy,
         workload::workloadSetName(t.set),
         workload::qosLevelName(t.qos),
         workload::arrivalPatternName(t.arrivals),
@@ -140,7 +140,7 @@ TableSink::onResult(std::size_t, const SweepCell &cell,
 {
     table_.row()
         .cell(cell.label)
-        .cell(policyKindName(r.policy))
+        .cell(r.policy)
         .cell(r.metrics.slaRate, 3)
         .cell(r.metrics.slaRateLow, 3)
         .cell(r.metrics.slaRateMid, 3)

@@ -30,8 +30,8 @@ runCell(const SweepCell &cell)
         return runScenario(cell.policy, cell.trace, cell.soc);
     }
 
-    // Custom-policy cell: the caller's factory instead of the
-    // PolicyKind registry, then the shared runTrace assembly.
+    // Custom-policy cell: the caller's factory instead of the spec
+    // registry, then the shared runTrace assembly.
     std::vector<sim::JobSpec> generated;
     const std::vector<sim::JobSpec> *specs = cell.specs.get();
     if (specs == nullptr) {
@@ -46,19 +46,19 @@ runCell(const SweepCell &cell)
 void
 appendPolicyCells(std::vector<SweepCell> &grid,
                   const std::string &label,
-                  const std::vector<PolicyKind> &kinds,
+                  const std::vector<std::string> &specs,
                   const workload::TraceConfig &trace,
                   const sim::SocConfig &soc)
 {
-    auto specs = std::make_shared<const std::vector<sim::JobSpec>>(
+    auto stream = std::make_shared<const std::vector<sim::JobSpec>>(
         makeTrace(trace, soc));
-    for (PolicyKind kind : kinds) {
+    for (const std::string &spec : specs) {
         SweepCell cell;
         cell.label = label;
-        cell.policy = kind;
+        cell.policy = spec;
         cell.trace = trace;
         cell.soc = soc;
-        cell.specs = specs;
+        cell.specs = stream;
         grid.push_back(std::move(cell));
     }
 }
@@ -134,7 +134,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells,
         if (opts_.verbose)
             inform("sweep: running cell %zu/%zu (%s / %s)...", i + 1,
                    n, cells[i].label.c_str(),
-                   policyKindName(cells[i].policy));
+                   cells[i].policy.c_str());
         results[i] = runCell(cells[i]);
 
         std::lock_guard<std::mutex> lock(emit_mutex);

@@ -33,15 +33,18 @@ struct SweepCell
     /** Row label for sinks, e.g. "Workload-A QoS-L". */
     std::string label;
 
-    PolicyKind policy = PolicyKind::Moca;
+    /** Policy spec string resolved through exp::PolicyRegistry,
+     *  e.g. "moca" or "moca:tick=2048,threshold=fixed". */
+    std::string policy = "moca";
 
     workload::TraceConfig trace;
     sim::SocConfig soc;
 
     /**
-     * Optional policy factory overriding `policy` (used by the
-     * ablation bench to run custom MocaPolicyConfig variants).  Must
-     * be thread-safe: it is invoked from worker threads.
+     * Optional policy factory overriding `policy` (for policies that
+     * cannot be expressed as a registry spec, e.g. stateful test
+     * doubles).  Must be thread-safe: it is invoked from worker
+     * threads.
      */
     std::function<std::unique_ptr<sim::Policy>(const sim::SocConfig &)>
         policyFactory;
@@ -67,13 +70,14 @@ std::uint64_t deriveCellSeed(std::uint64_t base, std::size_t index);
 ScenarioResult runCell(const SweepCell &cell);
 
 /**
- * Append one cell per policy in `kinds`, all replaying the identical
- * trace (generated once from `trace` + `soc` and shared read-only).
- * The standard way grids compare policies on the same job stream.
+ * Append one cell per policy spec in `specs`, all replaying the
+ * identical trace (generated once from `trace` + `soc` and shared
+ * read-only).  The standard way grids compare policies on the same
+ * job stream.
  */
 void appendPolicyCells(std::vector<SweepCell> &grid,
                        const std::string &label,
-                       const std::vector<PolicyKind> &kinds,
+                       const std::vector<std::string> &specs,
                        const workload::TraceConfig &trace,
                        const sim::SocConfig &soc);
 

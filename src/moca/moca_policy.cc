@@ -2,14 +2,57 @@
 
 #include <algorithm>
 
+#include "common/argparse.h"
 #include "common/log.h"
 
 namespace moca {
 
+bool
+MocaPolicyConfig::applyParam(const std::string &key,
+                             const std::string &value)
+{
+    const std::string what = "moca:" + key;
+    if (key == "slots") {
+        slots = static_cast<int>(parseIntValue(what, value));
+    } else if (key == "throttle") {
+        enableThrottling = parseBoolValue(what, value);
+    } else if (key == "pairing") {
+        enableMemAwarePairing = parseBoolValue(what, value);
+    } else if (key == "dynamic_score") {
+        enableDynamicScore = parseBoolValue(what, value);
+    } else if (key == "repartition") {
+        enableComputeRepartition = parseBoolValue(what, value);
+    } else if (key == "score_threshold") {
+        scoreThreshold = parseDoubleValue(what, value);
+    } else if (key == "sparsity_aware") {
+        sparsityAwarePredictor = parseBoolValue(what, value);
+    } else if (key == "repartition_benefit") {
+        repartitionBenefit = parseDoubleValue(what, value);
+    } else if (key == "tick") {
+        const auto tick = parseIntValue(what, value);
+        if (tick < 0)
+            fatal("%s: tick must be >= 0 cycles", what.c_str());
+        throttleTickCycles = static_cast<Cycles>(tick);
+    } else if (key == "threshold") {
+        if (value == "scaled")
+            fixedThreshold = false;
+        else if (value == "fixed")
+            fixedThreshold = true;
+        else
+            fatal("%s=%s: expected 'scaled' or 'fixed'",
+                  what.c_str(), value.c_str());
+    } else {
+        return false;
+    }
+    return true;
+}
+
 MocaPolicy::MocaPolicy(const sim::SocConfig &soc_cfg,
                        const MocaPolicyConfig &cfg)
     : cfg_(cfg),
-      cm_(soc_cfg, cfg.sparsityAwarePredictor),
+      cm_(soc_cfg, cfg.sparsityAwarePredictor,
+          runtime::ContentionTuning{cfg.throttleTickCycles,
+                                    cfg.fixedThreshold}),
       scheduler_(sched::SchedulerConfig{
           cfg.scoreThreshold, 0.5, cfg.enableMemAwarePairing},
           soc_cfg.dramBytesPerCycle),

@@ -15,6 +15,8 @@
 #ifndef MOCA_MOCA_POLICY_H
 #define MOCA_MOCA_POLICY_H
 
+#include <string>
+
 #include "moca/runtime/contention_manager.h"
 #include "moca/sched/scheduler.h"
 #include "sim/policy.h"
@@ -53,6 +55,34 @@ struct MocaPolicyConfig
      *  its current tiles exceeds this many migration penalties
      *  (compute repartition is deliberately rare, Sec. III-C). */
     double repartitionBenefit = 6.0;
+
+    /**
+     * Fixed throttle-monitoring window ("tick") in cycles.  0 keeps
+     * the paper's prediction-derived windows (window = Prediction /
+     * Num_tile); > 0 programs every engine with this window length,
+     * trading Algorithm 2's adaptivity for a uniform pacing
+     * granularity (sensitivity knob).
+     */
+    Cycles throttleTickCycles = 0;
+
+    /**
+     * Threshold sizing mode: false ("scaled", the paper) sizes each
+     * job's per-window budget from its score-weighted bandwidth
+     * allocation; true ("fixed") gives every throttled job the equal
+     * 1/N share of the channel, ignoring the dynamic scores
+     * (ablation of the score-proportional shaving).
+     */
+    bool fixedThreshold = false;
+
+    /**
+     * Uniform spec-string parameter surface (see exp::PolicyRegistry):
+     * apply one `key=value` setting.  Understands slots, throttle,
+     * pairing, dynamic_score, repartition, score_threshold,
+     * sparsity_aware, repartition_benefit, tick, and threshold
+     * (scaled|fixed).
+     * @return false when `key` is unknown; fatal on malformed values.
+     */
+    bool applyParam(const std::string &key, const std::string &value);
 };
 
 /** MoCA as a pluggable execution policy for the SoC simulator. */

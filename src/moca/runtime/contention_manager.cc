@@ -86,6 +86,16 @@ ContentionManager::onBlockBoundary(const JobSnapshot &snap)
         d.contention = true;
         d.bwRate = std::max(grants[self_idx],
                             0.05 * cfg_.dramBytesPerCycle);
+        if (tuning_.fixedThreshold) {
+            // Score-oblivious ablation: every throttled job gets the
+            // equal 1/N slice of the channel, capped at its demand.
+            d.bwRate = std::min(
+                demand,
+                cfg_.dramBytesPerCycle /
+                    static_cast<double>(scoreboard_.entries().size()));
+            d.bwRate = std::max(d.bwRate,
+                                0.05 * cfg_.dramBytesPerCycle);
+        }
 
         // Line 18: update the prediction for the allocated rate.
         d.prediction = static_cast<double>(block.fromDram) / d.bwRate;
@@ -97,9 +107,11 @@ ContentionManager::onBlockBoundary(const JobSnapshot &snap)
         // with a modest burst margin (Algorithm 1's estimates are
         // conservative) that keeps the channel work-conserving when
         // co-runners are in compute phases.
-        const double window_d = std::clamp(
-            d.prediction / static_cast<double>(snap.numTiles),
-            64.0, 65536.0);
+        const double window_d = tuning_.windowOverrideCycles > 0
+            ? static_cast<double>(tuning_.windowOverrideCycles)
+            : std::clamp(
+                  d.prediction / static_cast<double>(snap.numTiles),
+                  64.0, 65536.0);
         const double headroom = 1.15;
         const double per_tile_rate = headroom *
             (static_cast<double>(block.totalMem) / snap.numTiles) /

@@ -55,13 +55,26 @@ struct ContentionDecision
     hw::ThrottleConfig hwConfig; ///< Window/threshold for the engines.
 };
 
+/** Tuning of the Algorithm 2 hardware-update step. */
+struct ContentionTuning
+{
+    /** Fixed monitoring-window length in cycles; 0 derives the
+     *  window from the block prediction (the paper's listing). */
+    Cycles windowOverrideCycles = 0;
+
+    /** Size thresholds from the equal 1/N channel share instead of
+     *  the score-weighted allocation (ablation). */
+    bool fixedThreshold = false;
+};
+
 /** The MoCA runtime's contention detection + HW update module. */
 class ContentionManager
 {
   public:
     explicit ContentionManager(const sim::SocConfig &cfg,
-                               bool sparsity_aware = true)
-        : cfg_(cfg), model_(cfg, sparsity_aware)
+                               bool sparsity_aware = true,
+                               const ContentionTuning &tuning = {})
+        : cfg_(cfg), tuning_(tuning), model_(cfg, sparsity_aware)
     {
     }
 
@@ -92,6 +105,7 @@ class ContentionManager
 
   private:
     sim::SocConfig cfg_;
+    ContentionTuning tuning_;
     LatencyModel model_;
     Scoreboard scoreboard_;
 };

@@ -147,12 +147,19 @@ Soc::freeTiles() const
 std::uint64_t
 Soc::effectiveCacheBytes() const
 {
-    int running = 0;
+#ifndef NDEBUG
+    // The counter must track the job states exactly; a drift here
+    // would silently mis-model capacity contention.
+    int scanned = 0;
     for (const auto &j : jobs_)
         if (j.state == JobState::Running)
-            ++running;
+            ++scanned;
+    if (scanned != running_jobs_)
+        panic("running-job counter drift: %d counted, %d scanned",
+              running_jobs_, scanned);
+#endif
     return cfg_.l2Bytes / static_cast<std::uint64_t>(
-        std::max(1, running));
+        std::max(1, running_jobs_));
 }
 
 void
@@ -169,6 +176,7 @@ Soc::startJob(int id, int num_tiles, Cycles resume_penalty)
               id, num_tiles, freeTiles());
 
     j.state = JobState::Running;
+    ++running_jobs_;
     j.numTiles = num_tiles;
     j.exec.valid = false;
     if (resume_penalty > 0)
@@ -218,6 +226,7 @@ Soc::pauseJob(int id)
     if (j.state != JobState::Running)
         panic("pauseJob(%d): job is not running", id);
     j.state = JobState::Paused;
+    --running_jobs_;
     j.numTiles = 0;
     j.exec.valid = false; // partial layer progress is discarded
     j.preemptions++;
@@ -341,6 +350,8 @@ Soc::advanceJob(Job &job, Cycles quantum, double service,
 void
 Soc::completeJob(Job &job)
 {
+    if (job.state == JobState::Running)
+        --running_jobs_;
     job.state = JobState::Done;
     job.numTiles = 0;
     job.finish = now_;

@@ -129,6 +129,10 @@ class Soc
     std::vector<JobResult> results_;
     SocStats stats_;
     TraceRecorder trace_;
+    /** Jobs currently in JobState::Running, maintained by
+     *  startJob/pauseJob/completeJob so the per-layer
+     *  effectiveCacheBytes() lookup needs no jobs_ scan. */
+    int running_jobs_ = 0;
     double dram_busy_cycles_ = 0.0;
     Cycles next_sched_tick_ = 0;
     bool sorted_ = false;

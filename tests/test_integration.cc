@@ -34,11 +34,11 @@ TEST(Integration, AllPoliciesCompleteEveryJob)
     const auto t = trace(workload::WorkloadSet::C,
                          workload::QosLevel::Medium, 40);
     const auto specs = makeTrace(t, cfg);
-    for (PolicyKind kind : allPolicies()) {
-        const auto r = runTrace(kind, specs, t, cfg);
-        EXPECT_EQ(r.jobs.size(), 40u) << policyKindName(kind);
-        EXPECT_GT(r.metrics.stp, 0.0) << policyKindName(kind);
-        EXPECT_GT(r.makespan, 0u) << policyKindName(kind);
+    for (const std::string &spec : allPolicySpecs()) {
+        const auto r = runTrace(spec, specs, t, cfg);
+        EXPECT_EQ(r.jobs.size(), 40u) << spec;
+        EXPECT_GT(r.metrics.stp, 0.0) << spec;
+        EXPECT_GT(r.makespan, 0u) << spec;
     }
 }
 
@@ -48,8 +48,8 @@ TEST(Integration, IdenticalTraceAcrossPolicies)
     const auto t = trace(workload::WorkloadSet::A,
                          workload::QosLevel::Medium, 30);
     const auto specs = makeTrace(t, cfg);
-    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
-    const auto prema = runTrace(PolicyKind::Prema, specs, t, cfg);
+    const auto moca = runTrace("moca", specs, t, cfg);
+    const auto prema = runTrace("prema", specs, t, cfg);
     // Same dispatched jobs, different outcomes.
     ASSERT_EQ(moca.jobs.size(), prema.jobs.size());
     for (const auto &j : moca.jobs) {
@@ -71,8 +71,8 @@ TEST(Integration, MocaBeatsPremaUnderLoad)
     const auto t = trace(workload::WorkloadSet::C,
                          workload::QosLevel::Medium, 80);
     const auto specs = makeTrace(t, cfg);
-    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
-    const auto prema = runTrace(PolicyKind::Prema, specs, t, cfg);
+    const auto moca = runTrace("moca", specs, t, cfg);
+    const auto prema = runTrace("prema", specs, t, cfg);
     EXPECT_GT(moca.metrics.slaRate, prema.metrics.slaRate);
     EXPECT_GT(moca.metrics.stp, prema.metrics.stp);
 }
@@ -83,8 +83,8 @@ TEST(Integration, MocaBeatsPlanariaOnHeavyMix)
     const auto t = trace(workload::WorkloadSet::B,
                          workload::QosLevel::Medium, 80);
     const auto specs = makeTrace(t, cfg);
-    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
-    const auto plan = runTrace(PolicyKind::Planaria, specs, t, cfg);
+    const auto moca = runTrace("moca", specs, t, cfg);
+    const auto plan = runTrace("planaria", specs, t, cfg);
     EXPECT_GE(moca.metrics.slaRate, plan.metrics.slaRate);
     EXPECT_GT(moca.metrics.stp, plan.metrics.stp);
 }
@@ -95,25 +95,24 @@ TEST(Integration, MocaAtLeastMatchesStaticOnHeavyMix)
     const auto t = trace(workload::WorkloadSet::B,
                          workload::QosLevel::Hard, 80);
     const auto specs = makeTrace(t, cfg);
-    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
+    const auto moca = runTrace("moca", specs, t, cfg);
     const auto stat =
-        runTrace(PolicyKind::StaticPartition, specs, t, cfg);
+        runTrace("static", specs, t, cfg);
     EXPECT_GE(moca.metrics.slaRate, stat.metrics.slaRate);
 }
 
 TEST(Integration, TighterQosLowersSatisfaction)
 {
     const sim::SocConfig cfg;
-    for (PolicyKind kind :
-         {PolicyKind::Moca, PolicyKind::StaticPartition}) {
+    for (const std::string &spec :
+         {std::string("moca"), std::string("static")}) {
         const auto l = runScenario(
-            kind, trace(workload::WorkloadSet::C,
+            spec, trace(workload::WorkloadSet::C,
                         workload::QosLevel::Light, 60), cfg);
         const auto h = runScenario(
-            kind, trace(workload::WorkloadSet::C,
+            spec, trace(workload::WorkloadSet::C,
                         workload::QosLevel::Hard, 60), cfg);
-        EXPECT_GE(l.metrics.slaRate, h.metrics.slaRate)
-            << policyKindName(kind);
+        EXPECT_GE(l.metrics.slaRate, h.metrics.slaRate) << spec;
     }
 }
 
@@ -123,8 +122,8 @@ TEST(Integration, PlanariaMigratesMoreThanMoca)
     const auto t = trace(workload::WorkloadSet::A,
                          workload::QosLevel::Medium, 60);
     const auto specs = makeTrace(t, cfg);
-    const auto moca = runTrace(PolicyKind::Moca, specs, t, cfg);
-    const auto plan = runTrace(PolicyKind::Planaria, specs, t, cfg);
+    const auto moca = runTrace("moca", specs, t, cfg);
+    const auto plan = runTrace("planaria", specs, t, cfg);
     EXPECT_GT(plan.totalMigrations, moca.totalMigrations);
 }
 
@@ -133,7 +132,7 @@ TEST(Integration, MocaThrottleEngagesOnMemoryHeavyMix)
     const sim::SocConfig cfg;
     const auto t = trace(workload::WorkloadSet::B,
                          workload::QosLevel::Medium, 40);
-    const auto r = runScenario(PolicyKind::Moca, t, cfg);
+    const auto r = runScenario("moca", t, cfg);
     EXPECT_GT(r.totalThrottleReconfigs, 0);
 }
 
@@ -142,8 +141,8 @@ TEST(Integration, ResultsAreDeterministic)
     const sim::SocConfig cfg;
     const auto t = trace(workload::WorkloadSet::C,
                          workload::QosLevel::Medium, 30, 7);
-    const auto a = runScenario(PolicyKind::Moca, t, cfg);
-    const auto b = runScenario(PolicyKind::Moca, t, cfg);
+    const auto a = runScenario("moca", t, cfg);
+    const auto b = runScenario("moca", t, cfg);
     EXPECT_EQ(a.makespan, b.makespan);
     EXPECT_DOUBLE_EQ(a.metrics.slaRate, b.metrics.slaRate);
     EXPECT_DOUBLE_EQ(a.metrics.stp, b.metrics.stp);
@@ -154,7 +153,7 @@ TEST(Integration, HigherPriorityGroupsFareBetterUnderMoca)
     const sim::SocConfig cfg;
     const auto t = trace(workload::WorkloadSet::C,
                          workload::QosLevel::Medium, 120);
-    const auto r = runScenario(PolicyKind::Moca, t, cfg);
+    const auto r = runScenario("moca", t, cfg);
     EXPECT_GE(r.metrics.slaRateHigh, r.metrics.slaRateLow);
 }
 

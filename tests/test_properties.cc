@@ -128,7 +128,7 @@ INSTANTIATE_TEST_SUITE_P(
 // --- Policy-independent invariants ----------------------------------------
 
 class PolicyInvariants
-    : public ::testing::TestWithParam<exp::PolicyKind>
+    : public ::testing::TestWithParam<std::string>
 {
 };
 
@@ -155,8 +155,7 @@ TEST_P(PolicyInvariants, RunInvariantsHold)
             dnn::modelIdFromName(j.spec.model->name()),
             cfg.numTiles, cfg);
         EXPECT_GE(j.finish - j.firstStart, iso / 2)
-            << exp::policyKindName(GetParam()) << " job "
-            << j.spec.id;
+            << GetParam() << " job " << j.spec.id;
     }
     // Metrics are within their domains.
     EXPECT_GE(r.metrics.slaRate, 0.0);
@@ -170,9 +169,9 @@ TEST_P(PolicyInvariants, RunInvariantsHold)
 
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PolicyInvariants,
-    ::testing::ValuesIn(exp::allPolicies()),
-    [](const ::testing::TestParamInfo<exp::PolicyKind> &info) {
-        return std::string(exp::policyKindName(info.param));
+    ::testing::ValuesIn(exp::allPolicySpecs()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
     });
 
 // --- Load monotonicity ------------------------------------------------------
@@ -188,8 +187,7 @@ TEST(Properties, HigherLoadNeverImprovesSla)
         trace.numTasks = 60;
         trace.loadFactor = load;
         trace.seed = 9;
-        const auto r =
-            exp::runScenario(exp::PolicyKind::Moca, trace, cfg);
+        const auto r = exp::runScenario("moca", trace, cfg);
         EXPECT_LE(r.metrics.slaRate, prev + 0.08)
             << "load=" << load;
         prev = r.metrics.slaRate;

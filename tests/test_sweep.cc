@@ -40,10 +40,10 @@ smallGrid(int tasks = 16)
         trace.seed = deriveCellSeed(7, static_cast<std::size_t>(scenario));
         auto specs = std::make_shared<const std::vector<sim::JobSpec>>(
             makeTrace(trace, cfg));
-        for (PolicyKind kind : allPolicies()) {
+        for (const std::string &spec : allPolicySpecs()) {
             SweepCell cell;
             cell.label = strprintf("scenario-%d", scenario);
-            cell.policy = kind;
+            cell.policy = spec;
             cell.trace = trace;
             cell.soc = cfg;
             cell.specs = specs;
@@ -56,7 +56,7 @@ smallGrid(int tasks = 16)
     // config-keyed oracle cache under concurrency.
     SweepCell mixed;
     mixed.label = "mixed-config";
-    mixed.policy = PolicyKind::Moca;
+    mixed.policy = "moca";
     mixed.trace.set = workload::WorkloadSet::A;
     mixed.trace.numTasks = tasks;
     mixed.trace.seed = 3;
@@ -180,7 +180,7 @@ TEST(SweepRunner, CustomPolicyFactoryMatchesRegistryPolicy)
 
     SweepCell registry;
     registry.label = "registry";
-    registry.policy = PolicyKind::Moca;
+    registry.policy = "moca";
     registry.trace = trace;
     registry.soc = cfg;
 
@@ -224,7 +224,7 @@ TEST(Sinks, CsvRoundTrip)
             fields.push_back(field);
         ASSERT_EQ(fields.size(), sweepRecordFields().size());
         EXPECT_EQ(fields[0], strprintf("%zu", row));
-        EXPECT_EQ(fields[2], policyKindName(results[row].policy));
+        EXPECT_EQ(fields[2], results[row].policy);
         EXPECT_NEAR(std::stod(fields[10]),
                     results[row].metrics.slaRate, 1e-6);
         ++row;
