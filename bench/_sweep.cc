@@ -84,7 +84,7 @@ main(int argc, char **argv)
         return runTimingBaseline(args);
 
     const int tasks = static_cast<int>(args.getInt("tasks", 150));
-    const sim::SocConfig cfg;
+    const sim::SocConfig cfg = exp::socConfigFromArgs(args);
 
     // The historical smoke grid: Workload-C QoS-M at three offered
     // loads and four QoS scales, each under the selected policies on

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Long-horizon stress sweep comparing the two simulation kernels
+ * (SocConfig::kernel): 2.5k-25k task traces under all three arrival
+ * patterns (Poisson, uniform, bursty), each stream replayed
+ * identically under the quantum and event kernels through
+ * `exp::SweepRunner`.  Reports per-cell wall clock, kernel-step
+ * counts, and metric deltas, and — with `--json PATH` — emits the
+ * machine-readable perf baseline (BENCH_kernel.json) that CI uploads
+ * so the bench trajectory accumulates.
+ *
+ * Note: unlike the figure benches, `--json` here writes the kernel
+ * perf baseline, not per-scenario result rows.
+ *
+ * Usage: stress_scale [tasks=2500,10000,25000] [load=F] [seed=S]
+ *                     [kernels=both|quantum|event]
+ *                     [--policy SPEC[,SPEC...]] [--list-policies]
+ *                     [--jobs N] [--json PATH] [max-cycles=N] ...
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "exp/sweep/options.h"
+
+using namespace moca;
+
+namespace {
+
+/** Wall-clock timestamps per completed cell (valid per cell when the
+ *  sweep runs serially; only the total is meaningful with --jobs). */
+class TimingSink : public exp::ResultSink
+{
+  public:
+    void start() { last_ = std::chrono::steady_clock::now(); }
+
+    void
+    onResult(std::size_t, const exp::SweepCell &,
+             const exp::ScenarioResult &) override
+    {
+        const auto now = std::chrono::steady_clock::now();
+        walls.push_back(
+            std::chrono::duration<double>(now - last_).count());
+        last_ = now;
+    }
+
+    std::vector<double> walls;
+
+  private:
+    std::chrono::steady_clock::time_point last_;
+};
+
+std::vector<int>
+parseTaskList(const std::string &text)
+{
+    std::vector<int> tasks;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string tok =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        tasks.push_back(
+            static_cast<int>(parseIntValue("tasks", tok)));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (tasks.empty())
+        fatal("tasks= needs at least one value");
+    return tasks;
+}
+
+struct CellKey
+{
+    workload::ArrivalPattern pattern;
+    int tasks;
+    std::string policy;
+};
+
+void
+writeJsonSide(std::FILE *f, const char *name,
+              const exp::ScenarioResult &r, double wall)
+{
+    std::fprintf(
+        f,
+        "      \"%s\": {\"wall_s\": %.6f, \"steps\": %llu, "
+        "\"sla_rate\": %.6f, \"stp\": %.6f, \"makespan\": %llu}",
+        name, wall, static_cast<unsigned long long>(r.simSteps),
+        r.metrics.slaRate, r.metrics.stp,
+        static_cast<unsigned long long>(r.makespan));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    const sim::SocConfig base = exp::socConfigFromArgs(args);
+    const auto policies = exp::policiesFromArgs(args, {"moca"});
+    const auto tasks_list =
+        parseTaskList(args.getString("tasks", "2500,10000,25000"));
+    const double load = args.getDouble("load", 0.8);
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    // `kernels=` selects the comparison mode; a plain `--kernel X`
+    // (the shared single-kernel bench flag) means "just that one".
+    const std::string kernels = args.getString(
+        "kernels",
+        args.has("kernel") ? simKernelName(base.kernel) : "both");
+    const bool run_quantum = kernels == "both" || kernels == "quantum";
+    const bool run_event = kernels == "both" || kernels == "event";
+    if (!run_quantum && !run_event)
+        fatal("kernels=%s: expected both, quantum, or event",
+              kernels.c_str());
+    const exp::SweepOptions opts = exp::sweepOptionsFromArgs(args);
+    const bool serial = exp::resolveJobs(opts.jobs) == 1;
+
+    const std::vector<workload::ArrivalPattern> patterns = {
+        workload::ArrivalPattern::Poisson,
+        workload::ArrivalPattern::Uniform,
+        workload::ArrivalPattern::Bursty,
+    };
+
+    std::printf("== stress_scale: long-horizon kernel comparison "
+                "(load=%.2f seed=%llu jobs=%d) ==\n\n",
+                load, static_cast<unsigned long long>(seed),
+                exp::resolveJobs(opts.jobs));
+    exp::printSocBanner(base);
+
+    // One identical job stream per (pattern, tasks) cell, shared
+    // read-only between the two kernels' grids.
+    std::vector<CellKey> keys;
+    std::vector<exp::SweepCell> quantum_grid, event_grid;
+    std::size_t idx = 0;
+    for (const auto pattern : patterns) {
+        for (const int tasks : tasks_list) {
+            workload::TraceConfig tr;
+            tr.set = workload::WorkloadSet::C;
+            tr.qos = workload::QosLevel::Medium;
+            tr.arrivals = pattern;
+            tr.numTasks = tasks;
+            tr.loadFactor = load;
+            tr.seed = exp::deriveCellSeed(seed, idx++);
+            const auto stream =
+                std::make_shared<const std::vector<sim::JobSpec>>(
+                    exp::makeTrace(tr, base));
+            for (const auto &policy : policies) {
+                exp::SweepCell cell;
+                cell.label = strprintf(
+                    "%s tasks=%d %s",
+                    workload::arrivalPatternName(pattern), tasks,
+                    policy.c_str());
+                cell.policy = policy;
+                cell.trace = tr;
+                cell.soc = base;
+                cell.specs = stream;
+                keys.push_back({pattern, tasks, policy});
+
+                cell.soc.kernel = sim::SimKernel::Quantum;
+                quantum_grid.push_back(cell);
+                cell.soc.kernel = sim::SimKernel::Event;
+                event_grid.push_back(cell);
+            }
+        }
+    }
+
+    const exp::SweepRunner runner(opts);
+    auto run_grid = [&](const std::vector<exp::SweepCell> &grid,
+                        TimingSink &sink, double &total) {
+        sink.start();
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto results = runner.run(grid, {&sink});
+        total = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        return results;
+    };
+
+    TimingSink qtimes, etimes;
+    double qwall = 0.0, ewall = 0.0;
+    std::vector<exp::ScenarioResult> qres, eres;
+    if (run_quantum) {
+        std::printf("running %zu cells on the quantum kernel...\n",
+                    quantum_grid.size());
+        qres = run_grid(quantum_grid, qtimes, qwall);
+    }
+    if (run_event) {
+        std::printf("running %zu cells on the event kernel...\n",
+                    event_grid.size());
+        eres = run_grid(event_grid, etimes, ewall);
+    }
+    std::printf("\n");
+
+    const bool both = run_quantum && run_event;
+    if (!both) {
+        const auto &res = run_quantum ? qres : eres;
+        const auto &walls = run_quantum ? qtimes.walls : etimes.walls;
+        Table t({"cell", "wall (s)", "steps", "SLA", "STP"});
+        for (std::size_t i = 0; i < res.size(); ++i) {
+            t.row()
+                .cell(run_quantum ? quantum_grid[i].label
+                                  : event_grid[i].label)
+                .cell(serial ? walls[i] : 0.0, 2)
+                .cell(static_cast<long long>(res[i].simSteps))
+                .cell(res[i].metrics.slaRate, 3)
+                .cell(res[i].metrics.stp, 2);
+        }
+        t.print(strprintf("stress sweep (%s kernel)",
+                          kernels.c_str()));
+        std::printf("total wall: %.2f s\n",
+                    run_quantum ? qwall : ewall);
+    } else {
+        Table t({"pattern", "tasks", "policy", "q wall", "e wall",
+                 "speedup", "steps q/e", "SLA q", "SLA e"});
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            const double qw = serial ? qtimes.walls[i] : 0.0;
+            const double ew = serial ? etimes.walls[i] : 0.0;
+            t.row()
+                .cell(workload::arrivalPatternName(keys[i].pattern))
+                .cell(static_cast<long long>(keys[i].tasks))
+                .cell(keys[i].policy)
+                .cell(qw, 2)
+                .cell(ew, 2)
+                .cell(ew > 0.0 ? qw / ew : 0.0, 1)
+                .cell(static_cast<double>(qres[i].simSteps) /
+                          static_cast<double>(eres[i].simSteps),
+                      1)
+                .cell(qres[i].metrics.slaRate, 3)
+                .cell(eres[i].metrics.slaRate, 3);
+        }
+        t.print("stress sweep: quantum vs event kernel");
+        std::printf("\ntotal wall: quantum %.2f s, event %.2f s, "
+                    "speedup %.1fx\n",
+                    qwall, ewall,
+                    ewall > 0.0 ? qwall / ewall : 0.0);
+    }
+
+    const std::string json = args.getString("json", "");
+    if (!json.empty()) {
+        std::FILE *f = std::fopen(json.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write %s", json.c_str());
+        std::fprintf(f, "{\n  \"bench\": \"stress_scale\",\n");
+        std::fprintf(f, "  \"workload_set\": \"Workload-C\",\n");
+        std::fprintf(f, "  \"qos\": \"QoS-M\",\n");
+        std::fprintf(f, "  \"load_factor\": %.3f,\n", load);
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(seed));
+        std::fprintf(f, "  \"jobs\": %d,\n",
+                     exp::resolveJobs(opts.jobs));
+        std::fprintf(f, "  \"cells\": [\n");
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            std::fprintf(
+                f,
+                "    {\"pattern\": \"%s\", \"tasks\": %d, "
+                "\"policy\": \"%s\",\n",
+                workload::arrivalPatternName(keys[i].pattern),
+                keys[i].tasks, keys[i].policy.c_str());
+            const char *sep = "";
+            if (run_quantum) {
+                writeJsonSide(f, "quantum", qres[i],
+                              serial ? qtimes.walls[i] : 0.0);
+                sep = ",\n";
+            }
+            if (run_event) {
+                std::fputs(sep, f);
+                writeJsonSide(f, "event", eres[i],
+                              serial ? etimes.walls[i] : 0.0);
+            }
+            if (both) {
+                const double qw = serial ? qtimes.walls[i] : 0.0;
+                const double ew = serial ? etimes.walls[i] : 0.0;
+                std::fprintf(
+                    f,
+                    ",\n      \"speedup\": %.3f, "
+                    "\"step_ratio\": %.3f, \"sla_delta\": %.6f",
+                    ew > 0.0 ? qw / ew : 0.0,
+                    static_cast<double>(qres[i].simSteps) /
+                        static_cast<double>(eres[i].simSteps),
+                    eres[i].metrics.slaRate -
+                        qres[i].metrics.slaRate);
+            }
+            std::fprintf(f, "}%s\n",
+                         i + 1 < keys.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"total\": {");
+        if (run_quantum)
+            std::fprintf(f, "\"quantum_wall_s\": %.6f%s", qwall,
+                         run_event ? ", " : "");
+        if (run_event)
+            std::fprintf(f, "\"event_wall_s\": %.6f", ewall);
+        if (both)
+            std::fprintf(f, ", \"speedup\": %.3f",
+                         ewall > 0.0 ? qwall / ewall : 0.0);
+        std::fprintf(f, "}\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}

@@ -45,6 +45,13 @@ Experiment::soc(const sim::SocConfig &cfg)
 }
 
 Experiment &
+Experiment::kernel(sim::SimKernel k)
+{
+    soc_.kernel = k;
+    return *this;
+}
+
+Experiment &
 Experiment::trace(const workload::TraceConfig &tc)
 {
     trace_ = tc;

@@ -65,6 +65,10 @@ class Experiment
     /** SoC configuration (default: Table II). */
     Experiment &soc(const sim::SocConfig &cfg);
 
+    /** Time-advance kernel of the configured SoC (shorthand for
+     *  mutating soc().kernel; composes with a prior soc() call). */
+    Experiment &kernel(sim::SimKernel k);
+
     /** Trace-generation parameters (workload set, QoS, tasks, seed). */
     Experiment &trace(const workload::TraceConfig &tc);
 

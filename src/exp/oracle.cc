@@ -53,7 +53,9 @@ configFingerprint(const sim::SocConfig &cfg)
     mix(cfg.dmaBeatBytes);
     mixd(cfg.overlapF);
     mix(cfg.quantum);
+    mix(static_cast<std::uint64_t>(cfg.kernel));
     mix(cfg.schedPeriod);
+    mix(cfg.maxCycles);
     mix(cfg.layerBoundaryEvents ? 1 : 0);
     mix(cfg.migrationCycles);
     mix(cfg.interTileSyncCycles);

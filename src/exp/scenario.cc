@@ -73,6 +73,8 @@ runTrace(sim::Policy &policy, const std::string &label,
     }
     r.dramBusyFraction = soc.stats().dramBusyFraction;
     r.thrashLostBytes = soc.stats().thrashLostBytes;
+    r.simSteps = soc.stats().quanta;
+    r.cyclesSimulated = soc.stats().cyclesSimulated;
     return r;
 }
 
@@ -81,58 +83,6 @@ runScenario(const std::string &spec, const workload::TraceConfig &trace,
             const sim::SocConfig &cfg)
 {
     return runTrace(spec, makeTrace(trace, cfg), trace, cfg);
-}
-
-// --- Deprecated PolicyKind shim --------------------------------------
-
-const std::vector<PolicyKind> &
-allPolicies()
-{
-    static const std::vector<PolicyKind> kinds = {
-        PolicyKind::Prema,
-        PolicyKind::StaticPartition,
-        PolicyKind::Planaria,
-        PolicyKind::Moca,
-    };
-    return kinds;
-}
-
-const char *
-policyKindName(PolicyKind kind)
-{
-    switch (kind) {
-      case PolicyKind::Prema: return "prema";
-      case PolicyKind::StaticPartition: return "static";
-      case PolicyKind::Planaria: return "planaria";
-      case PolicyKind::Moca: return "moca";
-    }
-    // Out-of-range enum values fail loudly through the registry's
-    // unknown-policy path (lists known policies) instead of the old
-    // silent "?" placeholder.
-    (void)PolicyRegistry::instance().info(
-        strprintf("PolicyKind(%d)", static_cast<int>(kind)));
-    panic("unreachable");
-}
-
-std::unique_ptr<sim::Policy>
-makePolicy(PolicyKind kind, const sim::SocConfig &cfg)
-{
-    return makePolicy(std::string(policyKindName(kind)), cfg);
-}
-
-ScenarioResult
-runTrace(PolicyKind kind, const std::vector<sim::JobSpec> &specs,
-         const workload::TraceConfig &trace, const sim::SocConfig &cfg)
-{
-    return runTrace(std::string(policyKindName(kind)), specs, trace,
-                    cfg);
-}
-
-ScenarioResult
-runScenario(PolicyKind kind, const workload::TraceConfig &trace,
-            const sim::SocConfig &cfg)
-{
-    return runScenario(std::string(policyKindName(kind)), trace, cfg);
 }
 
 } // namespace moca::exp

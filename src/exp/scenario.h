@@ -47,6 +47,10 @@ struct ScenarioResult
     Cycles makespan = 0;         ///< Cycle the last job finished.
     double dramBusyFraction = 0.0;
     double thrashLostBytes = 0.0; ///< DRAM bandwidth lost to thrash.
+    /** Demand/arbitrate/advance rounds the kernel executed (fixed
+     *  quanta or event steps; see SocStats::quanta). */
+    std::uint64_t simSteps = 0;
+    Cycles cyclesSimulated = 0;  ///< Simulated time of the run.
     int totalMigrations = 0;
     int totalPreemptions = 0;
     int totalThrottleReconfigs = 0;
@@ -83,43 +87,6 @@ ScenarioResult runTrace(sim::Policy &policy, const std::string &label,
 /** Generate the trace for a TraceConfig (oracle-backed QoS targets). */
 std::vector<sim::JobSpec>
 makeTrace(const workload::TraceConfig &trace, const sim::SocConfig &cfg);
-
-// --- Deprecated PolicyKind shim --------------------------------------
-//
-// The closed enum the registry replaced.  Kept for one PR so
-// out-of-tree users can migrate; new code names policies by spec
-// string.  Will be removed.
-
-/** @deprecated Use spec strings ("moca", ...) via the registry. */
-enum class PolicyKind
-{
-    Prema,
-    StaticPartition,
-    Planaria,
-    Moca,
-};
-
-/** @deprecated Use allPolicySpecs(). */
-const std::vector<PolicyKind> &allPolicies();
-
-/** @deprecated The enum's spec string; fatal on an out-of-range
- *  value (through the registry's unknown-policy error path). */
-const char *policyKindName(PolicyKind kind);
-
-/** @deprecated Use makePolicy(spec, cfg). */
-std::unique_ptr<sim::Policy> makePolicy(PolicyKind kind,
-                                        const sim::SocConfig &cfg);
-
-/** @deprecated Use the spec-string overload. */
-ScenarioResult runScenario(PolicyKind kind,
-                           const workload::TraceConfig &trace,
-                           const sim::SocConfig &cfg);
-
-/** @deprecated Use the spec-string overload. */
-ScenarioResult runTrace(PolicyKind kind,
-                        const std::vector<sim::JobSpec> &specs,
-                        const workload::TraceConfig &trace,
-                        const sim::SocConfig &cfg);
 
 } // namespace moca::exp
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.h"
 #include "common/units.h"
 #include "exp/registry.h"
 
@@ -22,7 +23,27 @@ socConfigFromArgs(const ArgMap &args)
     cfg.overlapF = args.getDouble("overlap_f", cfg.overlapF);
     cfg.quantum = static_cast<Cycles>(
         args.getInt("quantum", static_cast<std::int64_t>(cfg.quantum)));
+    cfg.kernel = parseSimKernel(
+        args.getString("kernel", simKernelName(cfg.kernel)));
+    const std::int64_t max_cycles = args.getInt(
+        "max-cycles",
+        args.getInt("max_cycles",
+                    static_cast<std::int64_t>(cfg.maxCycles)));
+    if (max_cycles < 1)
+        fatal("max-cycles must be >= 1 (got %lld)",
+              static_cast<long long>(max_cycles));
+    cfg.maxCycles = static_cast<Cycles>(max_cycles);
     return cfg;
+}
+
+sim::SimKernel
+parseSimKernel(const std::string &name)
+{
+    if (name == "quantum")
+        return sim::SimKernel::Quantum;
+    if (name == "event")
+        return sim::SimKernel::Event;
+    fatal("kernel=%s: expected 'quantum' or 'event'", name.c_str());
 }
 
 void
@@ -43,6 +64,8 @@ printSocBanner(const sim::SocConfig &cfg)
                 cfg.l2Banks);
     std::printf("  DRAM bandwidth             %.0f GB/s @ 1 GHz\n",
                 cfg.dramBytesPerCycle);
+    std::printf("  simulation kernel          %s\n",
+                sim::simKernelName(cfg.kernel));
     std::printf("\n");
 }
 

@@ -21,8 +21,13 @@
 namespace moca::exp {
 
 /** Apply common key=value overrides (tiles, dram_bw, l2_kib,
- *  overlap_f, quantum) to the SoC configuration. */
+ *  overlap_f, quantum, kernel=quantum|event, max-cycles) to the SoC
+ *  configuration. */
 sim::SocConfig socConfigFromArgs(const ArgMap &args);
+
+/** Parse a simulation-kernel name ("quantum" / "event"); fatal on
+ *  anything else. */
+sim::SimKernel parseSimKernel(const std::string &name);
 
 /** Print the Table II SoC configuration banner. */
 void printSocBanner(const sim::SocConfig &cfg);

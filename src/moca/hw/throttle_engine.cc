@@ -44,6 +44,14 @@ ThrottleEngine::cyclesUntilWindowEnd() const
     return cfg_.windowCycles - window_pos_;
 }
 
+Cycles
+ThrottleEngine::cyclesUntilNextChange() const
+{
+    if (reconfig_stall_ > 0)
+        return reconfig_stall_;
+    return cyclesUntilWindowEnd();
+}
+
 bool
 ThrottleEngine::step(bool wants_issue)
 {

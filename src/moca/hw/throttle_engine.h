@@ -105,6 +105,16 @@ class ThrottleEngine
     /** Cycles remaining until the current window rolls over. */
     Cycles cyclesUntilWindowEnd() const;
 
+    /**
+     * Cycles until the engine's issue-gating state next changes on
+     * its own: the reconfiguration stall ends, or the monitored
+     * window rolls over and the access budget refreshes.  0 means no
+     * scheduled change (disabled and idle).  The event-driven
+     * simulation kernel uses this to bound a time step instead of
+     * polling the engine every quantum.
+     */
+    Cycles cyclesUntilNextChange() const;
+
     /** True when the engine is currently inserting bubbles. */
     bool throttled() const;
 

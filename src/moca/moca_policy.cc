@@ -68,6 +68,20 @@ MocaPolicy::tilesPerSlot(const sim::Soc &soc) const
     return std::max(1, soc.config().numTiles / cfg_.slots);
 }
 
+const MocaPolicy::ModelEstimate &
+MocaPolicy::modelEstimate(const dnn::Model &model, int num_tiles)
+{
+    const auto key = std::make_pair(&model, num_tiles);
+    auto it = estimate_memo_.find(key);
+    if (it == estimate_memo_.end()) {
+        ModelEstimate e;
+        e.time = estimator_.estimateModel(model, num_tiles);
+        e.bw = estimator_.estimateAvgBw(model, num_tiles);
+        it = estimate_memo_.emplace(key, e).first;
+    }
+    return it->second;
+}
+
 bool
 MocaPolicy::reconfigure(sim::Soc &soc, const sim::Job &job)
 {
@@ -125,14 +139,14 @@ MocaPolicy::admitJobs(sim::Soc &soc)
         const sim::Job &j = soc.job(id);
         if (j.state != sim::JobState::Waiting)
             continue; // MoCA never pauses jobs.
+        const ModelEstimate &est =
+            modelEstimate(*j.spec.model, per_slot);
         sched::SchedTask t;
         t.id = id;
         t.priority = j.spec.priority;
         t.dispatched = j.spec.dispatch;
-        t.estimatedTime =
-            estimator_.estimateModel(*j.spec.model, per_slot);
-        t.estimatedAvgBw =
-            estimator_.estimateAvgBw(*j.spec.model, per_slot);
+        t.estimatedTime = est.time;
+        t.estimatedAvgBw = est.bw;
         queue.push_back(t);
     }
     if (queue.empty())
@@ -146,8 +160,8 @@ MocaPolicy::admitJobs(sim::Soc &soc)
         int mem = 0, total = 0;
         for (int id : soc.runningJobs()) {
             const sim::Job &j = soc.job(id);
-            const double bw = estimator_.estimateAvgBw(
-                *j.spec.model, std::max(1, j.numTiles));
+            const double bw = modelEstimate(
+                *j.spec.model, std::max(1, j.numTiles)).bw;
             ++total;
             if (bw > 0.5 * soc.config().dramBytesPerCycle)
                 ++mem;

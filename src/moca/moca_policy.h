@@ -15,7 +15,9 @@
 #ifndef MOCA_MOCA_POLICY_H
 #define MOCA_MOCA_POLICY_H
 
+#include <map>
 #include <string>
+#include <utility>
 
 #include "moca/runtime/contention_manager.h"
 #include "moca/sched/scheduler.h"
@@ -119,6 +121,26 @@ class MocaPolicy : public sim::Policy
     sched::MocaScheduler scheduler_;
     runtime::LatencyModel estimator_;
     PolicyStats stats_;
+
+    /** Whole-model Algorithm 1 aggregates for one tile count. */
+    struct ModelEstimate
+    {
+        double time = 0.0; ///< Isolated latency estimate, cycles.
+        double bw = 0.0;   ///< Average DRAM bandwidth, bytes/cycle.
+    };
+
+    /**
+     * Memoized whole-model estimates.  Algorithm 3 re-scores every
+     * waiting task at each scheduling point; the per-(model, tiles)
+     * estimates it needs are invariant, and without the memo each
+     * scheduling point would walk every layer of every queued task —
+     * quadratic in trace length on long-horizon stress runs.
+     */
+    std::map<std::pair<const dnn::Model *, int>, ModelEstimate>
+        estimate_memo_;
+
+    const ModelEstimate &modelEstimate(const dnn::Model &model,
+                                       int num_tiles);
 
     int tilesPerSlot(const sim::Soc &soc) const;
 

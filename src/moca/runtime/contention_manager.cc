@@ -121,6 +121,7 @@ ContentionManager::onBlockBoundary(const JobSnapshot &snap)
         d.hwConfig.thresholdLoad = std::max<std::uint64_t>(
             1, static_cast<std::uint64_t>(
                 thr_bytes / static_cast<double>(cfg_.dmaBeatBytes)));
+        d.nextChangeCycles = d.hwConfig.windowCycles;
     } else {
         // Lines 22-24: no contention (or not memory-bounded enough
         // to regulate): no throttling.

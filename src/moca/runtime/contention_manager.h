@@ -53,6 +53,17 @@ struct ContentionDecision
     double score = 0.0;          ///< Dynamic priority score.
     double prediction = 0.0;     ///< (Re-)predicted block latency.
     hw::ThrottleConfig hwConfig; ///< Window/threshold for the engines.
+
+    /**
+     * Decision metadata for event-driven callers: cycles until the
+     * *programmed* throttle state first changes on its own — one
+     * monitoring window (0 when no throttle was scheduled).  Note
+     * the live engine is the authority once programmed
+     * (hw::ThrottleEngine::cyclesUntilNextChange additionally
+     * reports the reconfiguration stall); the simulator's event
+     * kernel bounds its steps on the engine, not on this field.
+     */
+    Cycles nextChangeCycles = 0;
 };
 
 /** Tuning of the Algorithm 2 hardware-update step. */

@@ -134,4 +134,26 @@ allocateBandwidthProportional(const std::vector<BwDemand> &demands,
     return grants;
 }
 
+ThrashOutcome
+applyDramThrash(double total_demand, double max_demand, double capacity,
+                double onset, double factor)
+{
+    ThrashOutcome out;
+    out.capacity = capacity;
+    if (capacity <= 0.0 || total_demand <= capacity * onset)
+        return out;
+
+    const double over =
+        std::min(1.0, (total_demand / capacity - onset) / 2.0);
+    const double interleave =
+        total_demand > 0.0 ? 1.0 - max_demand / total_demand : 0.0;
+    const double loss = factor * over * 2.0 * std::min(0.5, interleave);
+    if (loss > 0.0) {
+        out.thrashed = true;
+        out.lostBytes = capacity * loss;
+        out.capacity = capacity * (1.0 - loss);
+    }
+    return out;
+}
+
 } // namespace moca::sim

@@ -46,6 +46,31 @@ std::vector<double>
 allocateBandwidthProportional(const std::vector<BwDemand> &demands,
                               double capacity);
 
+/** Outcome of the DRAM oversubscription-thrash derate. */
+struct ThrashOutcome
+{
+    double capacity = 0.0;  ///< Derated channel capacity in bytes.
+    double lostBytes = 0.0; ///< Bytes not servable due to thrash.
+    bool thrashed = false;
+};
+
+/**
+ * Row-buffer-locality loss under oversubscription: when the aggregate
+ * issued demand exceeds `onset` x the channel capacity *and* the
+ * excess comes from interleaved streams of different requesters (a
+ * lone streamer keeps locality), the effective capacity drops by up
+ * to `factor`.  The loss ratio depends only on demand/capacity
+ * ratios, so the derate is step-length invariant — both simulation
+ * kernels apply it to whatever horizon they arbitrate over.
+ *
+ * @param total_demand sum of issued demands over the horizon.
+ * @param max_demand   largest single requester's demand.
+ * @param capacity     channel capacity over the horizon (bytes).
+ */
+ThrashOutcome applyDramThrash(double total_demand, double max_demand,
+                              double capacity, double onset,
+                              double factor);
+
 } // namespace moca::sim
 
 #endif // MOCA_SIM_ARBITER_H

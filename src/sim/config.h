@@ -17,6 +17,34 @@ namespace moca::sim {
 
 using moca::Cycles;
 
+/**
+ * Time-advance strategy of Soc::run.  Both kernels share the demand /
+ * arbitrate / advance phases; they differ only in how far each step
+ * moves simulated time.
+ */
+enum class SimKernel
+{
+    /** Fixed cfg.quantum steps (the original kernel): cost scales
+     *  with simulated cycles. */
+    Quantum,
+
+    /**
+     * Next-event time advance: each step extends to the earliest
+     * upcoming state change (arrival, scheduler tick, stall expiry,
+     * layer completion, binding throttle-window rollover), rounded up
+     * to the quantum grid so the two kernels stay comparable.  Cost
+     * scales with scheduling activity instead of cycles.
+     */
+    Event,
+};
+
+/** Printable kernel name ("quantum" / "event"). */
+inline const char *
+simKernelName(SimKernel kernel)
+{
+    return kernel == SimKernel::Event ? "event" : "quantum";
+}
+
 /** Static SoC parameters; see Table II of the paper. */
 struct SocConfig
 {
@@ -73,8 +101,19 @@ struct SocConfig
     /** Simulation quantum in cycles. */
     Cycles quantum = 512;
 
+    /** Time-advance strategy (see SimKernel). */
+    SimKernel kernel = SimKernel::Quantum;
+
     /** Scheduler tick period in cycles (policy onSchedule cadence). */
     Cycles schedPeriod = 100'000;
+
+    /**
+     * Deadlock bound: Soc::run(0) aborts once simulated time exceeds
+     * this many cycles (a stuck policy would otherwise spin forever).
+     * Long-horizon stress sweeps raise it to an honest bound via the
+     * shared `max_cycles=` bench option.
+     */
+    Cycles maxCycles = 1'000'000'000'000ULL;
 
     /**
      * Fire the policy's boundary hook after *every* layer instead of

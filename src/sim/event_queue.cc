@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::sim {
+
+const char *
+simEventKindName(SimEventKind kind)
+{
+    switch (kind) {
+      case SimEventKind::Arrival: return "arrival";
+      case SimEventKind::SchedTick: return "sched-tick";
+      case SimEventKind::StallExpiry: return "stall-expiry";
+      case SimEventKind::LayerCompletion: return "layer-completion";
+      case SimEventKind::ThrottleWindow: return "throttle-window";
+    }
+    return "?";
+}
+
+bool
+operator<(const SimEvent &a, const SimEvent &b)
+{
+    if (a.at != b.at)
+        return a.at < b.at;
+    if (a.kind != b.kind)
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.jobId < b.jobId;
+}
+
+namespace {
+
+/** std::*_heap builds a max-heap; invert to get the min-heap. */
+bool
+later(const SimEvent &a, const SimEvent &b)
+{
+    return b < a;
+}
+
+} // anonymous namespace
+
+void
+EventQueue::push(Cycles at, SimEventKind kind, int job_id)
+{
+    heap_.push_back({at, kind, job_id});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+const SimEvent &
+EventQueue::top() const
+{
+    if (heap_.empty())
+        panic("EventQueue::top on an empty queue");
+    return heap_.front();
+}
+
+SimEvent
+EventQueue::pop()
+{
+    if (heap_.empty())
+        panic("EventQueue::pop on an empty queue");
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const SimEvent e = heap_.back();
+    heap_.pop_back();
+    return e;
+}
+
+} // namespace moca::sim

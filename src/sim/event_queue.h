@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Next-event support for the SoC simulator's event kernel
+ * (SocConfig::kernel == SimKernel::Event): a deterministic min-heap of
+ * the moments at which the simulated system's piecewise-constant state
+ * can change — the next job arrival, the next periodic scheduler tick,
+ * a job's migration/preemption stall expiring, a running job finishing
+ * its current layer (and possibly crossing a layer-block boundary),
+ * and a binding MoCA throttle window rolling over.
+ *
+ * Between consecutive events the running set, the arbiters' grants,
+ * and every job's demand rates are constant, so the kernel advances
+ * time directly to the earliest event instead of stepping fixed
+ * quanta.  Ties break on (cycle, kind, job id) so the pop order — and
+ * therefore the simulation — is fully deterministic.
+ */
+
+#ifndef MOCA_SIM_EVENT_QUEUE_H
+#define MOCA_SIM_EVENT_QUEUE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace moca::sim {
+
+/** What kind of state change an event marks. */
+enum class SimEventKind
+{
+    Arrival,         ///< A queued job's dispatch cycle.
+    SchedTick,       ///< The periodic scheduler tick.
+    StallExpiry,     ///< A job's migration/resume stall ends.
+    LayerCompletion, ///< A running job finishes its current layer.
+    ThrottleWindow,  ///< A binding throttle window rolls over.
+};
+
+/** Printable event-kind name. */
+const char *simEventKindName(SimEventKind kind);
+
+/** One pending state change. */
+struct SimEvent
+{
+    Cycles at = 0;
+    SimEventKind kind = SimEventKind::Arrival;
+    int jobId = -1; ///< Owning job for per-job events; -1 otherwise.
+};
+
+/** Deterministic strict-weak order: cycle, then kind, then job id. */
+bool operator<(const SimEvent &a, const SimEvent &b);
+
+/** Min-heap of pending events, ordered by operator<. */
+class EventQueue
+{
+  public:
+    void clear() { heap_.clear(); }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    void push(Cycles at, SimEventKind kind, int job_id = -1);
+
+    /** Earliest pending event; panics when empty. */
+    const SimEvent &top() const;
+
+    /** Remove and return the earliest pending event. */
+    SimEvent pop();
+
+  private:
+    std::vector<SimEvent> heap_;
+};
+
+} // namespace moca::sim
+
+#endif // MOCA_SIM_EVENT_QUEUE_H

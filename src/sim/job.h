@@ -76,6 +76,12 @@ struct Job
     /** Layers executed so far (monotonic, survives preemption). */
     std::size_t layersDone() const { return layerIdx; }
 
+    /** Cycles of migration/resume stall left at `now` (0 = none). */
+    Cycles stallRemaining(Cycles now) const
+    {
+        return stallUntil > now ? stallUntil - now : 0;
+    }
+
     bool complete() const { return state == JobState::Done; }
 };
 

@@ -1,7 +1,9 @@
 #include "sim/soc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/log.h"
 #include "sim/arbiter.h"
@@ -34,6 +36,8 @@ Soc::Soc(const SocConfig &cfg, Policy &policy)
         fatal("SoC needs at least one tile");
     if (cfg_.quantum < 1)
         fatal("quantum must be positive");
+    if (cfg_.schedPeriod < 1)
+        fatal("scheduler period must be positive");
 }
 
 void
@@ -65,15 +69,6 @@ Soc::sortArrivals()
     sorted_ = true;
 }
 
-bool
-Soc::allDone() const
-{
-    for (const auto &j : jobs_)
-        if (!j.complete())
-            return false;
-    return true;
-}
-
 Cycles
 Soc::nextArrivalCycle() const
 {
@@ -91,6 +86,7 @@ Soc::admitArrivals()
         if (j.spec.dispatch > now_)
             break;
         j.state = JobState::Waiting;
+        insertSorted(waiting_ids_, j.spec.id);
         trace_.record(now_, TraceEventKind::JobDispatched, j.spec.id);
         ++next_arrival_;
         any = true;
@@ -115,51 +111,94 @@ Soc::job(int id) const
 std::vector<int>
 Soc::waitingJobs() const
 {
-    std::vector<int> ids;
-    for (const auto &j : jobs_)
-        if (j.state == JobState::Waiting || j.state == JobState::Paused)
-            ids.push_back(j.spec.id);
-    return ids;
+    return waiting_ids_;
+}
+
+void
+Soc::insertSorted(std::vector<int> &ids, int id)
+{
+    // Ascending id order — the order the old jobs_ scans produced —
+    // keeps the policy-facing queries deterministic and
+    // scan-identical.
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+}
+
+void
+Soc::eraseSorted(std::vector<int> &ids, int id)
+{
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    if (it == ids.end() || *it != id)
+        panic("job %d is not in the tracked set", id);
+    ids.erase(it);
 }
 
 std::vector<int>
 Soc::runningJobs() const
 {
-    std::vector<int> ids;
-    for (const auto &j : jobs_)
-        if (j.state == JobState::Running)
-            ids.push_back(j.spec.id);
-    return ids;
+    return running_ids_;
 }
 
 int
 Soc::freeTiles() const
 {
-    int used = 0;
-    for (const auto &j : jobs_)
-        if (j.state == JobState::Running)
-            used += j.numTiles;
-    if (used > cfg_.numTiles)
-        panic("tile over-allocation: %d of %d", used, cfg_.numTiles);
-    return cfg_.numTiles - used;
+    if (used_tiles_ > cfg_.numTiles)
+        panic("tile over-allocation: %d of %d", used_tiles_,
+              cfg_.numTiles);
+    return cfg_.numTiles - used_tiles_;
 }
 
 std::uint64_t
 Soc::effectiveCacheBytes() const
 {
+    return cfg_.l2Bytes / static_cast<std::uint64_t>(std::max<
+        std::size_t>(1, running_ids_.size()));
+}
+
+void
+Soc::addRunning(int id, int tiles)
+{
+    insertSorted(running_ids_, id);
+    used_tiles_ += tiles;
+    debugCheckCounters();
+}
+
+void
+Soc::dropRunning(int id, int tiles)
+{
+    eraseSorted(running_ids_, id);
+    used_tiles_ -= tiles;
+    debugCheckCounters();
+}
+
+void
+Soc::debugCheckCounters() const
+{
 #ifndef NDEBUG
-    // The counter must track the job states exactly; a drift here
-    // would silently mis-model capacity contention.
-    int scanned = 0;
-    for (const auto &j : jobs_)
-        if (j.state == JobState::Running)
+    // The counters must track the job states exactly; a drift here
+    // would silently mis-model capacity/bandwidth contention.  Only
+    // verified at state transitions (not per step), so debug builds
+    // pay O(jobs) per lifecycle event, not per simulated quantum.
+    int scanned = 0, used = 0;
+    std::size_t done = 0, waiting = 0;
+    for (const auto &j : jobs_) {
+        if (j.state == JobState::Running) {
             ++scanned;
-    if (scanned != running_jobs_)
-        panic("running-job counter drift: %d counted, %d scanned",
-              running_jobs_, scanned);
+            used += j.numTiles;
+        }
+        if (j.state == JobState::Waiting ||
+            j.state == JobState::Paused)
+            ++waiting;
+        if (j.complete())
+            ++done;
+    }
+    if (scanned != static_cast<int>(running_ids_.size()) ||
+        used != used_tiles_ || done != done_jobs_ ||
+        waiting != waiting_ids_.size())
+        panic("running-set counter drift: %zu/%d tracked, %d/%d "
+              "scanned, done %zu/%zu, waiting %zu/%zu",
+              running_ids_.size(), used_tiles_, scanned, used,
+              done_jobs_, done, waiting_ids_.size(), waiting);
 #endif
-    return cfg_.l2Bytes / static_cast<std::uint64_t>(
-        std::max(1, running_jobs_));
 }
 
 void
@@ -176,8 +215,9 @@ Soc::startJob(int id, int num_tiles, Cycles resume_penalty)
               id, num_tiles, freeTiles());
 
     j.state = JobState::Running;
-    ++running_jobs_;
     j.numTiles = num_tiles;
+    eraseSorted(waiting_ids_, id);
+    addRunning(id, num_tiles);
     j.exec.valid = false;
     if (resume_penalty > 0)
         j.stallUntil = std::max(j.stallUntil, now_ + resume_penalty);
@@ -207,6 +247,7 @@ Soc::resizeJob(int id, int num_tiles, bool charge_migration)
         panic("resizeJob(%d): %d tiles requested, %d available",
               id, num_tiles, avail);
 
+    used_tiles_ += num_tiles - j.numTiles;
     j.numTiles = num_tiles;
     // The layer restarts under the new tiling; the migration stall
     // dominates the lost partial-layer work.
@@ -226,7 +267,8 @@ Soc::pauseJob(int id)
     if (j.state != JobState::Running)
         panic("pauseJob(%d): job is not running", id);
     j.state = JobState::Paused;
-    --running_jobs_;
+    insertSorted(waiting_ids_, id);
+    dropRunning(id, j.numTiles);
     j.numTiles = 0;
     j.exec.valid = false; // partial layer progress is discarded
     j.preemptions++;
@@ -350,9 +392,11 @@ Soc::advanceJob(Job &job, Cycles quantum, double service,
 void
 Soc::completeJob(Job &job)
 {
-    if (job.state == JobState::Running)
-        --running_jobs_;
+    const bool was_running = job.state == JobState::Running;
     job.state = JobState::Done;
+    ++done_jobs_;
+    if (was_running)
+        dropRunning(job.spec.id, job.numTiles);
     job.numTiles = 0;
     job.finish = now_;
 
@@ -378,247 +422,359 @@ Soc::invokePolicy(SchedEvent event)
     policy_.schedule(*this, event);
 }
 
+// --- Shared step phases -----------------------------------------------
+
+std::vector<int>
+Soc::schedulingPoints()
+{
+    if (admitArrivals())
+        invokePolicy(SchedEvent::JobArrival);
+    if (now_ >= next_sched_tick_) {
+        trace_.record(now_, TraceEventKind::SchedTick, -1);
+        invokePolicy(SchedEvent::PeriodicTick);
+        next_sched_tick_ = now_ + cfg_.schedPeriod;
+    }
+
+    std::vector<int> running = runningJobs();
+    if (!running.empty())
+        return running;
+
+    const Cycles na = nextArrivalCycle();
+    if (na != kNoArrival) {
+        // Idle-advance to the next arrival, but never past a periodic
+        // tick: the tick cadence stays exact across idle gaps.
+        now_ = std::max(now_, std::min(na, next_sched_tick_));
+        return {};
+    }
+    // No arrivals left and nothing running: the policy must start a
+    // waiting/paused job now or we are deadlocked.
+    invokePolicy(SchedEvent::PeriodicTick);
+    running = runningJobs();
+    if (running.empty() && !allDone())
+        fatal("policy deadlock: %zu jobs unfinished, nothing "
+              "running, no arrivals pending", waitingJobs().size());
+    return running;
+}
+
+std::vector<Soc::DemandEntry>
+Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
+{
+    std::vector<DemandEntry> entries;
+    entries.reserve(running.size());
+
+    for (int id : running) {
+        Job &j = jobs_[static_cast<std::size_t>(id)];
+        DemandEntry e;
+        e.id = id;
+        if (j.stallUntil > now_) {
+            e.stalled = true;
+            entries.push_back(e);
+            continue;
+        }
+        if (!j.exec.valid)
+            beginLayer(j);
+
+        // Private (uncontended) rate cap of the job's DMA engines.
+        const double cap =
+            cfg_.tileDmaBytesPerCycle * j.numTiles;
+        const double t_full = layerRemainingTime(j, 1.0);
+        const double q = static_cast<double>(horizon);
+
+        double l2_des, dram_des;
+        if (t_full >= kInf) {
+            l2_des = dram_des = 0.0;
+        } else if (t_full <= q) {
+            // Layer (and possibly more) finishes within the
+            // step at private speed: ask for the full rate.
+            l2_des = std::min(j.exec.l2Rem + q * cap * 0.25,
+                              q * cap);
+            dram_des = std::min(j.exec.dramRem + q * cap * 0.25,
+                                q * cap);
+        } else {
+            // The decoupled DMA runs ahead of compute: it issues
+            // at up to dmaRunAhead x the balanced rate until the
+            // scratchpad double-buffer backpressures.
+            const double ahead = std::max(1.0, cfg_.dmaRunAhead);
+            l2_des = std::min(q * cap,
+                              ahead * q * (j.exec.l2Rem / t_full));
+            dram_des = std::min(
+                q * cap, ahead * q * (j.exec.dramRem / t_full));
+        }
+
+        // MoCA throttle: cap by the per-tile window allowance.
+        if (j.throttle.config().enabled() || l2_des > 0.0) {
+            const std::uint64_t beats_per_tile =
+                j.throttle.peekAllowance(horizon);
+            const double allowed =
+                static_cast<double>(beats_per_tile) *
+                static_cast<double>(cfg_.dmaBeatBytes) *
+                j.numTiles;
+            if (l2_des > allowed) {
+                e.throttleBound = true;
+                const double scale =
+                    l2_des > 0.0 ? allowed / l2_des : 0.0;
+                l2_des = allowed;
+                dram_des *= scale;
+            }
+        }
+        e.l2Demand = l2_des;
+        e.dramDemand = dram_des;
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+Soc::ChannelGrants
+Soc::arbitrate(const std::vector<DemandEntry> &entries, Cycles horizon)
+{
+    std::vector<BwDemand> dram_req, l2_req;
+    dram_req.reserve(entries.size());
+    l2_req.reserve(entries.size());
+    for (const auto &e : entries) {
+        const Job &j = jobs_[static_cast<std::size_t>(e.id)];
+        const double w = std::max(1, j.numTiles);
+        dram_req.push_back({e.dramDemand, w});
+        l2_req.push_back({e.l2Demand, w});
+    }
+
+    const double q = static_cast<double>(horizon);
+    double total_demand = 0.0;
+    double max_demand = 0.0;
+    for (const auto &e : entries) {
+        total_demand += e.dramDemand;
+        max_demand = std::max(max_demand, e.dramDemand);
+    }
+    const ThrashOutcome thrash = applyDramThrash(
+        total_demand, max_demand, cfg_.dramBytesPerCycle * q,
+        cfg_.dramThrashOnset, cfg_.dramThrashFactor);
+    if (thrash.thrashed) {
+        stats_.thrashQuanta++;
+        stats_.thrashLostBytes += thrash.lostBytes;
+    }
+
+    ChannelGrants g;
+    g.dram = cfg_.dramProportionalArbitration
+        ? allocateBandwidthProportional(dram_req, thrash.capacity)
+        : allocateBandwidth(dram_req, thrash.capacity);
+    g.l2 = allocateBandwidth(l2_req, cfg_.l2BytesPerCycle() * q);
+    return g;
+}
+
+double
+Soc::serviceRatio(const DemandEntry &e, double dram_grant,
+                  double l2_grant) const
+{
+    // Service ratio: how much of the demanded issue rate the shared
+    // channels actually granted.
+    double service = 1.0;
+    if (e.dramDemand > 1e-9)
+        service = std::min(service, dram_grant / e.dramDemand);
+    if (e.l2Demand > 1e-9)
+        service = std::min(service, l2_grant / e.l2Demand);
+    // The demand already includes the run-ahead margin; the balanced
+    // rate is demand / runAhead, so a grant of demand/runAhead still
+    // sustains full-speed execution.
+    return std::min(1.0, service * std::max(1.0, cfg_.dmaRunAhead));
+}
+
+Soc::StepOutcome
+Soc::advanceEntries(const std::vector<DemandEntry> &entries,
+                    const ChannelGrants &grants, Cycles horizon)
+{
+    StepOutcome out;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Job &j = jobs_[static_cast<std::size_t>(entries[i].id)];
+        if (entries[i].stalled) {
+            j.stallCycles += std::min<Cycles>(
+                horizon, j.stallRemaining(now_));
+            j.throttle.advance(horizon, 0);
+            continue;
+        }
+        const double service = serviceRatio(
+            entries[i], grants.dram[i], grants.l2[i]);
+        const AdvanceOutcome adv =
+            advanceJob(j, horizon, service,
+                       grants.dram[i], grants.l2[i]);
+
+        j.dramBytesMoved +=
+            static_cast<std::uint64_t>(adv.dramConsumed);
+        j.l2BytesMoved +=
+            static_cast<std::uint64_t>(adv.l2Consumed);
+        out.dramUsed += adv.dramConsumed;
+
+        // Account the consumed traffic in the throttle engine
+        // (per tile).
+        const std::uint64_t beats = static_cast<std::uint64_t>(
+            adv.l2Consumed /
+            (static_cast<double>(cfg_.dmaBeatBytes) *
+             std::max(1, j.numTiles)));
+        j.throttle.advance(horizon, beats);
+
+        if (adv.blockBoundary || adv.jobComplete)
+            out.events.push_back({entries[i].id, adv.blockBoundary,
+                                  adv.jobComplete});
+    }
+    return out;
+}
+
+void
+Soc::accountStep(Cycles step, const StepOutcome &out)
+{
+    now_ += step;
+    stats_.quanta++;
+    stats_.dramBytes += static_cast<std::uint64_t>(out.dramUsed);
+    dram_busy_cycles_ += out.dramUsed / cfg_.dramBytesPerCycle;
+}
+
+void
+Soc::dispatchBoundaries(const std::vector<BoundaryEvent> &events)
+{
+    bool completion = false;
+    for (const auto &ev : events) {
+        Job &j = jobs_[static_cast<std::size_t>(ev.id)];
+        if (ev.complete) {
+            completeJob(j);
+            policy_.onJobComplete(*this, j);
+            completion = true;
+        } else if (ev.blockBoundary) {
+            trace_.record(now_, TraceEventKind::BlockBoundary,
+                          ev.id,
+                          static_cast<long long>(j.blockIdx));
+            policy_.onBlockBoundary(*this, j);
+        }
+    }
+    if (completion)
+        invokePolicy(SchedEvent::JobCompletion);
+}
+
+// --- Kernels ----------------------------------------------------------
+
+void
+Soc::runQuantum(Cycles max_cycles)
+{
+    while (!allDone()) {
+        if (now_ > max_cycles)
+            fatal("simulation exceeded %llu cycles; policy deadlock?",
+                  static_cast<unsigned long long>(max_cycles));
+
+        const std::vector<int> running = schedulingPoints();
+        if (running.empty())
+            continue;
+
+        Cycles step = cfg_.quantum;
+        const Cycles na = nextArrivalCycle();
+        if (na != kNoArrival && na > now_)
+            step = std::min<Cycles>(step, na - now_);
+        // Clamp to the periodic tick as well, so it fires at the
+        // exact schedPeriod cadence instead of up to a quantum late.
+        step = std::min<Cycles>(step, next_sched_tick_ - now_);
+        step = std::max<Cycles>(step, 1);
+
+        const auto entries = computeDemands(running, step);
+        const auto grants = arbitrate(entries, step);
+        const StepOutcome out = advanceEntries(entries, grants, step);
+        accountStep(step, out);
+        dispatchBoundaries(out.events);
+    }
+}
+
+void
+Soc::runEvent(Cycles max_cycles)
+{
+    while (!allDone()) {
+        if (now_ > max_cycles)
+            fatal("simulation exceeded %llu cycles; policy deadlock?",
+                  static_cast<unsigned long long>(max_cycles));
+
+        const std::vector<int> running = schedulingPoints();
+        if (running.empty())
+            continue;
+
+        // Probe pass at quantum granularity: the demand-shape branch
+        // and throttle binding match what the quantum kernel would
+        // see in the next quantum, and stay constant until the next
+        // event (demand rates are layer-invariant: every remaining
+        // quantity shrinks by the same factor as the layer advances).
+        auto probe = computeDemands(running, cfg_.quantum);
+
+        events_.clear();
+        const Cycles na = nextArrivalCycle();
+        if (na != kNoArrival)
+            events_.push(na, SimEventKind::Arrival);
+        events_.push(next_sched_tick_, SimEventKind::SchedTick);
+        for (const DemandEntry &e : probe) {
+            const Job &j = jobs_[static_cast<std::size_t>(e.id)];
+            if (e.stalled) {
+                events_.push(gridCeil(j.stallUntil),
+                             SimEventKind::StallExpiry, e.id);
+                continue;
+            }
+            // A layer can never finish before its full-service
+            // remaining time, so step to the grid point strictly
+            // *before* it: the tail quantum then replays the quantum
+            // kernel's end-of-layer demand burst exactly, and no step
+            // ever spans a demand-shape change.
+            const double t = layerRemainingTime(j, 1.0);
+            if (t < kInf) {
+                const Cycles dt = static_cast<Cycles>(std::ceil(
+                    std::min(t, static_cast<double>(
+                                    cfg_.schedPeriod))));
+                const Cycles floor_step = std::max<Cycles>(
+                    cfg_.quantum,
+                    (dt > 1 ? (dt - 1) / cfg_.quantum : 0) *
+                        cfg_.quantum);
+                events_.push(now_ + floor_step,
+                             SimEventKind::LayerCompletion, e.id);
+            }
+            if (e.throttleBound) {
+                // A binding throttle re-opens at the engine's next
+                // state change (window rollover / reconfig-stall
+                // end); stop there so per-window pacing is not
+                // smeared across a long step.
+                const Cycles c = j.throttle.cyclesUntilNextChange();
+                if (c > 0)
+                    events_.push(gridCeil(now_ + c),
+                                 SimEventKind::ThrottleWindow, e.id);
+            }
+        }
+
+        const Cycles step = events_.top().at - now_;
+
+        // Tail steps (one per layer) degenerate to a single quantum,
+        // where the probe already holds the exact demands.
+        const auto entries = step == cfg_.quantum
+            ? std::move(probe)
+            : computeDemands(running, step);
+        const auto grants = arbitrate(entries, step);
+        const StepOutcome out = advanceEntries(entries, grants, step);
+        accountStep(step, out);
+        dispatchBoundaries(out.events);
+    }
+}
+
+Cycles
+Soc::gridCeil(Cycles t) const
+{
+    if (t <= now_)
+        return now_ + cfg_.quantum;
+    const Cycles k =
+        (t - now_ + cfg_.quantum - 1) / cfg_.quantum;
+    return now_ + k * cfg_.quantum;
+}
+
 void
 Soc::run(Cycles max_cycles)
 {
     if (!sorted_)
         sortArrivals();
     if (max_cycles == 0)
-        max_cycles = 1'000'000'000'000ULL;
+        max_cycles = cfg_.maxCycles;
     next_sched_tick_ = 0;
 
-    while (!allDone()) {
-        if (now_ > max_cycles)
-            fatal("simulation exceeded %llu cycles; policy deadlock?",
-                  static_cast<unsigned long long>(max_cycles));
-
-        if (admitArrivals())
-            invokePolicy(SchedEvent::JobArrival);
-        if (now_ >= next_sched_tick_) {
-            invokePolicy(SchedEvent::PeriodicTick);
-            next_sched_tick_ = now_ + cfg_.schedPeriod;
-        }
-
-        std::vector<int> running = runningJobs();
-        if (running.empty()) {
-            const Cycles na = nextArrivalCycle();
-            if (na != kNoArrival) {
-                now_ = std::max(now_, na);
-                continue;
-            }
-            // No arrivals left and nothing running: the policy must
-            // start a waiting/paused job now or we are deadlocked.
-            invokePolicy(SchedEvent::PeriodicTick);
-            running = runningJobs();
-            if (running.empty()) {
-                if (allDone())
-                    break;
-                fatal("policy deadlock: %zu jobs unfinished, nothing "
-                      "running, no arrivals pending",
-                      waitingJobs().size());
-            }
-        }
-
-        Cycles quantum = cfg_.quantum;
-        const Cycles na = nextArrivalCycle();
-        if (na != kNoArrival && na > now_)
-            quantum = std::min<Cycles>(quantum, na - now_);
-        quantum = std::max<Cycles>(quantum, 1);
-
-        // ---- Demand phase --------------------------------------------
-        struct Entry
-        {
-            int id;
-            double dramDemand = 0.0;
-            double l2Demand = 0.0;
-            bool stalled = false;
-        };
-        std::vector<Entry> entries;
-        entries.reserve(running.size());
-
-        for (int id : running) {
-            Job &j = jobs_[static_cast<std::size_t>(id)];
-            Entry e;
-            e.id = id;
-            if (j.stallUntil > now_) {
-                e.stalled = true;
-                j.stallCycles += std::min<Cycles>(
-                    quantum, j.stallUntil - now_);
-                entries.push_back(e);
-                continue;
-            }
-            if (!j.exec.valid)
-                beginLayer(j);
-
-            // Private (uncontended) rate cap of the job's DMA engines.
-            const double cap =
-                cfg_.tileDmaBytesPerCycle * j.numTiles;
-            const double t_full = layerRemainingTime(j, 1.0);
-            const double q = static_cast<double>(quantum);
-
-            double l2_des, dram_des;
-            if (t_full >= kInf) {
-                l2_des = dram_des = 0.0;
-            } else if (t_full <= q) {
-                // Layer (and possibly more) finishes within the
-                // quantum at private speed: ask for the full rate.
-                l2_des = std::min(j.exec.l2Rem + q * cap * 0.25,
-                                  q * cap);
-                dram_des = std::min(j.exec.dramRem + q * cap * 0.25,
-                                    q * cap);
-            } else {
-                // The decoupled DMA runs ahead of compute: it issues
-                // at up to dmaRunAhead x the balanced rate until the
-                // scratchpad double-buffer backpressures.
-                const double ahead = std::max(1.0, cfg_.dmaRunAhead);
-                l2_des = std::min(q * cap,
-                                  ahead * q * (j.exec.l2Rem / t_full));
-                dram_des = std::min(
-                    q * cap, ahead * q * (j.exec.dramRem / t_full));
-            }
-
-            // MoCA throttle: cap by the per-tile window allowance.
-            if (j.throttle.config().enabled() || l2_des > 0.0) {
-                const std::uint64_t beats_per_tile =
-                    j.throttle.peekAllowance(quantum);
-                const double allowed =
-                    static_cast<double>(beats_per_tile) *
-                    static_cast<double>(cfg_.dmaBeatBytes) *
-                    j.numTiles;
-                if (l2_des > allowed) {
-                    const double scale =
-                        l2_des > 0.0 ? allowed / l2_des : 0.0;
-                    l2_des = allowed;
-                    dram_des *= scale;
-                }
-            }
-            e.l2Demand = l2_des;
-            e.dramDemand = dram_des;
-            entries.push_back(e);
-        }
-
-        // ---- Arbitration ---------------------------------------------
-        std::vector<BwDemand> dram_req, l2_req;
-        dram_req.reserve(entries.size());
-        l2_req.reserve(entries.size());
-        for (const auto &e : entries) {
-            const Job &j = jobs_[static_cast<std::size_t>(e.id)];
-            const double w = std::max(1, j.numTiles);
-            dram_req.push_back({e.dramDemand, w});
-            l2_req.push_back({e.l2Demand, w});
-        }
-        const double q = static_cast<double>(quantum);
-        double dram_cap = cfg_.dramBytesPerCycle * q;
-        {
-            // Oversubscription thrash: aggregate issued demand beyond
-            // the channel bandwidth costs row-buffer locality — but
-            // only when the excess comes from *interleaved* streams
-            // of different jobs (a lone streamer keeps locality).
-            double total_demand = 0.0;
-            double max_demand = 0.0;
-            for (const auto &e : entries) {
-                total_demand += e.dramDemand;
-                max_demand = std::max(max_demand, e.dramDemand);
-            }
-            if (total_demand > dram_cap * cfg_.dramThrashOnset &&
-                dram_cap > 0.0) {
-                const double over = std::min(
-                    1.0,
-                    (total_demand / dram_cap - cfg_.dramThrashOnset) /
-                        2.0);
-                const double interleave =
-                    1.0 - max_demand / total_demand;
-                const double loss = cfg_.dramThrashFactor * over *
-                    2.0 * std::min(0.5, interleave);
-                if (loss > 0.0) {
-                    stats_.thrashQuanta++;
-                    stats_.thrashLostBytes += dram_cap * loss;
-                }
-                dram_cap *= 1.0 - loss;
-            }
-        }
-        const auto dram_grants = cfg_.dramProportionalArbitration
-            ? allocateBandwidthProportional(dram_req, dram_cap)
-            : allocateBandwidth(dram_req, dram_cap);
-        const auto l2_grants =
-            allocateBandwidth(l2_req, cfg_.l2BytesPerCycle() * q);
-
-        // ---- Advance phase -------------------------------------------
-        struct Event
-        {
-            int id;
-            bool blockBoundary;
-            bool complete;
-        };
-        std::vector<Event> events;
-        double dram_used = 0.0;
-
-        for (std::size_t i = 0; i < entries.size(); ++i) {
-            Job &j = jobs_[static_cast<std::size_t>(entries[i].id)];
-            if (entries[i].stalled) {
-                j.throttle.advance(quantum, 0);
-                continue;
-            }
-            // Service ratio: how much of the demanded issue rate the
-            // shared channels actually granted.
-            double service = 1.0;
-            if (entries[i].dramDemand > 1e-9)
-                service = std::min(
-                    service, dram_grants[i] / entries[i].dramDemand);
-            if (entries[i].l2Demand > 1e-9)
-                service = std::min(
-                    service, l2_grants[i] / entries[i].l2Demand);
-            // The demand already includes the run-ahead margin; the
-            // balanced rate is demand / runAhead, so a grant of
-            // demand/runAhead still sustains full-speed execution.
-            service = std::min(
-                1.0, service * std::max(1.0, cfg_.dmaRunAhead));
-            const AdvanceOutcome out =
-                advanceJob(j, quantum, service,
-                           dram_grants[i], l2_grants[i]);
-
-            j.dramBytesMoved +=
-                static_cast<std::uint64_t>(out.dramConsumed);
-            j.l2BytesMoved +=
-                static_cast<std::uint64_t>(out.l2Consumed);
-            dram_used += out.dramConsumed;
-
-            // Account the consumed traffic in the throttle engine
-            // (per tile).
-            const std::uint64_t beats = static_cast<std::uint64_t>(
-                out.l2Consumed /
-                (static_cast<double>(cfg_.dmaBeatBytes) *
-                 std::max(1, j.numTiles)));
-            j.throttle.advance(quantum, beats);
-
-            if (out.blockBoundary || out.jobComplete)
-                events.push_back({entries[i].id, out.blockBoundary,
-                                  out.jobComplete});
-        }
-
-        now_ += quantum;
-        stats_.quanta++;
-        stats_.dramBytes += static_cast<std::uint64_t>(dram_used);
-        dram_busy_cycles_ += dram_used / cfg_.dramBytesPerCycle;
-
-        // ---- Post-quantum events -------------------------------------
-        bool completion = false;
-        for (const auto &ev : events) {
-            Job &j = jobs_[static_cast<std::size_t>(ev.id)];
-            if (ev.complete) {
-                completeJob(j);
-                policy_.onJobComplete(*this, j);
-                completion = true;
-            } else if (ev.blockBoundary) {
-                trace_.record(now_, TraceEventKind::BlockBoundary,
-                              ev.id,
-                              static_cast<long long>(j.blockIdx));
-                policy_.onBlockBoundary(*this, j);
-            }
-        }
-        if (completion)
-            invokePolicy(SchedEvent::JobCompletion);
-    }
+    if (cfg_.kernel == SimKernel::Event)
+        runEvent(max_cycles);
+    else
+        runQuantum(max_cycles);
 
     stats_.cyclesSimulated = now_;
     stats_.l2Bytes = 0;

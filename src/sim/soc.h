@@ -1,14 +1,25 @@
 /**
  * @file
- * Quantum-stepped cycle-level SoC simulator.
+ * Cycle-level SoC simulator with two interchangeable time-advance
+ * kernels (SocConfig::kernel).
  *
- * Execution model: every quantum (default 512 cycles) each running
- * job computes the byte demand its DMA engines would issue, capped by
- * its MoCA throttle allowance; the shared DRAM channel and L2 banks
- * arbitrate demands with weighted max-min fairness; each job then
- * advances its current layer using the granted rates, combining
- * compute and memory progress with the overlap factor
+ * Execution model (shared by both kernels): each step, every running
+ * job computes the byte demand its DMA engines would issue over the
+ * step, capped by its MoCA throttle allowance; the shared DRAM channel
+ * and L2 banks arbitrate demands with weighted max-min fairness; each
+ * job then advances its current layer using the granted rates,
+ * combining compute and memory progress with the overlap factor
  * (latency = max(C, M) + f * min(C, M), Algorithm 1 semantics).
+ *
+ * The *quantum* kernel steps fixed cfg.quantum chunks, so cost scales
+ * with simulated cycles.  The *event* kernel (sim/event_queue.h)
+ * advances time directly to the earliest upcoming state change — next
+ * arrival, periodic scheduler tick, stall expiry, layer completion,
+ * binding throttle-window rollover — rounded up to the quantum grid;
+ * demands, grants, and per-layer rates are piecewise-constant between
+ * those events, so cost scales with scheduling activity instead.
+ * Both kernels fire the periodic tick at the exact schedPeriod
+ * cadence and admit arrivals at their exact dispatch cycle.
  *
  * Layer DRAM traffic is determined at layer start from the job's
  * *effective* L2 share (capacity divided among co-runners), which
@@ -23,6 +34,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/job.h"
 #include "sim/policy.h"
 #include "sim/trace.h"
@@ -36,9 +48,12 @@ struct SocStats
     std::uint64_t dramBytes = 0;
     std::uint64_t l2Bytes = 0;
     double dramBusyFraction = 0.0; ///< Time-averaged DRAM utilization.
+    /** Demand/arbitrate/advance rounds executed: fixed quanta under
+     *  the quantum kernel, variable-length steps under the event
+     *  kernel (the kernel-speedup ratio is quanta_q / quanta_e). */
     std::uint64_t quanta = 0;
     std::uint64_t schedInvocations = 0;
-    /** Quanta where oversubscribed interleaved demand degraded the
+    /** Steps where oversubscribed interleaved demand degraded the
      *  effective DRAM bandwidth. */
     std::uint64_t thrashQuanta = 0;
     /** Bandwidth-cycles lost to thrash (bytes not servable). */
@@ -57,7 +72,7 @@ class Soc
     /**
      * Run until every job has completed.
      * @param max_cycles safety limit; fatal when exceeded (deadlock
-     *        in a policy).
+     *        in a policy).  0 uses cfg.maxCycles.
      */
     void run(Cycles max_cycles = 0);
 
@@ -129,17 +144,38 @@ class Soc
     std::vector<JobResult> results_;
     SocStats stats_;
     TraceRecorder trace_;
-    /** Jobs currently in JobState::Running, maintained by
-     *  startJob/pauseJob/completeJob so the per-layer
-     *  effectiveCacheBytes() lookup needs no jobs_ scan. */
-    int running_jobs_ = 0;
+    EventQueue events_; ///< Scratch queue of the event kernel.
+    /**
+     * Ids of jobs in JobState::Running, kept sorted ascending (the
+     * order the old jobs_ scan produced) and maintained by
+     * startJob/pauseJob/completeJob.  With multi-thousand-task stress
+     * traces, per-step jobs_ scans would make every step O(total
+     * jobs); these counters keep the hot queries O(running jobs).
+     */
+    std::vector<int> running_ids_;
+    /** Ids of Waiting/Paused jobs, sorted ascending (see
+     *  running_ids_); maintained by admitArrivals/startJob/pauseJob. */
+    std::vector<int> waiting_ids_;
+    int used_tiles_ = 0;       ///< Tiles of all running jobs.
+    std::size_t done_jobs_ = 0;
     double dram_busy_cycles_ = 0.0;
     Cycles next_sched_tick_ = 0;
     bool sorted_ = false;
 
     void sortArrivals();
-    bool allDone() const;
+    bool allDone() const { return done_jobs_ == jobs_.size(); }
     Cycles nextArrivalCycle() const;
+
+    /** Insert/remove an id in a sorted id vector. */
+    static void insertSorted(std::vector<int> &ids, int id);
+    static void eraseSorted(std::vector<int> &ids, int id);
+
+    /** Track a job entering/leaving the running set. */
+    void addRunning(int id, int tiles);
+    void dropRunning(int id, int tiles);
+
+    /** Debug-only: verify the counters against a full jobs_ scan. */
+    void debugCheckCounters() const;
 
     /** Admit arrivals with dispatch <= now; returns true if any. */
     bool admitArrivals();
@@ -147,13 +183,108 @@ class Soc
     /** Initialize exec state for the job's current layer. */
     void beginLayer(Job &job);
 
+    // --- Shared step phases (both kernels) ----------------------------
+
+    /** One running job's byte demand for a step. */
+    struct DemandEntry
+    {
+        int id;
+        double dramDemand = 0.0;
+        double l2Demand = 0.0;
+        bool stalled = false;
+        /** The MoCA throttle allowance clamped the demand, so the
+         *  engine's next window rollover is a scheduling event. */
+        bool throttleBound = false;
+    };
+
+    /** Arbitrated per-entry grants for a step. */
+    struct ChannelGrants
+    {
+        std::vector<double> dram;
+        std::vector<double> l2;
+    };
+
+    /** A job-level event produced by a step's advance phase. */
+    struct BoundaryEvent
+    {
+        int id;
+        bool blockBoundary;
+        bool complete;
+    };
+
+    /** What one step did (advance-phase summary). */
+    struct StepOutcome
+    {
+        std::vector<BoundaryEvent> events;
+        double dramUsed = 0.0;
+    };
+
+    /**
+     * Handle the scheduling points at `now_`: admit due arrivals,
+     * fire the periodic tick, and — when nothing is running — advance
+     * idle time to the next arrival or tick (or invoke the policy one
+     * last time before declaring deadlock).  Returns the running set;
+     * when empty the caller re-enters its loop.
+     */
+    std::vector<int> schedulingPoints();
+
+    /**
+     * Demand phase: each running job's DMA byte demand over `horizon`
+     * cycles, capped by its private rate and throttle allowance.
+     * Initializes layer exec state as needed; no time accounting.
+     */
+    std::vector<DemandEntry>
+    computeDemands(const std::vector<int> &running, Cycles horizon);
+
+    /**
+     * Arbitration phase: grant the shared DRAM channel (with the
+     * oversubscription-thrash derate, accumulated into stats_) and
+     * L2 banks over `horizon`.
+     */
+    ChannelGrants arbitrate(const std::vector<DemandEntry> &entries,
+                            Cycles horizon);
+
+    /** Grant/demand service ratio in (0, 1] for one entry. */
+    double serviceRatio(const DemandEntry &e, double dram_grant,
+                        double l2_grant) const;
+
+    /**
+     * Advance phase: move every entry forward by `horizon` cycles
+     * (stalled jobs accrue stall time), consuming granted bytes.
+     * Does not advance now_.
+     */
+    StepOutcome advanceEntries(const std::vector<DemandEntry> &entries,
+                               const ChannelGrants &grants,
+                               Cycles horizon);
+
+    /** Close a step: advance now_, update stats. */
+    void accountStep(Cycles step, const StepOutcome &out);
+
+    /** Fire block-boundary/completion hooks recorded by a step. */
+    void dispatchBoundaries(const std::vector<BoundaryEvent> &events);
+
+    // --- Kernels ------------------------------------------------------
+
+    /** Fixed-quantum kernel loop. */
+    void runQuantum(Cycles max_cycles);
+
+    /** Next-event kernel loop. */
+    void runEvent(Cycles max_cycles);
+
+    /**
+     * Smallest quantum-grid point at or after `t`, strictly after
+     * now_: the event kernel lands on the same time grid the quantum
+     * kernel would, so per-job timing matches it to within a quantum.
+     */
+    Cycles gridCeil(Cycles t) const;
+
     /**
      * Advance a running job by up to `quantum` cycles.
      *
      * @param service grant/demand service ratio in (0, 1]: the memory
      *        pipeline runs 1/service times slower than at the job's
      *        private DMA caps.
-     * @param dram_budget,l2_budget granted bytes this quantum (hard
+     * @param dram_budget,l2_budget granted bytes this step (hard
      *        consumption clamps).
      */
     struct AdvanceOutcome

@@ -16,6 +16,7 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::JobCompleted: return "complete";
       case TraceEventKind::BlockBoundary: return "block";
       case TraceEventKind::ThrottleConfig: return "throttle";
+      case TraceEventKind::SchedTick: return "tick";
     }
     return "?";
 }

@@ -28,6 +28,7 @@ enum class TraceEventKind
     JobCompleted,
     BlockBoundary,  ///< Crossed into a new layer block.
     ThrottleConfig, ///< MoCA throttle engines reprogrammed.
+    SchedTick,      ///< Periodic scheduler tick fired (jobId = -1).
 };
 
 /** One recorded event. */

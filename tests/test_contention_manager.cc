@@ -56,6 +56,7 @@ TEST(ContentionManager, SingleJobNoContention)
         snap(0, dnn::ModelId::ResNet50));
     EXPECT_FALSE(d.contention);
     EXPECT_FALSE(d.hwConfig.enabled());
+    EXPECT_EQ(d.nextChangeCycles, 0u); // no throttle scheduled
     EXPECT_GT(d.prediction, 0.0);
 }
 
@@ -81,6 +82,10 @@ TEST(ContentionManager, OverflowDetectedWithMemoryHogs)
     EXPECT_GT(last.hwConfig.thresholdLoad, 0u);
     // Allocated rate below the unthrottled demand.
     EXPECT_LT(last.bwRate, cfg().dramBytesPerCycle);
+    // Event-driven callers bound their time advance on the decision's
+    // next state change: one monitoring window.
+    EXPECT_EQ(last.nextChangeCycles, last.hwConfig.windowCycles);
+    EXPECT_GT(last.nextChangeCycles, 0u);
 }
 
 TEST(ContentionManager, HigherScoreGetsMoreBandwidth)

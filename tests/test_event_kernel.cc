@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Parity and regression tests of the event-driven simulation kernel
+ * (SocConfig::kernel == SimKernel::Event) against the quantum kernel:
+ * identical solo runs, bounded metric deltas on fig5/fig7-style
+ * scenario cells, stall-expiry and throttle-window edge cases,
+ * determinism under parallel sweeps, and the exact periodic-tick
+ * cadence both kernels must keep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/model_zoo.h"
+#include "exp/experiment.h"
+#include "exp/oracle.h"
+#include "exp/scenario.h"
+#include "sim/event_queue.h"
+#include "sim/soc.h"
+
+namespace moca {
+namespace {
+
+using sim::SimKernel;
+
+sim::SocConfig
+kernelCfg(SimKernel k)
+{
+    sim::SocConfig cfg;
+    cfg.kernel = k;
+    return cfg;
+}
+
+sim::JobSpec
+spec(int id, dnn::ModelId model, Cycles dispatch = 0, int priority = 0)
+{
+    sim::JobSpec s;
+    s.id = id;
+    s.model = &dnn::getModel(model);
+    s.dispatch = dispatch;
+    s.priority = priority;
+    s.slaLatency = 1'000'000'000;
+    return s;
+}
+
+workload::TraceConfig
+cellTrace(workload::WorkloadSet set, workload::QosLevel qos, int tasks)
+{
+    workload::TraceConfig t;
+    t.set = set;
+    t.qos = qos;
+    t.numTasks = tasks;
+    t.seed = 11;
+    return t;
+}
+
+double
+relDelta(double a, double b)
+{
+    const double denom = std::max(std::abs(a), std::abs(b));
+    return denom > 0.0 ? std::abs(a - b) / denom : 0.0;
+}
+
+// --- EventQueue --------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrderWithDeterministicTies)
+{
+    sim::EventQueue q;
+    q.push(300, sim::SimEventKind::LayerCompletion, 2);
+    q.push(100, sim::SimEventKind::SchedTick);
+    q.push(300, sim::SimEventKind::Arrival);
+    q.push(300, sim::SimEventKind::LayerCompletion, 1);
+    q.push(200, sim::SimEventKind::StallExpiry, 0);
+    ASSERT_EQ(q.size(), 5u);
+
+    EXPECT_EQ(q.top().at, 100u);
+    EXPECT_EQ(q.pop().kind, sim::SimEventKind::SchedTick);
+    EXPECT_EQ(q.pop().kind, sim::SimEventKind::StallExpiry);
+    // Equal-time events break ties on kind, then job id.
+    EXPECT_EQ(q.pop().kind, sim::SimEventKind::Arrival);
+    EXPECT_EQ(q.pop().jobId, 1);
+    EXPECT_EQ(q.pop().jobId, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearAndReuse)
+{
+    sim::EventQueue q;
+    q.push(5, sim::SimEventKind::Arrival);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push(7, sim::SimEventKind::SchedTick);
+    EXPECT_EQ(q.top().at, 7u);
+}
+
+// --- Solo parity -------------------------------------------------------
+
+TEST(EventKernel, IsolatedLatencyMatchesQuantumKernel)
+{
+    // A lone job sees no contention: both kernels walk the same layer
+    // sequence on the same quantum grid, so the finish cycle may
+    // differ only by the grid rounding of layer tails.
+    for (dnn::ModelId id : {dnn::ModelId::Kws, dnn::ModelId::SqueezeNet,
+                            dnn::ModelId::ResNet50}) {
+        const Cycles q = exp::isolatedLatency(
+            id, 8, kernelCfg(SimKernel::Quantum));
+        const Cycles e = exp::isolatedLatency(
+            id, 8, kernelCfg(SimKernel::Event));
+        const auto diff = q > e ? q - e : e - q;
+        EXPECT_LE(diff, 2 * sim::SocConfig().quantum)
+            << dnn::modelIdName(id) << " quantum=" << q
+            << " event=" << e;
+    }
+}
+
+TEST(EventKernel, SoloTraceEventSequenceMatches)
+{
+    // Deterministic solo run: the recorded lifecycle sequence (kinds
+    // and job ids) must be identical between kernels.
+    std::vector<std::pair<sim::TraceEventKind, int>> seq[2];
+    int i = 0;
+    for (SimKernel k : {SimKernel::Quantum, SimKernel::Event}) {
+        const sim::SocConfig cfg = kernelCfg(k);
+        exp::SoloPolicy policy(4);
+        sim::Soc soc(cfg, policy);
+        soc.trace().enable();
+        soc.addJob(spec(0, dnn::ModelId::SqueezeNet));
+        soc.addJob(spec(1, dnn::ModelId::Kws, 700'000));
+        soc.run();
+        for (const auto &e : soc.trace().events())
+            if (e.kind != sim::TraceEventKind::SchedTick)
+                seq[i].push_back({e.kind, e.jobId});
+        ++i;
+    }
+    EXPECT_EQ(seq[0], seq[1]);
+}
+
+// --- Scenario-cell parity (fig5 / fig7 grids) --------------------------
+
+TEST(EventKernel, Fig5CellMetricsMatchWithinBound)
+{
+    // Fig5/fig7-style cells under every built-in policy on identical
+    // traces.  The non-throttling baselines make all their decisions
+    // at arrivals, completions, ticks, and block boundaries — points
+    // both kernels hit on the same grid — so their metrics must match
+    // exactly.  MoCA's throttle pacing interacts with step lengths
+    // (intra-window budget exhaustion is resolved per step), so its
+    // metrics may drift by a small bounded amount; measured deltas on
+    // these cells are <= 0.05 sla / 0.09 stp / 0.06 makespan.
+    const std::vector<std::pair<workload::WorkloadSet,
+                                workload::QosLevel>> cells = {
+        {workload::WorkloadSet::C, workload::QosLevel::Medium},
+        {workload::WorkloadSet::A, workload::QosLevel::Light},
+        {workload::WorkloadSet::B, workload::QosLevel::Hard},
+    };
+    for (const auto &[set, qos] : cells) {
+        const auto t = cellTrace(set, qos, 60);
+        const sim::SocConfig qcfg = kernelCfg(SimKernel::Quantum);
+        const sim::SocConfig ecfg = kernelCfg(SimKernel::Event);
+        const auto stream = exp::makeTrace(t, qcfg);
+        for (const auto &policy : exp::allPolicySpecs()) {
+            const auto rq = exp::runTrace(policy, stream, t, qcfg);
+            const auto re = exp::runTrace(policy, stream, t, ecfg);
+            const std::string what = std::string(policy) + " " +
+                workload::workloadSetName(set) + " " +
+                workload::qosLevelName(qos);
+            const bool throttling = policy == "moca";
+            const double sla_bound = throttling ? 0.10 : 0.005;
+            const double rel_bound = throttling ? 0.15 : 0.005;
+
+            ASSERT_EQ(rq.jobs.size(), re.jobs.size()) << what;
+            EXPECT_LE(std::abs(rq.metrics.slaRate -
+                               re.metrics.slaRate), sla_bound)
+                << what;
+            EXPECT_LE(relDelta(rq.metrics.stp, re.metrics.stp),
+                      rel_bound)
+                << what << " stp " << rq.metrics.stp << " vs "
+                << re.metrics.stp;
+            EXPECT_LE(relDelta(static_cast<double>(rq.makespan),
+                               static_cast<double>(re.makespan)),
+                      rel_bound)
+                << what << " makespan " << rq.makespan << " vs "
+                << re.makespan;
+            // The event kernel must do far fewer rounds.
+            EXPECT_LT(re.simSteps * 4, rq.simSteps) << what;
+        }
+    }
+}
+
+TEST(EventKernel, StepCountScalesWithEventsNotCycles)
+{
+    // A lone long job: the quantum kernel pays one round per quantum,
+    // the event kernel one round per layer/tick.  The ratio is the
+    // architectural speedup and must be substantial.
+    const auto t = cellTrace(workload::WorkloadSet::B,
+                             workload::QosLevel::Medium, 20);
+    const sim::SocConfig qcfg = kernelCfg(SimKernel::Quantum);
+    const auto stream = exp::makeTrace(t, qcfg);
+    const auto rq = exp::runTrace("moca", stream, t, qcfg);
+    const auto re = exp::runTrace("moca", stream, t,
+                                  kernelCfg(SimKernel::Event));
+    EXPECT_GT(static_cast<double>(rq.simSteps) /
+                  static_cast<double>(re.simSteps),
+              3.0)
+        << "quantum steps " << rq.simSteps << ", event steps "
+        << re.simSteps;
+}
+
+// --- Stall-expiry edge case --------------------------------------------
+
+TEST(EventKernel, MidQuantumStallExpiryMatchesQuantumKernel)
+{
+    // A migration stall ends mid-quantum (migrationCycles is not a
+    // quantum multiple): both kernels must resume the job at the same
+    // grid point and account identical stall cycles.
+    for (Cycles migration : {999'983u, 1'000'000u}) {
+        Cycles finish[2];
+        Cycles stalled[2];
+        int i = 0;
+        for (SimKernel k : {SimKernel::Quantum, SimKernel::Event}) {
+            sim::SocConfig cfg = kernelCfg(k);
+            cfg.migrationCycles = migration;
+
+            struct Resizer : exp::SoloPolicy
+            {
+                bool done = false;
+                Resizer() : exp::SoloPolicy(8) {}
+                void
+                schedule(sim::Soc &soc, sim::SchedEvent ev) override
+                {
+                    exp::SoloPolicy::schedule(soc, ev);
+                    if (!done && !soc.runningJobs().empty() &&
+                        soc.now() > 0) {
+                        done = true;
+                        soc.resizeJob(soc.runningJobs()[0], 4);
+                    }
+                }
+            } policy;
+
+            sim::Soc soc(cfg, policy);
+            soc.addJob(spec(0, dnn::ModelId::SqueezeNet));
+            soc.run();
+            finish[i] = soc.results()[0].finish;
+            stalled[i] = soc.results()[0].stallCycles;
+            ++i;
+        }
+        EXPECT_EQ(finish[0], finish[1]) << "migration " << migration;
+        EXPECT_EQ(stalled[0], stalled[1]) << "migration " << migration;
+        EXPECT_GE(stalled[0], migration);
+    }
+}
+
+// --- Throttle-window edge case -----------------------------------------
+
+TEST(EventKernel, BindingThrottleWindowPacesBothKernelsAlike)
+{
+    // A hard throttle whose window is not a quantum multiple: the
+    // event kernel must stop at window rollovers (ThrottleWindow
+    // events) instead of smearing the budget over long steps.
+    struct ThrottlingSolo : exp::SoloPolicy
+    {
+        hw::ThrottleConfig tcfg;
+        ThrottlingSolo() : exp::SoloPolicy(8) {}
+        void
+        schedule(sim::Soc &soc, sim::SchedEvent ev) override
+        {
+            exp::SoloPolicy::schedule(soc, ev);
+            for (int id : soc.runningJobs())
+                if (soc.job(id).throttle.stats().reconfigurations == 0)
+                    soc.configureThrottle(id, tcfg);
+        }
+    };
+
+    Cycles latency[2];
+    int i = 0;
+    for (SimKernel k : {SimKernel::Quantum, SimKernel::Event}) {
+        ThrottlingSolo policy;
+        policy.tcfg = {1000, 60}; // 60 beats per 1000-cycle window.
+        sim::Soc soc(kernelCfg(k), policy);
+        soc.addJob(spec(0, dnn::ModelId::SqueezeNet));
+        soc.run();
+        latency[i++] = soc.results()[0].latency();
+    }
+
+    // Unthrottled reference: the throttle must bite under both
+    // kernels, and the two paced latencies must agree closely.
+    const Cycles freerun = exp::isolatedLatency(
+        dnn::ModelId::SqueezeNet, 8, kernelCfg(SimKernel::Quantum));
+    EXPECT_GT(latency[0], freerun + freerun / 10);
+    EXPECT_GT(latency[1], freerun + freerun / 10);
+    EXPECT_LE(relDelta(static_cast<double>(latency[0]),
+                       static_cast<double>(latency[1])), 0.02)
+        << "quantum " << latency[0] << " event " << latency[1];
+}
+
+// --- Determinism under parallel sweeps ---------------------------------
+
+TEST(EventKernel, ParallelSweepBitIdenticalToSerial)
+{
+    const auto t = cellTrace(workload::WorkloadSet::C,
+                             workload::QosLevel::Medium, 40);
+    auto build = [&](int jobs) {
+        return exp::Experiment()
+            .kernel(SimKernel::Event)
+            .trace(t)
+            .policies({"moca", "prema", "static", "planaria"})
+            .jobs(jobs)
+            .run();
+    };
+    const auto serial = build(1);
+    const auto parallel = build(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (const auto &policy : exp::allPolicySpecs()) {
+        EXPECT_EQ(serial[policy].metrics.slaRate,
+                  parallel[policy].metrics.slaRate) << policy;
+        EXPECT_EQ(serial[policy].metrics.stp,
+                  parallel[policy].metrics.stp) << policy;
+        EXPECT_EQ(serial[policy].makespan, parallel[policy].makespan)
+            << policy;
+        EXPECT_EQ(serial[policy].simSteps, parallel[policy].simSteps)
+            << policy;
+    }
+}
+
+// --- Periodic tick cadence (regression for the late-tick bug) ----------
+
+TEST(TickCadence, PeriodicTickFiresOnExactCadenceUnderBothKernels)
+{
+    // schedPeriod is deliberately not a quantum multiple: before the
+    // clamp fix the tick drifted by up to a quantum per period.
+    for (SimKernel k : {SimKernel::Quantum, SimKernel::Event}) {
+        sim::SocConfig cfg = kernelCfg(k);
+        cfg.schedPeriod = 100'000; // 100000 % 512 != 0
+        exp::SoloPolicy policy(4);
+        sim::Soc soc(cfg, policy);
+        soc.trace().enable();
+        soc.addJob(spec(0, dnn::ModelId::SqueezeNet));
+        soc.addJob(spec(1, dnn::ModelId::SqueezeNet, 1'300'000));
+        soc.run();
+
+        std::size_t ticks = 0;
+        for (const auto &e : soc.trace().events()) {
+            if (e.kind != sim::TraceEventKind::SchedTick)
+                continue;
+            EXPECT_EQ(e.cycle % cfg.schedPeriod, 0u)
+                << simKernelName(k) << " tick at " << e.cycle;
+            ++ticks;
+        }
+        // One tick per period from 0 through the makespan.
+        EXPECT_EQ(ticks, soc.now() / cfg.schedPeriod + 1)
+            << simKernelName(k);
+    }
+}
+
+} // namespace
+} // namespace moca

@@ -155,17 +155,6 @@ TEST(PolicyRegistry, MalformedValueDies)
         "expected 'scaled' or 'fixed'");
 }
 
-TEST(PolicyKindShim, NamesMatchSpecs)
-{
-    // The deprecated enum still resolves to the same spec strings.
-    ASSERT_EQ(allPolicies().size(), allPolicySpecs().size());
-    for (std::size_t i = 0; i < allPolicies().size(); ++i)
-        EXPECT_EQ(policyKindName(allPolicies()[i]),
-                  allPolicySpecs()[i]);
-    EXPECT_DEATH((void)policyKindName(static_cast<PolicyKind>(99)),
-                 "known policies");
-}
-
 // --- Parameterized specs change behavior -----------------------------
 
 TEST(PolicyRegistry, TickParameterChangesBehaviorMeasurably)
