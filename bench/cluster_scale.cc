@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Cluster fleet scaling study: does MoCA's contention-aware advantage
+ * over the baselines survive at datacenter scale, where a front-end
+ * load balancer can route contending jobs apart instead?  Sweeps fleet
+ * size x dispatcher x per-SoC policy over synthesized open-loop
+ * traces (cluster/workload.h), reporting fleet SLA, tail latency
+ * (p50/p95/p99), STP, and load balance, and — with `--json PATH` —
+ * emits the machine-readable perf baseline (BENCH_cluster.json) that
+ * CI uploads.
+ *
+ * The default grid is {1,4,16,64} SoCs x {rr, p2c, least-loaded,
+ * qos-aware} x {prema, planaria, moca} with tasks scaling with fleet
+ * size (tasks-per-soc=1600, i.e. a 102k-task stream at 64 SoCs) over
+ * the "wide" model mix (Table III plus the extension profiles).
+ *
+ * Usage: cluster_scale [socs=1,4,16,64] [tasks-per-soc=N] [tasks=N]
+ *                      [process=poisson|mmpp|diurnal] [mix=wide|a|b|c|
+ *                      name,name,...] [load=F] [seed=S]
+ *                      [--policy SPEC[,SPEC...]] [--list-policies]
+ *                      [--dispatcher SPEC[,SPEC...]]
+ *                      [--list-dispatchers] [--jobs N] [--json PATH]
+ *                      [kernel=quantum|event] ...
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "common/text.h"
+#include "exp/oracle.h"
+#include "exp/sweep/options.h"
+
+using namespace moca;
+
+namespace {
+
+std::vector<int>
+parseIntList(const std::string &what, const std::string &text)
+{
+    std::vector<int> values;
+    for (const auto &tok : splitCommaList(text))
+        values.push_back(static_cast<int>(parseIntValue(what, tok)));
+    if (values.empty())
+        fatal("%s needs at least one value", what.c_str());
+    return values;
+}
+
+std::vector<dnn::ModelId>
+parseMix(const std::string &text)
+{
+    if (text.empty() || text == "c")
+        return dnn::workloadSetC();
+    if (text == "a")
+        return dnn::workloadSetA();
+    if (text == "b")
+        return dnn::workloadSetB();
+    if (text == "wide") {
+        std::vector<dnn::ModelId> mix = dnn::allModelIds();
+        for (dnn::ModelId id : dnn::extensionModelIds())
+            mix.push_back(id);
+        return mix;
+    }
+    std::vector<dnn::ModelId> mix;
+    for (const auto &tok : splitCommaList(text))
+        mix.push_back(dnn::modelIdFromName(tok));
+    if (mix.empty())
+        fatal("mix= needs at least one model");
+    return mix;
+}
+
+struct Cell
+{
+    int socs = 0;
+    int tasks = 0;
+    std::string dispatcher;
+    std::string policy;
+    std::shared_ptr<const std::vector<cluster::ClusterTask>> stream;
+    cluster::ClusterResult result;
+    double wall = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgMap args(argc, argv);
+    sim::SocConfig base = exp::socConfigFromArgs(args);
+    // Fleet scale is the point of this bench: default to the event
+    // kernel (stress_scale compares the kernels; here we just want
+    // the fast one) unless the user picked one explicitly.
+    if (!args.has("kernel"))
+        base.kernel = sim::SimKernel::Event;
+    const auto policies = exp::policiesFromArgs(
+        args, {"prema", "planaria", "moca"});
+    const auto dispatchers = exp::dispatchersFromArgs(
+        args, {"rr", "p2c", "least-loaded", "qos-aware"});
+    const auto socs_list =
+        parseIntList("socs", args.getString("socs", "1,4,16,64"));
+    const int tasks_per_soc =
+        static_cast<int>(args.getInt("tasks-per-soc", 1600));
+    const int tasks_total = static_cast<int>(args.getInt("tasks", 0));
+    const auto process = cluster::arrivalProcessFromName(
+        args.getString("process", "poisson"));
+    const auto mix = parseMix(args.getString("mix", "wide"));
+    const double load = args.getDouble("load", 0.8);
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const exp::SweepOptions opts = exp::sweepOptionsFromArgs(args);
+    const bool serial = exp::resolveJobs(opts.jobs) == 1;
+
+    std::printf("== cluster_scale: fleet co-simulation "
+                "(process=%s load=%.2f seed=%llu jobs=%d) ==\n\n",
+                cluster::arrivalProcessName(process), load,
+                static_cast<unsigned long long>(seed),
+                exp::resolveJobs(opts.jobs));
+    exp::printSocBanner(base);
+
+    // One task stream per fleet size, shared read-only by every
+    // dispatcher x policy cell so all strategies see identical
+    // traffic.
+    std::vector<Cell> cells;
+    for (std::size_t si = 0; si < socs_list.size(); ++si) {
+        const int n = socs_list[si];
+        if (n < 1)
+            fatal("socs=%d: fleet needs at least one SoC", n);
+        const int tasks =
+            tasks_total > 0 ? tasks_total : tasks_per_soc * n;
+
+        cluster::SynthConfig synth;
+        synth.process = process;
+        synth.numTasks = tasks;
+        synth.mix = mix;
+        synth.loadFactor = load;
+        synth.fleetTiles = n * base.numTiles;
+        synth.seed = exp::deriveCellSeed(seed, si);
+        const auto stream = std::make_shared<
+            const std::vector<cluster::ClusterTask>>(
+            cluster::synthesizeTasks(synth, [&](dnn::ModelId id) {
+                return exp::isolatedLatency(id, 1, base);
+            }));
+
+        for (const auto &dispatcher : dispatchers) {
+            for (const auto &policy : policies) {
+                Cell cell;
+                cell.socs = n;
+                cell.tasks = tasks;
+                cell.dispatcher = dispatcher;
+                cell.policy = policy;
+                cell.stream = stream;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    std::printf("running %zu fleet cells...\n\n", cells.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    exp::SweepRunner::runIndexed(
+        cells.size(), opts.jobs, [&](std::size_t i) {
+            Cell &cell = cells[i];
+            cluster::ClusterConfig cc =
+                cluster::ClusterConfig::homogeneous(cell.socs, base);
+            cc.policy = cell.policy;
+            cc.dispatcher = cell.dispatcher;
+            cc.dispatcherSeed = seed;
+            const auto c0 = std::chrono::steady_clock::now();
+            cell.result = cluster::runCluster(cc, *cell.stream);
+            cell.wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - c0)
+                            .count();
+            if (opts.verbose)
+                std::printf("  [%zu/%zu] socs=%d %s %s done "
+                            "(%.1f s)\n",
+                            i + 1, cells.size(), cell.socs,
+                            cell.dispatcher.c_str(),
+                            cell.policy.c_str(), cell.wall);
+        });
+    const double total_wall = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  t0)
+                                  .count();
+
+    Table t({"socs", "tasks", "dispatcher", "policy", "SLA",
+             "SLA-hi", "p50n", "p99n", "STP", "balance", "steps",
+             "wall (s)"});
+    for (const auto &cell : cells) {
+        const auto &r = cell.result;
+        t.row()
+            .cell(static_cast<long long>(cell.socs))
+            .cell(static_cast<long long>(cell.tasks))
+            .cell(cell.dispatcher)
+            .cell(cell.policy)
+            .cell(r.slaRate, 3)
+            .cell(r.slaRateHigh, 3)
+            .cell(r.normLatency.p50, 2)
+            .cell(r.normLatency.p99, 2)
+            .cell(r.stp, 1)
+            .cell(r.balanceCv, 3)
+            .cell(static_cast<long long>(r.simSteps))
+            .cell(serial ? cell.wall : 0.0, 2);
+    }
+    t.print("cluster fleet sweep (p50n/p99n: end-to-end latency "
+            "normalized to isolated full-SoC latency)");
+    std::printf("\ntotal wall: %.2f s\n", total_wall);
+
+    const std::string json = args.getString("json", "");
+    if (!json.empty()) {
+        std::FILE *f = std::fopen(json.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write %s", json.c_str());
+        std::fprintf(f, "{\n  \"bench\": \"cluster_scale\",\n");
+        std::fprintf(f, "  \"process\": \"%s\",\n",
+                     cluster::arrivalProcessName(process));
+        std::fprintf(f, "  \"load_factor\": %.3f,\n", load);
+        std::fprintf(f, "  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(seed));
+        std::fprintf(f, "  \"kernel\": \"%s\",\n",
+                     sim::simKernelName(base.kernel));
+        std::fprintf(f, "  \"jobs\": %d,\n",
+                     exp::resolveJobs(opts.jobs));
+        std::fprintf(f, "  \"cells\": [\n");
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto &cell = cells[i];
+            const auto &r = cell.result;
+            std::fprintf(
+                f,
+                "    {\"socs\": %d, \"tasks\": %d, "
+                "\"dispatcher\": \"%s\", \"policy\": \"%s\",\n"
+                "     \"sla_rate\": %.6f, \"sla_rate_high\": %.6f, "
+                "\"stp\": %.6f,\n"
+                "     \"latency_p50\": %.1f, \"latency_p95\": %.1f, "
+                "\"latency_p99\": %.1f,\n"
+                "     \"norm_p50\": %.4f, \"norm_p95\": %.4f, "
+                "\"norm_p99\": %.4f,\n"
+                "     \"makespan\": %llu, \"balance_cv\": %.4f, "
+                "\"sim_steps\": %llu, \"wall_s\": %.6f}%s\n",
+                cell.socs, cell.tasks, cell.dispatcher.c_str(),
+                cell.policy.c_str(), r.slaRate, r.slaRateHigh,
+                r.stp, r.latency.p50, r.latency.p95, r.latency.p99,
+                r.normLatency.p50, r.normLatency.p95,
+                r.normLatency.p99,
+                static_cast<unsigned long long>(r.makespan),
+                r.balanceCv,
+                static_cast<unsigned long long>(r.simSteps),
+                serial ? cell.wall : 0.0,
+                i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"total\": {\"wall_s\": %.6f}\n}\n",
+                     total_wall);
+        std::fclose(f);
+        std::printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}

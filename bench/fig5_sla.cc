@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/matrix.h"
+#include "exp/oracle.h"
 #include "exp/sweep/options.h"
 
 using namespace moca;
@@ -102,6 +104,33 @@ main(int argc, char **argv)
     }
     t.print("Figure 5: SLA satisfaction rate by scenario");
     t.writeCsv("fig5_sla.csv");
+
+    // Tail latency per scenario: p50/p95/p99 of end-to-end latency
+    // normalized to the isolated full-SoC latency (the same
+    // normalization as meanNormLatency).  SLA rates hide the tail;
+    // this is where policy differences at the 99th percentile show.
+    Table tails(header);
+    for (const auto &cell : matrix) {
+        const std::string name =
+            std::string(workload::workloadSetName(cell.set)) + " " +
+            workload::qosLevelName(cell.qos);
+        tails.row().cell(name);
+        for (const auto &spec : policies) {
+            std::vector<double> norm;
+            for (const auto &job : cell.result(spec).jobs) {
+                const Cycles iso = exp::isolatedLatency(
+                    dnn::modelIdFromName(job.spec.model->name()),
+                    cfg.numTiles, cfg);
+                norm.push_back(static_cast<double>(job.latency()) /
+                               static_cast<double>(iso));
+            }
+            const PercentileSummary p = percentileSummary(norm);
+            tails.cell(strprintf("%.1f/%.1f/%.1f", p.p50, p.p95,
+                                 p.p99));
+        }
+    }
+    tails.print("Tail latency by scenario "
+                "(p50/p95/p99, normalized to isolated latency)");
 
     // Improvement summary: MoCA against every other selected policy.
     const std::string ref = "moca";

@@ -25,6 +25,7 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "common/text.h"
 #include "exp/sweep/options.h"
 
 using namespace moca;
@@ -58,19 +59,9 @@ std::vector<int>
 parseTaskList(const std::string &text)
 {
     std::vector<int> tasks;
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-        const std::size_t comma = text.find(',', pos);
-        const std::string tok =
-            text.substr(pos, comma == std::string::npos
-                                 ? std::string::npos
-                                 : comma - pos);
+    for (const auto &tok : splitCommaList(text))
         tasks.push_back(
             static_cast<int>(parseIntValue("tasks", tok)));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
     if (tasks.empty())
         fatal("tasks= needs at least one value");
     return tasks;

@@ -1,0 +1,206 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/log.h"
+#include "exp/oracle.h"
+#include "exp/registry.h"
+#include "sim/soc.h"
+
+namespace moca::cluster {
+
+ClusterConfig
+ClusterConfig::homogeneous(int n, const sim::SocConfig &soc)
+{
+    if (n < 1)
+        fatal("cluster needs at least one SoC (got %d)", n);
+    ClusterConfig cfg;
+    cfg.socs.assign(static_cast<std::size_t>(n), soc);
+    return cfg;
+}
+
+ClusterResult
+runCluster(const ClusterConfig &cfg,
+           const std::vector<ClusterTask> &tasks)
+{
+    const std::size_t n = cfg.socs.size();
+    if (n == 0)
+        fatal("cluster needs at least one SoC");
+    for (std::size_t i = 1; i < tasks.size(); ++i)
+        if (tasks[i].arrival < tasks[i - 1].arrival)
+            fatal("cluster task stream must be sorted by arrival "
+                  "(task %d at %llu after task %d at %llu)",
+                  tasks[i].id,
+                  static_cast<unsigned long long>(tasks[i].arrival),
+                  tasks[i - 1].id,
+                  static_cast<unsigned long long>(
+                      tasks[i - 1].arrival));
+
+    // Each SoC runs its own policy instance (policies are stateful).
+    // Policies are declared before the SoCs that reference them so
+    // they outlive the simulators.
+    std::vector<std::unique_ptr<sim::Policy>> policies;
+    std::vector<std::unique_ptr<sim::Soc>> socs;
+    policies.reserve(n);
+    socs.reserve(n);
+    for (const auto &soc_cfg : cfg.socs) {
+        policies.push_back(
+            exp::PolicyRegistry::instance().make(cfg.policy, soc_cfg));
+        socs.push_back(
+            std::make_unique<sim::Soc>(soc_cfg, *policies.back()));
+        socs.back()->beginRun(cfg.maxCycles);
+    }
+    const auto dispatcher = DispatcherRegistry::instance().make(
+        cfg.dispatcher, static_cast<int>(n), cfg.dispatcherSeed);
+
+    std::vector<int> placed(n, 0);
+    std::vector<double> outstanding_macs(n, 0.0);
+    std::vector<std::size_t> seen_results(n, 0);
+
+    // Completed jobs retire their work from the dispatcher's
+    // outstanding-MACs feedback signal.
+    const auto harvest = [&](std::size_t i) {
+        const auto &results = socs[i]->results();
+        for (std::size_t r = seen_results[i]; r < results.size(); ++r)
+            outstanding_macs[i] -= static_cast<double>(
+                results[r].spec.model->totalMacs());
+        seen_results[i] = results.size();
+    };
+
+    // Advance every SoC through its own next-event times up to
+    // `horizon` (the next cluster-level event), or to completion when
+    // draining.  SoCs share nothing between cluster events, so the
+    // index-order interleave is deterministic and equivalent to any
+    // other order.
+    const auto advance_to = [&](Cycles horizon, bool bounded) {
+        for (std::size_t i = 0; i < n; ++i) {
+            sim::Soc &soc = *socs[i];
+            while (!soc.done() &&
+                   (!bounded || soc.now() < horizon))
+                soc.stepOnce(bounded ? horizon : 0);
+            harvest(i);
+        }
+    };
+
+    for (const ClusterTask &task : tasks) {
+        advance_to(task.arrival, true);
+
+        std::vector<SocLoad> loads(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            SocLoad &l = loads[i];
+            l.socIdx = static_cast<int>(i);
+            l.now = socs[i]->now();
+            l.waiting = static_cast<int>(socs[i]->waitingCount());
+            l.running = static_cast<int>(socs[i]->runningCount());
+            l.freeTiles = socs[i]->freeTiles();
+            l.numTiles = socs[i]->config().numTiles;
+            l.tasksAssigned = placed[i];
+            l.outstandingMacs = outstanding_macs[i];
+        }
+
+        const int k = dispatcher->place(task, loads);
+        if (k < 0 || k >= static_cast<int>(n))
+            fatal("dispatcher '%s' placed task %d on SoC %d of %zu",
+                  cfg.dispatcher.c_str(), task.id, k, n);
+
+        sim::JobSpec spec;
+        spec.id = static_cast<int>(socs[static_cast<std::size_t>(
+            k)]->jobs().size());
+        spec.model = &dnn::getModel(task.model);
+        spec.dispatch = task.arrival;
+        spec.priority = task.priority;
+        spec.slaLatency = task.slaLatency;
+        socs[static_cast<std::size_t>(k)]->injectJob(spec);
+        placed[static_cast<std::size_t>(k)]++;
+        outstanding_macs[static_cast<std::size_t>(k)] +=
+            static_cast<double>(spec.model->totalMacs());
+    }
+
+    advance_to(0, false); // Drain the fleet.
+    for (auto &soc : socs)
+        soc->finishRun();
+
+    // --- Aggregate ----------------------------------------------------
+
+    ClusterResult res;
+    res.dispatcher = cfg.dispatcher;
+    res.policy = cfg.policy;
+    res.numSocs = static_cast<int>(n);
+    res.numTasks = tasks.size();
+    res.perSoc.resize(n);
+
+    std::vector<double> latencies, norm_latencies;
+    latencies.reserve(tasks.size());
+    norm_latencies.reserve(tasks.size());
+    std::size_t met = 0, high_total = 0, high_met = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const sim::Soc &soc = *socs[i];
+        const sim::SocConfig &soc_cfg = cfg.socs[i];
+        SocShare &share = res.perSoc[i];
+        share.tasks = placed[i];
+        share.metrics = metrics::computeMetrics(
+            soc.results(), [&](dnn::ModelId id) {
+                return exp::isolatedLatency(id, soc_cfg.numTiles,
+                                            soc_cfg);
+            });
+        share.dramBusyFraction = soc.stats().dramBusyFraction;
+        share.simSteps = soc.stats().quanta;
+        res.simSteps += share.simSteps;
+        res.stp += share.metrics.stp;
+
+        for (const auto &job : soc.results()) {
+            share.makespan = std::max(share.makespan, job.finish);
+            const auto latency =
+                static_cast<double>(job.latency());
+            latencies.push_back(latency);
+            const Cycles iso = exp::isolatedLatency(
+                dnn::modelIdFromName(job.spec.model->name()),
+                soc_cfg.numTiles, soc_cfg);
+            norm_latencies.push_back(latency /
+                                     static_cast<double>(iso));
+            if (job.slaMet())
+                ++met;
+            if (workload::priorityGroup(job.spec.priority) ==
+                workload::PriorityGroup::High) {
+                ++high_total;
+                if (job.slaMet())
+                    ++high_met;
+            }
+        }
+        res.makespan = std::max(res.makespan, share.makespan);
+    }
+
+    const std::size_t total = latencies.size();
+    if (total != tasks.size())
+        panic("cluster lost tasks: %zu placed, %zu completed",
+              tasks.size(), total);
+    res.slaRate = total
+        ? static_cast<double>(met) / static_cast<double>(total)
+        : 0.0;
+    res.slaRateHigh = high_total
+        ? static_cast<double>(high_met) /
+            static_cast<double>(high_total)
+        : 0.0;
+    res.latency = percentileSummary(latencies);
+    res.normLatency = percentileSummary(norm_latencies);
+
+    double mean_tasks = 0.0;
+    for (int p : placed)
+        mean_tasks += p;
+    mean_tasks /= static_cast<double>(n);
+    if (mean_tasks > 0.0) {
+        double var = 0.0;
+        for (int p : placed) {
+            const double d = static_cast<double>(p) - mean_tasks;
+            var += d * d;
+        }
+        res.balanceCv = std::sqrt(var / static_cast<double>(n)) /
+            mean_tasks;
+    }
+    return res;
+}
+
+} // namespace moca::cluster

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cluster fleet simulator: co-simulates N independent `sim::Soc`
+ * instances (homogeneous or heterogeneous configurations) under one
+ * cluster-level event loop, with a front-end `Dispatcher` deciding
+ * task placement at arrival time.
+ *
+ * Execution model.  SoCs share nothing — each owns its tiles, L2, and
+ * DRAM channel — so between cluster-level events (task arrivals) every
+ * SoC evolves independently.  The loop therefore advances each busy
+ * SoC through its own next-event times up to the next arrival (the
+ * exact clamp `Soc::stepOnce(horizon)` provides), snapshots every
+ * SoC's load, asks the dispatcher for a placement, injects the task
+ * into the chosen SoC at its exact dispatch cycle, and repeats;
+ * after the last arrival the fleet drains to completion.  The
+ * interleave is fully deterministic (SoCs advance in index order, and
+ * each SoC's own kernel is deterministic), so a cluster run is a pure
+ * function of (configs, dispatcher spec, task stream, seed) — and a
+ * 1-SoC cluster replays the single-SoC scenario path bit-identically.
+ *
+ * Results come back as a `ClusterResult`: fleet-level SLA rate,
+ * p50/p95/p99 end-to-end latency, total STP, a per-SoC utilization /
+ * load-balance breakdown, and the per-SoC metrics themselves.
+ */
+
+#ifndef MOCA_CLUSTER_CLUSTER_H
+#define MOCA_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "cluster/workload.h"
+#include "common/stats.h"
+#include "metrics/metrics.h"
+#include "sim/config.h"
+
+namespace moca::cluster {
+
+/** Configuration of one cluster run. */
+struct ClusterConfig
+{
+    /** Per-SoC configurations; size() is the fleet size. */
+    std::vector<sim::SocConfig> socs;
+
+    /** Per-SoC scheduling policy spec (exp::PolicyRegistry); every
+     *  SoC runs its own instance. */
+    std::string policy = "moca";
+
+    /** Front-end dispatcher spec (DispatcherRegistry). */
+    std::string dispatcher = "rr";
+
+    /** Seed for randomized dispatchers (random, p2c). */
+    std::uint64_t dispatcherSeed = 1;
+
+    /** Per-SoC deadlock bound; 0 uses each SocConfig's maxCycles. */
+    Cycles maxCycles = 0;
+
+    /** A homogeneous fleet of `n` copies of `soc`. */
+    static ClusterConfig homogeneous(int n, const sim::SocConfig &soc);
+};
+
+/** Per-SoC share of a cluster run. */
+struct SocShare
+{
+    int tasks = 0;          ///< Tasks the dispatcher placed here.
+    metrics::RunMetrics metrics; ///< Per-SoC SLA/STP/fairness.
+    Cycles makespan = 0;    ///< Cycle the SoC's last job finished.
+    double dramBusyFraction = 0.0;
+    std::uint64_t simSteps = 0;
+};
+
+/** Outcome of one cluster run. */
+struct ClusterResult
+{
+    std::string dispatcher; ///< Dispatcher spec the run used.
+    std::string policy;     ///< Per-SoC policy spec.
+    int numSocs = 0;
+    std::size_t numTasks = 0;
+
+    double slaRate = 0.0;     ///< Fleet SLA satisfaction in [0, 1].
+    double slaRateHigh = 0.0; ///< ... of the p-High priority group.
+
+    /** End-to-end latency tails in cycles (queue wait + runtime). */
+    PercentileSummary latency;
+    /** ... normalized to each job's isolated full-SoC latency. */
+    PercentileSummary normLatency;
+
+    double stp = 0.0;    ///< Fleet system throughput (sum of per-SoC).
+    Cycles makespan = 0; ///< Cycle the last job fleet-wide finished.
+
+    /**
+     * Load-balance quality: coefficient of variation (stddev/mean) of
+     * per-SoC placed-task counts.  0 = perfectly balanced; rises as
+     * the dispatcher concentrates load.
+     */
+    double balanceCv = 0.0;
+
+    std::uint64_t simSteps = 0; ///< Total kernel rounds, all SoCs.
+
+    std::vector<SocShare> perSoc;
+};
+
+/**
+ * Run one cluster: place and execute `tasks` (sorted by arrival) on
+ * the fleet described by `cfg`.  Fatal on empty fleets, unknown
+ * policy/dispatcher specs, or an unsorted task stream.
+ */
+ClusterResult runCluster(const ClusterConfig &cfg,
+                         const std::vector<ClusterTask> &tasks);
+
+} // namespace moca::cluster
+
+#endif // MOCA_CLUSTER_CLUSTER_H

@@ -1,0 +1,374 @@
+#include "cluster/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/argparse.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/text.h"
+
+namespace moca::cluster {
+
+namespace {
+
+/** Value of a declared spec parameter, or its schema default. */
+std::string
+paramValue(const DispatcherSpec &spec, const std::string &key,
+           const std::string &def)
+{
+    for (const auto &[k, v] : spec.params)
+        if (k == key)
+            return v;
+    return def;
+}
+
+/** Smallest-index SoC minimizing `key` (ties break on index, which
+ *  keeps every dispatcher deterministic). */
+template <typename Key>
+int
+argminSoc(const std::vector<SocLoad> &socs, Key key)
+{
+    int best = 0;
+    auto best_key = key(socs[0]);
+    for (std::size_t i = 1; i < socs.size(); ++i) {
+        const auto k = key(socs[i]);
+        if (k < best_key) {
+            best_key = k;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    const char *name() const override { return "rr"; }
+
+    int
+    place(const ClusterTask &, const std::vector<SocLoad> &socs) override
+    {
+        return static_cast<int>(cursor_++ % socs.size());
+    }
+
+  private:
+    std::size_t cursor_ = 0;
+};
+
+class RandomDispatcher : public Dispatcher
+{
+  public:
+    explicit RandomDispatcher(std::uint64_t seed) : rng_(seed) {}
+
+    const char *name() const override { return "random"; }
+
+    int
+    place(const ClusterTask &, const std::vector<SocLoad> &socs) override
+    {
+        return static_cast<int>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(socs.size()) - 1));
+    }
+
+  private:
+    Rng rng_;
+};
+
+class LeastLoadedDispatcher : public Dispatcher
+{
+  public:
+    explicit LeastLoadedDispatcher(bool by_work) : byWork_(by_work) {}
+
+    const char *name() const override { return "least-loaded"; }
+
+    int
+    place(const ClusterTask &, const std::vector<SocLoad> &socs) override
+    {
+        if (byWork_)
+            return argminSoc(socs, [](const SocLoad &s) {
+                return s.outstandingMacs;
+            });
+        // Queue depth, tie-broken toward free capacity.
+        return argminSoc(socs, [](const SocLoad &s) {
+            return std::make_pair(s.outstanding(), -s.freeTiles);
+        });
+    }
+
+  private:
+    bool byWork_;
+};
+
+class PowerOfTwoDispatcher : public Dispatcher
+{
+  public:
+    explicit PowerOfTwoDispatcher(std::uint64_t seed) : rng_(seed) {}
+
+    const char *name() const override { return "p2c"; }
+
+    int
+    place(const ClusterTask &, const std::vector<SocLoad> &socs) override
+    {
+        const auto n = static_cast<std::int64_t>(socs.size());
+        if (n == 1)
+            return 0;
+        // Two distinct probes; the classic exponential improvement
+        // over `random` with O(1) load information.
+        const auto a = rng_.uniformInt(0, n - 1);
+        auto b = rng_.uniformInt(0, n - 2);
+        if (b >= a)
+            ++b;
+        const SocLoad &sa = socs[static_cast<std::size_t>(a)];
+        const SocLoad &sb = socs[static_cast<std::size_t>(b)];
+        if (sa.outstanding() != sb.outstanding())
+            return sa.outstanding() < sb.outstanding()
+                ? static_cast<int>(a)
+                : static_cast<int>(b);
+        return static_cast<int>(std::min(a, b));
+    }
+
+  private:
+    Rng rng_;
+};
+
+class QosAwareDispatcher : public Dispatcher
+{
+  public:
+    QosAwareDispatcher(int prio_min, bool hard_qos)
+        : prioMin_(prio_min), hardQos_(hard_qos)
+    {
+    }
+
+    const char *name() const override { return "qos-aware"; }
+
+    int
+    place(const ClusterTask &task,
+          const std::vector<SocLoad> &socs) override
+    {
+        const bool critical = task.priority >= prioMin_ ||
+            (hardQos_ && task.qos == workload::QosLevel::Hard);
+        if (critical) {
+            // Least-contended: fewest co-runners sharing DRAM/L2,
+            // then shortest queue behind them.
+            return argminSoc(socs, [](const SocLoad &s) {
+                return std::make_pair(s.running, s.waiting);
+            });
+        }
+        // Bulk traffic spreads round-robin, leaving the
+        // least-contended SoCs for the critical tasks.
+        return static_cast<int>(cursor_++ % socs.size());
+    }
+
+  private:
+    int prioMin_;
+    bool hardQos_;
+    std::size_t cursor_ = 0;
+};
+
+void
+registerBuiltins(DispatcherRegistry &reg)
+{
+    reg.add({
+        "rr",
+        "round-robin placement (placement-oblivious baseline)",
+        {},
+        [](int, std::uint64_t, const DispatcherSpec &) {
+            return std::make_unique<RoundRobinDispatcher>();
+        },
+    });
+    reg.add({
+        "random",
+        "seeded uniform-random placement",
+        {},
+        [](int, std::uint64_t seed, const DispatcherSpec &) {
+            return std::make_unique<RandomDispatcher>(seed);
+        },
+    });
+    reg.add({
+        "least-loaded",
+        "global minimum of queue depth (or outstanding work)",
+        {{"by", "depth|work", "depth",
+          "load signal: queued-task depth or outstanding MACs"}},
+        [](int, std::uint64_t, const DispatcherSpec &spec) {
+            const std::string by = paramValue(spec, "by", "depth");
+            if (by != "depth" && by != "work")
+                fatal("least-loaded: by=%s (expected depth or work)",
+                      by.c_str());
+            return std::make_unique<LeastLoadedDispatcher>(
+                by == "work");
+        },
+    });
+    reg.add({
+        "p2c",
+        "power-of-two-choices: probe two random SoCs, take the "
+        "shorter queue",
+        {},
+        [](int, std::uint64_t seed, const DispatcherSpec &) {
+            return std::make_unique<PowerOfTwoDispatcher>(seed);
+        },
+    });
+    reg.add({
+        "qos-aware",
+        "high-priority / QoS-Hard tasks to the least-contended SoC, "
+        "bulk traffic round-robin",
+        {{"prio_min", "int", "9",
+          "lowest priority treated as critical (p-High = 9..11)"},
+         {"hard_qos", "bool", "1",
+          "also treat QoS-Hard tasks as critical"}},
+        [](int, std::uint64_t, const DispatcherSpec &spec) {
+            const int prio_min = static_cast<int>(parseIntValue(
+                "qos-aware:prio_min",
+                paramValue(spec, "prio_min", "9")));
+            const bool hard_qos = parseBoolValue(
+                "qos-aware:hard_qos",
+                paramValue(spec, "hard_qos", "1"));
+            return std::make_unique<QosAwareDispatcher>(prio_min,
+                                                        hard_qos);
+        },
+    });
+}
+
+} // anonymous namespace
+
+DispatcherRegistry &
+DispatcherRegistry::instance()
+{
+    static DispatcherRegistry reg = [] {
+        DispatcherRegistry r;
+        registerBuiltins(r);
+        return r;
+    }();
+    return reg;
+}
+
+void
+DispatcherRegistry::add(DispatcherInfo info)
+{
+    if (info.name.empty())
+        fatal("cannot register a dispatcher with an empty name");
+    if (info.name.find(':') != std::string::npos ||
+        info.name.find(',') != std::string::npos ||
+        info.name.find('=') != std::string::npos)
+        fatal("dispatcher name '%s' may not contain ':', ',' or '='",
+              info.name.c_str());
+    if (!info.factory)
+        fatal("dispatcher '%s' registered without a factory",
+              info.name.c_str());
+    if (byName_.count(info.name) > 0)
+        fatal("dispatcher '%s' is already registered",
+              info.name.c_str());
+    byName_[info.name] = dispatchers_.size();
+    dispatchers_.push_back(std::move(info));
+}
+
+bool
+DispatcherRegistry::contains(const std::string &name) const
+{
+    return byName_.count(name) > 0;
+}
+
+std::vector<std::string>
+DispatcherRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(dispatchers_.size());
+    for (const auto &d : dispatchers_)
+        out.push_back(d.name);
+    return out;
+}
+
+const DispatcherInfo *
+DispatcherRegistry::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : &dispatchers_[it->second];
+}
+
+void
+DispatcherRegistry::unknownDispatcher(const std::string &name) const
+{
+    const std::string nearest = nearestName(name, names());
+    const bool suggest = !nearest.empty();
+    fatal("unknown dispatcher '%s'%s%s%s; known dispatchers: %s "
+          "(run with --list-dispatchers for parameters)",
+          name.c_str(), suggest ? " (did you mean '" : "",
+          suggest ? nearest.c_str() : "", suggest ? "'?)" : "",
+          joinNames(names()).c_str());
+}
+
+const DispatcherInfo &
+DispatcherRegistry::info(const std::string &name) const
+{
+    const DispatcherInfo *d = find(name);
+    if (d == nullptr)
+        unknownDispatcher(name);
+    return *d;
+}
+
+const DispatcherInfo &
+DispatcherRegistry::checkSpec(const DispatcherSpec &spec) const
+{
+    const DispatcherInfo &di = info(spec.name);
+    for (const auto &[key, value] : spec.params) {
+        (void)value;
+        const bool declared = std::any_of(
+            di.params.begin(), di.params.end(),
+            [&](const DispatcherParam &p) { return p.key == key; });
+        if (!declared) {
+            std::string keys;
+            for (const auto &p : di.params) {
+                if (!keys.empty())
+                    keys += ", ";
+                keys += p.key;
+            }
+            fatal("dispatcher '%s' has no parameter '%s'; declared "
+                  "parameters: %s",
+                  spec.name.c_str(), key.c_str(),
+                  keys.empty() ? "(none)" : keys.c_str());
+        }
+    }
+    return di;
+}
+
+std::unique_ptr<Dispatcher>
+DispatcherRegistry::make(const DispatcherSpec &spec, int num_socs,
+                         std::uint64_t seed) const
+{
+    if (num_socs < 1)
+        fatal("dispatcher '%s' needs at least one SoC",
+              spec.name.c_str());
+    return checkSpec(spec).factory(num_socs, seed, spec);
+}
+
+std::unique_ptr<Dispatcher>
+DispatcherRegistry::make(const std::string &spec, int num_socs,
+                         std::uint64_t seed) const
+{
+    return make(DispatcherSpec::parse(spec), num_socs, seed);
+}
+
+void
+DispatcherRegistry::validate(const std::string &spec) const
+{
+    // Dispatcher parameters carry no SoC-configuration dependence,
+    // so a trial build catches bad *values* up front too — before a
+    // sweep spends minutes synthesizing a 100k-task stream only to
+    // die in a worker thread.
+    (void)make(DispatcherSpec::parse(spec), 1, 0);
+}
+
+std::string
+DispatcherRegistry::listText() const
+{
+    std::string out = "registered dispatchers "
+                      "(spec grammar: name[:key=value,...]):\n";
+    for (const auto &d : dispatchers_) {
+        out += "  " + d.name + " — " + d.description + "\n";
+        for (const auto &param : d.params)
+            out += strprintf("      %-20s %-13s default %-7s %s\n",
+                             param.key.c_str(), param.type.c_str(),
+                             param.defaultValue.c_str(),
+                             param.description.c_str());
+    }
+    return out;
+}
+
+} // namespace moca::cluster

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Cluster front-end dispatchers: the pluggable task-placement policy
+ * of the fleet simulator.  A dispatcher sees one arriving task plus a
+ * load snapshot of every SoC and picks the SoC the task is queued on;
+ * it is the datacenter-level counterpart of the per-SoC scheduling
+ * Policy.
+ *
+ * Dispatchers are string-keyed self-registering factories mirroring
+ * exp::PolicyRegistry, with the same spec grammar
+ *
+ *     name[:key=value[,key=value...]]
+ *
+ * (parsed by exp::PolicySpec) and the same error discipline: unknown
+ * names fail with a did-you-mean suggestion, undeclared parameters
+ * list the declared ones, and `--list-dispatchers` prints the
+ * catalogue.  Built-ins:
+ *
+ *  - `rr`           round-robin (the placement-oblivious baseline)
+ *  - `random`       seeded uniform choice
+ *  - `least-loaded` minimum queue depth (or outstanding work)
+ *  - `p2c`          power-of-two-choices: the classic
+ *                   O(1)-information balancer
+ *  - `qos-aware`    routes high-priority / QoS-Hard tasks to the
+ *                   least-contended SoC, everything else round-robin
+ *
+ * Registration is open via `DispatcherRegistrar`, so benches and
+ * downstream users can plug in placement strategies without touching
+ * this file.
+ */
+
+#ifndef MOCA_CLUSTER_DISPATCHER_H
+#define MOCA_CLUSTER_DISPATCHER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/workload.h"
+#include "exp/registry.h"
+
+namespace moca::cluster {
+
+/** Load snapshot of one SoC at a placement decision. */
+struct SocLoad
+{
+    int socIdx = 0;
+    Cycles now = 0;       ///< The SoC's local simulated time.
+    int waiting = 0;      ///< Queued (waiting/paused) jobs.
+    int running = 0;      ///< Jobs currently on tiles.
+    int freeTiles = 0;
+    int numTiles = 0;
+    int tasksAssigned = 0; ///< Tasks ever placed here.
+    /** Placed-but-unfinished task count (queue-depth feedback). */
+    int outstanding() const { return waiting + running; }
+    /** MACs of placed-but-unfinished tasks (work feedback). */
+    double outstandingMacs = 0.0;
+};
+
+/** A cluster task-placement policy.  One instance per cluster run;
+ *  implementations may keep state (round-robin cursors, RNGs) and are
+ *  only ever called from the (single-threaded) cluster loop. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Pick the SoC index in [0, socs.size()) the task is placed on.
+     *  Called once per task, in arrival order. */
+    virtual int place(const ClusterTask &task,
+                      const std::vector<SocLoad> &socs) = 0;
+};
+
+/** Dispatcher specs reuse the policy-spec grammar and parser. */
+using DispatcherSpec = exp::PolicySpec;
+/** ... and the same parameter-schema entry type. */
+using DispatcherParam = exp::PolicyParam;
+
+/** Everything the registry knows about one dispatcher. */
+struct DispatcherInfo
+{
+    std::string name;
+    std::string description;
+    std::vector<DispatcherParam> params;
+
+    /**
+     * Build the dispatcher for a fleet of `num_socs` SoCs with an
+     * already-validated spec.  `seed` feeds any randomized strategy
+     * (random, p2c) so cluster runs stay reproducible.
+     */
+    std::function<std::unique_ptr<Dispatcher>(
+        int num_socs, std::uint64_t seed, const DispatcherSpec &spec)>
+        factory;
+};
+
+/**
+ * The process-wide dispatcher registry, mirroring exp::PolicyRegistry
+ * (iteration order is registration order, built-ins first).
+ */
+class DispatcherRegistry
+{
+  public:
+    static DispatcherRegistry &instance();
+
+    /** Register a dispatcher; fatal on a duplicate name. */
+    void add(DispatcherInfo info);
+
+    bool contains(const std::string &name) const;
+
+    /** Registered names in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Metadata for `name`; fatal (with did-you-mean) when unknown. */
+    const DispatcherInfo &info(const std::string &name) const;
+
+    /** Parse, validate, and build a dispatcher from a spec string. */
+    std::unique_ptr<Dispatcher> make(const std::string &spec,
+                                     int num_socs,
+                                     std::uint64_t seed) const;
+    std::unique_ptr<Dispatcher> make(const DispatcherSpec &spec,
+                                     int num_socs,
+                                     std::uint64_t seed) const;
+
+    /**
+     * Full spec validation: grammar, name, parameter keys, and —
+     * unlike PolicyRegistry::validate, whose parameter ranges depend
+     * on the SoC a policy eventually runs on — parameter *values*,
+     * by trial-building the dispatcher for a 1-SoC fleet.  Fatal
+     * with actionable messages, before any simulation work starts.
+     */
+    void validate(const std::string &spec) const;
+
+    /** Human-readable catalogue (--list-dispatchers output). */
+    std::string listText() const;
+
+  private:
+    DispatcherRegistry() = default;
+
+    std::vector<DispatcherInfo> dispatchers_;
+    std::map<std::string, std::size_t> byName_;
+
+    const DispatcherInfo *find(const std::string &name) const;
+    [[noreturn]] void unknownDispatcher(const std::string &name) const;
+    const DispatcherInfo &checkSpec(const DispatcherSpec &spec) const;
+};
+
+/**
+ * Link-time self-registration hook:
+ *
+ *     static cluster::DispatcherRegistrar reg({"mine", "...", {...},
+ *                                              factory});
+ */
+struct DispatcherRegistrar
+{
+    explicit DispatcherRegistrar(DispatcherInfo info)
+    {
+        DispatcherRegistry::instance().add(std::move(info));
+    }
+};
+
+} // namespace moca::cluster
+
+#endif // MOCA_CLUSTER_DISPATCHER_H

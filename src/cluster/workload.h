@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Open-loop workload synthesis for the cluster fleet simulator: a
+ * seeded generator of 100k+-task request streams, so datacenter-scale
+ * traces are *synthesized* from a handful of knobs instead of
+ * hand-written.  "Open-loop" means arrivals are driven by an external
+ * process — the stream does not slow down when the fleet falls behind,
+ * which is exactly the regime where dispatcher quality shows.
+ *
+ * Three arrival processes are offered:
+ *
+ *  - `poisson`: memoryless arrivals at the calibrated mean rate.
+ *  - `mmpp`: a two-state Markov-modulated Poisson process (bursty) —
+ *    the stream alternates between a base state and a burst state
+ *    whose rate is `burstRateBoost`x higher; episode lengths are
+ *    geometric with mean `burstLen` arrivals, and the base rate is
+ *    chosen so the long-run rate still matches the load factor.
+ *  - `diurnal`: a sinusoidally rate-modulated Poisson process with
+ *    `diurnalPeriods` full day/night swings over the trace and
+ *    relative amplitude `diurnalAmplitude`.
+ *
+ * Each task draws a model from the mix (uniform), a static priority
+ * from the Google-trace-shaped distribution, and a QoS class from the
+ * configured L/M/H ratio; its SLA target is the paper's formula
+ * (qosMultiplier x qosScale x isolated single-tile latency).  Every
+ * draw comes from one seeded xoshiro stream, so a SynthConfig is a
+ * complete, reproducible description of a cluster trace.
+ */
+
+#ifndef MOCA_CLUSTER_WORKLOAD_H
+#define MOCA_CLUSTER_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/model_zoo.h"
+#include "sim/job.h"
+#include "workload/workload.h"
+
+namespace moca::cluster {
+
+/** One synthesized inference request, before placement on a SoC. */
+struct ClusterTask
+{
+    int id = -1;                ///< Dense fleet-wide id.
+    dnn::ModelId model = dnn::ModelId::SqueezeNet;
+    Cycles arrival = 0;         ///< Cycle the request reaches the
+                                ///< cluster front-end.
+    int priority = 0;           ///< Static priority, 0..11.
+    workload::QosLevel qos = workload::QosLevel::Medium;
+    Cycles slaLatency = 0;      ///< QoS target (from arrival).
+};
+
+/** Arrival process of the synthesized stream. */
+enum class ArrivalProcess
+{
+    Poisson, ///< Memoryless arrivals (default).
+    Mmpp,    ///< Two-state Markov-modulated Poisson (bursty).
+    Diurnal, ///< Sinusoidal day/night rate modulation.
+};
+
+/** Printable process name ("poisson", "mmpp", "diurnal"). */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** Parse a process name; fatal (listing the options) when unknown. */
+ArrivalProcess arrivalProcessFromName(const std::string &name);
+
+/** Parameters of one synthesized cluster trace. */
+struct SynthConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    int numTasks = 100'000;
+
+    /** Model mix: explicit ids, or (when empty) the models of `set`. */
+    std::vector<dnn::ModelId> mix;
+    workload::WorkloadSet set = workload::WorkloadSet::C;
+
+    /** QoS class ratio over L/M/H (normalized internally). */
+    double qosLightShare = 0.25;
+    double qosMediumShare = 0.50;
+    double qosHardShare = 0.25;
+
+    /** QoS-M target = qosScale x isolated single-tile latency. */
+    double qosScale = 4.0;
+
+    /**
+     * Offered load as a fraction of aggregate *fleet* tile capacity:
+     * arrival rate = loadFactor * fleetTiles / mean isolated
+     * single-tile latency of the mix (the same calibration the
+     * single-SoC TraceConfig uses, scaled to the fleet).
+     */
+    double loadFactor = 0.8;
+    int fleetTiles = 8; ///< Total tiles across all SoCs.
+
+    // --- MMPP (bursty) knobs ------------------------------------------
+
+    /** Burst-state arrival-rate multiplier (> 1). */
+    double burstRateBoost = 8.0;
+    /** Long-run fraction of arrivals drawn in the burst state. */
+    double burstDuty = 0.4;
+    /** Mean arrivals per burst episode (geometric). */
+    double burstLen = 50.0;
+
+    // --- Diurnal knobs ------------------------------------------------
+
+    /** Relative rate swing in [0, 1): rate(t) = mean*(1 + A*sin). */
+    double diurnalAmplitude = 0.6;
+    /** Full day/night periods over the expected trace duration. */
+    double diurnalPeriods = 4.0;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Synthesize the task stream for `cfg` (sorted by arrival; ids are
+ * dense in arrival order).
+ *
+ * @param isolated_latency oracle returning each model's isolated
+ *        single-tile latency in cycles (SLA targets and the
+ *        arrival-rate calibration), as workload::generateTrace takes.
+ */
+std::vector<ClusterTask>
+synthesizeTasks(const SynthConfig &cfg,
+                const std::function<Cycles(dnn::ModelId)> &isolated_latency);
+
+/**
+ * Wrap a single-SoC generated trace (exp::makeTrace output) as
+ * cluster tasks, so a fleet can replay exactly the job stream a
+ * single-SoC scenario ran.  The QoS *class* is not recorded in a
+ * JobSpec, so tasks come back as QoS-M; the SLA target itself is
+ * copied verbatim and is what the metrics use.
+ */
+std::vector<ClusterTask>
+tasksFromJobSpecs(const std::vector<sim::JobSpec> &specs);
+
+} // namespace moca::cluster
+
+#endif // MOCA_CLUSTER_WORKLOAD_H

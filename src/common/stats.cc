@@ -114,6 +114,21 @@ SampleSet::percentile(double p) const
     return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+PercentileSummary
+percentileSummary(const std::vector<double> &values)
+{
+    SampleSet s;
+    for (double v : values)
+        s.add(v);
+    PercentileSummary out;
+    if (s.empty())
+        return out;
+    out.p50 = s.percentile(50.0);
+    out.p95 = s.percentile(95.0);
+    out.p99 = s.percentile(99.0);
+    return out;
+}
+
 double
 geomean(const std::vector<double> &values)
 {

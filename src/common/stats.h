@@ -74,6 +74,22 @@ class SampleSet
     void ensureSorted() const;
 };
 
+/**
+ * The p50/p95/p99 tail summary of a latency distribution — the
+ * fleet-level numbers a serving system is judged by.  Zeros when the
+ * sample set is empty.
+ */
+struct PercentileSummary
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** p50/p95/p99 of `values` (linear interpolation between ranks; use
+ *  SampleSet::percentile for other percentiles). */
+PercentileSummary percentileSummary(const std::vector<double> &values);
+
 /** Geometric mean of positive values; fatals on non-positive input. */
 double geomean(const std::vector<double> &values);
 

@@ -1,0 +1,72 @@
+#include "common/text.h"
+
+#include <algorithm>
+
+namespace moca {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitCommaList(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos) {
+            tokens.push_back(text.substr(pos));
+            return tokens;
+        }
+        tokens.push_back(text.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+}
+
+std::string
+nearestName(const std::string &name,
+            const std::vector<std::string> &known)
+{
+    std::string nearest;
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (const auto &k : known) {
+        const std::size_t d = editDistance(name, k);
+        if (d < best) {
+            best = d;
+            nearest = k;
+        }
+    }
+    if (nearest.empty() ||
+        best > std::max<std::size_t>(2, name.size() / 3))
+        return "";
+    return nearest;
+}
+
+} // namespace moca

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string utilities shared by the self-registering factory
+ * registries (policies, cluster dispatchers): edit distance for
+ * did-you-mean suggestions and name-list joining for error messages.
+ */
+
+#ifndef MOCA_COMMON_TEXT_H
+#define MOCA_COMMON_TEXT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moca {
+
+/** Levenshtein distance between two strings. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/** Join names with ", " ("prema, static, planaria, moca"). */
+std::string joinNames(const std::vector<std::string> &names);
+
+/**
+ * Split a comma-separated list into its (possibly empty) tokens:
+ * "1,4,64" -> {"1", "4", "64"}.  The shared tokenizer behind the
+ * benches' list-valued options (tasks=, socs=, mix=).
+ */
+std::vector<std::string> splitCommaList(const std::string &text);
+
+/**
+ * The name in `known` closest to `name` in edit distance, or "" when
+ * none is close enough to plausibly be a typo (distance greater than
+ * max(2, |name|/3)).  Shared did-you-mean heuristic of the
+ * registries' unknown-name errors.
+ */
+std::string nearestName(const std::string &name,
+                        const std::vector<std::string> &known);
+
+} // namespace moca
+
+#endif // MOCA_COMMON_TEXT_H

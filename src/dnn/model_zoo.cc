@@ -379,6 +379,63 @@ makeMobileNetV1()
     return Model("mobilenetv1", ModelSize::Light, b.take());
 }
 
+Model
+makeTransformerL()
+{
+    // Six encoder blocks at hidden width 768 with the 256-token
+    // sequence as the spatial dimension: every projection is a 1x1
+    // "conv" whose weights are reused across all tokens, so the
+    // profile is compute-intense like large-batch transformer
+    // serving.  Attention score/value products carry no weights and
+    // are folded into the projections' activation traffic.
+    NetBuilder b(256, 1, 768);
+    for (int i = 1; i <= 6; ++i) {
+        const std::string name = "enc" + std::to_string(i);
+        b.conv(name + "/qkv", 2304, 1, 1, 0)
+            .conv(name + "/attn_out", 768, 1, 1, 0)
+            .add(name + "/attn_res")
+            .conv(name + "/ffn1", 3072, 1, 1, 0)
+            .conv(name + "/ffn2", 768, 1, 1, 0)
+            .add(name + "/ffn_res");
+    }
+    b.globalPool("pool").dense("head", 1000);
+    return Model("transformer-l", ModelSize::Heavy, b.take());
+}
+
+Model
+makeKwsMicro()
+{
+    // DS-CNN-S-style micro keyword spotter on a 49x10 MFCC map: one
+    // stem conv plus four depthwise-separable pairs at width 64 —
+    // roughly an order of magnitude fewer MACs than the res8 KWS.
+    NetBuilder b(49, 10, 1);
+    b.conv("conv1", 64, 3, 2, 1);
+    for (int i = 1; i <= 4; ++i) {
+        const std::string name = "sep" + std::to_string(i);
+        b.conv(name + "/dw", 64, 3, 1, 1, 64)
+            .conv(name + "/pw", 64, 1, 1, 0);
+    }
+    b.globalPool("gap").dense("fc", 12);
+    return Model("kws-micro", ModelSize::Light, b.take());
+}
+
+Model
+makeDlrm()
+{
+    // DLRM-style MLP stack: the embedding gathers and interaction are
+    // modelled as wide dense layers, so every weight byte is touched
+    // exactly once per inference — arithmetic intensity ~1, the most
+    // memory-bound profile in the zoo.
+    NetBuilder b(1, 1, 2048);
+    b.dense("emb1", 2048)
+        .dense("emb2", 2048)
+        .dense("emb3", 2048)
+        .dense("top1", 1024)
+        .dense("top2", 256)
+        .dense("top3", 1);
+    return Model("dlrm", ModelSize::Heavy, b.take());
+}
+
 const std::vector<ModelId> &
 allModelIds()
 {
@@ -393,7 +450,10 @@ allModelIds()
 const std::vector<ModelId> &
 extensionModelIds()
 {
-    static const std::vector<ModelId> ids = {ModelId::MobileNetV1};
+    static const std::vector<ModelId> ids = {
+        ModelId::MobileNetV1, ModelId::TransformerL,
+        ModelId::KwsMicro, ModelId::Dlrm,
+    };
     return ids;
 }
 
@@ -445,6 +505,9 @@ getModel(ModelId id)
           case ModelId::ResNet50: return makeResNet50();
           case ModelId::YoloV2: return makeYoloV2();
           case ModelId::MobileNetV1: return makeMobileNetV1();
+          case ModelId::TransformerL: return makeTransformerL();
+          case ModelId::KwsMicro: return makeKwsMicro();
+          case ModelId::Dlrm: return makeDlrm();
         }
         panic("unknown model id");
     }();
@@ -463,6 +526,9 @@ modelIdName(ModelId id)
       case ModelId::ResNet50: return "resnet50";
       case ModelId::YoloV2: return "yolov2";
       case ModelId::MobileNetV1: return "mobilenetv1";
+      case ModelId::TransformerL: return "transformer-l";
+      case ModelId::KwsMicro: return "kws-micro";
+      case ModelId::Dlrm: return "dlrm";
     }
     return "?";
 }

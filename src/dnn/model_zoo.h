@@ -55,6 +55,30 @@ Model makeYoloV2();
  */
 Model makeMobileNetV1();
 
+/**
+ * A 6-block transformer encoder (hidden 768, FFN 3072, 256-token
+ * sequence folded into the spatial dimension) — an *extension* model
+ * approximating large-batch transformer serving.  Its 1x1-projection
+ * layers have high weight reuse (compute-intense), stretching the
+ * high end of the mixes' compute-intensity range.
+ */
+Model makeTransformerL();
+
+/**
+ * A micro keyword-spotting network (DS-CNN-style, 49x10 MFCC input)
+ * far smaller than the Table III KWS res8 — an *extension* model for
+ * the "always-on tiny request" end of a cluster workload mix.
+ */
+Model makeKwsMicro();
+
+/**
+ * A DLRM-style recommendation MLP stack (wide dense layers; each
+ * weight is used once) — an *extension* model whose arithmetic
+ * intensity of ~1 MAC/weight-byte makes it the most memory-bound
+ * profile in the zoo, the other extreme from makeTransformerL().
+ */
+Model makeDlrm();
+
 /** Identifiers for zoo lookup. */
 enum class ModelId
 {
@@ -65,7 +89,10 @@ enum class ModelId
     AlexNet,
     ResNet50,
     YoloV2,
-    MobileNetV1, ///< Extension model, not part of Table III.
+    MobileNetV1,  ///< Extension model, not part of Table III.
+    TransformerL, ///< Extension: compute-intense transformer encoder.
+    KwsMicro,     ///< Extension: tiny always-on keyword spotter.
+    Dlrm,         ///< Extension: memory-bound recommendation MLPs.
 };
 
 /** The paper's seven Table III model ids, in zoo order. */

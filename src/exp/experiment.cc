@@ -1,41 +1,11 @@
 #include "exp/experiment.h"
 
 #include "common/log.h"
+#include "common/text.h"
+#include "exp/oracle.h"
 #include "exp/registry.h"
 
 namespace moca::exp {
-
-ExperimentResults::ExperimentResults(
-    std::vector<std::string> specs,
-    std::vector<ScenarioResult> results)
-    : specs_(std::move(specs)), results_(std::move(results))
-{
-}
-
-bool
-ExperimentResults::has(const std::string &spec) const
-{
-    for (const auto &s : specs_)
-        if (s == spec)
-            return true;
-    return false;
-}
-
-const ScenarioResult &
-ExperimentResults::operator[](const std::string &spec) const
-{
-    for (std::size_t i = 0; i < specs_.size(); ++i)
-        if (specs_[i] == spec)
-            return results_[i];
-    std::string known;
-    for (const auto &s : specs_) {
-        if (!known.empty())
-            known += ", ";
-        known += s;
-    }
-    fatal("experiment has no result for policy '%s'; ran: %s",
-          spec.c_str(), known.c_str());
-}
 
 Experiment &
 Experiment::soc(const sim::SocConfig &cfg)
@@ -116,9 +86,87 @@ Experiment::sink(ResultSink *s)
     return *this;
 }
 
+Experiment &
+Experiment::cluster(int n)
+{
+    if (n < 1)
+        fatal("cluster(%d): fleet needs at least one SoC", n);
+    cluster_ = n;
+    return *this;
+}
+
+Experiment &
+Experiment::dispatcher(std::string spec)
+{
+    dispatcher_ = std::move(spec);
+    if (cluster_ == 0)
+        cluster_ = 1;
+    return *this;
+}
+
+Experiment &
+Experiment::fleetWorkload(const cluster::SynthConfig &synth)
+{
+    synth_ = synth;
+    synthSet_ = true;
+    if (cluster_ == 0)
+        cluster_ = 1;
+    return *this;
+}
+
+FleetResults
+Experiment::runFleet() const
+{
+    if (policies_.empty())
+        fatal("fleet experiment: no policies given (use "
+              ".policy(\"moca\") or .policies({...}))");
+    if (!sinks_.empty())
+        fatal("fleet experiment: streaming sinks are not supported "
+              "(ClusterResults are not per-scenario rows); drop the "
+              "sink() call");
+    const int n = cluster_ == 0 ? 1 : cluster_;
+    for (const auto &spec : policies_)
+        PolicyRegistry::instance().validate(spec);
+    cluster::DispatcherRegistry::instance().validate(dispatcher_);
+
+    // Every policy replays the identical task stream: synthesized
+    // open-loop, or the (possibly pre-generated) single-SoC trace
+    // replayed at cluster scale.
+    std::vector<cluster::ClusterTask> tasks;
+    std::uint64_t dispatch_seed = trace_.seed;
+    if (synthSet_) {
+        cluster::SynthConfig synth = synth_;
+        if (synth.fleetTiles == 0)
+            synth.fleetTiles = n * soc_.numTiles;
+        dispatch_seed = synth.seed;
+        tasks = cluster::synthesizeTasks(synth, [&](dnn::ModelId id) {
+            return isolatedLatency(id, 1, soc_);
+        });
+    } else if (stream_) {
+        tasks = cluster::tasksFromJobSpecs(*stream_);
+    } else {
+        tasks = cluster::tasksFromJobSpecs(makeTrace(trace_, soc_));
+    }
+
+    std::vector<cluster::ClusterResult> results(policies_.size());
+    SweepRunner::runIndexed(
+        policies_.size(), opts_.jobs, [&](std::size_t i) {
+            cluster::ClusterConfig cc =
+                cluster::ClusterConfig::homogeneous(n, soc_);
+            cc.policy = policies_[i];
+            cc.dispatcher = dispatcher_;
+            cc.dispatcherSeed = dispatch_seed;
+            results[i] = cluster::runCluster(cc, tasks);
+        });
+    return FleetResults(policies_, std::move(results));
+}
+
 ExperimentResults
 Experiment::run() const
 {
+    if (cluster_ != 0)
+        fatal("experiment: cluster(%d)/dispatcher() configured; use "
+              "runFleet() for fleet co-simulation", cluster_);
     if (policies_.empty())
         fatal("experiment: no policies given (use .policy(\"moca\") "
               "or .policies({...}))");

@@ -28,24 +28,48 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "common/log.h"
+#include "common/text.h"
 #include "exp/sweep/sweep.h"
 
 namespace moca::exp {
 
-/** Results of an Experiment, keyed by policy spec string. */
-class ExperimentResults
+/**
+ * Results keyed by the policy spec strings that produced them — the
+ * shared shape of the single-SoC (ScenarioResult) and fleet
+ * (cluster::ClusterResult) experiment outcomes.
+ */
+template <typename Result>
+class SpecKeyedResults
 {
   public:
-    ExperimentResults(std::vector<std::string> specs,
-                      std::vector<ScenarioResult> results);
+    SpecKeyedResults(std::vector<std::string> specs,
+                     std::vector<Result> results)
+        : specs_(std::move(specs)), results_(std::move(results))
+    {
+    }
 
     /** Result of one policy spec; fatal when the spec was not run. */
-    const ScenarioResult &operator[](const std::string &spec) const;
+    const Result &operator[](const std::string &spec) const
+    {
+        for (std::size_t i = 0; i < specs_.size(); ++i)
+            if (specs_[i] == spec)
+                return results_[i];
+        fatal("experiment has no result for policy '%s'; ran: %s",
+              spec.c_str(), joinNames(specs_).c_str());
+    }
 
-    bool has(const std::string &spec) const;
+    bool has(const std::string &spec) const
+    {
+        for (const auto &s : specs_)
+            if (s == spec)
+                return true;
+        return false;
+    }
 
     /** All results in the order the policies were given. */
-    const std::vector<ScenarioResult> &all() const { return results_; }
+    const std::vector<Result> &all() const { return results_; }
 
     std::size_t size() const { return results_.size(); }
     auto begin() const { return results_.begin(); }
@@ -53,8 +77,14 @@ class ExperimentResults
 
   private:
     std::vector<std::string> specs_;
-    std::vector<ScenarioResult> results_;
+    std::vector<Result> results_;
 };
+
+/** Results of an Experiment, keyed by policy spec string. */
+using ExperimentResults = SpecKeyedResults<ScenarioResult>;
+
+/** Results of a fleet experiment, keyed by policy spec string. */
+using FleetResults = SpecKeyedResults<cluster::ClusterResult>;
 
 /** Fluent builder for one multi-policy experiment. */
 class Experiment
@@ -99,12 +129,44 @@ class Experiment
     /** Attach a streaming result sink (not owned; repeatable). */
     Experiment &sink(ResultSink *s);
 
+    // --- Fleet (cluster) mode -----------------------------------------
+
+    /**
+     * Co-simulate `n` copies of the configured SoC instead of one
+     * (cluster fleet mode; see cluster/cluster.h).  Results come from
+     * runFleet(); run() is the single-SoC path and rejects a cluster
+     * configuration.
+     */
+    Experiment &cluster(int n);
+
+    /** Front-end dispatcher spec (DispatcherRegistry grammar,
+     *  default "rr"); implies cluster mode. */
+    Experiment &dispatcher(std::string spec);
+
+    /**
+     * Synthesize the fleet's task stream open-loop (cluster/workload.h)
+     * instead of replaying trace()/withTrace().  fleetTiles == 0 is
+     * auto-filled with cluster-size x SoC tiles.  The synth's own
+     * seed drives both the stream and the dispatcher; without a
+     * synth config, the trace() seed does.
+     */
+    Experiment &fleetWorkload(const cluster::SynthConfig &synth);
+
     /**
      * Validate every spec, run all policies on the identical job
      * stream, and return the results keyed by spec string.  Fatal on
      * unknown specs or an empty policy list.
      */
     ExperimentResults run() const;
+
+    /**
+     * Run the cluster fleet once per policy spec — every policy sees
+     * the identical task stream and dispatcher configuration — and
+     * return the ClusterResults keyed by spec string.  jobs(N)
+     * parallelizes across policies; each fleet co-simulation itself
+     * is single-threaded and deterministic.
+     */
+    FleetResults runFleet() const;
 
   private:
     sim::SocConfig soc_;
@@ -114,6 +176,10 @@ class Experiment
     std::string label_ = "experiment";
     SweepOptions opts_;
     std::vector<ResultSink *> sinks_;
+    int cluster_ = 0; ///< Fleet size; 0 = single-SoC mode.
+    std::string dispatcher_ = "rr";
+    cluster::SynthConfig synth_;
+    bool synthSet_ = false;
 };
 
 } // namespace moca::exp

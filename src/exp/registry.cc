@@ -7,43 +7,13 @@
 #include "baselines/static_partition.h"
 #include "common/argparse.h"
 #include "common/log.h"
+#include "common/text.h"
 #include "exp/oracle.h"
 #include "moca/moca_policy.h"
 
 namespace moca::exp {
 
 namespace {
-
-/** Levenshtein distance for the did-you-mean suggestion. */
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        prev[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        cur[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t sub =
-                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-        }
-        std::swap(prev, cur);
-    }
-    return prev[b.size()];
-}
-
-std::string
-joinNames(const std::vector<std::string> &names)
-{
-    std::string out;
-    for (const auto &n : names) {
-        if (!out.empty())
-            out += ", ";
-        out += n;
-    }
-    return out;
-}
 
 /**
  * Apply a validated spec's parameters to a policy config struct via
@@ -259,18 +229,8 @@ PolicyRegistry::unknownPolicy(const std::string &name) const
 {
     // Did-you-mean: the registered name closest in edit distance,
     // suggested only when it is plausibly a typo.
-    std::string nearest;
-    std::size_t best = static_cast<std::size_t>(-1);
-    for (const auto &p : policies_) {
-        const std::size_t d = editDistance(name, p.name);
-        if (d < best) {
-            best = d;
-            nearest = p.name;
-        }
-    }
-    const bool suggest =
-        !nearest.empty() && best <= std::max<std::size_t>(
-            2, name.size() / 3);
+    const std::string nearest = nearestName(name, names());
+    const bool suggest = !nearest.empty();
     fatal("unknown policy '%s'%s%s%s; known policies: %s "
           "(run with --list-policies for parameters)",
           name.c_str(), suggest ? " (did you mean '" : "",
@@ -355,7 +315,7 @@ PolicyRegistry::listText() const
 }
 
 std::vector<std::string>
-splitPolicyList(const std::string &list)
+splitPolicyList(const std::string &list, const char *flag)
 {
     std::vector<std::string> specs;
     std::size_t pos = 0;
@@ -378,7 +338,7 @@ splitPolicyList(const std::string &list)
         pos = comma + 1;
     }
     if (specs.empty())
-        fatal("--policy: empty policy list");
+        fatal("%s: empty spec list", flag);
     return specs;
 }
 

@@ -153,13 +153,15 @@ struct PolicyRegistrar
 };
 
 /**
- * Split a `--policy` list into individual specs.  Commas separate
- * both specs and parameters; a token containing '=' extends the
- * previous spec's parameter list, any other token starts a new spec:
- * "moca:tick=2048,threshold=fixed,prema" is the parameterized moca
- * spec followed by plain prema.
+ * Split a `--policy`-style list into individual specs.  Commas
+ * separate both specs and parameters; a token containing '=' extends
+ * the previous spec's parameter list, any other token starts a new
+ * spec: "moca:tick=2048,threshold=fixed,prema" is the parameterized
+ * moca spec followed by plain prema.  `flag` names the option in the
+ * empty-list error ("--policy", "--dispatcher").
  */
-std::vector<std::string> splitPolicyList(const std::string &list);
+std::vector<std::string> splitPolicyList(const std::string &list,
+                                         const char *flag = "--policy");
 
 } // namespace moca::exp
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cluster/dispatcher.h"
 #include "common/log.h"
 #include "common/units.h"
 #include "exp/registry.h"
@@ -93,6 +94,25 @@ policiesFromArgs(const ArgMap &args,
         specs = splitPolicyList(args.getString("policy", ""));
     for (const auto &spec : specs)
         PolicyRegistry::instance().validate(spec);
+    return specs;
+}
+
+std::vector<std::string>
+dispatchersFromArgs(const ArgMap &args,
+                    const std::vector<std::string> &def)
+{
+    auto &registry = cluster::DispatcherRegistry::instance();
+    if (args.has("list-dispatchers")) {
+        std::fputs(registry.listText().c_str(), stdout);
+        std::exit(0);
+    }
+    std::vector<std::string> specs =
+        def.empty() ? std::vector<std::string>{"rr"} : def;
+    if (args.has("dispatcher"))
+        specs = splitPolicyList(args.getString("dispatcher", ""),
+                                "--dispatcher");
+    for (const auto &spec : specs)
+        registry.validate(spec);
     return specs;
 }
 

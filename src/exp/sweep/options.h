@@ -49,6 +49,18 @@ policiesFromArgs(const ArgMap &args,
                  const std::vector<std::string> &def = {});
 
 /**
+ * Shared `--dispatcher <spec>[,<spec>...]` / `--list-dispatchers`
+ * handling for cluster-aware binaries, mirroring policiesFromArgs:
+ * `--list-dispatchers` prints the cluster::DispatcherRegistry
+ * catalogue and exits; `--dispatcher` selects (and validates) the
+ * dispatcher specs, defaulting to `def` (or plain "rr" when `def` is
+ * empty).  Unknown specs are fatal with a did-you-mean suggestion.
+ */
+std::vector<std::string>
+dispatchersFromArgs(const ArgMap &args,
+                    const std::vector<std::string> &def = {});
+
+/**
  * Owning bundle of result sinks, so binaries can hold console and
  * file sinks together and hand the engine a raw-pointer view.
  */

@@ -425,7 +425,7 @@ Soc::invokePolicy(SchedEvent event)
 // --- Shared step phases -----------------------------------------------
 
 std::vector<int>
-Soc::schedulingPoints()
+Soc::schedulingPoints(Cycles horizon)
 {
     if (admitArrivals())
         invokePolicy(SchedEvent::JobArrival);
@@ -442,8 +442,12 @@ Soc::schedulingPoints()
     const Cycles na = nextArrivalCycle();
     if (na != kNoArrival) {
         // Idle-advance to the next arrival, but never past a periodic
-        // tick: the tick cadence stays exact across idle gaps.
-        now_ = std::max(now_, std::min(na, next_sched_tick_));
+        // tick (the tick cadence stays exact across idle gaps) or the
+        // caller's horizon (a co-simulator may inject work there).
+        Cycles target = std::min(na, next_sched_tick_);
+        if (horizon != 0)
+            target = std::min(target, horizon);
+        now_ = std::max(now_, target);
         return {};
     }
     // No arrivals left and nothing running: the policy must start a
@@ -650,106 +654,100 @@ Soc::dispatchBoundaries(const std::vector<BoundaryEvent> &events)
 // --- Kernels ----------------------------------------------------------
 
 void
-Soc::runQuantum(Cycles max_cycles)
+Soc::stepQuantum(Cycles horizon)
 {
-    while (!allDone()) {
-        if (now_ > max_cycles)
-            fatal("simulation exceeded %llu cycles; policy deadlock?",
-                  static_cast<unsigned long long>(max_cycles));
+    const std::vector<int> running = schedulingPoints(horizon);
+    if (running.empty())
+        return;
 
-        const std::vector<int> running = schedulingPoints();
-        if (running.empty())
-            continue;
+    Cycles step = cfg_.quantum;
+    const Cycles na = nextArrivalCycle();
+    if (na != kNoArrival && na > now_)
+        step = std::min<Cycles>(step, na - now_);
+    // Clamp to the periodic tick as well, so it fires at the
+    // exact schedPeriod cadence instead of up to a quantum late.
+    step = std::min<Cycles>(step, next_sched_tick_ - now_);
+    // The horizon acts like one more pending arrival: a cluster
+    // front-end may place a task on this SoC at that cycle.
+    if (horizon != 0)
+        step = std::min<Cycles>(step, horizon - now_);
+    step = std::max<Cycles>(step, 1);
 
-        Cycles step = cfg_.quantum;
-        const Cycles na = nextArrivalCycle();
-        if (na != kNoArrival && na > now_)
-            step = std::min<Cycles>(step, na - now_);
-        // Clamp to the periodic tick as well, so it fires at the
-        // exact schedPeriod cadence instead of up to a quantum late.
-        step = std::min<Cycles>(step, next_sched_tick_ - now_);
-        step = std::max<Cycles>(step, 1);
-
-        const auto entries = computeDemands(running, step);
-        const auto grants = arbitrate(entries, step);
-        const StepOutcome out = advanceEntries(entries, grants, step);
-        accountStep(step, out);
-        dispatchBoundaries(out.events);
-    }
+    const auto entries = computeDemands(running, step);
+    const auto grants = arbitrate(entries, step);
+    const StepOutcome out = advanceEntries(entries, grants, step);
+    accountStep(step, out);
+    dispatchBoundaries(out.events);
 }
 
 void
-Soc::runEvent(Cycles max_cycles)
+Soc::stepEvent(Cycles horizon)
 {
-    while (!allDone()) {
-        if (now_ > max_cycles)
-            fatal("simulation exceeded %llu cycles; policy deadlock?",
-                  static_cast<unsigned long long>(max_cycles));
+    const std::vector<int> running = schedulingPoints(horizon);
+    if (running.empty())
+        return;
 
-        const std::vector<int> running = schedulingPoints();
-        if (running.empty())
+    // Probe pass at quantum granularity: the demand-shape branch
+    // and throttle binding match what the quantum kernel would
+    // see in the next quantum, and stay constant until the next
+    // event (demand rates are layer-invariant: every remaining
+    // quantity shrinks by the same factor as the layer advances).
+    auto probe = computeDemands(running, cfg_.quantum);
+
+    events_.clear();
+    const Cycles na = nextArrivalCycle();
+    if (na != kNoArrival)
+        events_.push(na, SimEventKind::Arrival);
+    if (horizon != 0)
+        events_.push(horizon, SimEventKind::Arrival);
+    events_.push(next_sched_tick_, SimEventKind::SchedTick);
+    for (const DemandEntry &e : probe) {
+        const Job &j = jobs_[static_cast<std::size_t>(e.id)];
+        if (e.stalled) {
+            events_.push(gridCeil(j.stallUntil),
+                         SimEventKind::StallExpiry, e.id);
             continue;
-
-        // Probe pass at quantum granularity: the demand-shape branch
-        // and throttle binding match what the quantum kernel would
-        // see in the next quantum, and stay constant until the next
-        // event (demand rates are layer-invariant: every remaining
-        // quantity shrinks by the same factor as the layer advances).
-        auto probe = computeDemands(running, cfg_.quantum);
-
-        events_.clear();
-        const Cycles na = nextArrivalCycle();
-        if (na != kNoArrival)
-            events_.push(na, SimEventKind::Arrival);
-        events_.push(next_sched_tick_, SimEventKind::SchedTick);
-        for (const DemandEntry &e : probe) {
-            const Job &j = jobs_[static_cast<std::size_t>(e.id)];
-            if (e.stalled) {
-                events_.push(gridCeil(j.stallUntil),
-                             SimEventKind::StallExpiry, e.id);
-                continue;
-            }
-            // A layer can never finish before its full-service
-            // remaining time, so step to the grid point strictly
-            // *before* it: the tail quantum then replays the quantum
-            // kernel's end-of-layer demand burst exactly, and no step
-            // ever spans a demand-shape change.
-            const double t = layerRemainingTime(j, 1.0);
-            if (t < kInf) {
-                const Cycles dt = static_cast<Cycles>(std::ceil(
-                    std::min(t, static_cast<double>(
-                                    cfg_.schedPeriod))));
-                const Cycles floor_step = std::max<Cycles>(
-                    cfg_.quantum,
-                    (dt > 1 ? (dt - 1) / cfg_.quantum : 0) *
-                        cfg_.quantum);
-                events_.push(now_ + floor_step,
-                             SimEventKind::LayerCompletion, e.id);
-            }
-            if (e.throttleBound) {
-                // A binding throttle re-opens at the engine's next
-                // state change (window rollover / reconfig-stall
-                // end); stop there so per-window pacing is not
-                // smeared across a long step.
-                const Cycles c = j.throttle.cyclesUntilNextChange();
-                if (c > 0)
-                    events_.push(gridCeil(now_ + c),
-                                 SimEventKind::ThrottleWindow, e.id);
-            }
         }
-
-        const Cycles step = events_.top().at - now_;
-
-        // Tail steps (one per layer) degenerate to a single quantum,
-        // where the probe already holds the exact demands.
-        const auto entries = step == cfg_.quantum
-            ? std::move(probe)
-            : computeDemands(running, step);
-        const auto grants = arbitrate(entries, step);
-        const StepOutcome out = advanceEntries(entries, grants, step);
-        accountStep(step, out);
-        dispatchBoundaries(out.events);
+        // A layer can never finish before its full-service
+        // remaining time, so step to the grid point strictly
+        // *before* it: the tail quantum then replays the quantum
+        // kernel's end-of-layer demand burst exactly, and no step
+        // ever spans a demand-shape change.
+        const double t = layerRemainingTime(j, 1.0);
+        if (t < kInf) {
+            const Cycles dt = static_cast<Cycles>(std::ceil(
+                std::min(t, static_cast<double>(
+                                cfg_.schedPeriod))));
+            const Cycles floor_step = std::max<Cycles>(
+                cfg_.quantum,
+                (dt > 1 ? (dt - 1) / cfg_.quantum : 0) *
+                    cfg_.quantum);
+            events_.push(now_ + floor_step,
+                         SimEventKind::LayerCompletion, e.id);
+        }
+        if (e.throttleBound) {
+            // A binding throttle re-opens at the engine's next
+            // state change (window rollover / reconfig-stall
+            // end); stop there so per-window pacing is not
+            // smeared across a long step.
+            const Cycles c = j.throttle.cyclesUntilNextChange();
+            if (c > 0)
+                events_.push(gridCeil(now_ + c),
+                             SimEventKind::ThrottleWindow, e.id);
+        }
     }
+
+    const Cycles step = events_.top().at - now_;
+
+    // Tail steps (one per layer) degenerate to a single quantum,
+    // where the probe already holds the exact demands.
+    const auto entries = step == cfg_.quantum
+        ? std::move(probe)
+        : computeDemands(running, step);
+    const auto grants = arbitrate(entries, step);
+    const StepOutcome out = advanceEntries(entries, grants, step);
+    accountStep(step, out);
+    dispatchBoundaries(out.events);
 }
 
 Cycles
@@ -763,25 +761,84 @@ Soc::gridCeil(Cycles t) const
 }
 
 void
-Soc::run(Cycles max_cycles)
+Soc::beginRun(Cycles max_cycles)
 {
     if (!sorted_)
         sortArrivals();
-    if (max_cycles == 0)
-        max_cycles = cfg_.maxCycles;
-    next_sched_tick_ = 0;
+    run_max_cycles_ = max_cycles == 0 ? cfg_.maxCycles : max_cycles;
+    if (!began_) {
+        next_sched_tick_ = 0;
+        began_ = true;
+    }
+}
+
+bool
+Soc::stepOnce(Cycles horizon)
+{
+    if (!began_)
+        panic("stepOnce before beginRun");
+    if (allDone())
+        return false;
+    if (horizon != 0 && now_ >= horizon)
+        panic("stepOnce: now=%llu is at/past horizon %llu",
+              static_cast<unsigned long long>(now_),
+              static_cast<unsigned long long>(horizon));
+    if (now_ > run_max_cycles_)
+        fatal("simulation exceeded %llu cycles; policy deadlock?",
+              static_cast<unsigned long long>(run_max_cycles_));
 
     if (cfg_.kernel == SimKernel::Event)
-        runEvent(max_cycles);
+        stepEvent(horizon);
     else
-        runQuantum(max_cycles);
+        stepQuantum(horizon);
+    return !allDone();
+}
 
+void
+Soc::injectJob(const JobSpec &spec)
+{
+    if (!began_)
+        panic("injectJob before beginRun (use addJob)");
+    if (spec.model == nullptr)
+        fatal("job %d has no model", spec.id);
+    if (spec.id != static_cast<int>(jobs_.size()))
+        fatal("job ids must be dense and in insertion order "
+              "(got %d, expected %zu)", spec.id, jobs_.size());
+    if (spec.dispatch < now_)
+        fatal("injectJob(%d): dispatch %llu is before now %llu",
+              spec.id, static_cast<unsigned long long>(spec.dispatch),
+              static_cast<unsigned long long>(now_));
+    const Cycles pending = nextArrivalCycle();
+    if (pending != kNoArrival &&
+        spec.dispatch < jobs_[arrival_order_.back()].spec.dispatch)
+        fatal("injectJob(%d): dispatch order violated", spec.id);
+
+    Job job;
+    job.spec = spec;
+    jobs_.push_back(std::move(job));
+    // Injections arrive in nondecreasing dispatch order, so the
+    // sorted arrival order is maintained by appending.
+    arrival_order_.push_back(spec.id);
+}
+
+void
+Soc::finishRun()
+{
     stats_.cyclesSimulated = now_;
     stats_.l2Bytes = 0;
     for (const auto &j : jobs_)
         stats_.l2Bytes += j.l2BytesMoved;
     stats_.dramBusyFraction =
         now_ > 0 ? dram_busy_cycles_ / static_cast<double>(now_) : 0.0;
+}
+
+void
+Soc::run(Cycles max_cycles)
+{
+    beginRun(max_cycles);
+    while (stepOnce()) {
+    }
+    finishRun();
 }
 
 } // namespace moca::sim

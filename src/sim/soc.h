@@ -76,6 +76,43 @@ class Soc
      */
     void run(Cycles max_cycles = 0);
 
+    // --- Resumable stepping (cluster co-simulation) -------------------
+    //
+    // run() is equivalent to beginRun(); while (stepOnce()) {};
+    // finishRun().  A co-simulator (cluster::Cluster) instead steps
+    // each SoC up to a *horizon* — the next cluster-level event, e.g.
+    // the arrival of a task the front-end dispatcher has not placed
+    // yet — injects the task into the chosen SoC at its exact
+    // dispatch cycle, and resumes stepping.  Because stepOnce(h)
+    // clamps exactly like the kernels clamp to the next in-SoC
+    // arrival, a 1-SoC cluster replays the single-SoC simulation
+    // bit-identically.
+
+    /** Prepare for stepping: sort arrivals, arm the scheduler tick.
+     *  @param max_cycles as for run(); 0 uses cfg.maxCycles. */
+    void beginRun(Cycles max_cycles = 0);
+
+    /**
+     * Execute one kernel iteration (one demand/arbitrate/advance
+     * round, or one idle/scheduling advance), never moving now()
+     * past `horizon` (0 = unbounded).  Requires now() < horizon.
+     * @return true while unfinished jobs remain.
+     */
+    bool stepOnce(Cycles horizon = 0);
+
+    /**
+     * Append a job mid-run (between stepOnce calls).  Dispatch cycles
+     * must be injected in nondecreasing order and must not precede
+     * now(); the id must be dense like addJob's.
+     */
+    void injectJob(const JobSpec &spec);
+
+    /** True once every added/injected job has completed. */
+    bool done() const { return allDone(); }
+
+    /** Finalize stats() after stepping (run() calls it itself). */
+    void finishRun();
+
     Cycles now() const { return now_; }
     const SocConfig &config() const { return cfg_; }
     const SocStats &stats() const { return stats_; }
@@ -91,6 +128,10 @@ class Soc
     std::vector<int> waitingJobs() const;
     /** Ids of running jobs. */
     std::vector<int> runningJobs() const;
+    /** Waiting/paused job count (no copy; dispatcher feedback). */
+    std::size_t waitingCount() const { return waiting_ids_.size(); }
+    /** Running job count (no copy; dispatcher feedback). */
+    std::size_t runningCount() const { return running_ids_.size(); }
     /** Tiles not allocated to any running job. */
     int freeTiles() const;
 
@@ -161,6 +202,8 @@ class Soc
     double dram_busy_cycles_ = 0.0;
     Cycles next_sched_tick_ = 0;
     bool sorted_ = false;
+    bool began_ = false;       ///< beginRun() has armed the stepping.
+    Cycles run_max_cycles_ = 0; ///< Deadlock bound of the current run.
 
     void sortArrivals();
     bool allDone() const { return done_jobs_ == jobs_.size(); }
@@ -223,10 +266,11 @@ class Soc
      * Handle the scheduling points at `now_`: admit due arrivals,
      * fire the periodic tick, and — when nothing is running — advance
      * idle time to the next arrival or tick (or invoke the policy one
-     * last time before declaring deadlock).  Returns the running set;
-     * when empty the caller re-enters its loop.
+     * last time before declaring deadlock), clamped to `horizon`
+     * (0 = unbounded).  Returns the running set; when empty the
+     * caller re-enters its loop.
      */
-    std::vector<int> schedulingPoints();
+    std::vector<int> schedulingPoints(Cycles horizon);
 
     /**
      * Demand phase: each running job's DMA byte demand over `horizon`
@@ -265,11 +309,11 @@ class Soc
 
     // --- Kernels ------------------------------------------------------
 
-    /** Fixed-quantum kernel loop. */
-    void runQuantum(Cycles max_cycles);
+    /** One fixed-quantum kernel iteration, bounded by `horizon`. */
+    void stepQuantum(Cycles horizon);
 
-    /** Next-event kernel loop. */
-    void runEvent(Cycles max_cycles);
+    /** One next-event kernel iteration, bounded by `horizon`. */
+    void stepEvent(Cycles horizon);
 
     /**
      * Smallest quantum-grid point at or after `t`, strictly after

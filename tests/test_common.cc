@@ -135,6 +135,26 @@ TEST(SampleSet, PercentileAfterLateAdd)
     EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
 }
 
+TEST(Stats, PercentileSummary)
+{
+    std::vector<double> values;
+    for (int i = 100; i >= 1; --i) // Unsorted on purpose.
+        values.push_back(static_cast<double>(i));
+    const PercentileSummary s = percentileSummary(values);
+    EXPECT_NEAR(s.p50, 50.5, 1e-9);
+    EXPECT_NEAR(s.p95, 95.05, 1e-9);
+    EXPECT_NEAR(s.p99, 99.01, 1e-9);
+
+    const PercentileSummary empty = percentileSummary({});
+    EXPECT_EQ(empty.p50, 0.0);
+    EXPECT_EQ(empty.p95, 0.0);
+    EXPECT_EQ(empty.p99, 0.0);
+
+    const PercentileSummary one = percentileSummary({7.0});
+    EXPECT_EQ(one.p50, 7.0);
+    EXPECT_EQ(one.p99, 7.0);
+}
+
 TEST(Stats, Geomean)
 {
     EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);

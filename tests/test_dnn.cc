@@ -207,9 +207,35 @@ TEST(ModelZoo, ExtensionModelsOutsideTableIII)
 {
     // The paper's workload sets must not pick up extension models.
     for (ModelId id : workloadSetC())
-        EXPECT_NE(id, ModelId::MobileNetV1);
-    EXPECT_EQ(extensionModelIds().size(), 1u);
+        for (ModelId ext : extensionModelIds())
+            EXPECT_NE(id, ext);
+    EXPECT_EQ(extensionModelIds().size(), 4u);
     EXPECT_EQ(modelIdFromName("mobilenetv1"), ModelId::MobileNetV1);
+    EXPECT_EQ(modelIdFromName("transformer-l"), ModelId::TransformerL);
+    EXPECT_EQ(modelIdFromName("kws-micro"), ModelId::KwsMicro);
+    EXPECT_EQ(modelIdFromName("dlrm"), ModelId::Dlrm);
+}
+
+TEST(ModelZoo, ExtensionProfilesSpanIntensityRange)
+{
+    // The cluster workload mixes lean on the extension models to
+    // stretch the compute/memory-intensity range: the transformer
+    // reuses each weight across all 256 tokens, DLRM touches each
+    // weight exactly once, and kws-micro is an order of magnitude
+    // below the res8 KWS.
+    const Model &tf = getModel(ModelId::TransformerL);
+    const Model &dlrm = getModel(ModelId::Dlrm);
+    const Model &micro = getModel(ModelId::KwsMicro);
+    const Model &kws = getModel(ModelId::Kws);
+
+    const auto intensity = [](const Model &m) {
+        return static_cast<double>(m.totalMacs()) /
+            static_cast<double>(m.totalWeightBytes());
+    };
+    EXPECT_GT(intensity(tf), 50.0 * intensity(dlrm));
+    EXPECT_LT(intensity(dlrm), 2.0); // ~1 MAC per weight byte.
+    EXPECT_GT(tf.totalMacs(), getModel(ModelId::ResNet50).totalMacs());
+    EXPECT_LT(micro.totalMacs() * 5, kws.totalMacs());
 }
 
 // --- Layer blocks -----------------------------------------------------
