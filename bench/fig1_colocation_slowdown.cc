@@ -18,7 +18,12 @@
  * runtime, fully overlapped with memory-intensive co-runners).
  *
  * Usage: fig1_colocation_slowdown [reps=N] [seed=S]
+ *                                 [--mem SPEC] [--list-mem-models]
  *                                 [--list-policies] [--jobs N]
+ *
+ * `--mem banked[:banks=N,...]` replays the co-location study under
+ * the bank-aware memory model, where the slowdown comes from
+ * emergent row-locality loss instead of the flat thrash heuristic.
  */
 
 #include <cstdio>

@@ -9,7 +9,13 @@
  * overlap_f tuning utility (Sec. III-C) by recovering the overlap
  * factor from a small set of measured layers.
  *
- * Usage: latency_model_validation [--list-policies] [--jobs N]
+ * Usage: latency_model_validation [--mem SPEC] [--list-mem-models]
+ *                                 [--list-policies] [--jobs N]
+ *
+ * `--mem banked` re-validates Algorithm 1 against the bank-aware
+ * memory model: isolated runs keep full row locality, so the
+ * runtime's coarse model must stay inside the paper's ~10% band
+ * under either memory model (the banner records which one ran).
  */
 
 #include <cstdio>

@@ -11,17 +11,6 @@ namespace moca::cluster {
 
 namespace {
 
-/** Value of a declared spec parameter, or its schema default. */
-std::string
-paramValue(const DispatcherSpec &spec, const std::string &key,
-           const std::string &def)
-{
-    for (const auto &[k, v] : spec.params)
-        if (k == key)
-            return v;
-    return def;
-}
-
 /** Smallest-index SoC minimizing `key` (ties break on index, which
  *  keeps every dispatcher deterministic). */
 template <typename Key>
@@ -188,7 +177,7 @@ registerBuiltins(DispatcherRegistry &reg)
         {{"by", "depth|work", "depth",
           "load signal: queued-task depth or outstanding MACs"}},
         [](int, std::uint64_t, const DispatcherSpec &spec) {
-            const std::string by = paramValue(spec, "by", "depth");
+            const std::string by = spec.param("by", "depth");
             if (by != "depth" && by != "work")
                 fatal("least-loaded: by=%s (expected depth or work)",
                       by.c_str());
@@ -216,10 +205,10 @@ registerBuiltins(DispatcherRegistry &reg)
         [](int, std::uint64_t, const DispatcherSpec &spec) {
             const int prio_min = static_cast<int>(parseIntValue(
                 "qos-aware:prio_min",
-                paramValue(spec, "prio_min", "9")));
+                spec.param("prio_min", "9")));
             const bool hard_qos = parseBoolValue(
                 "qos-aware:hard_qos",
-                paramValue(spec, "hard_qos", "1"));
+                spec.param("hard_qos", "1"));
             return std::make_unique<QosAwareDispatcher>(prio_min,
                                                         hard_qos);
         },
@@ -239,95 +228,6 @@ DispatcherRegistry::instance()
     return reg;
 }
 
-void
-DispatcherRegistry::add(DispatcherInfo info)
-{
-    if (info.name.empty())
-        fatal("cannot register a dispatcher with an empty name");
-    if (info.name.find(':') != std::string::npos ||
-        info.name.find(',') != std::string::npos ||
-        info.name.find('=') != std::string::npos)
-        fatal("dispatcher name '%s' may not contain ':', ',' or '='",
-              info.name.c_str());
-    if (!info.factory)
-        fatal("dispatcher '%s' registered without a factory",
-              info.name.c_str());
-    if (byName_.count(info.name) > 0)
-        fatal("dispatcher '%s' is already registered",
-              info.name.c_str());
-    byName_[info.name] = dispatchers_.size();
-    dispatchers_.push_back(std::move(info));
-}
-
-bool
-DispatcherRegistry::contains(const std::string &name) const
-{
-    return byName_.count(name) > 0;
-}
-
-std::vector<std::string>
-DispatcherRegistry::names() const
-{
-    std::vector<std::string> out;
-    out.reserve(dispatchers_.size());
-    for (const auto &d : dispatchers_)
-        out.push_back(d.name);
-    return out;
-}
-
-const DispatcherInfo *
-DispatcherRegistry::find(const std::string &name) const
-{
-    auto it = byName_.find(name);
-    return it == byName_.end() ? nullptr : &dispatchers_[it->second];
-}
-
-void
-DispatcherRegistry::unknownDispatcher(const std::string &name) const
-{
-    const std::string nearest = nearestName(name, names());
-    const bool suggest = !nearest.empty();
-    fatal("unknown dispatcher '%s'%s%s%s; known dispatchers: %s "
-          "(run with --list-dispatchers for parameters)",
-          name.c_str(), suggest ? " (did you mean '" : "",
-          suggest ? nearest.c_str() : "", suggest ? "'?)" : "",
-          joinNames(names()).c_str());
-}
-
-const DispatcherInfo &
-DispatcherRegistry::info(const std::string &name) const
-{
-    const DispatcherInfo *d = find(name);
-    if (d == nullptr)
-        unknownDispatcher(name);
-    return *d;
-}
-
-const DispatcherInfo &
-DispatcherRegistry::checkSpec(const DispatcherSpec &spec) const
-{
-    const DispatcherInfo &di = info(spec.name);
-    for (const auto &[key, value] : spec.params) {
-        (void)value;
-        const bool declared = std::any_of(
-            di.params.begin(), di.params.end(),
-            [&](const DispatcherParam &p) { return p.key == key; });
-        if (!declared) {
-            std::string keys;
-            for (const auto &p : di.params) {
-                if (!keys.empty())
-                    keys += ", ";
-                keys += p.key;
-            }
-            fatal("dispatcher '%s' has no parameter '%s'; declared "
-                  "parameters: %s",
-                  spec.name.c_str(), key.c_str(),
-                  keys.empty() ? "(none)" : keys.c_str());
-        }
-    }
-    return di;
-}
-
 std::unique_ptr<Dispatcher>
 DispatcherRegistry::make(const DispatcherSpec &spec, int num_socs,
                          std::uint64_t seed) const
@@ -342,7 +242,8 @@ std::unique_ptr<Dispatcher>
 DispatcherRegistry::make(const std::string &spec, int num_socs,
                          std::uint64_t seed) const
 {
-    return make(DispatcherSpec::parse(spec), num_socs, seed);
+    return make(DispatcherSpec::parse(spec, "dispatcher"), num_socs,
+                seed);
 }
 
 void
@@ -352,23 +253,7 @@ DispatcherRegistry::validate(const std::string &spec) const
     // so a trial build catches bad *values* up front too — before a
     // sweep spends minutes synthesizing a 100k-task stream only to
     // die in a worker thread.
-    (void)make(DispatcherSpec::parse(spec), 1, 0);
-}
-
-std::string
-DispatcherRegistry::listText() const
-{
-    std::string out = "registered dispatchers "
-                      "(spec grammar: name[:key=value,...]):\n";
-    for (const auto &d : dispatchers_) {
-        out += "  " + d.name + " — " + d.description + "\n";
-        for (const auto &param : d.params)
-            out += strprintf("      %-20s %-13s default %-7s %s\n",
-                             param.key.c_str(), param.type.c_str(),
-                             param.defaultValue.c_str(),
-                             param.description.c_str());
-    }
-    return out;
+    (void)make(DispatcherSpec::parse(spec, "dispatcher"), 1, 0);
 }
 
 } // namespace moca::cluster

@@ -100,23 +100,13 @@ struct DispatcherInfo
 
 /**
  * The process-wide dispatcher registry, mirroring exp::PolicyRegistry
- * (iteration order is registration order, built-ins first).
+ * (iteration order is registration order, built-ins first).  The
+ * shared machinery lives in the moca::SpecRegistry base.
  */
-class DispatcherRegistry
+class DispatcherRegistry : public moca::SpecRegistry<DispatcherInfo>
 {
   public:
     static DispatcherRegistry &instance();
-
-    /** Register a dispatcher; fatal on a duplicate name. */
-    void add(DispatcherInfo info);
-
-    bool contains(const std::string &name) const;
-
-    /** Registered names in registration order. */
-    std::vector<std::string> names() const;
-
-    /** Metadata for `name`; fatal (with did-you-mean) when unknown. */
-    const DispatcherInfo &info(const std::string &name) const;
 
     /** Parse, validate, and build a dispatcher from a spec string. */
     std::unique_ptr<Dispatcher> make(const std::string &spec,
@@ -135,18 +125,12 @@ class DispatcherRegistry
      */
     void validate(const std::string &spec) const;
 
-    /** Human-readable catalogue (--list-dispatchers output). */
-    std::string listText() const;
-
   private:
-    DispatcherRegistry() = default;
-
-    std::vector<DispatcherInfo> dispatchers_;
-    std::map<std::string, std::size_t> byName_;
-
-    const DispatcherInfo *find(const std::string &name) const;
-    [[noreturn]] void unknownDispatcher(const std::string &name) const;
-    const DispatcherInfo &checkSpec(const DispatcherSpec &spec) const;
+    DispatcherRegistry()
+        : SpecRegistry("dispatcher", "dispatchers",
+                       "--list-dispatchers")
+    {
+    }
 };
 
 /**

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Templated base of the self-registering spec-keyed factory
+ * registries: exp::PolicyRegistry, cluster::DispatcherRegistry, and
+ * mem::MemoryModelRegistry are each a thin subclass instead of three
+ * copies of the same machinery.
+ *
+ * The base owns everything that does not depend on the factory
+ * signature: registration (with name validation and duplicate
+ * detection), name lookup with did-you-mean suggestions, parameter-key
+ * validation against the declared schema, and the human-readable
+ * `--list-*` catalogue.  Subclasses add their `make()` entry points
+ * (whose arguments differ — a policy builds against a SocConfig, a
+ * dispatcher against a fleet size and seed) and decide how deep their
+ * `validate()` goes (structural vs. trial-build).
+ *
+ * `Info` must provide the fields `name` (std::string), `description`
+ * (std::string), `params` (std::vector<SpecParam>), and a callable
+ * `factory`.
+ */
+
+#ifndef MOCA_COMMON_SPEC_REGISTRY_H
+#define MOCA_COMMON_SPEC_REGISTRY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/spec.h"
+#include "common/text.h"
+
+namespace moca {
+
+template <typename Info>
+class SpecRegistry
+{
+  public:
+    /** Register an entry; fatal on a duplicate or malformed name. */
+    void add(Info info)
+    {
+        if (info.name.empty())
+            fatal("cannot register a %s with an empty name", noun_);
+        if (info.name.find(':') != std::string::npos ||
+            info.name.find(',') != std::string::npos ||
+            info.name.find('=') != std::string::npos)
+            fatal("%s name '%s' may not contain ':', ',' or '='",
+                  noun_, info.name.c_str());
+        if (!info.factory)
+            fatal("%s '%s' registered without a factory", noun_,
+                  info.name.c_str());
+        if (byName_.count(info.name) > 0)
+            fatal("%s '%s' is already registered", noun_,
+                  info.name.c_str());
+        byName_[info.name] = infos_.size();
+        infos_.push_back(std::move(info));
+    }
+
+    bool contains(const std::string &name) const
+    {
+        return byName_.count(name) > 0;
+    }
+
+    /** Registered names in registration order. */
+    std::vector<std::string> names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(infos_.size());
+        for (const auto &i : infos_)
+            out.push_back(i.name);
+        return out;
+    }
+
+    /** Metadata for `name`; fatal (with did-you-mean) when unknown. */
+    const Info &info(const std::string &name) const
+    {
+        const Info *i = find(name);
+        if (i == nullptr)
+            unknownName(name);
+        return *i;
+    }
+
+    /** Human-readable catalogue (--list-* output). */
+    std::string listText() const
+    {
+        std::string out = strprintf(
+            "registered %s (spec grammar: name[:key=value,...]):\n",
+            nounPlural_);
+        for (const auto &i : infos_) {
+            out += "  " + i.name + " — " + i.description + "\n";
+            for (const auto &param : i.params)
+                out += strprintf(
+                    "      %-20s %-13s default %-7s %s\n",
+                    param.key.c_str(), param.type.c_str(),
+                    param.defaultValue.c_str(),
+                    param.description.c_str());
+        }
+        return out;
+    }
+
+  protected:
+    /**
+     * @param noun        singular noun for messages ("policy").
+     * @param noun_plural plural noun ("policies").
+     * @param list_flag   the catalogue flag ("--list-policies").
+     */
+    SpecRegistry(const char *noun, const char *noun_plural,
+                 const char *list_flag)
+        : noun_(noun), nounPlural_(noun_plural), listFlag_(list_flag)
+    {
+    }
+
+    ~SpecRegistry() = default;
+
+    /** Name + declared-parameter-key validation shared by the
+     *  subclasses' make() and validate(); fatal with actionable
+     *  messages. */
+    const Info &checkSpec(const Spec &spec) const
+    {
+        const Info &i = info(spec.name);
+        for (const auto &[key, value] : spec.params) {
+            (void)value;
+            bool declared = false;
+            for (const auto &p : i.params)
+                if (p.key == key) {
+                    declared = true;
+                    break;
+                }
+            if (!declared) {
+                std::string keys;
+                for (const auto &p : i.params) {
+                    if (!keys.empty())
+                        keys += ", ";
+                    keys += p.key;
+                }
+                fatal("%s '%s' has no parameter '%s'; declared "
+                      "parameters: %s",
+                      noun_, spec.name.c_str(), key.c_str(),
+                      keys.empty() ? "(none)" : keys.c_str());
+            }
+        }
+        return i;
+    }
+
+  private:
+    const Info *find(const std::string &name) const
+    {
+        auto it = byName_.find(name);
+        return it == byName_.end() ? nullptr : &infos_[it->second];
+    }
+
+    [[noreturn]] void unknownName(const std::string &name) const
+    {
+        // Did-you-mean: the registered name closest in edit distance,
+        // suggested only when it is plausibly a typo.
+        const std::string nearest = nearestName(name, names());
+        const bool suggest = !nearest.empty();
+        fatal("unknown %s '%s'%s%s%s; known %s: %s "
+              "(run with %s for parameters)",
+              noun_, name.c_str(), suggest ? " (did you mean '" : "",
+              suggest ? nearest.c_str() : "", suggest ? "'?)" : "",
+              nounPlural_, joinNames(names()).c_str(), listFlag_);
+    }
+
+    const char *noun_;
+    const char *nounPlural_;
+    const char *listFlag_;
+    std::vector<Info> infos_;
+    std::map<std::string, std::size_t> byName_;
+};
+
+} // namespace moca
+
+#endif // MOCA_COMMON_SPEC_REGISTRY_H

@@ -4,6 +4,7 @@
 #include "common/text.h"
 #include "exp/oracle.h"
 #include "exp/registry.h"
+#include "mem/memory_model.h"
 
 namespace moca::exp {
 
@@ -18,6 +19,13 @@ Experiment &
 Experiment::kernel(sim::SimKernel k)
 {
     soc_.kernel = k;
+    return *this;
+}
+
+Experiment &
+Experiment::mem(std::string spec)
+{
+    soc_.memModel = std::move(spec);
     return *this;
 }
 
@@ -128,6 +136,8 @@ Experiment::runFleet() const
     for (const auto &spec : policies_)
         PolicyRegistry::instance().validate(spec);
     cluster::DispatcherRegistry::instance().validate(dispatcher_);
+    mem::MemoryModelRegistry::instance().validate(soc_.memModel,
+                                                  soc_);
 
     // Every policy replays the identical task stream: synthesized
     // open-loop, or the (possibly pre-generated) single-SoC trace
@@ -172,6 +182,8 @@ Experiment::run() const
               "or .policies({...}))");
     for (const auto &spec : policies_)
         PolicyRegistry::instance().validate(spec);
+    mem::MemoryModelRegistry::instance().validate(soc_.memModel,
+                                                  soc_);
 
     // All policies replay the identical job stream: the caller's
     // pre-generated stream, or one generated once here and shared.

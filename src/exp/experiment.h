@@ -99,6 +99,12 @@ class Experiment
      *  mutating soc().kernel; composes with a prior soc() call). */
     Experiment &kernel(sim::SimKernel k);
 
+    /** Memory-hierarchy model spec of the configured SoC
+     *  (mem::MemoryModelRegistry grammar, e.g. "flat" or
+     *  "banked:banks=16,remap=mod"; shorthand for mutating
+     *  soc().memModel, composes with a prior soc() call). */
+    Experiment &mem(std::string spec);
+
     /** Trace-generation parameters (workload set, QoS, tasks, seed). */
     Experiment &trace(const workload::TraceConfig &tc);
 

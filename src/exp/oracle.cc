@@ -63,6 +63,11 @@ configFingerprint(const sim::SocConfig &cfg)
     mix(cfg.dramProportionalArbitration ? 1 : 0);
     mixd(cfg.dramThrashFactor);
     mixd(cfg.dramThrashOnset);
+    // The memory-model spec changes isolated latencies like any
+    // other SoC parameter, so it is part of the cache identity.
+    for (const char c : cfg.memModel)
+        mix(static_cast<std::uint64_t>(
+            static_cast<unsigned char>(c)));
     return h;
 }
 

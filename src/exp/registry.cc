@@ -127,50 +127,6 @@ registerBuiltins(PolicyRegistry &reg)
 
 } // namespace
 
-PolicySpec
-PolicySpec::parse(const std::string &spec)
-{
-    PolicySpec out;
-    const auto colon = spec.find(':');
-    out.name = spec.substr(0, colon);
-    if (out.name.empty())
-        fatal("empty policy spec%s",
-              spec.empty() ? "" : (" in '" + spec + "'").c_str());
-    if (colon == std::string::npos)
-        return out;
-
-    std::string rest = spec.substr(colon + 1);
-    std::size_t pos = 0;
-    while (pos <= rest.size()) {
-        auto comma = rest.find(',', pos);
-        if (comma == std::string::npos)
-            comma = rest.size();
-        const std::string item = rest.substr(pos, comma - pos);
-        const auto eq = item.find('=');
-        if (item.empty() || eq == 0 || eq == std::string::npos)
-            fatal("malformed policy spec '%s': expected "
-                  "key=value after ':', got '%s'",
-                  spec.c_str(), item.c_str());
-        out.params.emplace_back(item.substr(0, eq),
-                                item.substr(eq + 1));
-        pos = comma + 1;
-        if (comma == rest.size())
-            break;
-    }
-    return out;
-}
-
-std::string
-PolicySpec::canonical() const
-{
-    std::string out = name;
-    for (std::size_t i = 0; i < params.size(); ++i) {
-        out += i == 0 ? ":" : ",";
-        out += params[i].first + "=" + params[i].second;
-    }
-    return out;
-}
-
 PolicyRegistry &
 PolicyRegistry::instance()
 {
@@ -180,96 +136,6 @@ PolicyRegistry::instance()
         return r;
     }();
     return reg;
-}
-
-void
-PolicyRegistry::add(PolicyInfo info)
-{
-    if (info.name.empty())
-        fatal("cannot register a policy with an empty name");
-    if (info.name.find(':') != std::string::npos ||
-        info.name.find(',') != std::string::npos ||
-        info.name.find('=') != std::string::npos)
-        fatal("policy name '%s' may not contain ':', ',' or '='",
-              info.name.c_str());
-    if (!info.factory)
-        fatal("policy '%s' registered without a factory",
-              info.name.c_str());
-    if (byName_.count(info.name) > 0)
-        fatal("policy '%s' is already registered", info.name.c_str());
-    byName_[info.name] = policies_.size();
-    policies_.push_back(std::move(info));
-}
-
-bool
-PolicyRegistry::contains(const std::string &name) const
-{
-    return byName_.count(name) > 0;
-}
-
-std::vector<std::string>
-PolicyRegistry::names() const
-{
-    std::vector<std::string> out;
-    out.reserve(policies_.size());
-    for (const auto &p : policies_)
-        out.push_back(p.name);
-    return out;
-}
-
-const PolicyInfo *
-PolicyRegistry::find(const std::string &name) const
-{
-    auto it = byName_.find(name);
-    return it == byName_.end() ? nullptr : &policies_[it->second];
-}
-
-void
-PolicyRegistry::unknownPolicy(const std::string &name) const
-{
-    // Did-you-mean: the registered name closest in edit distance,
-    // suggested only when it is plausibly a typo.
-    const std::string nearest = nearestName(name, names());
-    const bool suggest = !nearest.empty();
-    fatal("unknown policy '%s'%s%s%s; known policies: %s "
-          "(run with --list-policies for parameters)",
-          name.c_str(), suggest ? " (did you mean '" : "",
-          suggest ? nearest.c_str() : "", suggest ? "'?)" : "",
-          joinNames(names()).c_str());
-}
-
-const PolicyInfo &
-PolicyRegistry::info(const std::string &name) const
-{
-    const PolicyInfo *p = find(name);
-    if (p == nullptr)
-        unknownPolicy(name);
-    return *p;
-}
-
-const PolicyInfo &
-PolicyRegistry::checkSpec(const PolicySpec &spec) const
-{
-    const PolicyInfo &pi = info(spec.name);
-    for (const auto &[key, value] : spec.params) {
-        (void)value;
-        const bool declared = std::any_of(
-            pi.params.begin(), pi.params.end(),
-            [&](const PolicyParam &p) { return p.key == key; });
-        if (!declared) {
-            std::string keys;
-            for (const auto &p : pi.params) {
-                if (!keys.empty())
-                    keys += ", ";
-                keys += p.key;
-            }
-            fatal("policy '%s' has no parameter '%s'; declared "
-                  "parameters: %s",
-                  spec.name.c_str(), key.c_str(),
-                  keys.empty() ? "(none)" : keys.c_str());
-        }
-    }
-    return pi;
 }
 
 std::unique_ptr<sim::Policy>
@@ -283,7 +149,7 @@ std::unique_ptr<sim::Policy>
 PolicyRegistry::make(const std::string &spec,
                      const sim::SocConfig &cfg) const
 {
-    return make(PolicySpec::parse(spec), cfg);
+    return make(PolicySpec::parse(spec, "policy"), cfg);
 }
 
 void
@@ -295,23 +161,7 @@ PolicyRegistry::validate(const std::string &spec) const
     // configuration the policy actually runs on — range checks like
     // "solo:tiles=16" depend on it, so validating them against a
     // default-constructed config would falsely reject specs.
-    (void)checkSpec(PolicySpec::parse(spec));
-}
-
-std::string
-PolicyRegistry::listText() const
-{
-    std::string out = "registered policies "
-                      "(spec grammar: name[:key=value,...]):\n";
-    for (const auto &p : policies_) {
-        out += "  " + p.name + " — " + p.description + "\n";
-        for (const auto &param : p.params)
-            out += strprintf("      %-20s %-13s default %-7s %s\n",
-                             param.key.c_str(), param.type.c_str(),
-                             param.defaultValue.c_str(),
-                             param.description.c_str());
-    }
-    return out;
+    (void)checkSpec(PolicySpec::parse(spec, "policy"));
 }
 
 std::vector<std::string>

@@ -26,40 +26,24 @@
 #define MOCA_EXP_REGISTRY_H
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "common/spec.h"
+#include "common/spec_registry.h"
 #include "sim/config.h"
 #include "sim/policy.h"
 
 namespace moca::exp {
 
 /** A parsed policy spec: base name + key=value parameters in the
- *  order given. */
-struct PolicySpec
-{
-    std::string name;
-    std::vector<std::pair<std::string, std::string>> params;
-
-    /** Parse "name:key=value,..."; fatal on syntax errors. */
-    static PolicySpec parse(const std::string &spec);
-
-    /** Re-serialize to the canonical "name:key=value,..." form. */
-    std::string canonical() const;
-};
+ *  order given (the shared registry grammar of common/spec.h). */
+using PolicySpec = moca::Spec;
 
 /** One declared parameter of a registered policy (schema entry used
  *  by --list-policies and spec validation). */
-struct PolicyParam
-{
-    std::string key;
-    std::string type; ///< "int", "double", "bool", or an enum list.
-    std::string defaultValue;
-    std::string description;
-};
+using PolicyParam = moca::SpecParam;
 
 /** Everything the registry knows about one policy. */
 struct PolicyInfo
@@ -84,24 +68,15 @@ struct PolicyInfo
 /**
  * The process-wide policy registry.  All lookups go through spec
  * strings; iteration order is registration order (built-ins first, in
- * the paper's presentation order).
+ * the paper's presentation order).  Registration, name lookup with
+ * did-you-mean, parameter-key validation, and the catalogue come from
+ * the shared moca::SpecRegistry base.
  */
-class PolicyRegistry
+class PolicyRegistry : public moca::SpecRegistry<PolicyInfo>
 {
   public:
     /** The singleton (built-ins are registered on first use). */
     static PolicyRegistry &instance();
-
-    /** Register a policy; fatal on a duplicate name. */
-    void add(PolicyInfo info);
-
-    bool contains(const std::string &name) const;
-
-    /** Registered names in registration order. */
-    std::vector<std::string> names() const;
-
-    /** Metadata for `name`; fatal (with did-you-mean) when unknown. */
-    const PolicyInfo &info(const std::string &name) const;
 
     /**
      * Parse, validate, and build a policy from a spec string.  This
@@ -122,21 +97,11 @@ class PolicyRegistry
      */
     void validate(const std::string &spec) const;
 
-    /** Human-readable catalogue (--list-policies output). */
-    std::string listText() const;
-
   private:
-    PolicyRegistry() = default;
-
-    std::vector<PolicyInfo> policies_;
-    std::map<std::string, std::size_t> byName_;
-
-    const PolicyInfo *find(const std::string &name) const;
-    [[noreturn]] void unknownPolicy(const std::string &name) const;
-
-    /** Name + declared-parameter-key validation shared by make() and
-     *  validate(); fatal with actionable messages. */
-    const PolicyInfo &checkSpec(const PolicySpec &spec) const;
+    PolicyRegistry()
+        : SpecRegistry("policy", "policies", "--list-policies")
+    {
+    }
 };
 
 /**

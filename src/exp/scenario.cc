@@ -75,6 +75,7 @@ runTrace(sim::Policy &policy, const std::string &label,
     r.thrashLostBytes = soc.stats().thrashLostBytes;
     r.simSteps = soc.stats().quanta;
     r.cyclesSimulated = soc.stats().cyclesSimulated;
+    r.memTraffic = soc.stats().memTraffic;
     return r;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/memory_model.h"
 #include "metrics/metrics.h"
 #include "sim/config.h"
 #include "sim/job.h"
@@ -51,6 +52,10 @@ struct ScenarioResult
      *  quanta or event steps; see SocStats::quanta). */
     std::uint64_t simSteps = 0;
     Cycles cyclesSimulated = 0;  ///< Simulated time of the run.
+    /** The memory model's per-level traffic counters (row hits and
+     *  misses, per-bank bytes, L2 bank-conflict loss); all zero
+     *  under the bank-less `flat` model. */
+    mem::MemTraffic memTraffic;
     int totalMigrations = 0;
     int totalPreemptions = 0;
     int totalThrottleReconfigs = 0;

@@ -7,12 +7,19 @@
 #include "common/log.h"
 #include "common/units.h"
 #include "exp/registry.h"
+#include "mem/memory_model.h"
 
 namespace moca::exp {
 
 sim::SocConfig
 socConfigFromArgs(const ArgMap &args)
 {
+    if (args.has("list-mem-models")) {
+        std::fputs(
+            mem::MemoryModelRegistry::instance().listText().c_str(),
+            stdout);
+        std::exit(0);
+    }
     sim::SocConfig cfg;
     cfg.numTiles = static_cast<int>(args.getInt("tiles", cfg.numTiles));
     cfg.dramBytesPerCycle =
@@ -34,6 +41,10 @@ socConfigFromArgs(const ArgMap &args)
         fatal("max-cycles must be >= 1 (got %lld)",
               static_cast<long long>(max_cycles));
     cfg.maxCycles = static_cast<Cycles>(max_cycles);
+    cfg.memModel = args.getString("mem", cfg.memModel);
+    // Trial-build against the actual configuration so a bad --mem
+    // spec fails before any sweep work starts.
+    mem::MemoryModelRegistry::instance().validate(cfg.memModel, cfg);
     return cfg;
 }
 
@@ -67,6 +78,8 @@ printSocBanner(const sim::SocConfig &cfg)
                 cfg.dramBytesPerCycle);
     std::printf("  simulation kernel          %s\n",
                 sim::simKernelName(cfg.kernel));
+    std::printf("  memory model               %s\n",
+                cfg.memModel.c_str());
     std::printf("\n");
 }
 

@@ -21,8 +21,11 @@
 namespace moca::exp {
 
 /** Apply common key=value overrides (tiles, dram_bw, l2_kib,
- *  overlap_f, quantum, kernel=quantum|event, max-cycles) to the SoC
- *  configuration. */
+ *  overlap_f, quantum, kernel=quantum|event, max-cycles, mem=SPEC)
+ *  to the SoC configuration.  `--mem SPEC` selects (and
+ *  trial-validates) the memory-hierarchy model;
+ *  `--list-mem-models` prints the mem::MemoryModelRegistry
+ *  catalogue and exits. */
 sim::SocConfig socConfigFromArgs(const ArgMap &args);
 
 /** Parse a simulation-kernel name ("quantum" / "event"); fatal on

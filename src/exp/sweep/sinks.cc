@@ -76,6 +76,11 @@ const SweepField kSweepFields[] = {
     {"migrations", true},
     {"preemptions", true},
     {"throttle_reconfigs", true},
+    {"mem", false},
+    {"row_hits", true},
+    {"row_misses", true},
+    {"bank_bytes_cv", true},
+    {"l2_conflict_bytes", true},
 };
 
 } // namespace
@@ -122,6 +127,13 @@ sweepRecordValues(std::size_t index, const SweepCell &cell,
         strprintf("%d", r.totalMigrations),
         strprintf("%d", r.totalPreemptions),
         strprintf("%d", r.totalThrottleReconfigs),
+        cell.soc.memModel,
+        strprintf("%llu", static_cast<unsigned long long>(
+                              r.memTraffic.dramRowHits)),
+        strprintf("%llu", static_cast<unsigned long long>(
+                              r.memTraffic.dramRowMisses)),
+        strprintf("%.6f", r.memTraffic.bankBytesCv()),
+        strprintf("%.0f", r.memTraffic.l2ConflictLostBytes),
     };
 }
 

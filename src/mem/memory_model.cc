@@ -1,0 +1,155 @@
+#include "mem/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "mem/banked.h"
+#include "sim/arbiter.h"
+
+namespace moca::mem {
+
+double
+MemTraffic::bankBytesCv() const
+{
+    if (bankBytes.empty())
+        return 0.0;
+    double mean = 0.0;
+    for (double b : bankBytes)
+        mean += b;
+    mean /= static_cast<double>(bankBytes.size());
+    if (mean <= 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (double b : bankBytes) {
+        const double d = b - mean;
+        var += d * d;
+    }
+    return std::sqrt(var / static_cast<double>(bankBytes.size())) /
+        mean;
+}
+
+double
+MemTraffic::rowHitRate() const
+{
+    const std::uint64_t total = dramRowHits + dramRowMisses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(dramRowHits) /
+            static_cast<double>(total);
+}
+
+namespace {
+
+/**
+ * The original arbitration path extracted verbatim from Soc::arbitrate:
+ * one DRAM channel with the oversubscription-thrash derate, plus the
+ * aggregate L2 bandwidth.  Stateless, so the event kernel needs no
+ * extra events and stays bit-identical to the pre-mem-subsystem
+ * simulator.
+ */
+class FlatMemoryModel : public MemoryModel
+{
+  public:
+    explicit FlatMemoryModel(const sim::SocConfig &cfg) : cfg_(cfg) {}
+
+    const char *name() const override { return "flat"; }
+
+    std::vector<MemGrant>
+    arbitrate(const std::vector<MemRequest> &requests, Cycles horizon,
+              MemStepStats &stats) override
+    {
+        std::vector<sim::BwDemand> dram_req, l2_req;
+        dram_req.reserve(requests.size());
+        l2_req.reserve(requests.size());
+        for (const auto &r : requests) {
+            dram_req.push_back({r.dramBytes, r.weight});
+            l2_req.push_back({r.l2Bytes, r.weight});
+        }
+
+        const double q = static_cast<double>(horizon);
+        double total_demand = 0.0;
+        double max_demand = 0.0;
+        for (const auto &r : requests) {
+            total_demand += r.dramBytes;
+            max_demand = std::max(max_demand, r.dramBytes);
+        }
+        const sim::ThrashOutcome thrash = sim::applyDramThrash(
+            total_demand, max_demand, cfg_.dramBytesPerCycle * q,
+            cfg_.dramThrashOnset, cfg_.dramThrashFactor);
+        stats.thrashed = thrash.thrashed;
+        stats.thrashLostBytes = thrash.lostBytes;
+
+        const std::vector<double> dram =
+            cfg_.dramProportionalArbitration
+            ? sim::allocateBandwidthProportional(dram_req,
+                                                 thrash.capacity)
+            : sim::allocateBandwidth(dram_req, thrash.capacity);
+        const std::vector<double> l2 = sim::allocateBandwidth(
+            l2_req, cfg_.l2BytesPerCycle() * q);
+
+        std::vector<MemGrant> grants(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            grants[i].dramBytes = dram[i];
+            grants[i].l2Bytes = l2[i];
+        }
+        return grants;
+    }
+
+  private:
+    sim::SocConfig cfg_;
+};
+
+void
+registerBuiltins(MemoryModelRegistry &reg)
+{
+    reg.add({
+        "flat",
+        "single DRAM bandwidth + oversubscription-thrash derate and "
+        "aggregate L2 (the original model; the default)",
+        {},
+        [](const sim::SocConfig &cfg, const MemSpec &) {
+            return std::make_unique<FlatMemoryModel>(cfg);
+        },
+    });
+    reg.add(bankedModelInfo());
+}
+
+} // anonymous namespace
+
+MemoryModelRegistry &
+MemoryModelRegistry::instance()
+{
+    static MemoryModelRegistry reg = [] {
+        MemoryModelRegistry r;
+        registerBuiltins(r);
+        return r;
+    }();
+    return reg;
+}
+
+std::unique_ptr<MemoryModel>
+MemoryModelRegistry::make(const MemSpec &spec,
+                          const sim::SocConfig &cfg) const
+{
+    return checkSpec(spec).factory(cfg, spec);
+}
+
+std::unique_ptr<MemoryModel>
+MemoryModelRegistry::make(const std::string &spec,
+                          const sim::SocConfig &cfg) const
+{
+    return make(MemSpec::parse(spec, "memory model"), cfg);
+}
+
+void
+MemoryModelRegistry::validate(const std::string &spec,
+                              const sim::SocConfig &cfg) const
+{
+    // Memory-model parameter ranges are checked at construction, and
+    // construction is cheap — so a trial build catches bad *values*
+    // against the actual SoC configuration up front, before a sweep
+    // spends minutes generating traces only to die in a worker.
+    (void)make(MemSpec::parse(spec, "memory model"), cfg);
+}
+
+} // namespace moca::mem

@@ -10,6 +10,7 @@
 #define MOCA_SIM_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/units.h"
 
@@ -103,6 +104,16 @@ struct SocConfig
 
     /** Time-advance strategy (see SimKernel). */
     SimKernel kernel = SimKernel::Quantum;
+
+    /**
+     * Shared-memory-hierarchy model spec resolved through
+     * mem::MemoryModelRegistry (grammar: name[:key=value,...]).
+     * "flat" is the original single-bandwidth + thrash-derate model
+     * and is metric-identical to the pre-mem-subsystem simulator;
+     * "banked[:banks=N,remap=xor|mod,...]" adds bank-level DRAM/L2
+     * contention with emergent row-locality loss.
+     */
+    std::string memModel = "flat";
 
     /** Scheduler tick period in cycles (policy onSchedule cadence). */
     Cycles schedPeriod = 100'000;

@@ -15,6 +15,7 @@ simEventKindName(SimEventKind kind)
       case SimEventKind::StallExpiry: return "stall-expiry";
       case SimEventKind::LayerCompletion: return "layer-completion";
       case SimEventKind::ThrottleWindow: return "throttle-window";
+      case SimEventKind::MemStateChange: return "mem-state-change";
     }
     return "?";
 }

@@ -33,6 +33,7 @@ enum class SimEventKind
     StallExpiry,     ///< A job's migration/resume stall ends.
     LayerCompletion, ///< A running job finishes its current layer.
     ThrottleWindow,  ///< A binding throttle window rolls over.
+    MemStateChange,  ///< A stateful memory model wants re-sampling.
 };
 
 /** Printable event-kind name. */

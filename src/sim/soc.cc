@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "common/log.h"
-#include "sim/arbiter.h"
 #include "sim/compute_model.h"
 #include "sim/traffic_model.h"
 
@@ -30,7 +29,9 @@ Policy::onJobComplete(Soc &, Job &)
 }
 
 Soc::Soc(const SocConfig &cfg, Policy &policy)
-    : cfg_(cfg), policy_(policy)
+    : cfg_(cfg), policy_(policy),
+      mem_(mem::MemoryModelRegistry::instance().make(cfg.memModel,
+                                                     cfg))
 {
     if (cfg_.numTiles < 1)
         fatal("SoC needs at least one tile");
@@ -531,36 +532,38 @@ Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
 Soc::ChannelGrants
 Soc::arbitrate(const std::vector<DemandEntry> &entries, Cycles horizon)
 {
-    std::vector<BwDemand> dram_req, l2_req;
-    dram_req.reserve(entries.size());
-    l2_req.reserve(entries.size());
+    std::vector<mem::MemRequest> requests;
+    requests.reserve(entries.size());
     for (const auto &e : entries) {
         const Job &j = jobs_[static_cast<std::size_t>(e.id)];
-        const double w = std::max(1, j.numTiles);
-        dram_req.push_back({e.dramDemand, w});
-        l2_req.push_back({e.l2Demand, w});
+        mem::MemRequest r;
+        r.id = e.id;
+        r.dramBytes = e.dramDemand;
+        r.l2Bytes = e.l2Demand;
+        r.weight = std::max(1, j.numTiles);
+        requests.push_back(r);
     }
 
-    const double q = static_cast<double>(horizon);
-    double total_demand = 0.0;
-    double max_demand = 0.0;
-    for (const auto &e : entries) {
-        total_demand += e.dramDemand;
-        max_demand = std::max(max_demand, e.dramDemand);
-    }
-    const ThrashOutcome thrash = applyDramThrash(
-        total_demand, max_demand, cfg_.dramBytesPerCycle * q,
-        cfg_.dramThrashOnset, cfg_.dramThrashFactor);
-    if (thrash.thrashed) {
+    mem::MemStepStats step;
+    const std::vector<mem::MemGrant> grants =
+        mem_->arbitrate(requests, horizon, step);
+    if (grants.size() != requests.size())
+        fatal("memory model '%s' returned %zu grants for %zu "
+              "requests (zero-demand requesters must get zero "
+              "grants, not be dropped)",
+              mem_->name(), grants.size(), requests.size());
+    if (step.thrashed) {
         stats_.thrashQuanta++;
-        stats_.thrashLostBytes += thrash.lostBytes;
+        stats_.thrashLostBytes += step.thrashLostBytes;
     }
 
     ChannelGrants g;
-    g.dram = cfg_.dramProportionalArbitration
-        ? allocateBandwidthProportional(dram_req, thrash.capacity)
-        : allocateBandwidth(dram_req, thrash.capacity);
-    g.l2 = allocateBandwidth(l2_req, cfg_.l2BytesPerCycle() * q);
+    g.dram.reserve(entries.size());
+    g.l2.reserve(entries.size());
+    for (const auto &grant : grants) {
+        g.dram.push_back(grant.dramBytes);
+        g.l2.push_back(grant.l2Bytes);
+    }
     return g;
 }
 
@@ -701,6 +704,14 @@ Soc::stepEvent(Cycles horizon)
     if (horizon != 0)
         events_.push(horizon, SimEventKind::Arrival);
     events_.push(next_sched_tick_, SimEventKind::SchedTick);
+    // A stateful memory model (e.g. banked row-locality) bounds the
+    // step so its internal state is re-sampled often enough; the
+    // stateless flat model returns 0 and adds no event, keeping the
+    // event stream identical to the pre-mem-subsystem kernel.
+    const Cycles mem_change = mem_->cyclesUntilNextChange();
+    if (mem_change > 0)
+        events_.push(gridCeil(now_ + mem_change),
+                     SimEventKind::MemStateChange);
     for (const DemandEntry &e : probe) {
         const Job &j = jobs_[static_cast<std::size_t>(e.id)];
         if (e.stalled) {
@@ -825,6 +836,7 @@ void
 Soc::finishRun()
 {
     stats_.cyclesSimulated = now_;
+    stats_.memTraffic = mem_->traffic();
     stats_.l2Bytes = 0;
     for (const auto &j : jobs_)
         stats_.l2Bytes += j.l2BytesMoved;

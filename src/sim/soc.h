@@ -5,8 +5,10 @@
  *
  * Execution model (shared by both kernels): each step, every running
  * job computes the byte demand its DMA engines would issue over the
- * step, capped by its MoCA throttle allowance; the shared DRAM channel
- * and L2 banks arbitrate demands with weighted max-min fairness; each
+ * step, capped by its MoCA throttle allowance; the pluggable
+ * mem::MemoryModel (cfg.memModel: the flat channel+thrash model, or
+ * the bank-aware `banked` model) arbitrates the shared DRAM channel
+ * and L2 demands; each
  * job then advances its current layer using the granted rates,
  * combining compute and memory progress with the overlap factor
  * (latency = max(C, M) + f * min(C, M), Algorithm 1 semantics).
@@ -31,8 +33,10 @@
 #define MOCA_SIM_SOC_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "mem/memory_model.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "sim/job.h"
@@ -58,6 +62,10 @@ struct SocStats
     std::uint64_t thrashQuanta = 0;
     /** Bandwidth-cycles lost to thrash (bytes not servable). */
     double thrashLostBytes = 0.0;
+    /** Per-level traffic counters of the run's memory model (row
+     *  hits/misses, per-bank bytes, L2 conflict loss); all zero under
+     *  the bank-less `flat` model. */
+    mem::MemTraffic memTraffic;
 };
 
 /** The simulated SoC. */
@@ -116,6 +124,10 @@ class Soc
     Cycles now() const { return now_; }
     const SocConfig &config() const { return cfg_; }
     const SocStats &stats() const { return stats_; }
+
+    /** The shared-memory-hierarchy model this SoC arbitrates
+     *  through (built from cfg.memModel; see mem/memory_model.h). */
+    const mem::MemoryModel &memoryModel() const { return *mem_; }
 
     // --- Policy-facing state inspection ------------------------------
 
@@ -176,6 +188,7 @@ class Soc
   private:
     SocConfig cfg_;
     Policy &policy_;
+    std::unique_ptr<mem::MemoryModel> mem_;
     Cycles now_ = 0;
 
     std::vector<Job> jobs_;

@@ -99,6 +99,143 @@ TEST(Arbiter, PropertyFeasibleAndWorkConserving)
     }
 }
 
+// ---- flat-model extraction guards ------------------------------------
+//
+// These pin the exact arbiter/thrash behavior the `--mem flat` memory
+// model must preserve when the arbitration path moves behind the
+// mem::MemoryModel interface.
+
+TEST(ArbiterProportional, ZeroDemandAndEmpty)
+{
+    EXPECT_TRUE(allocateBandwidthProportional({}, 100).empty());
+    const auto g =
+        allocateBandwidthProportional({{0, 1}, {500, 1}}, 300);
+    EXPECT_DOUBLE_EQ(g[0], 0);
+    EXPECT_DOUBLE_EQ(g[1], 300);
+}
+
+TEST(ArbiterProportional, SingleRequesterGetsMinOfDemandAndCapacity)
+{
+    auto g = allocateBandwidthProportional({{250, 4}}, 1000);
+    EXPECT_DOUBLE_EQ(g[0], 250);
+    g = allocateBandwidthProportional({{2500, 4}}, 1000);
+    EXPECT_DOUBLE_EQ(g[0], 1000);
+}
+
+TEST(ArbiterProportional, HogWinsUnderProportionalNotUnderMaxMin)
+{
+    // The contention pathology MoCA regulates: an FCFS-style
+    // controller serves in proportion to in-flight demand, so the
+    // 3x-demand hog takes 3x the bandwidth; max-min with equal
+    // weights splits equally instead.
+    const std::vector<BwDemand> d = {{900, 1}, {300, 1}};
+    const auto prop = allocateBandwidthProportional(d, 400);
+    EXPECT_DOUBLE_EQ(prop[0], 300);
+    EXPECT_DOUBLE_EQ(prop[1], 100);
+
+    const auto fair = allocateBandwidth(d, 400);
+    EXPECT_DOUBLE_EQ(fair[0], 200);
+    EXPECT_DOUBLE_EQ(fair[1], 200);
+}
+
+TEST(ArbiterProportional, PureDemandProportionalSplit)
+{
+    // With equal weights and no requester's share exceeding its
+    // demand, the split is exactly demand-proportional — the small
+    // demand is NOT topped up the way max-min would.
+    const auto g =
+        allocateBandwidthProportional({{50, 1}, {600, 1}, {300, 1}},
+                                      650);
+    EXPECT_NEAR(g[0], 650.0 * 50 / 950, 1e-9);
+    EXPECT_NEAR(g[1], 650.0 * 600 / 950, 1e-9);
+    EXPECT_NEAR(g[2], 650.0 * 300 / 950, 1e-9);
+    EXPECT_NEAR(sum(g), 650, 1e-9);
+}
+
+TEST(ArbiterProportional, WorkConservingRedistribution)
+{
+    // A heavily-weighted small demand is capped at its demand; the
+    // leftover redistributes to the others in demand proportion.
+    const auto g = allocateBandwidthProportional(
+        {{50, 10}, {600, 1}, {300, 1}}, 400);
+    EXPECT_DOUBLE_EQ(g[0], 50);
+    EXPECT_NEAR(g[1], 350.0 * 600 / 900, 1e-9);
+    EXPECT_NEAR(g[2], 350.0 * 300 / 900, 1e-9);
+    EXPECT_NEAR(sum(g), 400, 1e-9);
+}
+
+TEST(Thrash, NoThrashAtOrBelowExactOnset)
+{
+    // total == capacity * onset is the boundary: not yet thrashing.
+    const double cap = 1000.0, onset = 1.3;
+    const auto at = applyDramThrash(cap * onset, 100.0, cap, onset,
+                                    0.5);
+    EXPECT_FALSE(at.thrashed);
+    EXPECT_DOUBLE_EQ(at.capacity, cap);
+    EXPECT_DOUBLE_EQ(at.lostBytes, 0.0);
+
+    const auto below =
+        applyDramThrash(cap * onset - 1.0, 100.0, cap, onset, 0.5);
+    EXPECT_FALSE(below.thrashed);
+    EXPECT_DOUBLE_EQ(below.capacity, cap);
+}
+
+TEST(Thrash, ThrashesJustAboveOnsetWhenInterleaved)
+{
+    const double cap = 1000.0, onset = 1.3;
+    // Two equal streams: interleave = 0.5 (the saturating value).
+    const double total = cap * onset + 10.0;
+    const auto t =
+        applyDramThrash(total, total / 2.0, cap, onset, 0.5);
+    EXPECT_TRUE(t.thrashed);
+    EXPECT_LT(t.capacity, cap);
+    EXPECT_NEAR(t.lostBytes, cap - t.capacity, 1e-9);
+}
+
+TEST(Thrash, LoneStreamerKeepsLocality)
+{
+    // max_demand == total_demand: a single requester far above the
+    // onset still keeps its row-buffer locality — no loss.
+    const auto t = applyDramThrash(5000.0, 5000.0, 1000.0, 1.3, 0.5);
+    EXPECT_FALSE(t.thrashed);
+    EXPECT_DOUBLE_EQ(t.capacity, 1000.0);
+}
+
+TEST(Thrash, ZeroDemandAndZeroCapacity)
+{
+    const auto zd = applyDramThrash(0.0, 0.0, 1000.0, 1.3, 0.5);
+    EXPECT_FALSE(zd.thrashed);
+    EXPECT_DOUBLE_EQ(zd.capacity, 1000.0);
+
+    const auto zc = applyDramThrash(500.0, 500.0, 0.0, 1.3, 0.5);
+    EXPECT_FALSE(zc.thrashed);
+    EXPECT_DOUBLE_EQ(zc.capacity, 0.0);
+}
+
+TEST(Thrash, LossSaturatesAtFactor)
+{
+    // Far above onset with fully interleaved demand the loss ramps to
+    // exactly `factor`: over = min(1, ...) and interleave caps at 0.5.
+    const double cap = 1000.0, factor = 0.5;
+    const auto t = applyDramThrash(10.0 * cap, cap, cap, 1.3, factor);
+    EXPECT_TRUE(t.thrashed);
+    EXPECT_NEAR(t.capacity, cap * (1.0 - factor), 1e-9);
+}
+
+TEST(Thrash, StepLengthInvariantLossRatio)
+{
+    // The derate depends only on demand/capacity ratios, so scaling
+    // demand and capacity together (a longer arbitration horizon)
+    // scales lostBytes linearly — both kernels see the same derate.
+    const auto a = applyDramThrash(2000.0, 800.0, 1000.0, 1.3, 0.5);
+    const auto b =
+        applyDramThrash(8.0 * 2000.0, 8.0 * 800.0, 8.0 * 1000.0, 1.3,
+                        0.5);
+    ASSERT_TRUE(a.thrashed);
+    ASSERT_TRUE(b.thrashed);
+    EXPECT_NEAR(b.lostBytes, 8.0 * a.lostBytes, 1e-6);
+}
+
 /** Property: max-min fairness — an unsatisfied requester's weighted
  *  grant is >= every other requester's weighted grant (no one it
  *  could take from has more). */

@@ -35,12 +35,12 @@ smallTrace(workload::WorkloadSet set, workload::QosLevel qos,
 
 TEST(PolicySpec, ParsesBareNameAndParams)
 {
-    const auto bare = PolicySpec::parse("moca");
+    const auto bare = PolicySpec::parse("moca", "policy");
     EXPECT_EQ(bare.name, "moca");
     EXPECT_TRUE(bare.params.empty());
     EXPECT_EQ(bare.canonical(), "moca");
 
-    const auto p = PolicySpec::parse("moca:tick=2048,threshold=fixed");
+    const auto p = PolicySpec::parse("moca:tick=2048,threshold=fixed", "policy");
     EXPECT_EQ(p.name, "moca");
     ASSERT_EQ(p.params.size(), 2u);
     EXPECT_EQ(p.params[0].first, "tick");
@@ -52,9 +52,9 @@ TEST(PolicySpec, ParsesBareNameAndParams)
 
 TEST(PolicySpec, MalformedSpecsDie)
 {
-    EXPECT_DEATH(PolicySpec::parse(""), "empty policy spec");
-    EXPECT_DEATH(PolicySpec::parse("moca:tick"), "key=value");
-    EXPECT_DEATH(PolicySpec::parse("moca:=5"), "key=value");
+    EXPECT_DEATH(PolicySpec::parse("", "policy"), "empty policy spec");
+    EXPECT_DEATH(PolicySpec::parse("moca:tick", "policy"), "key=value");
+    EXPECT_DEATH(PolicySpec::parse("moca:=5", "policy"), "key=value");
 }
 
 TEST(PolicyList, SplitsSpecsAndContinuationParams)
@@ -80,7 +80,7 @@ TEST(PolicyRegistry, RoundTripsEveryRegisteredSpec)
     ASSERT_GE(reg.names().size(), 5u); // 4 mechanisms + solo.
     for (const auto &name : reg.names()) {
         SCOPED_TRACE(name);
-        EXPECT_EQ(PolicySpec::parse(name).canonical(), name);
+        EXPECT_EQ(PolicySpec::parse(name, "policy").canonical(), name);
         auto policy = reg.make(name, cfg);
         ASSERT_NE(policy, nullptr);
         // Spec defaults must reproduce the declared schema defaults:
