@@ -13,9 +13,16 @@
  * perf baseline, not per-scenario result rows.
  *
  * Usage: stress_scale [tasks=2500,10000,25000] [load=F] [seed=S]
- *                     [kernels=both|quantum|event]
+ *                     [kernels=both|quantum|event] [quantum-cap=N]
  *                     [--policy SPEC[,SPEC...]] [--list-policies]
  *                     [--jobs N] [--json PATH] [max-cycles=N] ...
+ *
+ * `quantum-cap=N` bounds the quantum-kernel tier: cells with more
+ * than N tasks skip the (hours-long at 100k) quantum run, and their
+ * quantum wall is linearly extrapolated from the largest measured
+ * tier of the same pattern+policy.  Extrapolated cells are explicit:
+ * `~` in the table, `quantum_extrapolated` in the JSON.  Metrics
+ * (steps, SLA) are never extrapolated — only wall clock is.
  */
 
 #include <chrono>
@@ -110,6 +117,8 @@ main(int argc, char **argv)
     if (!run_quantum && !run_event)
         fatal("kernels=%s: expected both, quantum, or event",
               kernels.c_str());
+    const int qcap =
+        static_cast<int>(args.getInt("quantum-cap", 0));
     const exp::SweepOptions opts = exp::sweepOptionsFromArgs(args);
     const bool serial = exp::resolveJobs(opts.jobs) == 1;
 
@@ -126,9 +135,12 @@ main(int argc, char **argv)
     exp::printSocBanner(base);
 
     // One identical job stream per (pattern, tasks) cell, shared
-    // read-only between the two kernels' grids.
+    // read-only between the two kernels' grids.  `qindex` maps a key
+    // to its row in the (possibly quantum-cap-filtered) quantum grid;
+    // -1 marks a cell whose quantum tier is extrapolated.
     std::vector<CellKey> keys;
     std::vector<exp::SweepCell> quantum_grid, event_grid;
+    std::vector<int> qindex;
     std::size_t idx = 0;
     for (const auto pattern : patterns) {
         for (const int tasks : tasks_list) {
@@ -154,8 +166,14 @@ main(int argc, char **argv)
                 cell.specs = stream;
                 keys.push_back({pattern, tasks, policy});
 
-                cell.soc.kernel = sim::SimKernel::Quantum;
-                quantum_grid.push_back(cell);
+                if (qcap == 0 || tasks <= qcap) {
+                    qindex.push_back(
+                        static_cast<int>(quantum_grid.size()));
+                    cell.soc.kernel = sim::SimKernel::Quantum;
+                    quantum_grid.push_back(cell);
+                } else {
+                    qindex.push_back(-1);
+                }
                 cell.soc.kernel = sim::SimKernel::Event;
                 event_grid.push_back(cell);
             }
@@ -207,30 +225,95 @@ main(int argc, char **argv)
                           kernels.c_str()));
         std::printf("total wall: %.2f s\n",
                     run_quantum ? qwall : ewall);
-    } else {
+    }
+
+    // Quantum wall for a cell: measured when the tier ran, else
+    // linearly extrapolated in task count from the largest measured
+    // tier of the same pattern+policy (kernel steps are linear in
+    // trace length).  Only wall clock is ever extrapolated.
+    auto quantumWall = [&](std::size_t i, bool &extrapolated) {
+        extrapolated = qindex[i] < 0;
+        if (!extrapolated)
+            return serial ? qtimes.walls[static_cast<std::size_t>(
+                                qindex[i])]
+                          : 0.0;
+        double best_wall = 0.0;
+        int best_tasks = 0;
+        for (std::size_t j = 0; j < keys.size(); ++j) {
+            if (qindex[j] < 0 ||
+                keys[j].policy != keys[i].policy ||
+                keys[j].pattern != keys[i].pattern ||
+                keys[j].tasks <= best_tasks)
+                continue;
+            best_tasks = keys[j].tasks;
+            best_wall = serial ? qtimes.walls[static_cast<std::size_t>(
+                                     qindex[j])]
+                               : 0.0;
+        }
+        return best_tasks > 0 ? best_wall * keys[i].tasks / best_tasks
+                              : 0.0;
+    };
+
+    if (both) {
         Table t({"pattern", "tasks", "policy", "q wall", "e wall",
-                 "speedup", "steps q/e", "SLA q", "SLA e"});
+                 "speedup", "steps q/e", "SLA q", "SLA e",
+                 "e ns/step"});
         for (std::size_t i = 0; i < keys.size(); ++i) {
-            const double qw = serial ? qtimes.walls[i] : 0.0;
+            bool extrap = false;
+            const double qw = quantumWall(i, extrap);
             const double ew = serial ? etimes.walls[i] : 0.0;
-            t.row()
+            const double ens = eres[i].simSteps > 0
+                ? ew * 1e9 / static_cast<double>(eres[i].simSteps)
+                : 0.0;
+            Table &row = t.row()
                 .cell(workload::arrivalPatternName(keys[i].pattern))
                 .cell(static_cast<long long>(keys[i].tasks))
-                .cell(keys[i].policy)
-                .cell(qw, 2)
-                .cell(ew, 2)
-                .cell(ew > 0.0 ? qw / ew : 0.0, 1)
-                .cell(static_cast<double>(qres[i].simSteps) /
-                          static_cast<double>(eres[i].simSteps),
-                      1)
-                .cell(qres[i].metrics.slaRate, 3)
-                .cell(eres[i].metrics.slaRate, 3);
+                .cell(keys[i].policy);
+            if (!extrap) {
+                const auto &qr =
+                    qres[static_cast<std::size_t>(qindex[i])];
+                row.cell(qw, 2)
+                    .cell(ew, 2)
+                    .cell(ew > 0.0 ? qw / ew : 0.0, 1)
+                    .cell(static_cast<double>(qr.simSteps) /
+                              static_cast<double>(eres[i].simSteps),
+                          1)
+                    .cell(qr.metrics.slaRate, 3);
+            } else {
+                row.cell(strprintf("~%.2f", qw))
+                    .cell(ew, 2)
+                    .cell(strprintf("~%.1f",
+                                    ew > 0.0 ? qw / ew : 0.0))
+                    .cell("-")
+                    .cell("-");
+            }
+            row.cell(eres[i].metrics.slaRate, 3).cell(ens, 0);
         }
         t.print("stress sweep: quantum vs event kernel");
+        std::printf("\nspeedup vs scale:\n");
+        for (const int tasks : tasks_list) {
+            double qsum = 0.0, esum = 0.0;
+            bool any_extrap = false;
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                if (keys[i].tasks != tasks)
+                    continue;
+                bool extrap = false;
+                qsum += quantumWall(i, extrap);
+                any_extrap = any_extrap || extrap;
+                esum += serial ? etimes.walls[i] : 0.0;
+            }
+            std::printf("  tasks=%-7d quantum %s%.2f s  "
+                        "event %.2f s  speedup %s%.1fx\n",
+                        tasks, any_extrap ? "~" : "", qsum, esum,
+                        any_extrap ? "~" : "",
+                        esum > 0.0 ? qsum / esum : 0.0);
+        }
         std::printf("\ntotal wall: quantum %.2f s, event %.2f s, "
-                    "speedup %.1fx\n",
+                    "speedup %.1fx%s\n",
                     qwall, ewall,
-                    ewall > 0.0 ? qwall / ewall : 0.0);
+                    ewall > 0.0 ? qwall / ewall : 0.0,
+                    qcap > 0 ? " (quantum total covers measured "
+                               "tiers only)" : "");
     }
 
     const std::string json = args.getString("json", "");
@@ -246,6 +329,8 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(seed));
         std::fprintf(f, "  \"jobs\": %d,\n",
                      exp::resolveJobs(opts.jobs));
+        if (qcap > 0)
+            std::fprintf(f, "  \"quantum_cap\": %d,\n", qcap);
         std::fprintf(f, "  \"cells\": [\n");
         for (std::size_t i = 0; i < keys.size(); ++i) {
             std::fprintf(
@@ -254,34 +339,94 @@ main(int argc, char **argv)
                 "\"policy\": \"%s\",\n",
                 workload::arrivalPatternName(keys[i].pattern),
                 keys[i].tasks, keys[i].policy.c_str());
+            const bool qmeasured = run_quantum && qindex[i] >= 0;
             const char *sep = "";
-            if (run_quantum) {
-                writeJsonSide(f, "quantum", qres[i],
-                              serial ? qtimes.walls[i] : 0.0);
+            if (qmeasured) {
+                writeJsonSide(
+                    f, "quantum",
+                    qres[static_cast<std::size_t>(qindex[i])],
+                    serial ? qtimes.walls[static_cast<std::size_t>(
+                                 qindex[i])]
+                           : 0.0);
+                sep = ",\n";
+            } else if (run_quantum) {
+                bool extrap = false;
+                std::fprintf(
+                    f,
+                    "      \"quantum_extrapolated\": "
+                    "{\"wall_s\": %.6f, \"cap\": %d}",
+                    quantumWall(i, extrap), qcap);
                 sep = ",\n";
             }
             if (run_event) {
                 std::fputs(sep, f);
                 writeJsonSide(f, "event", eres[i],
                               serial ? etimes.walls[i] : 0.0);
+                const double ew = serial ? etimes.walls[i] : 0.0;
+                if (eres[i].simSteps > 0)
+                    std::fprintf(
+                        f, ",\n      \"event_ns_per_step\": %.3f",
+                        ew * 1e9 /
+                            static_cast<double>(eres[i].simSteps));
             }
-            if (both) {
-                const double qw = serial ? qtimes.walls[i] : 0.0;
+            if (both && qmeasured) {
+                const auto &qr =
+                    qres[static_cast<std::size_t>(qindex[i])];
+                const double qw =
+                    serial ? qtimes.walls[static_cast<std::size_t>(
+                                 qindex[i])]
+                           : 0.0;
                 const double ew = serial ? etimes.walls[i] : 0.0;
                 std::fprintf(
                     f,
                     ",\n      \"speedup\": %.3f, "
                     "\"step_ratio\": %.3f, \"sla_delta\": %.6f",
                     ew > 0.0 ? qw / ew : 0.0,
-                    static_cast<double>(qres[i].simSteps) /
+                    static_cast<double>(qr.simSteps) /
                         static_cast<double>(eres[i].simSteps),
-                    eres[i].metrics.slaRate -
-                        qres[i].metrics.slaRate);
+                    eres[i].metrics.slaRate - qr.metrics.slaRate);
+            } else if (both) {
+                bool extrap = false;
+                const double qw = quantumWall(i, extrap);
+                const double ew = serial ? etimes.walls[i] : 0.0;
+                std::fprintf(f,
+                             ",\n      \"speedup_extrapolated\": "
+                             "%.3f",
+                             ew > 0.0 ? qw / ew : 0.0);
             }
             std::fprintf(f, "}%s\n",
                          i + 1 < keys.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n");
+        if (both) {
+            // Per-tier speedup-vs-scale summary: the flat-cost claim
+            // the calendar-queue kernel makes is that this column
+            // does not collapse as traces grow.
+            std::fprintf(f, "  \"speedup_vs_scale\": [\n");
+            for (std::size_t k = 0; k < tasks_list.size(); ++k) {
+                const int tasks = tasks_list[k];
+                double qsum = 0.0, esum = 0.0;
+                bool any_extrap = false;
+                for (std::size_t i = 0; i < keys.size(); ++i) {
+                    if (keys[i].tasks != tasks)
+                        continue;
+                    bool extrap = false;
+                    qsum += quantumWall(i, extrap);
+                    any_extrap = any_extrap || extrap;
+                    esum += serial ? etimes.walls[i] : 0.0;
+                }
+                std::fprintf(
+                    f,
+                    "    {\"tasks\": %d, \"quantum_wall_s\": %.6f, "
+                    "\"event_wall_s\": %.6f, \"speedup\": %.3f, "
+                    "\"extrapolated\": %s}%s\n",
+                    tasks, qsum, esum,
+                    esum > 0.0 ? qsum / esum : 0.0,
+                    any_extrap ? "true" : "false",
+                    k + 1 < tasks_list.size() ? "," : "");
+            }
+            std::fprintf(f, "  ],\n");
+        }
         std::fprintf(f, "  \"total\": {");
         if (run_quantum)
             std::fprintf(f, "\"quantum_wall_s\": %.6f%s", qwall,

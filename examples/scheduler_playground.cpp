@@ -46,7 +46,9 @@ class FifoPolicy : public sim::Policy
 
     void schedule(sim::Soc &soc, sim::SchedEvent) override
     {
-        for (int id : soc.waitingJobs()) {
+        // startJob erases from the live waiting set; iterate a copy.
+        const std::vector<int> waiting = soc.waitingJobs();
+        for (int id : waiting) {
             if (soc.freeTiles() < tiles_)
                 break;
             soc.startJob(id, tiles_);

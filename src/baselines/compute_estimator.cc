@@ -22,4 +22,28 @@ computeOnlyEstimate(const dnn::Model &model, int num_tiles,
     return computeOnlyEstimate(model, 0, num_tiles, cfg);
 }
 
+double
+ComputeEstimateCache::remaining(const dnn::Model &model,
+                                std::size_t from_layer,
+                                int num_tiles) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(model.uid()) << 16) |
+        static_cast<std::uint64_t>(num_tiles & 0xffff);
+    auto it = suffix_.find(key);
+    if (it == suffix_.end()) {
+        const std::size_t n = model.numLayers();
+        std::vector<double> suffix(n + 1, 0.0);
+        // Forward-order sums, matching computeOnlyEstimate exactly.
+        for (std::size_t from = 0; from < n; ++from)
+            suffix[from] =
+                computeOnlyEstimate(model, from, num_tiles, cfg_);
+        it = suffix_.emplace(key, std::move(suffix)).first;
+    }
+    const auto &suffix = it->second;
+    if (from_layer >= suffix.size())
+        return 0.0;
+    return suffix[from_layer];
+}
+
 } // namespace moca::baselines

@@ -13,6 +13,10 @@
 #ifndef MOCA_BASELINES_COMPUTE_ESTIMATOR_H
 #define MOCA_BASELINES_COMPUTE_ESTIMATOR_H
 
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
 #include "dnn/model.h"
 #include "sim/config.h"
 
@@ -27,6 +31,32 @@ double computeOnlyEstimate(const dnn::Model &model,
 /** Whole-model compute-only estimate. */
 double computeOnlyEstimate(const dnn::Model &model, int num_tiles,
                            const sim::SocConfig &cfg);
+
+/**
+ * Memoized computeOnlyEstimate for a fixed SocConfig: the baselines
+ * re-evaluate remaining-work estimates for every waiting job at every
+ * scheduling point, which is O(layers) each time uncached.  Suffix
+ * sums are accumulated in the same forward layer order as the
+ * uncached loop, so results are bit-identical.
+ */
+class ComputeEstimateCache
+{
+  public:
+    explicit ComputeEstimateCache(const sim::SocConfig &cfg)
+        : cfg_(cfg)
+    {
+    }
+
+    /** Cached computeOnlyEstimate(model, from_layer, num_tiles). */
+    double remaining(const dnn::Model &model, std::size_t from_layer,
+                     int num_tiles) const;
+
+  private:
+    sim::SocConfig cfg_;
+    /** (model uid, tiles) -> suffix[i] = estimate from layer i. */
+    mutable std::unordered_map<std::uint64_t, std::vector<double>>
+        suffix_;
+};
 
 } // namespace moca::baselines
 

@@ -28,26 +28,26 @@ PlanariaConfig::applyParam(const std::string &key,
 
 PlanariaPolicy::PlanariaPolicy(const sim::SocConfig &soc_cfg,
                                const PlanariaConfig &cfg)
-    : cfg_(cfg), socCfg_(soc_cfg)
+    : cfg_(cfg), socCfg_(soc_cfg), estCache_(soc_cfg)
 {
     if (cfg_.minTiles < 1)
         fatal("planaria: minTiles must be >= 1");
 }
 
 double
-PlanariaPolicy::demandWeight(const sim::Soc &soc,
-                             const sim::Job &job) const
+PlanariaPolicy::demandWeight(const sim::Soc &soc, int id) const
 {
     // Deadline pressure: compute-only remaining work on one tile over
     // the time left to the SLA target, scaled by priority.  This is
     // the memory-oblivious estimate the paper critiques.
-    const double remain = computeOnlyEstimate(
-        *job.spec.model, job.layerIdx, 1, socCfg_);
-    const double deadline = static_cast<double>(job.spec.dispatch) +
-        static_cast<double>(job.spec.slaLatency);
+    const sim::JobSpec &spec = soc.job(id).spec;
+    const double remain =
+        estCache_.remaining(*spec.model, soc.jobLayer(id), 1);
+    const double deadline = static_cast<double>(spec.dispatch) +
+        static_cast<double>(spec.slaLatency);
     const double slack =
         std::max(1000.0, deadline - static_cast<double>(soc.now()));
-    return (job.spec.priority + 1.0) * remain / slack;
+    return (spec.priority + 1.0) * remain / slack;
 }
 
 void
@@ -92,7 +92,7 @@ PlanariaPolicy::refission(sim::Soc &soc)
     std::vector<double> weights;
     weights.reserve(candidates.size());
     for (int id : candidates) {
-        const double w = std::max(1e-9, demandWeight(soc, soc.job(id)));
+        const double w = std::max(1e-9, demandWeight(soc, id));
         weights.push_back(w);
         total_weight += w;
     }
@@ -146,10 +146,10 @@ PlanariaPolicy::refission(sim::Soc &soc)
         // Hysteresis at pod granularity: a running job's allocation
         // only changes when the target moves by more than one tile,
         // avoiding migration churn on every +-1 rebalance.
-        const sim::Job &j = soc.job(id);
-        if (j.state == sim::JobState::Running &&
-            std::abs(alloc[i] - j.numTiles) <= 1) {
-            desired_[id] = j.numTiles;
+        const int cur_tiles = soc.jobTiles(id);
+        if (soc.jobState(id) == sim::JobState::Running &&
+            std::abs(alloc[i] - cur_tiles) <= 1) {
+            desired_[id] = cur_tiles;
         } else {
             desired_[id] = alloc[i];
         }
@@ -159,7 +159,9 @@ PlanariaPolicy::refission(sim::Soc &soc)
 void
 PlanariaPolicy::admit(sim::Soc &soc)
 {
-    for (int id : soc.waitingJobs()) {
+    // startJob erases from the live waiting set; iterate a copy.
+    const std::vector<int> waiting = soc.waitingJobs();
+    for (int id : waiting) {
         auto it = desired_.find(id);
         if (it == desired_.end())
             continue;
@@ -171,7 +173,7 @@ PlanariaPolicy::admit(sim::Soc &soc)
     if (soc.runningJobs().empty() && !soc.waitingJobs().empty()) {
         const int id = soc.waitingJobs().front();
         soc.startJob(id, std::max(cfg_.minTiles, soc.freeTiles()));
-        desired_[id] = soc.job(id).numTiles;
+        desired_[id] = soc.jobTiles(id);
     }
 }
 
@@ -186,23 +188,23 @@ PlanariaPolicy::schedule(sim::Soc &soc, sim::SchedEvent event)
 }
 
 void
-PlanariaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+PlanariaPolicy::onBlockBoundary(sim::Soc &soc, int id)
 {
     // Apply this job's pending fission target, paying the
     // thread-migration penalty.
-    auto it = desired_.find(job.spec.id);
+    auto it = desired_.find(id);
     if (it == desired_.end())
         return;
-    const int target = std::min(it->second,
-                                job.numTiles + soc.freeTiles());
-    if (target >= cfg_.minTiles && target != job.numTiles)
-        soc.resizeJob(job.spec.id, target);
+    const int tiles = soc.jobTiles(id);
+    const int target = std::min(it->second, tiles + soc.freeTiles());
+    if (target >= cfg_.minTiles && target != tiles)
+        soc.resizeJob(id, target);
 }
 
 void
-PlanariaPolicy::onJobComplete(sim::Soc &, sim::Job &job)
+PlanariaPolicy::onJobComplete(sim::Soc &, int id)
 {
-    desired_.erase(job.spec.id);
+    desired_.erase(id);
 }
 
 } // namespace moca::baselines

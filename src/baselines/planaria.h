@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "baselines/compute_estimator.h"
 #include "sim/policy.h"
 #include "sim/soc.h"
 
@@ -49,19 +50,20 @@ class PlanariaPolicy : public sim::Policy
     const char *name() const override { return "planaria"; }
 
     void schedule(sim::Soc &soc, sim::SchedEvent event) override;
-    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
-    void onJobComplete(sim::Soc &soc, sim::Job &job) override;
+    void onBlockBoundary(sim::Soc &soc, int id) override;
+    void onJobComplete(sim::Soc &soc, int id) override;
 
   private:
     PlanariaConfig cfg_;
     sim::SocConfig socCfg_;
+    ComputeEstimateCache estCache_;
 
     /** Target allocation decided by the last fission; applied lazily
      *  at each job's next block boundary. */
     std::map<int, int> desired_;
 
     /** Deadline-pressure weight of a job. */
-    double demandWeight(const sim::Soc &soc, const sim::Job &job) const;
+    double demandWeight(const sim::Soc &soc, int id) const;
 
     /** Recompute the fission targets for running + admissible jobs. */
     void refission(sim::Soc &soc);

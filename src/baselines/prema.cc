@@ -21,7 +21,7 @@ PremaConfig::applyParam(const std::string &key,
 
 PremaPolicy::PremaPolicy(const sim::SocConfig &soc_cfg,
                          const PremaConfig &cfg)
-    : cfg_(cfg), socCfg_(soc_cfg)
+    : cfg_(cfg), socCfg_(soc_cfg), estCache_(soc_cfg)
 {
 }
 
@@ -38,17 +38,17 @@ PremaPolicy::checkpointCycles(const sim::SocConfig &cfg)
 }
 
 double
-PremaPolicy::token(const sim::Soc &soc, const sim::Job &job) const
+PremaPolicy::token(const sim::Soc &soc, int id) const
 {
     // PREMA's token: static priority escalated by waiting time
     // normalized to the job's (compute-oriented) estimated runtime.
+    const sim::JobSpec &spec = soc.job(id).spec;
     const double wait = static_cast<double>(
-        soc.now() >= job.spec.dispatch
-            ? soc.now() - job.spec.dispatch : 0);
+        soc.now() >= spec.dispatch ? soc.now() - spec.dispatch : 0);
     const double est = std::max(1.0,
-        computeOnlyEstimate(*job.spec.model, job.layerIdx,
-                            socCfg_.numTiles, socCfg_));
-    return static_cast<double>(job.spec.priority) + wait / est;
+        estCache_.remaining(*spec.model, soc.jobLayer(id),
+                            socCfg_.numTiles));
+    return static_cast<double>(spec.priority) + wait / est;
 }
 
 int
@@ -57,7 +57,7 @@ PremaPolicy::bestCandidate(const sim::Soc &soc) const
     int best = -1;
     double best_token = -1.0;
     for (int id : soc.waitingJobs()) {
-        const double t = token(soc, soc.job(id));
+        const double t = token(soc, id);
         if (t > best_token) {
             best_token = t;
             best = id;
@@ -72,10 +72,9 @@ PremaPolicy::startNext(sim::Soc &soc)
     const int id = bestCandidate(soc);
     if (id < 0)
         return;
-    const sim::Job &j = soc.job(id);
     // Restoring a preempted job refills its checkpointed on-chip
     // state; a fresh job starts clean.
-    const Cycles penalty = j.state == sim::JobState::Paused
+    const Cycles penalty = soc.jobState(id) == sim::JobState::Paused
         ? checkpointCycles(socCfg_) : 0;
     soc.startJob(id, socCfg_.numTiles, penalty);
 }
@@ -88,7 +87,7 @@ PremaPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
 }
 
 void
-PremaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+PremaPolicy::onBlockBoundary(sim::Soc &soc, int id)
 {
     // Preemption check: a waiting job whose token exceeds the
     // runner's by the margin takes over at this block boundary,
@@ -96,14 +95,12 @@ PremaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
     const int challenger = bestCandidate(soc);
     if (challenger < 0)
         return;
-    const double challenger_token =
-        token(soc, soc.job(challenger));
-    const double runner_token = token(soc, job);
+    const double challenger_token = token(soc, challenger);
+    const double runner_token = token(soc, id);
     if (challenger_token > runner_token + cfg_.preemptMargin) {
-        soc.pauseJob(job.spec.id);
-        const sim::Job &c = soc.job(challenger);
+        soc.pauseJob(id);
         const Cycles penalty = checkpointCycles(socCfg_) +
-            (c.state == sim::JobState::Paused
+            (soc.jobState(challenger) == sim::JobState::Paused
                  ? checkpointCycles(socCfg_) : 0);
         soc.startJob(challenger, socCfg_.numTiles, penalty);
     }

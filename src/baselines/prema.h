@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "baselines/compute_estimator.h"
 #include "sim/policy.h"
 #include "sim/soc.h"
 
@@ -41,7 +42,7 @@ class PremaPolicy : public sim::Policy
     const char *name() const override { return "prema"; }
 
     void schedule(sim::Soc &soc, sim::SchedEvent event) override;
-    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
+    void onBlockBoundary(sim::Soc &soc, int id) override;
 
     /** Checkpoint (drain + restore) cost for one preemption. */
     static Cycles checkpointCycles(const sim::SocConfig &cfg);
@@ -49,8 +50,9 @@ class PremaPolicy : public sim::Policy
   private:
     PremaConfig cfg_;
     sim::SocConfig socCfg_;
+    ComputeEstimateCache estCache_;
 
-    double token(const sim::Soc &soc, const sim::Job &job) const;
+    double token(const sim::Soc &soc, int id) const;
     int bestCandidate(const sim::Soc &soc) const;
     void startNext(sim::Soc &soc);
 };

@@ -22,7 +22,7 @@ StaticPartitionConfig::applyParam(const std::string &key,
 
 StaticPartitionPolicy::StaticPartitionPolicy(
     const sim::SocConfig &soc_cfg, const StaticPartitionConfig &cfg)
-    : cfg_(cfg), socCfg_(soc_cfg)
+    : cfg_(cfg), socCfg_(soc_cfg), estCache_(soc_cfg)
 {
     if (cfg_.partitions < 1 || cfg_.partitions > soc_cfg.numTiles)
         fatal("static partitioning: partitions must be in "
@@ -51,7 +51,7 @@ StaticPartitionPolicy::schedule(sim::Soc &soc, sim::SchedEvent)
                 soc.now() >= j.spec.dispatch
                     ? soc.now() - j.spec.dispatch : 0);
             const double est = std::max(1.0,
-                computeOnlyEstimate(*j.spec.model, per_slot, socCfg_));
+                estCache_.remaining(*j.spec.model, 0, per_slot));
             const double score =
                 static_cast<double>(j.spec.priority) + wait / est;
             if (score > best_score) {

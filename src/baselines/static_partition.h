@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "baselines/compute_estimator.h"
 #include "sim/policy.h"
 #include "sim/soc.h"
 
@@ -44,6 +45,7 @@ class StaticPartitionPolicy : public sim::Policy
   private:
     StaticPartitionConfig cfg_;
     sim::SocConfig socCfg_;
+    ComputeEstimateCache estCache_;
 
     int tilesPerSlot() const;
 };

@@ -1,11 +1,25 @@
 #include "dnn/model.h"
 
+#include <atomic>
+
 #include "common/log.h"
 
 namespace moca::dnn {
 
+namespace {
+
+std::uint32_t
+nextModelUid()
+{
+    static std::atomic<std::uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // anonymous namespace
+
 Model::Model(std::string name, ModelSize size, std::vector<Layer> layers)
-    : name_(std::move(name)), size_(size), layers_(std::move(layers))
+    : name_(std::move(name)), size_(size), uid_(nextModelUid()),
+      layers_(std::move(layers))
 {
     if (layers_.empty())
         fatal("model %s has no layers", name_.c_str());

@@ -51,6 +51,14 @@ class Model
   public:
     Model(std::string name, ModelSize size, std::vector<Layer> layers);
 
+    /**
+     * Process-unique identity of this model's (immutable) layer list,
+     * assigned at construction and shared by copies.  Estimator-side
+     * memoization keys on it instead of the object address, which a
+     * later allocation could reuse.
+     */
+    std::uint32_t uid() const { return uid_; }
+
     const std::string &name() const { return name_; }
     ModelSize size() const { return size_; }
     const std::vector<Layer> &layers() const { return layers_; }
@@ -84,6 +92,7 @@ class Model
   private:
     std::string name_;
     ModelSize size_;
+    std::uint32_t uid_ = 0;
     std::vector<Layer> layers_;
     std::uint64_t total_macs_ = 0;
     std::uint64_t total_weight_bytes_ = 0;

@@ -116,14 +116,15 @@ BankedMemoryModel::serviceRate(int id) const
     return loc * hitBpc_ + (1.0 - loc) * missBpc_;
 }
 
-std::vector<MemGrant>
+const std::vector<MemGrant> &
 BankedMemoryModel::arbitrate(const std::vector<MemRequest> &requests,
                              Cycles horizon, MemStepStats &stats)
 {
     (void)stats; // No heuristic derate: contention is emergent.
     const std::size_t n = requests.size();
     const double q = static_cast<double>(horizon);
-    std::vector<MemGrant> grants(n);
+    std::vector<MemGrant> &grants = grants_;
+    grants.assign(n, MemGrant{});
     if (n == 0 || q <= 0.0)
         return grants;
 
@@ -173,13 +174,13 @@ BankedMemoryModel::arbitrate(const std::vector<MemRequest> &requests,
         for (const auto &s : slices)
             treq_.push_back(
                 {s.bytes / rate(s.req), requests[s.req].weight});
-        const std::vector<double> tgrant =
-            cfg_.dramProportionalArbitration
-            ? sim::allocateBandwidthProportional(treq_, q)
-            : sim::allocateBandwidth(treq_, q);
+        if (cfg_.dramProportionalArbitration)
+            sim::allocateBandwidthProportional(treq_, q, tgrant_);
+        else
+            sim::allocateBandwidth(treq_, q, tgrant_);
         for (std::size_t s = 0; s < slices.size(); ++s) {
             const double bytes = std::min(
-                slices[s].bytes, tgrant[s] * rate(slices[s].req));
+                slices[s].bytes, tgrant_[s] * rate(slices[s].req));
             grants[slices[s].req].dramBytes += bytes;
             bankGranted_[b] += bytes;
         }
@@ -288,11 +289,10 @@ BankedMemoryModel::arbitrate(const std::vector<MemRequest> &requests,
         treq_.reserve(slices.size());
         for (const auto &s : slices)
             treq_.push_back({s.bytes, requests[s.req].weight});
-        const std::vector<double> bgrant =
-            sim::allocateBandwidth(treq_, l2_bank_cap);
+        sim::allocateBandwidth(treq_, l2_bank_cap, tgrant_);
         for (std::size_t s = 0; s < slices.size(); ++s) {
-            grants[slices[s].req].l2Bytes += bgrant[s];
-            l2_granted += bgrant[s];
+            grants[slices[s].req].l2Bytes += tgrant_[s];
+            l2_granted += tgrant_[s];
         }
     }
     // Conflict loss: what the aggregate (flat) L2 bandwidth would

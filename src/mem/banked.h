@@ -102,7 +102,7 @@ class BankedMemoryModel : public MemoryModel
 
     const char *name() const override { return "banked"; }
 
-    std::vector<MemGrant>
+    const std::vector<MemGrant> &
     arbitrate(const std::vector<MemRequest> &requests, Cycles horizon,
               MemStepStats &stats) override;
 
@@ -157,6 +157,8 @@ class BankedMemoryModel : public MemoryModel
     std::vector<double> bankGranted_;
     std::vector<double> loc_; ///< Per-request locality snapshot.
     std::vector<sim::BwDemand> treq_;
+    std::vector<double> tgrant_;
+    std::vector<MemGrant> grants_; ///< arbitrate() return buffer.
 };
 
 /** Registration record of the built-in banked model. */

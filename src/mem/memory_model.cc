@@ -54,16 +54,17 @@ class FlatMemoryModel : public MemoryModel
 
     const char *name() const override { return "flat"; }
 
-    std::vector<MemGrant>
+    const std::vector<MemGrant> &
     arbitrate(const std::vector<MemRequest> &requests, Cycles horizon,
               MemStepStats &stats) override
     {
-        std::vector<sim::BwDemand> dram_req, l2_req;
-        dram_req.reserve(requests.size());
-        l2_req.reserve(requests.size());
+        dram_req_.clear();
+        l2_req_.clear();
+        dram_req_.reserve(requests.size());
+        l2_req_.reserve(requests.size());
         for (const auto &r : requests) {
-            dram_req.push_back({r.dramBytes, r.weight});
-            l2_req.push_back({r.l2Bytes, r.weight});
+            dram_req_.push_back({r.dramBytes, r.weight});
+            l2_req_.push_back({r.l2Bytes, r.weight});
         }
 
         const double q = static_cast<double>(horizon);
@@ -79,24 +80,28 @@ class FlatMemoryModel : public MemoryModel
         stats.thrashed = thrash.thrashed;
         stats.thrashLostBytes = thrash.lostBytes;
 
-        const std::vector<double> dram =
-            cfg_.dramProportionalArbitration
-            ? sim::allocateBandwidthProportional(dram_req,
-                                                 thrash.capacity)
-            : sim::allocateBandwidth(dram_req, thrash.capacity);
-        const std::vector<double> l2 = sim::allocateBandwidth(
-            l2_req, cfg_.l2BytesPerCycle() * q);
+        if (cfg_.dramProportionalArbitration)
+            sim::allocateBandwidthProportional(dram_req_,
+                                               thrash.capacity, dram_);
+        else
+            sim::allocateBandwidth(dram_req_, thrash.capacity, dram_);
+        sim::allocateBandwidth(l2_req_, cfg_.l2BytesPerCycle() * q,
+                               l2_);
 
-        std::vector<MemGrant> grants(requests.size());
+        grants_.assign(requests.size(), MemGrant{});
         for (std::size_t i = 0; i < requests.size(); ++i) {
-            grants[i].dramBytes = dram[i];
-            grants[i].l2Bytes = l2[i];
+            grants_[i].dramBytes = dram_[i];
+            grants_[i].l2Bytes = l2_[i];
         }
-        return grants;
+        return grants_;
     }
 
   private:
     sim::SocConfig cfg_;
+    // Per-step scratch (one model instance per Soc, single-threaded).
+    std::vector<sim::BwDemand> dram_req_, l2_req_;
+    std::vector<double> dram_, l2_;
+    std::vector<MemGrant> grants_;
 };
 
 void

@@ -127,8 +127,13 @@ class MemoryModel
      * must satisfy 0 <= grant <= demand per requester and respect the
      * model's aggregate capacities.  Requesters with zero demand
      * (e.g. stalled jobs) are present and must receive zero grants.
+     *
+     * Returns a reference to a model-owned buffer, valid until the
+     * next arbitrate() call on the same model: arbitration runs once
+     * per simulation step, so returning a fresh vector would put an
+     * allocation on the hottest path of long-horizon runs.
      */
-    virtual std::vector<MemGrant>
+    virtual const std::vector<MemGrant> &
     arbitrate(const std::vector<MemRequest> &requests, Cycles horizon,
               MemStepStats &stats) = 0;
 

@@ -71,7 +71,9 @@ MocaPolicy::tilesPerSlot(const sim::Soc &soc) const
 const MocaPolicy::ModelEstimate &
 MocaPolicy::modelEstimate(const dnn::Model &model, int num_tiles)
 {
-    const auto key = std::make_pair(&model, num_tiles);
+    const std::uint64_t key =
+        (model.uid() << 16) |
+        (static_cast<std::uint64_t>(num_tiles) & 0xffff);
     auto it = estimate_memo_.find(key);
     if (it == estimate_memo_.end()) {
         ModelEstimate e;
@@ -83,17 +85,18 @@ MocaPolicy::modelEstimate(const dnn::Model &model, int num_tiles)
 }
 
 bool
-MocaPolicy::reconfigure(sim::Soc &soc, const sim::Job &job)
+MocaPolicy::reconfigure(sim::Soc &soc, int id)
 {
+    const sim::JobSpec &spec = soc.job(id).spec;
     runtime::JobSnapshot snap;
-    snap.appId = job.spec.id;
-    snap.model = job.spec.model;
-    snap.nextLayer = job.layerIdx;
-    snap.numTiles = std::max(1, job.numTiles);
-    snap.userPriority = job.spec.priority;
+    snap.appId = id;
+    snap.model = spec.model;
+    snap.nextLayer = soc.jobLayer(id);
+    snap.numTiles = std::max(1, soc.jobTiles(id));
+    snap.userPriority = spec.priority;
     if (cfg_.enableDynamicScore) {
-        const double deadline = static_cast<double>(job.spec.dispatch) +
-            static_cast<double>(job.spec.slaLatency);
+        const double deadline = static_cast<double>(spec.dispatch) +
+            static_cast<double>(spec.slaLatency);
         snap.slackCycles = deadline - static_cast<double>(soc.now());
     } else {
         // Ablation: static priority only (slack -> infinity kills the
@@ -106,7 +109,7 @@ MocaPolicy::reconfigure(sim::Soc &soc, const sim::Job &job)
     if (d.contention)
         stats_.contentionDetected++;
     if (cfg_.enableThrottling)
-        soc.configureThrottle(job.spec.id, d.hwConfig);
+        soc.configureThrottle(id, d.hwConfig);
     return d.contention;
 }
 
@@ -120,9 +123,59 @@ MocaPolicy::reconfigureCorunners(sim::Soc &soc, int except_id)
     for (int id : soc.runningJobs()) {
         if (id == except_id)
             continue;
-        const sim::Job &j = soc.job(id);
-        if (j.state == sim::JobState::Running)
-            reconfigure(soc, j);
+        if (soc.jobState(id) == sim::JobState::Running)
+            reconfigure(soc, id);
+    }
+}
+
+const sched::SchedTask &
+MocaPolicy::cachedTask(const sim::Soc &soc, int id, int per_slot)
+{
+    if (per_slot != task_cache_per_slot_) {
+        task_cache_.clear();
+        task_cache_per_slot_ = per_slot;
+    }
+    if (static_cast<std::size_t>(id) >= task_cache_.size())
+        task_cache_.resize(static_cast<std::size_t>(id) + 1);
+    sched::SchedTask &t = task_cache_[static_cast<std::size_t>(id)];
+    if (t.id != id) {
+        const sim::JobSpec &spec = soc.job(id).spec;
+        const ModelEstimate &est =
+            modelEstimate(*spec.model, per_slot);
+        t.id = id;
+        t.priority = spec.priority;
+        t.dispatched = spec.dispatch;
+        t.estimatedTime = est.time;
+        t.estimatedAvgBw = est.bw;
+    }
+    return t;
+}
+
+void
+MocaPolicy::ingestArrivals(const sim::Soc &soc)
+{
+    if (bound_soc_ != &soc || soc.arrivedCount() < arrival_cursor_) {
+        // New (or restarted) simulation: drop the incremental state.
+        buckets_.clear();
+        bucket_index_.clear();
+        arrival_cursor_ = 0;
+        task_cache_.clear();
+        task_cache_per_slot_ = -1;
+        bound_soc_ = &soc;
+    }
+    const std::vector<int> &order = soc.arrivalOrder();
+    const std::size_t arrived = soc.arrivedCount();
+    for (; arrival_cursor_ < arrived; ++arrival_cursor_) {
+        const int id = order[arrival_cursor_];
+        const sim::JobSpec &spec = soc.job(id).spec;
+        const std::uint64_t key = (spec.model->uid() << 8) |
+            (static_cast<std::uint64_t>(spec.priority) & 0xff);
+        const auto [it, fresh] = bucket_index_.try_emplace(
+            key, static_cast<int>(buckets_.size()));
+        if (fresh)
+            buckets_.emplace_back();
+        buckets_[static_cast<std::size_t>(it->second)]
+            .fifo.push_back(id);
     }
 }
 
@@ -133,35 +186,22 @@ MocaPolicy::admitJobs(sim::Soc &soc)
     const int slots_free = soc.freeTiles() / per_slot;
     if (slots_free <= 0)
         return;
-
-    std::vector<sched::SchedTask> queue;
-    for (int id : soc.waitingJobs()) {
-        const sim::Job &j = soc.job(id);
-        if (j.state != sim::JobState::Waiting)
-            continue; // MoCA never pauses jobs.
-        const ModelEstimate &est =
-            modelEstimate(*j.spec.model, per_slot);
-        sched::SchedTask t;
-        t.id = id;
-        t.priority = j.spec.priority;
-        t.dispatched = j.spec.dispatch;
-        t.estimatedTime = est.time;
-        t.estimatedAvgBw = est.bw;
-        queue.push_back(t);
-    }
-    if (queue.empty())
+    ingestArrivals(soc);
+    if (soc.waitingJobs().empty())
         return;
 
     // Bias the pick against the running mix: if the current
     // co-runners are mostly memory-intensive, prefer a compute-bound
     // task (and vice versa) so the co-scheduled set stays balanced.
-    auto bias = sched::MocaScheduler::MixBias::None;
-    {
+    // Depends only on the running set and its tile counts, so it is
+    // recomputed only when the running epoch moves.
+    if (soc.runningEpoch() != bias_epoch_) {
+        auto bias = sched::MocaScheduler::MixBias::None;
         int mem = 0, total = 0;
         for (int id : soc.runningJobs()) {
-            const sim::Job &j = soc.job(id);
             const double bw = modelEstimate(
-                *j.spec.model, std::max(1, j.numTiles)).bw;
+                *soc.job(id).spec.model,
+                std::max(1, soc.jobTiles(id))).bw;
             ++total;
             if (bw > 0.5 * soc.config().dramBytesPerCycle)
                 ++mem;
@@ -170,16 +210,44 @@ MocaPolicy::admitJobs(sim::Soc &soc)
             bias = sched::MocaScheduler::MixBias::PreferNonMem;
         else if (total > 1 && mem == 0)
             bias = sched::MocaScheduler::MixBias::PreferMem;
+        bias_memo_ = bias;
+        bias_epoch_ = soc.runningEpoch();
+    }
+    const auto bias = bias_memo_;
+
+    // Candidate harvest: the first `slots_free` still-waiting entries
+    // of each bucket cover every task the round's per-class top-k
+    // selection can pick (see AdmitBucket); the selection itself then
+    // applies the global (score, id) order over this small set,
+    // decision-identical to scanning the full waiting backlog.
+    admit_scratch_.clear();
+    for (AdmitBucket &b : buckets_) {
+        while (b.head < b.fifo.size() &&
+               soc.jobState(b.fifo[b.head]) != sim::JobState::Waiting)
+            ++b.head; // Admitted/finished: popped for good.
+        int need = slots_free;
+        for (std::size_t i = b.head;
+             i < b.fifo.size() && need > 0; ++i) {
+            const int id = b.fifo[i];
+            if (soc.jobState(id) != sim::JobState::Waiting)
+                continue; // Out-of-band admission hole.
+            admit_scratch_.push_back(id);
+            --need;
+        }
     }
 
-    const std::vector<int> group =
-        scheduler_.selectGroup(queue, soc.now(), slots_free, bias);
+    const std::vector<int> group = scheduler_.selectGroupIds(
+        admit_scratch_,
+        [&](int id) -> const sched::SchedTask * {
+            return &cachedTask(soc, id, per_slot);
+        },
+        soc.now(), slots_free, bias);
     for (int id : group) {
         if (soc.freeTiles() < per_slot)
             break;
         soc.startJob(id, per_slot);
         stats_.jobsAdmitted++;
-        reconfigure(soc, soc.job(id));
+        reconfigure(soc, id);
     }
 }
 
@@ -198,17 +266,17 @@ MocaPolicy::maybeRepartition(sim::Soc &soc, sim::SchedEvent event)
         soc.freeTiles() > 0) {
         // Expand a lone job when the remaining work amortizes the
         // migration penalty.
-        sim::Job &j = soc.job(running.front());
-        if (j.stallUntil > soc.now())
+        const int id = running.front();
+        if (soc.jobStallUntil(id) > soc.now())
             return;
         const double remain = estimator_
-            .estimateRemaining(*j.spec.model, j.layerIdx, j.numTiles)
+            .estimateRemaining(*soc.job(id).spec.model,
+                               soc.jobLayer(id), soc.jobTiles(id))
             .prediction;
         if (remain > cfg_.repartitionBenefit * migration) {
-            soc.resizeJob(j.spec.id,
-                          j.numTiles + soc.freeTiles());
+            soc.resizeJob(id, soc.jobTiles(id) + soc.freeTiles());
             stats_.repartitions++;
-            reconfigure(soc, j);
+            reconfigure(soc, id);
         }
         return;
     }
@@ -219,17 +287,16 @@ MocaPolicy::maybeRepartition(sim::Soc &soc, sim::SchedEvent event)
         // be admitted, when it still has enough work left to justify
         // paying the migration.
         for (int id : running) {
-            sim::Job &j = soc.job(id);
-            if (j.numTiles <= per_slot)
+            if (soc.jobTiles(id) <= per_slot)
                 continue;
             const double remain = estimator_
-                .estimateRemaining(*j.spec.model, j.layerIdx,
-                                   j.numTiles)
+                .estimateRemaining(*soc.job(id).spec.model,
+                                   soc.jobLayer(id), soc.jobTiles(id))
                 .prediction;
             if (remain > cfg_.repartitionBenefit * migration) {
                 soc.resizeJob(id, per_slot);
                 stats_.repartitions++;
-                reconfigure(soc, j);
+                reconfigure(soc, id);
                 break;
             }
         }
@@ -247,24 +314,26 @@ MocaPolicy::schedule(sim::Soc &soc, sim::SchedEvent event)
     // whatever tiles remain (avoids idling a nearly-free SoC).
     if (soc.runningJobs().empty() && !soc.waitingJobs().empty() &&
         soc.freeTiles() > 0) {
-        const auto waiting = soc.waitingJobs();
-        soc.startJob(waiting.front(),
+        // startJob invalidates the waitingJobs() view: grab the id
+        // before mutating.
+        const int id = soc.waitingJobs().front();
+        soc.startJob(id,
                      std::min(soc.freeTiles(), tilesPerSlot(soc)));
-        reconfigure(soc, soc.job(waiting.front()));
+        reconfigure(soc, id);
     }
 }
 
 void
-MocaPolicy::onBlockBoundary(sim::Soc &soc, sim::Job &job)
+MocaPolicy::onBlockBoundary(sim::Soc &soc, int id)
 {
-    if (reconfigure(soc, job))
-        reconfigureCorunners(soc, job.spec.id);
+    if (reconfigure(soc, id))
+        reconfigureCorunners(soc, id);
 }
 
 void
-MocaPolicy::onJobComplete(sim::Soc &, sim::Job &job)
+MocaPolicy::onJobComplete(sim::Soc &, int id)
 {
-    cm_.onJobComplete(job.spec.id);
+    cm_.onJobComplete(id);
 }
 
 } // namespace moca

@@ -15,9 +15,10 @@
 #ifndef MOCA_MOCA_POLICY_H
 #define MOCA_MOCA_POLICY_H
 
-#include <map>
+#include <cstdint>
 #include <string>
-#include <utility>
+#include <unordered_map>
+#include <vector>
 
 #include "moca/runtime/contention_manager.h"
 #include "moca/sched/scheduler.h"
@@ -97,8 +98,8 @@ class MocaPolicy : public sim::Policy
     const char *name() const override { return "moca"; }
 
     void schedule(sim::Soc &soc, sim::SchedEvent event) override;
-    void onBlockBoundary(sim::Soc &soc, sim::Job &job) override;
-    void onJobComplete(sim::Soc &soc, sim::Job &job) override;
+    void onBlockBoundary(sim::Soc &soc, int id) override;
+    void onJobComplete(sim::Soc &soc, int id) override;
 
     const runtime::ContentionManager &contentionManager() const
     {
@@ -134,13 +135,64 @@ class MocaPolicy : public sim::Policy
      * waiting task at each scheduling point; the per-(model, tiles)
      * estimates it needs are invariant, and without the memo each
      * scheduling point would walk every layer of every queued task —
-     * quadratic in trace length on long-horizon stress runs.
+     * quadratic in trace length on long-horizon stress runs.  Keyed
+     * on the model's stable uid (not its address, which an allocator
+     * may reuse) packed with the tile count.
      */
-    std::map<std::pair<const dnn::Model *, int>, ModelEstimate>
-        estimate_memo_;
+    std::unordered_map<std::uint64_t, ModelEstimate> estimate_memo_;
 
     const ModelEstimate &modelEstimate(const dnn::Model &model,
                                        int num_tiles);
+
+    /**
+     * Algorithm-3 re-scoring memo across scheduling points.  A job's
+     * admit-queue entry (priority, dispatch time, per-slot estimates)
+     * is a pure function of its spec and the slot width — both
+     * time-independent — so it is computed once per job, cached here
+     * indexed by job id, and each scheduling round scans the waiting
+     * ids directly against the cache (no O(waiting) queue rebuild
+     * when the waiting set changes).  Likewise the mix bias depends
+     * only on the running set and its tile allocations, tracked by
+     * the running epoch (resizeJob bumps it too).
+     */
+    std::vector<sched::SchedTask> task_cache_; ///< id == -1: unfilled.
+    int task_cache_per_slot_ = -1;
+    sched::MocaScheduler::MixBias bias_memo_ =
+        sched::MocaScheduler::MixBias::None;
+    std::uint64_t bias_epoch_ = ~0ull;
+
+    /** The job's cached admit-queue entry (filled on first sight). */
+    const sched::SchedTask &cachedTask(const sim::Soc &soc, int id,
+                                       int per_slot);
+
+    /**
+     * Waiting jobs bucketed by (model, priority).  All members of a
+     * bucket share the same per-slot estimate, so their Algorithm 3
+     * score order is their arrival order (earlier dispatch -> longer
+     * wait -> higher score; dispatch ties fall to ascending id, the
+     * arrival order's own tie-break) for every `now`.  A scheduling
+     * round therefore only needs the first `max_slots` still-waiting
+     * entries of each bucket as candidates — O(buckets x slots) per
+     * round instead of a scan of the whole (possibly huge) backlog.
+     * Buckets are filled from a cursor over Soc::arrivalOrder() and
+     * popped lazily at the head; entries admitted out of band (the
+     * idle-machine fallback) become holes that the head skips over.
+     */
+    struct AdmitBucket
+    {
+        std::vector<int> fifo; ///< Ids in arrival order.
+        std::size_t head = 0;  ///< First possibly-waiting entry.
+    };
+    std::vector<AdmitBucket> buckets_;
+    std::unordered_map<std::uint64_t, int> bucket_index_;
+    std::size_t arrival_cursor_ = 0;
+    std::vector<int> admit_scratch_; ///< Candidate ids per round.
+    /** Identity of the Soc the incremental state above tracks; a
+     *  different Soc (or a restarted run) resets it. */
+    const sim::Soc *bound_soc_ = nullptr;
+
+    /** Pull newly arrived jobs into their admit buckets. */
+    void ingestArrivals(const sim::Soc &soc);
 
     int tilesPerSlot(const sim::Soc &soc) const;
 
@@ -148,7 +200,7 @@ class MocaPolicy : public sim::Policy
      * Run Algorithm 2 for a job and program its throttle engines.
      * @return true when contention (overflow) was detected.
      */
-    bool reconfigure(sim::Soc &soc, const sim::Job &job);
+    bool reconfigure(sim::Soc &soc, int id);
 
     /** Refresh every co-runner's allocation (on contention). */
     void reconfigureCorunners(sim::Soc &soc, int except_id);

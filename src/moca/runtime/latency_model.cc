@@ -147,19 +147,53 @@ LatencyModel::estimateLayer(const dnn::Layer &layer, int num_tiles) const
     return est;
 }
 
+const LatencyModel::ModelCache &
+LatencyModel::cacheFor(const dnn::Model &model, int num_tiles) const
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(model.uid()) << 16) |
+        static_cast<std::uint64_t>(num_tiles & 0xffff);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    ModelCache c;
+    const std::size_t n = model.numLayers();
+    c.perLayer.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c.perLayer.push_back(
+            estimateLayer(model.layer(i), num_tiles));
+
+    // Each suffix is its own forward-order sum (not built back to
+    // front), so every entry reproduces the uncached loop's floating
+    // point rounding exactly.
+    c.suffix.resize(n + 1);
+    for (std::size_t from = 0; from < n; ++from) {
+        LayerEstimate est;
+        for (std::size_t i = from; i < n; ++i)
+            est += c.perLayer[i];
+        c.suffix[from] = est;
+    }
+
+    const auto &blocks = model.blocks();
+    c.perBlock.reserve(blocks.size());
+    for (const auto &b : blocks) {
+        LayerEstimate est;
+        for (std::size_t i = b.first; i < b.first + b.count; ++i)
+            est += c.perLayer[i];
+        c.perBlock.push_back(est);
+    }
+    return cache_.emplace(key, std::move(c)).first->second;
+}
+
 LayerEstimate
 LatencyModel::estimateBlock(const dnn::Model &model,
                             std::size_t block_idx, int num_tiles) const
 {
-    const auto &blocks = model.blocks();
-    if (block_idx >= blocks.size())
+    if (block_idx >= model.blocks().size())
         panic("estimateBlock: block %zu of %zu", block_idx,
-              blocks.size());
-    const auto &b = blocks[block_idx];
-    LayerEstimate est;
-    for (std::size_t i = b.first; i < b.first + b.count; ++i)
-        est += estimateLayer(model.layer(i), num_tiles);
-    return est;
+              model.blocks().size());
+    return cacheFor(model, num_tiles).perBlock[block_idx];
 }
 
 LayerEstimate
@@ -167,10 +201,10 @@ LatencyModel::estimateRemaining(const dnn::Model &model,
                                 std::size_t from_layer,
                                 int num_tiles) const
 {
-    LayerEstimate est;
-    for (std::size_t i = from_layer; i < model.numLayers(); ++i)
-        est += estimateLayer(model.layer(i), num_tiles);
-    return est;
+    const ModelCache &c = cacheFor(model, num_tiles);
+    if (from_layer >= c.suffix.size())
+        return LayerEstimate{};
+    return c.suffix[from_layer];
 }
 
 double

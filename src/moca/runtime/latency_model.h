@@ -26,6 +26,7 @@
 #define MOCA_RUNTIME_LATENCY_MODEL_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -100,8 +101,29 @@ class LatencyModel
     bool sparsityAware() const { return sparsityAware_; }
 
   private:
+    /**
+     * Memoized per-(model, tile-count) estimates.  Algorithm 1 is
+     * pure in (layer, num_tiles, cfg), so per-layer estimates — and
+     * the aggregates the runtime asks for millions of times per
+     * stress run — are computed once per model/tile pair.  Sums are
+     * accumulated in the same forward layer order as the uncached
+     * loops so results stay bit-identical.
+     */
+    struct ModelCache
+    {
+        std::vector<LayerEstimate> perLayer; ///< estimateLayer(i).
+        /** suffix[i] = sum of perLayer[i..L-1], forward order
+         *  (== the uncached estimateRemaining(i)); suffix[L] = {}. */
+        std::vector<LayerEstimate> suffix;
+        std::vector<LayerEstimate> perBlock; ///< estimateBlock(b).
+    };
+
+    const ModelCache &cacheFor(const dnn::Model &model,
+                               int num_tiles) const;
+
     sim::SocConfig cfg_;
     bool sparsityAware_ = true;
+    mutable std::unordered_map<std::uint64_t, ModelCache> cache_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "moca/sched/scheduler.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/log.h"
 
@@ -22,46 +23,54 @@ MocaScheduler::isMemIntensive(const SchedTask &task) const
         cfg_.memIntensiveFraction * dram_bw_;
 }
 
-std::vector<int>
-MocaScheduler::selectGroup(const std::vector<SchedTask> &queue,
-                           Cycles now, int max_slots,
-                           MixBias bias) const
+void
+MocaScheduler::beginRound() const
 {
-    std::vector<int> group;
-    if (max_slots <= 0 || queue.empty())
-        return group;
+    mem_top_.clear();
+    cpu_top_.clear();
+    ex_.clear();
+}
 
-    // Lines 13-15: populate the ExQueue with above-threshold tasks
-    // sorted by descending score (stable on id for determinism).
-    struct Scored
-    {
-        const SchedTask *task;
-        double score;
-        bool taken = false;
-    };
-    std::vector<Scored> ex;
-    ex.reserve(queue.size());
-    for (const auto &t : queue) {
-        const double s = score(t, now);
-        // ">=" so that freshly dispatched priority-0 tasks (score
-        // exactly 0) pass the default threshold of 0.
-        if (s >= cfg_.scoreThreshold)
-            ex.push_back({&t, s});
-    }
-    std::stable_sort(ex.begin(), ex.end(),
-                     [](const Scored &a, const Scored &b) {
-                         if (a.score != b.score)
-                             return a.score > b.score;
-                         return a.task->id < b.task->id;
-                     });
+void
+MocaScheduler::considerTask(const SchedTask &t, Cycles now,
+                            std::size_t cap) const
+{
+    const double s = score(t, now);
+    // ">=" so that freshly dispatched priority-0 tasks (score
+    // exactly 0) pass the default threshold of 0 (line 14).
+    if (s < cfg_.scoreThreshold)
+        return;
+    std::vector<Scored> &top = isMemIntensive(t) ? mem_top_ : cpu_top_;
+    const Scored cand{t, s};
+    if (top.size() == cap && !better(cand, top.back()))
+        return;
+    top.push_back(cand);
+    for (std::size_t i = top.size() - 1;
+         i > 0 && better(top[i], top[i - 1]); --i)
+        std::swap(top[i], top[i - 1]);
+    if (top.size() > cap)
+        top.pop_back();
+}
+
+void
+MocaScheduler::formGroup(int max_slots, MixBias bias,
+                         std::vector<int> &group) const
+{
+    // Merge the two class lists into the (truncated) ExQueue in
+    // descending-score order — identical order to the full sort,
+    // restricted to the candidates the formation loop can reach.
+    std::vector<Scored> &ex = ex_;
+    std::merge(mem_top_.begin(), mem_top_.end(),
+               cpu_top_.begin(), cpu_top_.end(),
+               std::back_inserter(ex), better);
 
     // Lines 17-25: form the co-running group; pair memory-intensive
     // picks with the next non-memory-intensive task in the queue.
     auto pop_first = [&](auto &&pred) -> const SchedTask * {
         for (auto &s : ex) {
-            if (!s.taken && pred(*s.task)) {
+            if (!s.taken && pred(s.task)) {
                 s.taken = true;
-                return s.task;
+                return &s.task;
             }
         }
         return nullptr;
@@ -94,6 +103,20 @@ MocaScheduler::selectGroup(const std::vector<SchedTask> &queue,
                 group.push_back(co->id);
         }
     }
+}
+
+std::vector<int>
+MocaScheduler::selectGroup(const std::vector<SchedTask> &queue,
+                           Cycles now, int max_slots,
+                           MixBias bias) const
+{
+    std::vector<int> group;
+    if (max_slots <= 0 || queue.empty())
+        return group;
+    beginRound();
+    for (const auto &t : queue)
+        considerTask(t, now, static_cast<std::size_t>(max_slots));
+    formGroup(max_slots, bias, group);
     return group;
 }
 

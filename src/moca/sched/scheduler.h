@@ -72,6 +72,15 @@ class MocaScheduler
      * One scheduling round: select up to `max_slots` tasks to run
      * concurrently (Algorithm 3 lines 13-26).
      *
+     * The group formation only ever examines the `max_slots` best
+     * tasks of each intensiveness class (every pick is either "best
+     * remaining", "best remaining memory-intensive", or "best
+     * remaining non-memory-intensive", and at most `max_slots` picks
+     * happen), so the round runs a bounded top-k selection scan over
+     * the queue instead of sorting it — O(queue) with a tiny
+     * constant rather than O(queue log queue), and decision-identical
+     * to the full ExQueue sort.
+     *
      * @param bias when the co-runner set is already skewed (e.g.
      *        mostly memory-intensive jobs running), the first pick
      *        prefers a task that rebalances the mix; Algorithm 3's
@@ -82,11 +91,76 @@ class MocaScheduler
                                  Cycles now, int max_slots,
                                  MixBias bias = MixBias::None) const;
 
+    /**
+     * selectGroup over an id list with an external task lookup, so a
+     * caller holding per-job SchedTask records (e.g. a policy's
+     * per-job admit cache) can run a round without materializing a
+     * queue vector first.  `task_at(id)` returns the job's entry, or
+     * nullptr to skip the id.  Same selection as selectGroup.
+     */
+    template <class TaskAt>
+    std::vector<int> selectGroupIds(const std::vector<int> &ids,
+                                    TaskAt &&task_at, Cycles now,
+                                    int max_slots,
+                                    MixBias bias = MixBias::None) const
+    {
+        std::vector<int> group;
+        if (max_slots <= 0 || ids.empty())
+            return group;
+        beginRound();
+        for (int id : ids)
+            if (const SchedTask *t = task_at(id))
+                considerTask(*t, now,
+                             static_cast<std::size_t>(max_slots));
+        formGroup(max_slots, bias, group);
+        return group;
+    }
+
     const SchedulerConfig &config() const { return cfg_; }
 
   private:
     SchedulerConfig cfg_;
     double dram_bw_;
+
+    /** ExQueue entry (selectGroup working state).  Holds the task by
+     *  value: a caller's task storage may move while the round's scan
+     *  is still inserting candidates (e.g. a policy growing its
+     *  per-job cache), so pointers into it would dangle. */
+    struct Scored
+    {
+        SchedTask task;
+        double score;
+        bool taken = false;
+    };
+    /** Bounded per-class top-k scratch plus the merged candidate
+     *  list, reused across scheduling rounds (each holds at most
+     *  max_slots entries, so no O(waiting) storage or allocation per
+     *  scheduling point of a long-horizon run). */
+    mutable std::vector<Scored> mem_top_;
+    mutable std::vector<Scored> cpu_top_;
+    mutable std::vector<Scored> ex_;
+
+    /** Strict-total-order for the ExQueue: descending score, id
+     *  ascending on ties (ids are unique, so the old stable_sort and
+     *  this comparator agree exactly). */
+    static bool better(const Scored &a, const Scored &b)
+    {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.task.id < b.task.id;
+    }
+
+    void beginRound() const;
+
+    /** Score `t` and, if it passes the ExQueue threshold, insert it
+     *  into its class's bounded top-`cap` list. */
+    void considerTask(const SchedTask &t, Cycles now,
+                      std::size_t cap) const;
+
+    /** Merge the per-class candidates and run the Algorithm 3 group
+     *  formation (lines 17-25) over them. */
+    void formGroup(int max_slots, MixBias bias,
+                   std::vector<int> &group) const;
 };
 
 } // namespace moca::sched

@@ -6,13 +6,37 @@
 
 namespace moca::sim {
 
+namespace {
+
+/** Per-thread saturation-flag scratch: arbitration runs once per
+ *  simulation step per channel, and sweeps arbitrate from worker
+ *  threads concurrently. */
+std::vector<char> &
+doneScratch(std::size_t n)
+{
+    static thread_local std::vector<char> done;
+    done.assign(n, 0);
+    return done;
+}
+
+} // anonymous namespace
+
 std::vector<double>
 allocateBandwidth(const std::vector<BwDemand> &demands, double capacity)
 {
+    std::vector<double> grants;
+    allocateBandwidth(demands, capacity, grants);
+    return grants;
+}
+
+void
+allocateBandwidth(const std::vector<BwDemand> &demands, double capacity,
+                  std::vector<double> &grants)
+{
     const std::size_t n = demands.size();
-    std::vector<double> grants(n, 0.0);
+    grants.assign(n, 0.0);
     if (n == 0 || capacity <= 0.0)
-        return grants;
+        return;
 
     for (const auto &d : demands) {
         if (d.bytes < 0.0)
@@ -24,7 +48,7 @@ allocateBandwidth(const std::vector<BwDemand> &demands, double capacity)
     // Water-filling: repeatedly hand every unsatisfied requester its
     // weighted share of the remaining capacity; requesters whose
     // demand is met drop out and their leftover is redistributed.
-    std::vector<bool> done(n, false);
+    std::vector<char> &done = doneScratch(n);
     double remaining = capacity;
     std::size_t active = n;
 
@@ -65,17 +89,26 @@ allocateBandwidth(const std::vector<BwDemand> &demands, double capacity)
         }
         remaining -= distributed;
     }
-    return grants;
 }
 
 std::vector<double>
 allocateBandwidthProportional(const std::vector<BwDemand> &demands,
                               double capacity)
 {
+    std::vector<double> grants;
+    allocateBandwidthProportional(demands, capacity, grants);
+    return grants;
+}
+
+void
+allocateBandwidthProportional(const std::vector<BwDemand> &demands,
+                              double capacity,
+                              std::vector<double> &grants)
+{
     const std::size_t n = demands.size();
-    std::vector<double> grants(n, 0.0);
+    grants.assign(n, 0.0);
     if (n == 0 || capacity <= 0.0)
-        return grants;
+        return;
 
     for (const auto &d : demands) {
         if (d.bytes < 0.0)
@@ -86,7 +119,7 @@ allocateBandwidthProportional(const std::vector<BwDemand> &demands,
 
     // Shares proportional to outstanding demand x weight; requesters
     // whose full demand fits drop out and free their slice.
-    std::vector<bool> done(n, false);
+    std::vector<char> &done = doneScratch(n);
     double remaining = capacity;
     std::size_t active = n;
 
@@ -131,7 +164,6 @@ allocateBandwidthProportional(const std::vector<BwDemand> &demands,
         }
         remaining -= distributed;
     }
-    return grants;
 }
 
 ThrashOutcome

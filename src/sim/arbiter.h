@@ -34,6 +34,12 @@ struct BwDemand
 std::vector<double> allocateBandwidth(const std::vector<BwDemand> &demands,
                                       double capacity);
 
+/** As above, writing grants into a caller-owned buffer (resized to
+ *  demands.size()); the arbiter runs once per simulation step, so
+ *  per-call allocations would dominate long-horizon runs. */
+void allocateBandwidth(const std::vector<BwDemand> &demands,
+                       double capacity, std::vector<double> &grants);
+
 /**
  * Demand-proportional allocation: models an unregulated FCFS-style
  * DRAM controller, where a requester's service share is proportional
@@ -45,6 +51,11 @@ std::vector<double> allocateBandwidth(const std::vector<BwDemand> &demands,
 std::vector<double>
 allocateBandwidthProportional(const std::vector<BwDemand> &demands,
                               double capacity);
+
+/** Out-parameter variant (see allocateBandwidth). */
+void allocateBandwidthProportional(const std::vector<BwDemand> &demands,
+                                   double capacity,
+                                   std::vector<double> &grants);
 
 /** Outcome of the DRAM oversubscription-thrash derate. */
 struct ThrashOutcome

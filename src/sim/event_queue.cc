@@ -6,6 +6,13 @@
 
 namespace moca::sim {
 
+namespace {
+
+/** Initial bucket count (power of two). */
+constexpr std::size_t kInitialBuckets = 16;
+
+} // anonymous namespace
+
 const char *
 simEventKindName(SimEventKind kind)
 {
@@ -30,41 +37,194 @@ operator<(const SimEvent &a, const SimEvent &b)
     return a.jobId < b.jobId;
 }
 
-namespace {
-
-/** std::*_heap builds a max-heap; invert to get the min-heap. */
-bool
-later(const SimEvent &a, const SimEvent &b)
+EventQueue::EventQueue(Cycles bucket_width)
+    : width_(bucket_width), buckets_(kInitialBuckets)
 {
-    return b < a;
+    if (width_ == 0)
+        panic("EventQueue: bucket width must be nonzero");
 }
 
-} // anonymous namespace
+std::size_t
+EventQueue::bucketOf(Cycles at) const
+{
+    // Power-of-two bucket count: day mod nbuckets is a mask.
+    return static_cast<std::size_t>(at / width_) &
+        (buckets_.size() - 1);
+}
+
+EventQueue::SlotState &
+EventQueue::slot(int job_id)
+{
+    if (job_id < -1)
+        panic("EventQueue: job id %d out of range", job_id);
+    const std::size_t idx = static_cast<std::size_t>(job_id + 1);
+    if (idx >= slots_.size())
+        slots_.resize(idx + 1);
+    return slots_[idx];
+}
+
+bool
+EventQueue::isStale(const Entry &e) const
+{
+    const std::size_t idx = static_cast<std::size_t>(e.ev.jobId + 1);
+    const std::size_t k = static_cast<std::size_t>(e.ev.kind);
+    return e.gen != slots_[idx].gen[k];
+}
+
+void
+EventQueue::clear()
+{
+    for (auto &b : buckets_)
+        b.clear();
+    for (auto &s : slots_)
+        s.pending.fill(0);
+    live_ = 0;
+    cur_day_ = 0;
+    top_valid_ = false;
+}
 
 void
 EventQueue::push(Cycles at, SimEventKind kind, int job_id)
 {
-    heap_.push_back({at, kind, job_id});
-    std::push_heap(heap_.begin(), heap_.end(), later);
+    // Keep the calendar dense: roughly two live events per bucket.
+    if (live_ > 2 * buckets_.size())
+        grow();
+
+    SlotState &s = slot(job_id);
+    const std::size_t k = static_cast<std::size_t>(kind);
+    buckets_[bucketOf(at)].push_back({{at, kind, job_id}, s.gen[k]});
+    s.pending[k]++;
+    ++live_;
+
+    const std::uint64_t day = at / width_;
+    if (live_ == 1 || day < cur_day_)
+        cur_day_ = day;
+    top_valid_ = false;
+}
+
+void
+EventQueue::invalidate(SimEventKind kind, int job_id)
+{
+    SlotState &s = slot(job_id);
+    const std::size_t k = static_cast<std::size_t>(kind);
+    live_ -= s.pending[k];
+    s.pending[k] = 0;
+    ++s.gen[k]; // Pending copies with the old generation are stale.
+    top_valid_ = false;
+}
+
+void
+EventQueue::settle() const
+{
+    if (top_valid_)
+        return;
+
+    // Scan day by day from the current one.  Within a day, the
+    // minimum is selected by full (at, kind, jobId) order, so pop
+    // order matches the reference heap exactly; stale entries are
+    // reclaimed (swap-erase) as they are encountered.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    const std::size_t nbuckets = buckets_.size();
+    for (std::size_t empty_days = 0; empty_days < nbuckets;
+         ++empty_days, ++cur_day_) {
+        auto &bucket =
+            buckets_[static_cast<std::size_t>(cur_day_) &
+                     (nbuckets - 1)];
+        std::size_t best = kNone;
+        for (std::size_t i = 0; i < bucket.size();) {
+            if (isStale(bucket[i])) {
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+                if (best == bucket.size())
+                    best = i; // The old best moved into slot i.
+                continue;
+            }
+            if (bucket[i].ev.at / width_ == cur_day_ &&
+                (best == kNone || bucket[i].ev < bucket[best].ev))
+                best = i;
+            ++i;
+        }
+        if (best != kNone) {
+            top_bucket_ = static_cast<std::size_t>(cur_day_) &
+                (nbuckets - 1);
+            top_pos_ = best;
+            top_valid_ = true;
+            return;
+        }
+    }
+
+    // A whole calendar year of empty days: the next event is far in
+    // the future.  Direct min-scan, then jump the calendar there.
+    std::size_t bb = nbuckets, bp = 0;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+        auto &bucket = buckets_[b];
+        for (std::size_t i = 0; i < bucket.size();) {
+            if (isStale(bucket[i])) {
+                bucket[i] = bucket.back();
+                bucket.pop_back();
+                if (bb == b && bp == bucket.size())
+                    bp = i; // The tracked best moved into slot i.
+                continue;
+            }
+            if (bb == nbuckets ||
+                bucket[i].ev < buckets_[bb][bp].ev) {
+                bb = b;
+                bp = i;
+            }
+            ++i;
+        }
+    }
+    if (bb == nbuckets)
+        panic("EventQueue::settle: no live event (size %zu)", live_);
+    cur_day_ = buckets_[bb][bp].ev.at / width_;
+    top_bucket_ = bb;
+    top_pos_ = bp;
+    top_valid_ = true;
 }
 
 const SimEvent &
 EventQueue::top() const
 {
-    if (heap_.empty())
+    if (empty())
         panic("EventQueue::top on an empty queue");
-    return heap_.front();
+    settle();
+    return buckets_[top_bucket_][top_pos_].ev;
 }
 
 SimEvent
 EventQueue::pop()
 {
-    if (heap_.empty())
+    if (empty())
         panic("EventQueue::pop on an empty queue");
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    const SimEvent e = heap_.back();
-    heap_.pop_back();
-    return e;
+    settle();
+
+    auto &bucket = buckets_[top_bucket_];
+    const SimEvent ev = bucket[top_pos_].ev;
+    bucket[top_pos_] = bucket.back();
+    bucket.pop_back();
+
+    SlotState &s = slot(ev.jobId);
+    s.pending[static_cast<std::size_t>(ev.kind)]--;
+    --live_;
+    top_valid_ = false;
+    return ev;
+}
+
+void
+EventQueue::grow()
+{
+    std::vector<Entry> all;
+    all.reserve(live_);
+    for (auto &b : buckets_) {
+        for (auto &e : b)
+            if (!isStale(e))
+                all.push_back(e);
+        b.clear();
+    }
+    buckets_.resize(buckets_.size() * 2);
+    for (const auto &e : all)
+        buckets_[bucketOf(e.ev.at)].push_back(e);
+    top_valid_ = false;
 }
 
 } // namespace moca::sim

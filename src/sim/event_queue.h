@@ -1,24 +1,43 @@
 /**
  * @file
  * Next-event support for the SoC simulator's event kernel
- * (SocConfig::kernel == SimKernel::Event): a deterministic min-heap of
- * the moments at which the simulated system's piecewise-constant state
- * can change — the next job arrival, the next periodic scheduler tick,
- * a job's migration/preemption stall expiring, a running job finishing
- * its current layer (and possibly crossing a layer-block boundary),
- * and a binding MoCA throttle window rolling over.
+ * (SocConfig::kernel == SimKernel::Event): a deterministic priority
+ * queue of the moments at which the simulated system's
+ * piecewise-constant state can change — the next job arrival, the next
+ * periodic scheduler tick, a job's migration/preemption stall expiring,
+ * a running job finishing its current layer (and possibly crossing a
+ * layer-block boundary), and a binding MoCA throttle window rolling
+ * over.
  *
- * Between consecutive events the running set, the arbiters' grants,
- * and every job's demand rates are constant, so the kernel advances
- * time directly to the earliest event instead of stepping fixed
- * quanta.  Ties break on (cycle, kind, job id) so the pop order — and
- * therefore the simulation — is fully deterministic.
+ * The implementation is a *calendar queue* keyed on the quantum grid:
+ * an array of day buckets of `bucketWidth` cycles (the scheduling
+ * quantum), indexed by `(at / width) mod nbuckets`.  Push appends to
+ * the target bucket in O(1); pop scans the current day's bucket for
+ * the earliest entry and advances day by day, falling back to a
+ * global min-scan after a whole calendar "year" of empty days, so a
+ * sparse far-future tail cannot degrade pop to O(days).  Amortized
+ * push/pop is O(1) when events cluster within a few quanta of now —
+ * exactly the event kernel's behaviour, where every per-job event
+ * lands on the next few grid points.
+ *
+ * Superseded events (a stall cut short by a resize, a layer
+ * completion invalidated by a throttle reprogram, ...) are *lazily
+ * invalidated*: `invalidate(kind, job)` bumps a per-(kind, job)
+ * generation counter in O(1) and stale entries are skipped and
+ * reclaimed when their bucket is next scanned.  `size()` counts live
+ * events only.
+ *
+ * Ties break on (cycle, kind, job id) so the pop order — and
+ * therefore any simulation driven by it — is fully deterministic and
+ * identical to the reference binary heap's.
  */
 
 #ifndef MOCA_SIM_EVENT_QUEUE_H
 #define MOCA_SIM_EVENT_QUEUE_H
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/units.h"
@@ -36,6 +55,9 @@ enum class SimEventKind
     MemStateChange,  ///< A stateful memory model wants re-sampling.
 };
 
+/** Number of SimEventKind values (generation-table stride). */
+constexpr std::size_t kNumSimEventKinds = 6;
+
 /** Printable event-kind name. */
 const char *simEventKindName(SimEventKind kind);
 
@@ -50,24 +72,71 @@ struct SimEvent
 /** Deterministic strict-weak order: cycle, then kind, then job id. */
 bool operator<(const SimEvent &a, const SimEvent &b);
 
-/** Min-heap of pending events, ordered by operator<. */
+/** Calendar queue of pending events, ordered by operator<. */
 class EventQueue
 {
   public:
-    void clear() { heap_.clear(); }
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    /** @param bucket_width day width in cycles; the natural choice
+     *  is the scheduling quantum, so each grid point owns a day. */
+    explicit EventQueue(Cycles bucket_width = 512);
+
+    void clear();
+    bool empty() const { return live_ == 0; }
+    /** Live (non-invalidated) pending events. */
+    std::size_t size() const { return live_; }
 
     void push(Cycles at, SimEventKind kind, int job_id = -1);
 
-    /** Earliest pending event; panics when empty. */
+    /** Earliest live pending event; panics when empty. */
     const SimEvent &top() const;
 
-    /** Remove and return the earliest pending event. */
+    /** Remove and return the earliest live pending event. */
     SimEvent pop();
 
+    /**
+     * Lazily drop every pending (kind, job_id) event: O(1) now, the
+     * stale entries are reclaimed when their bucket is next touched.
+     * A later push of the same (kind, job_id) is live again.
+     */
+    void invalidate(SimEventKind kind, int job_id = -1);
+
+    /** Bucket count (test/bench introspection). */
+    std::size_t buckets() const { return buckets_.size(); }
+
   private:
-    std::vector<SimEvent> heap_;
+    struct Entry
+    {
+        SimEvent ev;
+        std::uint32_t gen = 0; ///< Generation at push time.
+    };
+
+    /** Per-(job, kind) generation + live-pending bookkeeping; slot 0
+     *  is jobId -1 (global events), slot j+1 is job j. */
+    struct SlotState
+    {
+        std::array<std::uint32_t, kNumSimEventKinds> gen{};
+        std::array<std::uint32_t, kNumSimEventKinds> pending{};
+    };
+
+    std::size_t bucketOf(Cycles at) const;
+    SlotState &slot(int job_id);
+    bool isStale(const Entry &e) const;
+    /** Locate the earliest live entry, pruning stale entries and
+     *  advancing cur_day_; caches the position for top()/pop(). */
+    void settle() const;
+    /** Double the bucket count and redistribute live entries. */
+    void grow();
+
+    Cycles width_;
+    mutable std::vector<std::vector<Entry>> buckets_;
+    mutable std::uint64_t cur_day_ = 0;
+    std::size_t live_ = 0;
+    std::vector<SlotState> slots_;
+
+    // settle() cache: position of the current minimum.
+    mutable bool top_valid_ = false;
+    mutable std::size_t top_bucket_ = 0;
+    mutable std::size_t top_pos_ = 0;
 };
 
 } // namespace moca::sim

@@ -47,18 +47,39 @@ struct LayerExecState
     bool valid = false;
 };
 
-/** Per-job bookkeeping inside the simulator. */
-struct Job
+/**
+ * Hot per-job execution state, read and written on every simulation
+ * step.  The Soc stores these in a dense array parallel to the cold
+ * Job records, so the per-step demand/advance scans touch ~64
+ * contiguous bytes per job instead of dragging the full record (spec,
+ * throttle engine, statistics) through the cache.
+ */
+struct JobHot
 {
-    JobSpec spec;
     JobState state = JobState::NotArrived;
-
     int numTiles = 0;        ///< Tiles currently allocated.
     std::size_t layerIdx = 0;
     std::size_t blockIdx = 0;
     LayerExecState exec;
-
     Cycles stallUntil = 0;   ///< Migration/preemption stall deadline.
+
+    /** Cycles of migration/resume stall left at `now` (0 = none). */
+    Cycles stallRemaining(Cycles now) const
+    {
+        return stallUntil > now ? stallUntil - now : 0;
+    }
+};
+
+/**
+ * Cold per-job bookkeeping inside the simulator: the immutable spec,
+ * the throttle engine (touched only at reconfigurations and window
+ * accounting), and lifetime statistics.  Per-step execution state
+ * lives in the Soc's JobHot array; read it through Soc::jobState,
+ * Soc::jobTiles, Soc::jobLayer, and Soc::jobStallUntil.
+ */
+struct Job
+{
+    JobSpec spec;
     bool started = false;
     Cycles firstStart = 0;
     Cycles finish = 0;
@@ -72,17 +93,6 @@ struct Job
     Cycles stallCycles = 0;
     int migrations = 0;
     int preemptions = 0;
-
-    /** Layers executed so far (monotonic, survives preemption). */
-    std::size_t layersDone() const { return layerIdx; }
-
-    /** Cycles of migration/resume stall left at `now` (0 = none). */
-    Cycles stallRemaining(Cycles now) const
-    {
-        return stallUntil > now ? stallUntil - now : 0;
-    }
-
-    bool complete() const { return state == JobState::Done; }
 };
 
 /** Result record for one finished job. */

@@ -43,14 +43,14 @@ class Policy
     virtual void schedule(Soc &soc, SchedEvent event) = 0;
 
     /**
-     * A running job crossed a layer-block boundary (it is about to
-     * begin block `job.blockIdx`).  Policies reconfigure resources at
-     * this granularity (Sec. IV-D).  Default: no action.
+     * Job `id` crossed a layer-block boundary (it is about to begin
+     * its next block).  Policies reconfigure resources at this
+     * granularity (Sec. IV-D).  Default: no action.
      */
-    virtual void onBlockBoundary(Soc &soc, Job &job);
+    virtual void onBlockBoundary(Soc &soc, int id);
 
-    /** A job finished; called before the follow-up schedule(). */
-    virtual void onJobComplete(Soc &soc, Job &job);
+    /** Job `id` finished; called before the follow-up schedule(). */
+    virtual void onJobComplete(Soc &soc, int id);
 };
 
 } // namespace moca::sim

@@ -19,12 +19,12 @@ constexpr Cycles kNoArrival = std::numeric_limits<Cycles>::max();
 } // anonymous namespace
 
 void
-Policy::onBlockBoundary(Soc &, Job &)
+Policy::onBlockBoundary(Soc &, int)
 {
 }
 
 void
-Policy::onJobComplete(Soc &, Job &)
+Policy::onJobComplete(Soc &, int)
 {
 }
 
@@ -52,6 +52,7 @@ Soc::addJob(const JobSpec &spec)
     Job job;
     job.spec = spec;
     jobs_.push_back(std::move(job));
+    hot_.emplace_back();
     sorted_ = false;
 }
 
@@ -83,15 +84,18 @@ Soc::admitArrivals()
 {
     bool any = false;
     while (next_arrival_ < arrival_order_.size()) {
-        Job &j = jobs_[arrival_order_[next_arrival_]];
+        const int id = arrival_order_[next_arrival_];
+        const Job &j = jobs_[static_cast<std::size_t>(id)];
         if (j.spec.dispatch > now_)
             break;
-        j.state = JobState::Waiting;
-        insertSorted(waiting_ids_, j.spec.id);
-        trace_.record(now_, TraceEventKind::JobDispatched, j.spec.id);
+        hot_[static_cast<std::size_t>(id)].state = JobState::Waiting;
+        waitingAdd(id);
+        trace_.record(now_, TraceEventKind::JobDispatched, id);
         ++next_arrival_;
         any = true;
     }
+    if (any)
+        ++waiting_epoch_;
     return any;
 }
 
@@ -109,10 +113,18 @@ Soc::job(int id) const
     return const_cast<Soc *>(this)->job(id);
 }
 
-std::vector<int>
-Soc::waitingJobs() const
+JobHot &
+Soc::hotRef(int id)
 {
-    return waiting_ids_;
+    if (id < 0 || id >= static_cast<int>(hot_.size()))
+        panic("bad job id %d", id);
+    return hot_[static_cast<std::size_t>(id)];
+}
+
+const JobHot &
+Soc::hot(int id) const
+{
+    return const_cast<Soc *>(this)->hotRef(id);
 }
 
 void
@@ -133,10 +145,46 @@ Soc::eraseSorted(std::vector<int> &ids, int id)
     ids.erase(it);
 }
 
-std::vector<int>
-Soc::runningJobs() const
+void
+Soc::waitingAdd(int id)
 {
-    return running_ids_;
+    // Appending an id above the current tail keeps the view sorted
+    // (the common case: arrivals come in ascending-id bursts).
+    if (waiting_view_sorted_ && !waiting_ids_.empty() &&
+        id < waiting_ids_.back())
+        waiting_view_sorted_ = false;
+    waiting_pos_[static_cast<std::size_t>(id)] =
+        static_cast<int>(waiting_ids_.size());
+    waiting_ids_.push_back(id);
+}
+
+void
+Soc::waitingRemove(int id)
+{
+    const int pos = waiting_pos_[static_cast<std::size_t>(id)];
+    if (pos < 0 ||
+        waiting_ids_[static_cast<std::size_t>(pos)] != id)
+        panic("job %d is not in the waiting set", id);
+    const int last = waiting_ids_.back();
+    if (last != id) {
+        waiting_ids_[static_cast<std::size_t>(pos)] = last;
+        waiting_pos_[static_cast<std::size_t>(last)] = pos;
+        waiting_view_sorted_ = false;
+    }
+    waiting_ids_.pop_back();
+    waiting_pos_[static_cast<std::size_t>(id)] = -1;
+}
+
+void
+Soc::sortWaitingView() const
+{
+    if (waiting_view_sorted_)
+        return;
+    std::sort(waiting_ids_.begin(), waiting_ids_.end());
+    for (std::size_t i = 0; i < waiting_ids_.size(); ++i)
+        waiting_pos_[static_cast<std::size_t>(waiting_ids_[i])] =
+            static_cast<int>(i);
+    waiting_view_sorted_ = true;
 }
 
 int
@@ -160,6 +208,7 @@ Soc::addRunning(int id, int tiles)
 {
     insertSorted(running_ids_, id);
     used_tiles_ += tiles;
+    ++running_epoch_;
     debugCheckCounters();
 }
 
@@ -168,6 +217,7 @@ Soc::dropRunning(int id, int tiles)
 {
     eraseSorted(running_ids_, id);
     used_tiles_ -= tiles;
+    ++running_epoch_;
     debugCheckCounters();
 }
 
@@ -181,15 +231,15 @@ Soc::debugCheckCounters() const
     // pay O(jobs) per lifecycle event, not per simulated quantum.
     int scanned = 0, used = 0;
     std::size_t done = 0, waiting = 0;
-    for (const auto &j : jobs_) {
-        if (j.state == JobState::Running) {
+    for (const auto &h : hot_) {
+        if (h.state == JobState::Running) {
             ++scanned;
-            used += j.numTiles;
+            used += h.numTiles;
         }
-        if (j.state == JobState::Waiting ||
-            j.state == JobState::Paused)
+        if (h.state == JobState::Waiting ||
+            h.state == JobState::Paused)
             ++waiting;
-        if (j.complete())
+        if (h.state == JobState::Done)
             ++done;
     }
     if (scanned != static_cast<int>(running_ids_.size()) ||
@@ -206,22 +256,24 @@ void
 Soc::startJob(int id, int num_tiles, Cycles resume_penalty)
 {
     Job &j = job(id);
-    if (j.state != JobState::Waiting && j.state != JobState::Paused)
+    JobHot &h = hotRef(id);
+    if (h.state != JobState::Waiting && h.state != JobState::Paused)
         panic("startJob(%d): job is not startable (state %d)",
-              id, static_cast<int>(j.state));
+              id, static_cast<int>(h.state));
     if (num_tiles < 1)
         panic("startJob(%d): need >= 1 tile", id);
     if (num_tiles > freeTiles())
         panic("startJob(%d): %d tiles requested, %d free",
               id, num_tiles, freeTiles());
 
-    j.state = JobState::Running;
-    j.numTiles = num_tiles;
-    eraseSorted(waiting_ids_, id);
+    h.state = JobState::Running;
+    h.numTiles = num_tiles;
+    waitingRemove(id);
+    ++waiting_epoch_;
     addRunning(id, num_tiles);
-    j.exec.valid = false;
+    h.exec.valid = false;
     if (resume_penalty > 0)
-        j.stallUntil = std::max(j.stallUntil, now_ + resume_penalty);
+        h.stallUntil = std::max(h.stallUntil, now_ + resume_penalty);
     trace_.record(now_,
                   j.started ? TraceEventKind::JobResumed
                             : TraceEventKind::JobStarted,
@@ -236,27 +288,31 @@ Soc::startJob(int id, int num_tiles, Cycles resume_penalty)
 void
 Soc::resizeJob(int id, int num_tiles, bool charge_migration)
 {
-    Job &j = job(id);
-    if (j.state != JobState::Running)
+    JobHot &h = hotRef(id);
+    if (h.state != JobState::Running)
         panic("resizeJob(%d): job is not running", id);
-    if (num_tiles == j.numTiles)
+    if (num_tiles == h.numTiles)
         return;
     if (num_tiles < 1)
         panic("resizeJob(%d): need >= 1 tile", id);
-    const int avail = freeTiles() + j.numTiles;
+    const int avail = freeTiles() + h.numTiles;
     if (num_tiles > avail)
         panic("resizeJob(%d): %d tiles requested, %d available",
               id, num_tiles, avail);
 
-    used_tiles_ += num_tiles - j.numTiles;
-    j.numTiles = num_tiles;
+    used_tiles_ += num_tiles - h.numTiles;
+    h.numTiles = num_tiles;
+    // A tile-allocation change invalidates running-set-derived memos
+    // (e.g. MoCA's co-runner mix bias) even though membership is
+    // unchanged.
+    ++running_epoch_;
     // The layer restarts under the new tiling; the migration stall
     // dominates the lost partial-layer work.
-    j.exec.valid = false;
+    h.exec.valid = false;
     if (charge_migration) {
-        j.stallUntil = std::max(j.stallUntil,
+        h.stallUntil = std::max(h.stallUntil,
                                 now_ + cfg_.migrationCycles);
-        j.migrations++;
+        job(id).migrations++;
     }
     trace_.record(now_, TraceEventKind::JobResized, id, num_tiles);
 }
@@ -264,15 +320,16 @@ Soc::resizeJob(int id, int num_tiles, bool charge_migration)
 void
 Soc::pauseJob(int id)
 {
-    Job &j = job(id);
-    if (j.state != JobState::Running)
+    JobHot &h = hotRef(id);
+    if (h.state != JobState::Running)
         panic("pauseJob(%d): job is not running", id);
-    j.state = JobState::Paused;
-    insertSorted(waiting_ids_, id);
-    dropRunning(id, j.numTiles);
-    j.numTiles = 0;
-    j.exec.valid = false; // partial layer progress is discarded
-    j.preemptions++;
+    h.state = JobState::Paused;
+    waitingAdd(id);
+    ++waiting_epoch_;
+    dropRunning(id, h.numTiles);
+    h.numTiles = 0;
+    h.exec.valid = false; // partial layer progress is discarded
+    job(id).preemptions++;
     trace_.record(now_, TraceEventKind::JobPaused, id);
 }
 
@@ -286,25 +343,27 @@ Soc::configureThrottle(int id, const hw::ThrottleConfig &tcfg)
 }
 
 void
-Soc::beginLayer(Job &job)
+Soc::beginLayer(int id)
 {
-    const dnn::Model &model = *job.spec.model;
-    const dnn::Layer &layer = model.layer(job.layerIdx);
+    JobHot &h = hot_[static_cast<std::size_t>(id)];
+    const dnn::Model &model =
+        *jobs_[static_cast<std::size_t>(id)].spec.model;
+    const dnn::Layer &layer = model.layer(h.layerIdx);
 
-    const Cycles cc = computeCycles(layer, job.numTiles, cfg_);
+    const Cycles cc = computeCycles(layer, h.numTiles, cfg_);
     const LayerTraffic traffic =
-        layerTraffic(layer, job.numTiles, cfg_, effectiveCacheBytes());
+        layerTraffic(layer, h.numTiles, cfg_, effectiveCacheBytes());
 
-    job.exec.computeRem = static_cast<double>(cc);
-    job.exec.l2Rem = static_cast<double>(traffic.l2Bytes);
-    job.exec.dramRem = static_cast<double>(traffic.dramBytes);
-    job.exec.valid = true;
+    h.exec.computeRem = static_cast<double>(cc);
+    h.exec.l2Rem = static_cast<double>(traffic.l2Bytes);
+    h.exec.dramRem = static_cast<double>(traffic.dramBytes);
+    h.exec.valid = true;
 }
 
 double
-Soc::layerRemainingTime(const Job &job, double service) const
+Soc::layerRemainingTime(const JobHot &hot, double service) const
 {
-    const LayerExecState &e = job.exec;
+    const LayerExecState &e = hot.exec;
     const double c = e.computeRem;
     if (service <= 0.0)
         return kInf;
@@ -313,7 +372,7 @@ Soc::layerRemainingTime(const Job &job, double service) const
     // through the L2 pipeline concurrently, so the memory time is the
     // slower of the two channels, not their sum.
     const double cap = cfg_.tileDmaBytesPerCycle *
-        std::max(1, job.numTiles);
+        std::max(1, hot.numTiles);
     const double dram_cap = std::min(cap, cfg_.dramBytesPerCycle);
     const double l2_cap = std::min(cap, cfg_.l2BytesPerCycle());
     const double m_cap =
@@ -324,16 +383,18 @@ Soc::layerRemainingTime(const Job &job, double service) const
 }
 
 Soc::AdvanceOutcome
-Soc::advanceJob(Job &job, Cycles quantum, double service,
+Soc::advanceJob(int id, Cycles quantum, double service,
                 double dram_budget, double l2_budget)
 {
     AdvanceOutcome out;
     double t = static_cast<double>(quantum);
-    const dnn::Model &model = *job.spec.model;
+    JobHot &job = hot_[static_cast<std::size_t>(id)];
+    const dnn::Model &model =
+        *jobs_[static_cast<std::size_t>(id)].spec.model;
 
     while (t > 1e-9) {
         if (!job.exec.valid)
-            beginLayer(job);
+            beginLayer(id);
 
         double t_rem = layerRemainingTime(job, service);
         // Hard grant clamps: progress cannot consume more bytes than
@@ -391,14 +452,16 @@ Soc::advanceJob(Job &job, Cycles quantum, double service,
 }
 
 void
-Soc::completeJob(Job &job)
+Soc::completeJob(int id)
 {
-    const bool was_running = job.state == JobState::Running;
-    job.state = JobState::Done;
+    JobHot &h = hot_[static_cast<std::size_t>(id)];
+    Job &job = jobs_[static_cast<std::size_t>(id)];
+    const bool was_running = h.state == JobState::Running;
+    h.state = JobState::Done;
     ++done_jobs_;
     if (was_running)
-        dropRunning(job.spec.id, job.numTiles);
-    job.numTiles = 0;
+        dropRunning(id, h.numTiles);
+    h.numTiles = 0;
     job.finish = now_;
 
     JobResult r;
@@ -413,7 +476,7 @@ Soc::completeJob(Job &job)
     r.throttleReconfigs =
         static_cast<int>(job.throttle.stats().reconfigurations);
     results_.push_back(r);
-    trace_.record(now_, TraceEventKind::JobCompleted, job.spec.id);
+    trace_.record(now_, TraceEventKind::JobCompleted, id);
 }
 
 void
@@ -425,7 +488,7 @@ Soc::invokePolicy(SchedEvent event)
 
 // --- Shared step phases -----------------------------------------------
 
-std::vector<int>
+bool
 Soc::schedulingPoints(Cycles horizon)
 {
     if (admitArrivals())
@@ -436,9 +499,8 @@ Soc::schedulingPoints(Cycles horizon)
         next_sched_tick_ = now_ + cfg_.schedPeriod;
     }
 
-    std::vector<int> running = runningJobs();
-    if (!running.empty())
-        return running;
+    if (!running_ids_.empty())
+        return true;
 
     const Cycles na = nextArrivalCycle();
     if (na != kNoArrival) {
@@ -449,26 +511,27 @@ Soc::schedulingPoints(Cycles horizon)
         if (horizon != 0)
             target = std::min(target, horizon);
         now_ = std::max(now_, target);
-        return {};
+        return false;
     }
     // No arrivals left and nothing running: the policy must start a
     // waiting/paused job now or we are deadlocked.
     invokePolicy(SchedEvent::PeriodicTick);
-    running = runningJobs();
-    if (running.empty() && !allDone())
+    if (running_ids_.empty() && !allDone())
         fatal("policy deadlock: %zu jobs unfinished, nothing "
-              "running, no arrivals pending", waitingJobs().size());
-    return running;
+              "running, no arrivals pending", waiting_ids_.size());
+    return !running_ids_.empty();
 }
 
-std::vector<Soc::DemandEntry>
-Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
+void
+Soc::computeDemands(const std::vector<int> &running, Cycles horizon,
+                    std::vector<DemandEntry> &entries)
 {
-    std::vector<DemandEntry> entries;
-    entries.reserve(running.size());
+    entries.clear();
 
     for (int id : running) {
-        Job &j = jobs_[static_cast<std::size_t>(id)];
+        JobHot &j = hot_[static_cast<std::size_t>(id)];
+        hw::ThrottleEngine &throttle =
+            jobs_[static_cast<std::size_t>(id)].throttle;
         DemandEntry e;
         e.id = id;
         if (j.stallUntil > now_) {
@@ -477,7 +540,7 @@ Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
             continue;
         }
         if (!j.exec.valid)
-            beginLayer(j);
+            beginLayer(id);
 
         // Private (uncontended) rate cap of the job's DMA engines.
         const double cap =
@@ -507,9 +570,9 @@ Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
         }
 
         // MoCA throttle: cap by the per-tile window allowance.
-        if (j.throttle.config().enabled() || l2_des > 0.0) {
+        if (throttle.config().enabled() || l2_des > 0.0) {
             const std::uint64_t beats_per_tile =
-                j.throttle.peekAllowance(horizon);
+                throttle.peekAllowance(horizon);
             const double allowed =
                 static_cast<double>(beats_per_tile) *
                 static_cast<double>(cfg_.dmaBeatBytes) *
@@ -526,26 +589,26 @@ Soc::computeDemands(const std::vector<int> &running, Cycles horizon)
         e.dramDemand = dram_des;
         entries.push_back(e);
     }
-    return entries;
 }
 
-Soc::ChannelGrants
-Soc::arbitrate(const std::vector<DemandEntry> &entries, Cycles horizon)
+void
+Soc::arbitrate(const std::vector<DemandEntry> &entries, Cycles horizon,
+               ChannelGrants &g)
 {
-    std::vector<mem::MemRequest> requests;
-    requests.reserve(entries.size());
+    std::vector<mem::MemRequest> &requests = requests_scratch_;
+    requests.clear();
     for (const auto &e : entries) {
-        const Job &j = jobs_[static_cast<std::size_t>(e.id)];
         mem::MemRequest r;
         r.id = e.id;
         r.dramBytes = e.dramDemand;
         r.l2Bytes = e.l2Demand;
-        r.weight = std::max(1, j.numTiles);
+        r.weight =
+            std::max(1, hot_[static_cast<std::size_t>(e.id)].numTiles);
         requests.push_back(r);
     }
 
     mem::MemStepStats step;
-    const std::vector<mem::MemGrant> grants =
+    const std::vector<mem::MemGrant> &grants =
         mem_->arbitrate(requests, horizon, step);
     if (grants.size() != requests.size())
         fatal("memory model '%s' returned %zu grants for %zu "
@@ -557,14 +620,12 @@ Soc::arbitrate(const std::vector<DemandEntry> &entries, Cycles horizon)
         stats_.thrashLostBytes += step.thrashLostBytes;
     }
 
-    ChannelGrants g;
-    g.dram.reserve(entries.size());
-    g.l2.reserve(entries.size());
+    g.dram.clear();
+    g.l2.clear();
     for (const auto &grant : grants) {
         g.dram.push_back(grant.dramBytes);
         g.l2.push_back(grant.l2Bytes);
     }
-    return g;
 }
 
 double
@@ -584,70 +645,73 @@ Soc::serviceRatio(const DemandEntry &e, double dram_grant,
     return std::min(1.0, service * std::max(1.0, cfg_.dmaRunAhead));
 }
 
-Soc::StepOutcome
+double
 Soc::advanceEntries(const std::vector<DemandEntry> &entries,
                     const ChannelGrants &grants, Cycles horizon)
 {
-    StepOutcome out;
+    double dram_used = 0.0;
+    boundary_scratch_.clear();
     for (std::size_t i = 0; i < entries.size(); ++i) {
-        Job &j = jobs_[static_cast<std::size_t>(entries[i].id)];
+        const int id = entries[i].id;
+        Job &j = jobs_[static_cast<std::size_t>(id)];
+        const JobHot &h = hot_[static_cast<std::size_t>(id)];
         if (entries[i].stalled) {
             j.stallCycles += std::min<Cycles>(
-                horizon, j.stallRemaining(now_));
+                horizon, h.stallRemaining(now_));
             j.throttle.advance(horizon, 0);
             continue;
         }
         const double service = serviceRatio(
             entries[i], grants.dram[i], grants.l2[i]);
         const AdvanceOutcome adv =
-            advanceJob(j, horizon, service,
+            advanceJob(id, horizon, service,
                        grants.dram[i], grants.l2[i]);
 
         j.dramBytesMoved +=
             static_cast<std::uint64_t>(adv.dramConsumed);
         j.l2BytesMoved +=
             static_cast<std::uint64_t>(adv.l2Consumed);
-        out.dramUsed += adv.dramConsumed;
+        dram_used += adv.dramConsumed;
 
         // Account the consumed traffic in the throttle engine
         // (per tile).
         const std::uint64_t beats = static_cast<std::uint64_t>(
             adv.l2Consumed /
             (static_cast<double>(cfg_.dmaBeatBytes) *
-             std::max(1, j.numTiles)));
+             std::max(1, h.numTiles)));
         j.throttle.advance(horizon, beats);
 
         if (adv.blockBoundary || adv.jobComplete)
-            out.events.push_back({entries[i].id, adv.blockBoundary,
-                                  adv.jobComplete});
+            boundary_scratch_.push_back(
+                {entries[i].id, adv.blockBoundary, adv.jobComplete});
     }
-    return out;
+    return dram_used;
 }
 
 void
-Soc::accountStep(Cycles step, const StepOutcome &out)
+Soc::accountStep(Cycles step, double dram_used)
 {
     now_ += step;
     stats_.quanta++;
-    stats_.dramBytes += static_cast<std::uint64_t>(out.dramUsed);
-    dram_busy_cycles_ += out.dramUsed / cfg_.dramBytesPerCycle;
+    stats_.dramBytes += static_cast<std::uint64_t>(dram_used);
+    dram_busy_cycles_ += dram_used / cfg_.dramBytesPerCycle;
 }
 
 void
-Soc::dispatchBoundaries(const std::vector<BoundaryEvent> &events)
+Soc::dispatchBoundaries()
 {
     bool completion = false;
-    for (const auto &ev : events) {
-        Job &j = jobs_[static_cast<std::size_t>(ev.id)];
+    for (const auto &ev : boundary_scratch_) {
         if (ev.complete) {
-            completeJob(j);
-            policy_.onJobComplete(*this, j);
+            completeJob(ev.id);
+            policy_.onJobComplete(*this, ev.id);
             completion = true;
         } else if (ev.blockBoundary) {
-            trace_.record(now_, TraceEventKind::BlockBoundary,
-                          ev.id,
-                          static_cast<long long>(j.blockIdx));
-            policy_.onBlockBoundary(*this, j);
+            trace_.record(
+                now_, TraceEventKind::BlockBoundary, ev.id,
+                static_cast<long long>(
+                    hot_[static_cast<std::size_t>(ev.id)].blockIdx));
+            policy_.onBlockBoundary(*this, ev.id);
         }
     }
     if (completion)
@@ -659,9 +723,9 @@ Soc::dispatchBoundaries(const std::vector<BoundaryEvent> &events)
 void
 Soc::stepQuantum(Cycles horizon)
 {
-    const std::vector<int> running = schedulingPoints(horizon);
-    if (running.empty())
+    if (!schedulingPoints(horizon))
         return;
+    const std::vector<int> &running = running_ids_;
 
     Cycles step = cfg_.quantum;
     const Cycles na = nextArrivalCycle();
@@ -676,47 +740,52 @@ Soc::stepQuantum(Cycles horizon)
         step = std::min<Cycles>(step, horizon - now_);
     step = std::max<Cycles>(step, 1);
 
-    const auto entries = computeDemands(running, step);
-    const auto grants = arbitrate(entries, step);
-    const StepOutcome out = advanceEntries(entries, grants, step);
-    accountStep(step, out);
-    dispatchBoundaries(out.events);
+    computeDemands(running, step, entries_scratch_);
+    arbitrate(entries_scratch_, step, grants_scratch_);
+    const double dram_used =
+        advanceEntries(entries_scratch_, grants_scratch_, step);
+    accountStep(step, dram_used);
+    dispatchBoundaries();
 }
 
 void
 Soc::stepEvent(Cycles horizon)
 {
-    const std::vector<int> running = schedulingPoints(horizon);
-    if (running.empty())
+    if (!schedulingPoints(horizon))
         return;
+    const std::vector<int> &running = running_ids_;
 
     // Probe pass at quantum granularity: the demand-shape branch
     // and throttle binding match what the quantum kernel would
     // see in the next quantum, and stay constant until the next
     // event (demand rates are layer-invariant: every remaining
     // quantity shrinks by the same factor as the layer advances).
-    auto probe = computeDemands(running, cfg_.quantum);
+    computeDemands(running, cfg_.quantum, probe_scratch_);
 
-    events_.clear();
+    // Inline min-reduction over the candidate step-bounding times.
+    // Every candidate is strictly greater than now_, and the
+    // candidates are exactly the events the heap-based kernel used
+    // to push, so `step` is bit-identical to the old top-of-heap
+    // arithmetic.  Persistent events would not survive the grid
+    // shift anyway: gridCeil() is now_-relative, and now_ lands
+    // off-grid at raw arrival/tick steps.
+    Cycles next = next_sched_tick_;
     const Cycles na = nextArrivalCycle();
     if (na != kNoArrival)
-        events_.push(na, SimEventKind::Arrival);
+        next = std::min(next, na);
     if (horizon != 0)
-        events_.push(horizon, SimEventKind::Arrival);
-    events_.push(next_sched_tick_, SimEventKind::SchedTick);
+        next = std::min(next, horizon);
     // A stateful memory model (e.g. banked row-locality) bounds the
     // step so its internal state is re-sampled often enough; the
-    // stateless flat model returns 0 and adds no event, keeping the
+    // stateless flat model returns 0 and adds no bound, keeping the
     // event stream identical to the pre-mem-subsystem kernel.
     const Cycles mem_change = mem_->cyclesUntilNextChange();
     if (mem_change > 0)
-        events_.push(gridCeil(now_ + mem_change),
-                     SimEventKind::MemStateChange);
-    for (const DemandEntry &e : probe) {
-        const Job &j = jobs_[static_cast<std::size_t>(e.id)];
+        next = std::min(next, gridCeil(now_ + mem_change));
+    for (const DemandEntry &e : probe_scratch_) {
+        const JobHot &j = hot_[static_cast<std::size_t>(e.id)];
         if (e.stalled) {
-            events_.push(gridCeil(j.stallUntil),
-                         SimEventKind::StallExpiry, e.id);
+            next = std::min(next, gridCeil(j.stallUntil));
             continue;
         }
         // A layer can never finish before its full-service
@@ -733,32 +802,35 @@ Soc::stepEvent(Cycles horizon)
                 cfg_.quantum,
                 (dt > 1 ? (dt - 1) / cfg_.quantum : 0) *
                     cfg_.quantum);
-            events_.push(now_ + floor_step,
-                         SimEventKind::LayerCompletion, e.id);
+            next = std::min(next, now_ + floor_step);
         }
         if (e.throttleBound) {
             // A binding throttle re-opens at the engine's next
             // state change (window rollover / reconfig-stall
             // end); stop there so per-window pacing is not
             // smeared across a long step.
-            const Cycles c = j.throttle.cyclesUntilNextChange();
+            const Cycles c =
+                jobs_[static_cast<std::size_t>(e.id)]
+                    .throttle.cyclesUntilNextChange();
             if (c > 0)
-                events_.push(gridCeil(now_ + c),
-                             SimEventKind::ThrottleWindow, e.id);
+                next = std::min(next, gridCeil(now_ + c));
         }
     }
 
-    const Cycles step = events_.top().at - now_;
+    const Cycles step = next - now_;
 
     // Tail steps (one per layer) degenerate to a single quantum,
     // where the probe already holds the exact demands.
-    const auto entries = step == cfg_.quantum
-        ? std::move(probe)
-        : computeDemands(running, step);
-    const auto grants = arbitrate(entries, step);
-    const StepOutcome out = advanceEntries(entries, grants, step);
-    accountStep(step, out);
-    dispatchBoundaries(out.events);
+    const std::vector<DemandEntry> *entries = &probe_scratch_;
+    if (step != cfg_.quantum) {
+        computeDemands(running, step, entries_scratch_);
+        entries = &entries_scratch_;
+    }
+    arbitrate(*entries, step, grants_scratch_);
+    const double dram_used =
+        advanceEntries(*entries, grants_scratch_, step);
+    accountStep(step, dram_used);
+    dispatchBoundaries();
 }
 
 Cycles
@@ -781,6 +853,60 @@ Soc::beginRun(Cycles max_cycles)
         next_sched_tick_ = 0;
         began_ = true;
     }
+    reserveRunState();
+    debugCaptureCapacities();
+}
+
+void
+Soc::reserveRunState()
+{
+    // Arena-style up-front sizing: after this point the hot loop
+    // performs no vector growth (checked in debug builds).  The id
+    // sets and results are bounded by the job count; the per-step
+    // scratch by the running-set bound (one tile minimum per job).
+    const std::size_t nj = jobs_.size();
+    const std::size_t nr = static_cast<std::size_t>(
+        std::max(1, cfg_.numTiles));
+    waiting_ids_.reserve(nj);
+    waiting_pos_.resize(nj, -1);
+    running_ids_.reserve(nj);
+    results_.reserve(nj);
+    probe_scratch_.reserve(nr);
+    entries_scratch_.reserve(nr);
+    requests_scratch_.reserve(nr);
+    grants_scratch_.dram.reserve(nr);
+    grants_scratch_.l2.reserve(nr);
+    boundary_scratch_.reserve(nr);
+}
+
+void
+Soc::debugCaptureCapacities()
+{
+#ifndef NDEBUG
+    debug_caps_ = {waiting_ids_.capacity(), running_ids_.capacity(),
+                   results_.capacity(), probe_scratch_.capacity(),
+                   entries_scratch_.capacity(),
+                   requests_scratch_.capacity(),
+                   grants_scratch_.dram.capacity(),
+                   grants_scratch_.l2.capacity(),
+                   boundary_scratch_.capacity()};
+#endif
+}
+
+void
+Soc::debugCheckNoRealloc() const
+{
+#ifndef NDEBUG
+    const std::vector<std::size_t> caps = {
+        waiting_ids_.capacity(), running_ids_.capacity(),
+        results_.capacity(), probe_scratch_.capacity(),
+        entries_scratch_.capacity(), requests_scratch_.capacity(),
+        grants_scratch_.dram.capacity(),
+        grants_scratch_.l2.capacity(), boundary_scratch_.capacity()};
+    if (caps != debug_caps_)
+        panic("hot-loop vector reallocated during run "
+              "(reserveRunState under-sized a buffer)");
+#endif
 }
 
 bool
@@ -827,14 +953,20 @@ Soc::injectJob(const JobSpec &spec)
     Job job;
     job.spec = spec;
     jobs_.push_back(std::move(job));
+    hot_.emplace_back();
     // Injections arrive in nondecreasing dispatch order, so the
     // sorted arrival order is maintained by appending.
     arrival_order_.push_back(spec.id);
+    // The job count grew: re-derive the arena bounds (capacity only
+    // ever grows, so steady-state injections are no-ops here).
+    reserveRunState();
+    debugCaptureCapacities();
 }
 
 void
 Soc::finishRun()
 {
+    debugCheckNoRealloc();
     stats_.cyclesSimulated = now_;
     stats_.memTraffic = mem_->traffic();
     stats_.l2Bytes = 0;

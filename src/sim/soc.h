@@ -38,7 +38,6 @@
 
 #include "mem/memory_model.h"
 #include "sim/config.h"
-#include "sim/event_queue.h"
 #include "sim/job.h"
 #include "sim/policy.h"
 #include "sim/trace.h"
@@ -131,19 +130,73 @@ class Soc
 
     // --- Policy-facing state inspection ------------------------------
 
-    /** All jobs, indexed by id (ids are dense, assigned by addJob). */
+    /** All cold job records, indexed by id (ids are dense, assigned
+     *  by addJob).  Per-step execution state lives in the hot array;
+     *  read it through jobState/jobTiles/jobLayer/jobStallUntil. */
     const std::vector<Job> &jobs() const { return jobs_; }
+    /** Cold record (spec, throttle engine, statistics) of one job. */
     Job &job(int id);
     const Job &job(int id) const;
 
-    /** Ids of jobs waiting (or paused) and visible at `now`. */
-    std::vector<int> waitingJobs() const;
-    /** Ids of running jobs. */
-    std::vector<int> runningJobs() const;
+    /** Lifecycle state of job `id` (hot array). */
+    JobState jobState(int id) const { return hot(id).state; }
+    /** Tiles currently allocated to job `id` (hot array). */
+    int jobTiles(int id) const { return hot(id).numTiles; }
+    /** Next layer index of job `id` (hot array). */
+    std::size_t jobLayer(int id) const { return hot(id).layerIdx; }
+    /** Current layer-block index of job `id` (hot array). */
+    std::size_t jobBlock(int id) const { return hot(id).blockIdx; }
+    /** Migration/preemption stall deadline of job `id` (hot array). */
+    Cycles jobStallUntil(int id) const { return hot(id).stallUntil; }
+
+    /**
+     * Ids of jobs waiting (or paused) and visible at `now`, sorted
+     * ascending.  The reference aliases live Soc state: it is
+     * invalidated by startJob/pauseJob — policies that start jobs
+     * while iterating must copy first.
+     */
+    const std::vector<int> &waitingJobs() const
+    {
+        // The set is mutated with O(1) append/swap-remove (keeping a
+        // sorted vector costs O(waiting) per arrival — quadratic on
+        // backlogged long-horizon runs) and only sorted back to the
+        // canonical ascending-id order when a reader actually looks.
+        sortWaitingView();
+        return waiting_ids_;
+    }
+    /**
+     * All job ids in dispatch order (sorted at beginRun; append-only
+     * afterwards — injectJob enforces nondecreasing dispatch).  The
+     * prefix [0, arrivedCount()) is exactly the set of jobs that have
+     * entered the waiting set, in the order they arrived (dispatch
+     * ascending, ids ascending on ties).  Policies can consume this
+     * with a cursor to track arrivals incrementally instead of
+     * re-scanning the waiting set.
+     */
+    const std::vector<int> &arrivalOrder() const
+    {
+        return arrival_order_;
+    }
+    /** Number of jobs that have arrived (see arrivalOrder()). */
+    std::size_t arrivedCount() const { return next_arrival_; }
+    /** Ids of running jobs, sorted ascending (aliases live state like
+     *  waitingJobs()). */
+    const std::vector<int> &runningJobs() const { return running_ids_; }
     /** Waiting/paused job count (no copy; dispatcher feedback). */
     std::size_t waitingCount() const { return waiting_ids_.size(); }
     /** Running job count (no copy; dispatcher feedback). */
     std::size_t runningCount() const { return running_ids_.size(); }
+    /**
+     * Change epoch of the waiting set: bumped whenever membership
+     * changes.  Policies can memoize derived per-waiting-set state
+     * across scheduling points whose epoch is unchanged (MoCA's
+     * running-set mix bias uses the running twin below; its admit
+     * queue is cached per job id instead, so it needs no epoch).
+     */
+    std::uint64_t waitingEpoch() const { return waiting_epoch_; }
+    /** Change epoch of the running set; also bumped when a running
+     *  job's tile allocation changes (resizeJob). */
+    std::uint64_t runningEpoch() const { return running_epoch_; }
     /** Tiles not allocated to any running job. */
     int freeTiles() const;
 
@@ -191,6 +244,15 @@ class Soc
     std::unique_ptr<mem::MemoryModel> mem_;
     Cycles now_ = 0;
 
+    /**
+     * Hot/cold job-state split: hot_ holds the per-step execution
+     * state (state, tiles, layer/block cursor, layer exec remnants,
+     * stall deadline) in a dense array the demand/advance scans walk;
+     * jobs_ holds everything else (spec, throttle engine, lifetime
+     * statistics), touched only at lifecycle events, reconfigurations
+     * and window accounting.  hot_[i] and jobs_[i] describe job i.
+     */
+    std::vector<JobHot> hot_;
     std::vector<Job> jobs_;
     std::vector<int> arrival_order_; ///< Job ids sorted by dispatch.
     std::size_t next_arrival_ = 0;   ///< Index into arrival_order_.
@@ -198,7 +260,6 @@ class Soc
     std::vector<JobResult> results_;
     SocStats stats_;
     TraceRecorder trace_;
-    EventQueue events_; ///< Scratch queue of the event kernel.
     /**
      * Ids of jobs in JobState::Running, kept sorted ascending (the
      * order the old jobs_ scan produced) and maintained by
@@ -207,9 +268,15 @@ class Soc
      * jobs); these counters keep the hot queries O(running jobs).
      */
     std::vector<int> running_ids_;
-    /** Ids of Waiting/Paused jobs, sorted ascending (see
-     *  running_ids_); maintained by admitArrivals/startJob/pauseJob. */
-    std::vector<int> waiting_ids_;
+    /** Ids of Waiting/Paused jobs; maintained unsorted with O(1)
+     *  append/swap-remove by admitArrivals/startJob/pauseJob, sorted
+     *  back to ascending-id order on read (waitingJobs()).  `mutable`
+     *  because the sort is a view-only canonicalization. */
+    mutable std::vector<int> waiting_ids_;
+    /** waiting_ids_ position by job id (-1: not waiting); rebuilt by
+     *  the view sort. */
+    mutable std::vector<int> waiting_pos_;
+    mutable bool waiting_view_sorted_ = true;
     int used_tiles_ = 0;       ///< Tiles of all running jobs.
     std::size_t done_jobs_ = 0;
     double dram_busy_cycles_ = 0.0;
@@ -217,6 +284,8 @@ class Soc
     bool sorted_ = false;
     bool began_ = false;       ///< beginRun() has armed the stepping.
     Cycles run_max_cycles_ = 0; ///< Deadlock bound of the current run.
+    std::uint64_t waiting_epoch_ = 0; ///< See waitingEpoch().
+    std::uint64_t running_epoch_ = 0; ///< See runningEpoch().
 
     void sortArrivals();
     bool allDone() const { return done_jobs_ == jobs_.size(); }
@@ -225,6 +294,12 @@ class Soc
     /** Insert/remove an id in a sorted id vector. */
     static void insertSorted(std::vector<int> &ids, int id);
     static void eraseSorted(std::vector<int> &ids, int id);
+
+    /** O(1) waiting-set mutation (see waiting_ids_). */
+    void waitingAdd(int id);
+    void waitingRemove(int id);
+    /** Restore the canonical ascending-id order of waiting_ids_. */
+    void sortWaitingView() const;
 
     /** Track a job entering/leaving the running set. */
     void addRunning(int id, int tiles);
@@ -236,8 +311,12 @@ class Soc
     /** Admit arrivals with dispatch <= now; returns true if any. */
     bool admitArrivals();
 
-    /** Initialize exec state for the job's current layer. */
-    void beginLayer(Job &job);
+    /** Hot execution state of one job (bounds-checked like job()). */
+    JobHot &hotRef(int id);
+    const JobHot &hot(int id) const;
+
+    /** Initialize exec state for job `id`'s current layer. */
+    void beginLayer(int id);
 
     // --- Shared step phases (both kernels) ----------------------------
 
@@ -268,38 +347,32 @@ class Soc
         bool complete;
     };
 
-    /** What one step did (advance-phase summary). */
-    struct StepOutcome
-    {
-        std::vector<BoundaryEvent> events;
-        double dramUsed = 0.0;
-    };
-
     /**
      * Handle the scheduling points at `now_`: admit due arrivals,
      * fire the periodic tick, and — when nothing is running — advance
      * idle time to the next arrival or tick (or invoke the policy one
      * last time before declaring deadlock), clamped to `horizon`
-     * (0 = unbounded).  Returns the running set; when empty the
-     * caller re-enters its loop.
+     * (0 = unbounded).  Returns true when jobs are running (the
+     * caller may step); false re-enters the caller's loop.
      */
-    std::vector<int> schedulingPoints(Cycles horizon);
+    bool schedulingPoints(Cycles horizon);
 
     /**
      * Demand phase: each running job's DMA byte demand over `horizon`
-     * cycles, capped by its private rate and throttle allowance.
-     * Initializes layer exec state as needed; no time accounting.
+     * cycles, capped by its private rate and throttle allowance,
+     * written into `out` (a per-step scratch buffer).  Initializes
+     * layer exec state as needed; no time accounting.
      */
-    std::vector<DemandEntry>
-    computeDemands(const std::vector<int> &running, Cycles horizon);
+    void computeDemands(const std::vector<int> &running, Cycles horizon,
+                        std::vector<DemandEntry> &out);
 
     /**
      * Arbitration phase: grant the shared DRAM channel (with the
      * oversubscription-thrash derate, accumulated into stats_) and
-     * L2 banks over `horizon`.
+     * L2 banks over `horizon`, written into `out`.
      */
-    ChannelGrants arbitrate(const std::vector<DemandEntry> &entries,
-                            Cycles horizon);
+    void arbitrate(const std::vector<DemandEntry> &entries,
+                   Cycles horizon, ChannelGrants &out);
 
     /** Grant/demand service ratio in (0, 1] for one entry. */
     double serviceRatio(const DemandEntry &e, double dram_grant,
@@ -308,17 +381,18 @@ class Soc
     /**
      * Advance phase: move every entry forward by `horizon` cycles
      * (stalled jobs accrue stall time), consuming granted bytes.
-     * Does not advance now_.
+     * Records boundary/completion events in boundary_scratch_; does
+     * not advance now_.  Returns the step's consumed DRAM bytes.
      */
-    StepOutcome advanceEntries(const std::vector<DemandEntry> &entries,
-                               const ChannelGrants &grants,
-                               Cycles horizon);
+    double advanceEntries(const std::vector<DemandEntry> &entries,
+                          const ChannelGrants &grants, Cycles horizon);
 
     /** Close a step: advance now_, update stats. */
-    void accountStep(Cycles step, const StepOutcome &out);
+    void accountStep(Cycles step, double dram_used);
 
-    /** Fire block-boundary/completion hooks recorded by a step. */
-    void dispatchBoundaries(const std::vector<BoundaryEvent> &events);
+    /** Fire the block-boundary/completion hooks recorded in
+     *  boundary_scratch_ by the step's advance phase. */
+    void dispatchBoundaries();
 
     // --- Kernels ------------------------------------------------------
 
@@ -351,17 +425,40 @@ class Soc
         bool blockBoundary = false;
         bool jobComplete = false;
     };
-    AdvanceOutcome advanceJob(Job &job, Cycles quantum, double service,
+    AdvanceOutcome advanceJob(int id, Cycles quantum, double service,
                               double dram_budget, double l2_budget);
 
     /**
      * Remaining time of the current layer when the memory pipeline
      * runs at `service` x the job's private cap rates.
      */
-    double layerRemainingTime(const Job &job, double service) const;
+    double layerRemainingTime(const JobHot &hot, double service) const;
 
-    void completeJob(Job &job);
+    void completeJob(int id);
     void invokePolicy(SchedEvent event);
+
+    // --- Per-step scratch ---------------------------------------------
+    //
+    // The demand/arbitrate/advance phases run tens of millions of
+    // times on long-horizon stress traces; these buffers are reserved
+    // once in beginRun() (running jobs are bounded by numTiles) so
+    // the hot loop never allocates.  Debug builds verify that no
+    // buffer reallocated during the run (debugCheckNoRealloc).
+    std::vector<DemandEntry> probe_scratch_;   ///< Event-kernel probe.
+    std::vector<DemandEntry> entries_scratch_; ///< Step demands.
+    std::vector<mem::MemRequest> requests_scratch_;
+    ChannelGrants grants_scratch_;
+    std::vector<BoundaryEvent> boundary_scratch_;
+
+#ifndef NDEBUG
+    /** Scratch/state capacities captured after beginRun's reserves. */
+    std::vector<std::size_t> debug_caps_;
+#endif
+    /** Reserve id sets, results, and per-step scratch from the job
+     *  count and tile count so the hot loop never grows a vector. */
+    void reserveRunState();
+    void debugCaptureCapacities();
+    void debugCheckNoRealloc() const;
 };
 
 } // namespace moca::sim

@@ -70,7 +70,8 @@ TEST(Errors, StartMoreTilesThanFreePanics)
         void
         schedule(sim::Soc &soc, sim::SchedEvent) override
         {
-            for (int id : soc.waitingJobs())
+            const std::vector<int> waiting = soc.waitingJobs();
+            for (int id : waiting)
                 soc.startJob(id, 16); // more than the SoC has
         }
     };

@@ -113,15 +113,17 @@ TEST(MemRegistry, UserRegisteredModel)
     struct GreedyModel : MemoryModel
     {
         const char *name() const override { return "greedy-test"; }
-        std::vector<MemGrant>
+        const std::vector<MemGrant> &
         arbitrate(const std::vector<MemRequest> &requests, Cycles,
                   MemStepStats &) override
         {
-            std::vector<MemGrant> g(requests.size());
+            grants_.assign(requests.size(), MemGrant{});
             for (std::size_t i = 0; i < requests.size(); ++i)
-                g[i] = {requests[i].dramBytes, requests[i].l2Bytes};
-            return g;
+                grants_[i] = {requests[i].dramBytes,
+                              requests[i].l2Bytes};
+            return grants_;
         }
+        std::vector<MemGrant> grants_;
     };
     static MemoryModelRegistrar reg({
         "greedy-test",
