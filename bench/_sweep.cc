@@ -13,11 +13,11 @@
  *               [--json PATH] [timing=1 [timing_tasks=N]]
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "common/log.h"
 #include "common/table.h"
+#include "common/walltime.h"
 #include "exp/matrix.h"
 #include "exp/oracle.h"
 #include "exp/sweep/options.h"
@@ -29,10 +29,9 @@ namespace {
 double
 wallSeconds(const std::function<void()> &fn)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const WallTimer timer;
     fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(t1 - t0).count();
+    return timer.seconds();
 }
 
 /** Time the 36-cell fig5 grid at a given worker count. */

@@ -23,7 +23,6 @@
  *                      [kernel=quantum|event] ...
  */
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -33,6 +32,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "common/text.h"
+#include "common/walltime.h"
 #include "exp/oracle.h"
 #include "exp/sweep/options.h"
 
@@ -160,7 +160,7 @@ main(int argc, char **argv)
     }
 
     std::printf("running %zu fleet cells...\n\n", cells.size());
-    const auto t0 = std::chrono::steady_clock::now();
+    const WallTimer total_timer;
     exp::SweepRunner::runIndexed(
         cells.size(), opts.jobs, [&](std::size_t i) {
             Cell &cell = cells[i];
@@ -169,11 +169,9 @@ main(int argc, char **argv)
             cc.policy = cell.policy;
             cc.dispatcher = cell.dispatcher;
             cc.dispatcherSeed = seed;
-            const auto c0 = std::chrono::steady_clock::now();
+            const WallTimer cell_timer;
             cell.result = cluster::runCluster(cc, *cell.stream);
-            cell.wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - c0)
-                            .count();
+            cell.wall = cell_timer.seconds();
             if (opts.verbose)
                 std::printf("  [%zu/%zu] socs=%d %s %s done "
                             "(%.1f s)\n",
@@ -181,10 +179,7 @@ main(int argc, char **argv)
                             cell.dispatcher.c_str(),
                             cell.policy.c_str(), cell.wall);
         });
-    const double total_wall = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() -
-                                  t0)
-                                  .count();
+    const double total_wall = total_timer.seconds();
 
     Table t({"socs", "tasks", "dispatcher", "policy", "SLA",
              "SLA-hi", "p50n", "p99n", "STP", "balance", "steps",

@@ -26,7 +26,6 @@
  *                         [--json PATH] [kernel=quantum|event] ...
  */
 
-#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -35,6 +34,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "common/text.h"
+#include "common/walltime.h"
 #include "exp/registry.h"
 #include "exp/sweep/options.h"
 #include "mem/memory_model.h"
@@ -137,12 +137,10 @@ main(int argc, char **argv)
         sinks.add(std::make_unique<exp::CsvSink>(csv));
 
     std::printf("running %zu cells...\n\n", grid.size());
-    const auto t0 = std::chrono::steady_clock::now();
+    const WallTimer timer;
     const auto results =
         exp::SweepRunner(opts).run(grid, sinks.pointers());
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    const double wall = timer.seconds();
 
     Table t({"Mix", "Mem model", "Policy", "SLA", "p-High", "STP",
              "RowHit%", "BankCV", "L2 lost (MB)"});

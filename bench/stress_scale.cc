@@ -25,7 +25,6 @@
  * (steps, SLA) are never extrapolated — only wall clock is.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "common/text.h"
+#include "common/walltime.h"
 #include "exp/sweep/options.h"
 
 using namespace moca;
@@ -44,22 +44,19 @@ namespace {
 class TimingSink : public exp::ResultSink
 {
   public:
-    void start() { last_ = std::chrono::steady_clock::now(); }
+    void start() { timer_.restart(); }
 
     void
     onResult(std::size_t, const exp::SweepCell &,
              const exp::ScenarioResult &) override
     {
-        const auto now = std::chrono::steady_clock::now();
-        walls.push_back(
-            std::chrono::duration<double>(now - last_).count());
-        last_ = now;
+        walls.push_back(timer_.restart());
     }
 
     std::vector<double> walls;
 
   private:
-    std::chrono::steady_clock::time_point last_;
+    WallTimer timer_;
 };
 
 std::vector<int>
@@ -184,11 +181,9 @@ main(int argc, char **argv)
     auto run_grid = [&](const std::vector<exp::SweepCell> &grid,
                         TimingSink &sink, double &total) {
         sink.start();
-        const auto t0 = std::chrono::steady_clock::now();
+        const WallTimer grid_timer;
         const auto results = runner.run(grid, {&sink});
-        total = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+        total = grid_timer.seconds();
         return results;
     };
 

@@ -53,7 +53,10 @@ class ComputeEstimateCache
 
   private:
     sim::SocConfig cfg_;
-    /** (model uid, tiles) -> suffix[i] = estimate from layer i. */
+    /** (model uid, tiles) -> suffix[i] = estimate from layer i.
+     *  Audited for R1: lookup-only (find/emplace), never iterated,
+     *  so the unordered layout cannot feed a decision. */
+    // detlint: allow(R4) per-worker instance; lookup-only memo
     mutable std::unordered_map<std::uint64_t, std::vector<double>>
         suffix_;
 };

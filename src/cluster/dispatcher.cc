@@ -220,6 +220,7 @@ registerBuiltins(DispatcherRegistry &reg)
 DispatcherRegistry &
 DispatcherRegistry::instance()
 {
+    // detlint: allow(R4) magic-static init; read-only after startup
     static DispatcherRegistry reg = [] {
         DispatcherRegistry r;
         registerBuiltins(r);

@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,9 @@ namespace moca {
 
 namespace {
 
-LogLevel g_level = LogLevel::Normal;
+// Read from sweep worker threads (every inform()/verbose() call);
+// atomic so a main-thread setLogLevel() mid-sweep is not a data race.
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 
 std::string
 vformat(const char *fmt, va_list ap)

@@ -68,6 +68,7 @@ class SampleSet
 
   private:
     std::vector<double> samples_;
+    // detlint: allow(R4) per-instance lazy sort cache, not shared
     mutable std::vector<double> sorted_;
     mutable bool dirty_ = true;
 

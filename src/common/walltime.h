@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The sanctioned wall-clock shim.  detlint rule R2 bans raw
+ * `std::chrono::...::now()` reads outside src/common/ because host
+ * time must never leak into simulation results — wall time is only
+ * legitimate for *reporting* how long a bench took.  Routing every
+ * such read through this header keeps the two uses distinguishable
+ * at lint time: anything that imports <chrono> elsewhere is suspect.
+ *
+ * Nothing here may feed a scheduling or simulation decision.
+ */
+
+#ifndef MOCA_COMMON_WALLTIME_H
+#define MOCA_COMMON_WALLTIME_H
+
+#include <chrono>
+
+namespace moca {
+
+/**
+ * Monotonic stopwatch for bench/CLI reporting.  Starts at
+ * construction; `seconds()` reads the elapsed wall time and
+ * `restart()` re-arms it (returning the lap it closed).
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0_)
+            .count();
+    }
+
+    /** Close the current lap and start a new one. */
+    double restart()
+    {
+        const auto now = std::chrono::steady_clock::now();
+        const double lap =
+            std::chrono::duration<double>(now - t0_).count();
+        t0_ = now;
+        return lap;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace moca
+
+#endif // MOCA_COMMON_WALLTIME_H

@@ -27,6 +27,7 @@ Model::Model(std::string name, ModelSize size, std::vector<Layer> layers)
         total_macs_ += l.macCount();
         total_weight_bytes_ += l.weightBytes() + l.biasBytes();
     }
+    formBlocks();
 }
 
 std::uint64_t
@@ -35,12 +36,9 @@ Model::inputBytes() const
     return layers_.front().inputBytes();
 }
 
-const std::vector<LayerBlock> &
-Model::blocks() const
+void
+Model::formBlocks()
 {
-    if (!blocks_.empty())
-        return blocks_;
-
     LayerBlock cur;
     std::uint64_t cur_mem_traffic = 0;
     std::uint64_t cur_compute_traffic = 0;
@@ -87,7 +85,6 @@ Model::blocks() const
     if (covered != layers_.size())
         panic("block formation covered %zu of %zu layers in %s",
               covered, layers_.size(), name_.c_str());
-    return blocks_;
 }
 
 Model

@@ -73,8 +73,10 @@ class Model
     std::uint64_t inputBytes() const;
 
     /**
-     * Layer blocks formed by the greedy grouping below.  Computed once
-     * on first use.
+     * Layer blocks formed by the greedy grouping below.  Computed in
+     * the constructor: const Models are shared read-only across sweep
+     * worker threads, so block formation must not be lazy (a
+     * first-use write to a mutable cache would be a data race).
      *
      * Grouping rule: accumulate consecutive layers while (a) the
      * block's MAC total is below `block_mac_target` or the block would
@@ -84,7 +86,7 @@ class Model
      * compute block since they cannot be fused but are too short to
      * schedule alone.
      */
-    const std::vector<LayerBlock> &blocks() const;
+    const std::vector<LayerBlock> &blocks() const { return blocks_; }
 
     /** Number of blocks (forces block formation). */
     std::size_t numBlocks() const { return blocks().size(); }
@@ -97,7 +99,10 @@ class Model
     std::uint64_t total_macs_ = 0;
     std::uint64_t total_weight_bytes_ = 0;
 
-    mutable std::vector<LayerBlock> blocks_;
+    std::vector<LayerBlock> blocks_;
+
+    /** Greedy block formation (constructor-time; see blocks()). */
+    void formBlocks();
 
     /**
      * Block granularity: fine enough that memory-bound regions (e.g.

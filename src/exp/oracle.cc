@@ -90,6 +90,7 @@ cacheMutex()
 std::map<OracleKey, Cycles> &
 cache()
 {
+    // detlint: allow(R4) all access guarded by cacheMutex()
     static std::map<OracleKey, Cycles> c;
     return c;
 }

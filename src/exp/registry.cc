@@ -130,6 +130,7 @@ registerBuiltins(PolicyRegistry &reg)
 PolicyRegistry &
 PolicyRegistry::instance()
 {
+    // detlint: allow(R4) magic-static init; read-only after startup
     static PolicyRegistry reg = [] {
         PolicyRegistry r;
         registerBuiltins(r);

@@ -124,6 +124,7 @@ registerBuiltins(MemoryModelRegistry &reg)
 MemoryModelRegistry &
 MemoryModelRegistry::instance()
 {
+    // detlint: allow(R4) magic-static init; read-only after startup
     static MemoryModelRegistry reg = [] {
         MemoryModelRegistry r;
         registerBuiltins(r);

@@ -137,7 +137,9 @@ class MocaPolicy : public sim::Policy
      * scheduling point would walk every layer of every queued task —
      * quadratic in trace length on long-horizon stress runs.  Keyed
      * on the model's stable uid (not its address, which an allocator
-     * may reuse) packed with the tile count.
+     * may reuse) packed with the tile count.  Audited for detlint
+     * R1: keyed lookups only (find/emplace), never iterated, so the
+     * unordered layout cannot influence any scheduling decision.
      */
     std::unordered_map<std::uint64_t, ModelEstimate> estimate_memo_;
 

@@ -123,6 +123,9 @@ class LatencyModel
 
     sim::SocConfig cfg_;
     bool sparsityAware_ = true;
+    /** Audited for R1: keyed lookups only (find/emplace), never
+     *  iterated — sums come from the ordered suffix vectors. */
+    // detlint: allow(R4) per-worker instance; lookup-only memo
     mutable std::unordered_map<std::uint64_t, ModelCache> cache_;
 };
 

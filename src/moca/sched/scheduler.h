@@ -136,6 +136,7 @@ class MocaScheduler
      *  list, reused across scheduling rounds (each holds at most
      *  max_slots entries, so no O(waiting) storage or allocation per
      *  scheduling point of a long-horizon run). */
+    // detlint: allow(R4) per-instance scratch; never cross-thread
     mutable std::vector<Scored> mem_top_;
     mutable std::vector<Scored> cpu_top_;
     mutable std::vector<Scored> ex_;

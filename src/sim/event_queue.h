@@ -128,12 +128,14 @@ class EventQueue
     void grow();
 
     Cycles width_;
+    // detlint: allow(R4) per-Soc queue; a Soc runs on one thread
     mutable std::vector<std::vector<Entry>> buckets_;
     mutable std::uint64_t cur_day_ = 0;
     std::size_t live_ = 0;
     std::vector<SlotState> slots_;
 
     // settle() cache: position of the current minimum.
+    // detlint: allow(R4) per-Soc queue; a Soc runs on one thread
     mutable bool top_valid_ = false;
     mutable std::size_t top_bucket_ = 0;
     mutable std::size_t top_pos_ = 0;

@@ -272,9 +272,11 @@ class Soc
      *  append/swap-remove by admitArrivals/startJob/pauseJob, sorted
      *  back to ascending-id order on read (waitingJobs()).  `mutable`
      *  because the sort is a view-only canonicalization. */
+    // detlint: allow(R4) per-Soc view cache; a Soc runs on one thread
     mutable std::vector<int> waiting_ids_;
     /** waiting_ids_ position by job id (-1: not waiting); rebuilt by
      *  the view sort. */
+    // detlint: allow(R4) per-Soc view cache; a Soc runs on one thread
     mutable std::vector<int> waiting_pos_;
     mutable bool waiting_view_sorted_ = true;
     int used_tiles_ = 0;       ///< Tiles of all running jobs.

@@ -1,0 +1,44 @@
+// detlint fixture: R1 — iteration over unordered containers.
+// Expected: two R1 findings (range-for, iterator loop), one
+// suppressed range-for, and a lookup-only map with no finding.
+#include <unordered_map>
+#include <unordered_set>
+
+int
+positiveRangeFor()
+{
+    std::unordered_map<int, int> weights;
+    int sum = 0;
+    for (const auto &kv : weights) // finding: R1
+        sum += kv.second;
+    return sum;
+}
+
+int
+positiveIteratorLoop()
+{
+    std::unordered_set<int> seen;
+    int n = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it) // finding: R1
+        ++n;
+    return n;
+}
+
+int
+suppressedRangeFor()
+{
+    std::unordered_map<int, int> histogram;
+    int sum = 0;
+    // detlint: allow(R1) order-insensitive reduction (sum)
+    for (const auto &kv : histogram)
+        sum += kv.second;
+    return sum;
+}
+
+int
+lookupOnlyIsClean(int key)
+{
+    std::unordered_map<int, int> memo;
+    auto it = memo.find(key);
+    return it == memo.end() ? 0 : it->second;
+}

@@ -1,0 +1,54 @@
+// detlint fixture: R2 — banned nondeterminism sources.
+// Expected: four R2 findings (rand, random_device, chrono now,
+// time) and one suppressed wall-clock read.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+positiveRand()
+{
+    return std::rand(); // finding: R2
+}
+
+unsigned
+positiveRandomDevice()
+{
+    std::random_device rd; // finding: R2
+    return rd();
+}
+
+long
+positiveChronoNow()
+{
+    auto t = std::chrono::steady_clock::now(); // finding: R2
+    return t.time_since_epoch().count();
+}
+
+long
+positiveTime()
+{
+    return time(nullptr); // finding: R2
+}
+
+double
+suppressedWallClock()
+{
+    // detlint: allow(R2) fixture demonstrating the suppression syntax
+    auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch())
+        .count();
+}
+
+struct Ev
+{
+    int time_ = 0;
+    int time() const { return time_; }
+};
+
+int
+timestampMemberIsClean(const Ev &e)
+{
+    return e.time(); // a member named like a clock is not a clock read
+}

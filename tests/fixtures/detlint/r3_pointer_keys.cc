@@ -1,0 +1,19 @@
+// detlint fixture: R3 — pointer-valued ordering/hash keys.
+// Expected: two R3 findings (map and unordered_set), one suppressed
+// map, and an id-keyed map with no finding.
+#include <map>
+#include <string>
+#include <unordered_set>
+
+struct Node
+{
+    int id = 0;
+};
+
+std::map<Node *, int> weightByNode;             // finding: R3
+std::unordered_set<const char *> internedNames; // finding: R3
+
+// detlint: allow(R3) values are compared via a total order on id
+std::map<Node *, int, bool (*)(Node *, Node *)> orderedByUid(nullptr);
+
+std::map<int, std::string> nameById; // clean: stable id key

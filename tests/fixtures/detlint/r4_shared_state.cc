@@ -1,0 +1,59 @@
+// detlint fixture: R4 — mutable shared state without adjacent
+// synchronization.  Expected: two R4 findings (static variable,
+// mutable member block), one suppressed static, and synchronized /
+// immutable cases with no finding.
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+int
+unsynchronizedCounter()
+{
+    static int calls = 0; // finding: R4
+    return ++calls;
+}
+
+class LazyView
+{
+  public:
+    const std::vector<int> &sorted() const;
+
+  private:
+    std::vector<int> data_;
+    mutable std::vector<int> sorted_; // finding: R4 (merged block)
+    mutable bool sorted_valid_ = false;
+};
+
+int
+suppressedRegistry()
+{
+    // detlint: allow(R4) written once before any worker starts
+    static int registered = 0;
+    return registered;
+}
+
+int
+synchronizedCounter()
+{
+    static std::atomic<int> calls{0}; // clean: atomic
+    return calls.fetch_add(1);
+}
+
+const std::string &
+guardedName()
+{
+    static std::mutex m; // clean: it is the lock
+    static std::string name;
+    std::lock_guard<std::mutex> lock(m);
+    return name;
+}
+
+constexpr int kTableSize = 64; // clean: immutable
+
+int
+perThreadScratch()
+{
+    static thread_local int scratch = 0; // clean: per-thread
+    return ++scratch;
+}

@@ -1,0 +1,39 @@
+// detlint fixture: R5 — uninitialized POD members in *Config/*Spec
+// structs.  Expected: four R5 findings (int, double, and enum members
+// of FixtureConfig plus the int64 in FixtureTaskSpec), one suppressed
+// member, and initialized / non-POD members with no finding.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+enum class FixtureMode
+{
+    Fast,
+    Accurate,
+};
+
+struct FixtureConfig
+{
+    int tiles;        // finding: R5
+    double loadSlack; // finding: R5
+    FixtureMode mode; // finding: R5
+
+    // detlint: allow(R5) always overwritten by the parser before use
+    std::uint64_t seed;
+
+    int banks = 8;                  // clean: initialized
+    bool verbose = false;           // clean: initialized
+    std::string name;               // clean: default-constructed
+    std::vector<int> weights;       // clean: default-constructed
+};
+
+struct FixtureTaskSpec
+{
+    std::int64_t arrival; // finding: R5
+    int priority = 0;     // clean
+};
+
+struct PlainRecord
+{
+    int x; // clean: not a *Config/*Spec struct
+};

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the in-tree determinism linter (tools/detlint): the rule
+ * engine over checked-in fixture snippets (one positive and one
+ * suppressed case per rule), the suppression grammar, the JSON
+ * output, the exit-code contract, the config parser — and the
+ * repo-clean gate: the actual source tree must scan clean under the
+ * actual detlint.toml, mirroring what the lint CI job enforces.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/detlint/detlint.h"
+#include "tools/detlint/source_model.h"
+
+using namespace detlint;
+
+namespace {
+
+/** All rules everywhere: fixture paths are absolute, so the default
+ *  per-rule path gates (which use repo-relative globs) never match. */
+Config
+permissiveConfig()
+{
+    Config cfg = defaultConfig();
+    cfg.rules.clear();
+    cfg.exclude.clear();
+    return cfg;
+}
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+Report
+scanFixture(const std::string &name)
+{
+    Engine engine(permissiveConfig());
+    return engine.scanFiles({fixturePath(name)});
+}
+
+int
+countRule(const Report &r, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(r.findings.begin(), r.findings.end(),
+                      [&](const Finding &f) { return f.rule == rule; }));
+}
+
+Report
+scanText(const std::string &text, const Config &cfg,
+         const std::string &path = "snippet.cc")
+{
+    Engine engine(cfg);
+    Report report;
+    engine.scanSource(path, text, report);
+    return report;
+}
+
+// --- fixture snippets: one positive + one suppressed case per rule --
+
+TEST(DetlintRules, R1UnorderedIterationFixture)
+{
+    const Report r = scanFixture("r1_unordered_iteration.cc");
+    EXPECT_EQ(countRule(r, "R1"), 2); // range-for + iterator loop.
+    EXPECT_EQ(r.suppressed, 1);       // allow(R1) range-for.
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 2)
+        << formatText(r);
+}
+
+TEST(DetlintRules, R2NondeterminismSourcesFixture)
+{
+    const Report r = scanFixture("r2_nondeterminism_sources.cc");
+    EXPECT_EQ(countRule(r, "R2"), 4); // rand, random_device, now, time.
+    EXPECT_EQ(r.suppressed, 1);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 4)
+        << formatText(r);
+}
+
+TEST(DetlintRules, R3PointerKeysFixture)
+{
+    const Report r = scanFixture("r3_pointer_keys.cc");
+    EXPECT_EQ(countRule(r, "R3"), 2); // map + unordered_set.
+    EXPECT_EQ(r.suppressed, 1);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 2)
+        << formatText(r);
+}
+
+TEST(DetlintRules, R4SharedStateFixture)
+{
+    const Report r = scanFixture("r4_shared_state.cc");
+    // One static counter + one merged mutable-member block; the
+    // atomic, mutex-guarded, constexpr, and thread_local cases stay
+    // clean.
+    EXPECT_EQ(countRule(r, "R4"), 2) << formatText(r);
+    EXPECT_EQ(r.suppressed, 1);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 2)
+        << formatText(r);
+}
+
+TEST(DetlintRules, R5UninitializedConfigFixture)
+{
+    const Report r = scanFixture("r5_uninitialized_config.cc");
+    // int + double + enum in FixtureConfig, int64 in FixtureTaskSpec;
+    // PlainRecord is out of scope and initialized members are clean.
+    EXPECT_EQ(countRule(r, "R5"), 4) << formatText(r);
+    EXPECT_EQ(r.suppressed, 1);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 4)
+        << formatText(r);
+}
+
+// --- suppression grammar ---------------------------------------------
+
+TEST(DetlintSuppressions, ReasonlessAllowIsAFinding)
+{
+    const Report r = scanText("int f() {\n"
+                              "    // detlint: allow(R2)\n"
+                              "    return rand();\n"
+                              "}\n",
+                              permissiveConfig());
+    // The R2 finding is silenced, but the naked allow() is reported.
+    EXPECT_EQ(countRule(r, "R2"), 0);
+    EXPECT_EQ(countRule(r, "SUP"), 1);
+    EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(DetlintSuppressions, MalformedMarkerIsAFinding)
+{
+    const Report r = scanText("// detlint: alow(R2) typo\n"
+                              "int x = 0;\n",
+                              permissiveConfig());
+    EXPECT_EQ(countRule(r, "SUP"), 1);
+}
+
+TEST(DetlintSuppressions, SameLineAndLineAboveBothWork)
+{
+    const Config cfg = permissiveConfig();
+    const Report above = scanText(
+        "// detlint: allow(R2) deliberate\nint x = rand();\n", cfg);
+    EXPECT_EQ(static_cast<int>(above.findings.size()), 0);
+    EXPECT_EQ(above.suppressed, 1);
+
+    const Report inline_ = scanText(
+        "int x = rand(); // detlint: allow(R2) deliberate\n", cfg);
+    EXPECT_EQ(static_cast<int>(inline_.findings.size()), 0);
+    EXPECT_EQ(inline_.suppressed, 1);
+}
+
+TEST(DetlintSuppressions, WrongRuleDoesNotSuppress)
+{
+    const Report r = scanText(
+        "// detlint: allow(R1) wrong rule\nint x = rand();\n",
+        permissiveConfig());
+    EXPECT_EQ(countRule(r, "R2"), 1);
+    EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(DetlintSuppressions, MultiRuleAllowList)
+{
+    const Report r = scanText(
+        "// detlint: allow(R1, R2) both silenced here\n"
+        "int x = rand();\n",
+        permissiveConfig());
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 0);
+    EXPECT_EQ(r.suppressed, 1);
+}
+
+// --- output formats & exit-code contract -----------------------------
+
+TEST(DetlintReport, JsonRoundTrip)
+{
+    const Report r = scanFixture("r2_nondeterminism_sources.cc");
+    const std::string json = formatJson(r);
+
+    // Structural invariants a consumer relies on.
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"R2\""), std::string::npos);
+    EXPECT_NE(json.find("r2_nondeterminism_sources.cc"),
+              std::string::npos);
+
+    // Finding count round-trips: one {"rule": ...} object per finding.
+    std::size_t count = 0, at = 0;
+    while ((at = json.find("{\"rule\":", at)) != std::string::npos) {
+        ++count;
+        at += 8;
+    }
+    EXPECT_EQ(count, r.findings.size());
+
+    // Balanced braces (cheap well-formedness check; all strings in
+    // the report are escaped, so raw braces only come from syntax).
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(DetlintReport, JsonEscapesSpecials)
+{
+    Report r;
+    Finding f;
+    f.rule = "R2";
+    f.file = "a\"b.cc";
+    f.line = 1;
+    f.message = "tab\there";
+    f.snippet = "back\\slash";
+    r.findings.push_back(f);
+    const std::string json = formatJson(r);
+    EXPECT_NE(json.find("a\\\"b.cc"), std::string::npos);
+    EXPECT_NE(json.find("tab\\there"), std::string::npos);
+    EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+TEST(DetlintReport, ExitCodeContract)
+{
+    Report clean;
+    clean.filesScanned = 3;
+    clean.suppressed = 7; // Suppressed findings do not fail the run.
+    EXPECT_EQ(exitCode(clean), 0);
+
+    Report dirty = clean;
+    Finding f;
+    f.rule = "R1";
+    dirty.findings.push_back(f);
+    EXPECT_EQ(exitCode(dirty), 1);
+}
+
+TEST(DetlintReport, TextFormatNamesEveryFinding)
+{
+    const Report r = scanFixture("r1_unordered_iteration.cc");
+    const std::string text = formatText(r);
+    EXPECT_NE(text.find("[R1]"), std::string::npos);
+    EXPECT_NE(text.find("r1_unordered_iteration.cc:"),
+              std::string::npos);
+    EXPECT_NE(text.find("suppressed"), std::string::npos);
+}
+
+// --- config parsing ---------------------------------------------------
+
+TEST(DetlintConfig, ParsesSectionsAndLists)
+{
+    Config cfg = defaultConfig();
+    std::string err;
+    const std::string toml =
+        "# comment\n"
+        "[paths]\n"
+        "include = [\"src\", \"bench\"]\n"
+        "exclude = [\"tests/fixtures\"]\n"
+        "[types]\n"
+        "extra_scalars = [\"Cycles\", \"NodeId\"]\n"
+        "[rule.R2]\n"
+        "exclude = [\"src/common\"]\n"
+        "[rule.R9]\n"
+        "enabled = false\n";
+    ASSERT_TRUE(Config::parseToml(toml, cfg, &err)) << err;
+    EXPECT_EQ(cfg.include,
+              (std::vector<std::string>{"src", "bench"}));
+    EXPECT_EQ(cfg.extraScalars,
+              (std::vector<std::string>{"Cycles", "NodeId"}));
+    EXPECT_EQ(cfg.rules["R2"].exclude,
+              (std::vector<std::string>{"src/common"}));
+    EXPECT_FALSE(cfg.rules["R9"].enabled);
+}
+
+TEST(DetlintConfig, RejectsUnknownKeys)
+{
+    Config cfg = defaultConfig();
+    std::string err;
+    EXPECT_FALSE(
+        Config::parseToml("[paths]\nfrobnicate = \"x\"\n", cfg, &err));
+    EXPECT_NE(err.find("frobnicate"), std::string::npos);
+    EXPECT_FALSE(Config::parseToml("[nonsense]\nx = \"y\"\n", cfg,
+                                   &err));
+}
+
+TEST(DetlintConfig, DisabledRuleFiresNothing)
+{
+    Config cfg = permissiveConfig();
+    cfg.rules["R2"].enabled = false;
+    const Report r = scanText("int x = rand();\n", cfg);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 0);
+}
+
+TEST(DetlintConfig, PathMatching)
+{
+    EXPECT_TRUE(pathMatches("src", "src/sim/soc.cc"));
+    EXPECT_TRUE(pathMatches("src/common", "src/common/rng.cc"));
+    EXPECT_FALSE(pathMatches("src/common", "src/commonplace.cc"));
+    EXPECT_TRUE(pathMatches("*.cc", "bench/fig5_sla.cc"));
+    EXPECT_TRUE(pathMatches("tests/fixtures", "tests/fixtures/x.cc"));
+    EXPECT_FALSE(pathMatches("tests", "src/tests.cc"));
+    EXPECT_TRUE(pathMatches("src/*/soc.?", "src/sim/soc.h"));
+}
+
+TEST(DetlintConfig, RulePathGatingUsesConfig)
+{
+    Config cfg = permissiveConfig();
+    cfg.rules["R2"].exclude = {"vendored"};
+    const Report hit =
+        scanText("int x = rand();\n", cfg, "app/main.cc");
+    EXPECT_EQ(countRule(hit, "R2"), 1);
+    const Report skipped =
+        scanText("int x = rand();\n", cfg, "vendored/main.cc");
+    EXPECT_EQ(countRule(skipped, "R2"), 0);
+}
+
+// --- the repo itself scans clean -------------------------------------
+
+TEST(DetlintRepo, SourceTreeIsCleanUnderCheckedInConfig)
+{
+    // Mirror of the lint CI gate: the real tree, the real config.
+    const std::filesystem::path root(DETLINT_SOURCE_ROOT);
+    std::ifstream in(root / "detlint.toml");
+    ASSERT_TRUE(in) << "detlint.toml missing from repo root";
+    std::ostringstream body;
+    body << in.rdbuf();
+
+    Config cfg = defaultConfig();
+    std::string err;
+    ASSERT_TRUE(Config::parseToml(body.str(), cfg, &err)) << err;
+
+    const auto cwd = std::filesystem::current_path();
+    std::filesystem::current_path(root);
+    const std::vector<std::string> files =
+        expandPaths(cfg.include, cfg.exclude);
+    const Report report = Engine(cfg).scanFiles(files);
+    std::filesystem::current_path(cwd);
+
+    EXPECT_GT(report.filesScanned, 100);
+    EXPECT_EQ(static_cast<int>(report.findings.size()), 0)
+        << formatText(report);
+    // Every suppression in the tree must carry a reason; reasonless
+    // ones surface as SUP findings and fail the expectation above.
+}
+
+} // namespace

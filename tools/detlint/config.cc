@@ -1,0 +1,168 @@
+/**
+ * @file
+ * detlint configuration: built-in rule/path defaults plus a
+ * deliberately tiny TOML-subset parser for detlint.toml —
+ * `[section]` / `[rule.RN]` headers, `key = "string"` and
+ * `key = ["a", "b"]` entries, `#` comments.  Anything fancier is a
+ * parse error; the config format should never grow interesting
+ * enough to need a real TOML library.
+ */
+
+#include <cctype>
+#include <sstream>
+
+#include "tools/detlint/detlint.h"
+#include "tools/detlint/source_model.h"
+
+namespace detlint {
+
+Config
+defaultConfig()
+{
+    Config cfg;
+    cfg.include = {"src", "bench", "tests", "examples"};
+    cfg.exclude = {"tests/fixtures"};
+    cfg.extraScalars = {"Cycles"};
+    // Test code may iterate unordered containers (assertions are
+    // order-insensitive or sort first); decisions never flow from it.
+    cfg.rules["R1"].exclude = {"tests"};
+    // The sanctioned wall-clock/timing shims live in src/common/.
+    cfg.rules["R2"].exclude = {"src/common"};
+    // R4 polices code SweepRunner worker threads execute.
+    cfg.rules["R4"].include = {"src"};
+    return cfg;
+}
+
+namespace {
+
+/** Parse `"a"` or `["a", "b"]` into a string list. */
+bool
+parseStringList(const std::string &value,
+                std::vector<std::string> &out, std::string *err)
+{
+    std::string v = trimmed(value);
+    if (v.empty()) {
+        *err = "empty value";
+        return false;
+    }
+    auto takeString = [&](std::size_t &p, std::string &s) {
+        if (v[p] != '"')
+            return false;
+        std::size_t close = v.find('"', p + 1);
+        if (close == std::string::npos)
+            return false;
+        s = v.substr(p + 1, close - p - 1);
+        p = close + 1;
+        return true;
+    };
+    if (v[0] == '"') {
+        std::size_t p = 0;
+        std::string s;
+        if (!takeString(p, s)) {
+            *err = "unterminated string";
+            return false;
+        }
+        out.push_back(std::move(s));
+        return true;
+    }
+    if (v[0] == '[') {
+        std::size_t p = 1;
+        for (;;) {
+            while (p < v.size() &&
+                   (std::isspace(static_cast<unsigned char>(v[p])) ||
+                    v[p] == ','))
+                ++p;
+            if (p < v.size() && v[p] == ']')
+                return true;
+            std::string s;
+            if (p >= v.size() || !takeString(p, s)) {
+                *err = "malformed array";
+                return false;
+            }
+            out.push_back(std::move(s));
+        }
+    }
+    *err = "expected string or array";
+    return false;
+}
+
+} // namespace
+
+bool
+Config::parseToml(const std::string &text, Config &out,
+                  std::string *err)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = "detlint.toml:" + std::to_string(lineno) + ": " +
+                   what;
+        return false;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments outside strings.
+        bool inStr = false;
+        for (std::size_t p = 0; p < line.size(); ++p) {
+            if (line[p] == '"')
+                inStr = !inStr;
+            else if (line[p] == '#' && !inStr) {
+                line = line.substr(0, p);
+                break;
+            }
+        }
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail("unterminated section header");
+            section = trimmed(line.substr(1, line.size() - 2));
+            continue;
+        }
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("expected key = value");
+        std::string key = trimmed(line.substr(0, eq));
+        std::string value = trimmed(line.substr(eq + 1));
+        std::string lerr;
+
+        if (section == "paths") {
+            std::vector<std::string> *dst =
+                key == "include" ? &out.include
+                : key == "exclude" ? &out.exclude : nullptr;
+            if (dst == nullptr)
+                return fail("unknown [paths] key '" + key + "'");
+            dst->clear();
+            if (!parseStringList(value, *dst, &lerr))
+                return fail(lerr);
+        } else if (section == "types") {
+            if (key != "extra_scalars")
+                return fail("unknown [types] key '" + key + "'");
+            out.extraScalars.clear();
+            if (!parseStringList(value, out.extraScalars, &lerr))
+                return fail(lerr);
+        } else if (section.compare(0, 5, "rule.") == 0) {
+            RuleConfig &rc = out.rules[section.substr(5)];
+            if (key == "enabled") {
+                rc.enabled = trimmed(value) == "true";
+            } else if (key == "include" || key == "exclude") {
+                std::vector<std::string> &dst =
+                    key == "include" ? rc.include : rc.exclude;
+                dst.clear();
+                if (!parseStringList(value, dst, &lerr))
+                    return fail(lerr);
+            } else {
+                return fail("unknown rule key '" + key + "'");
+            }
+        } else {
+            return fail("unknown section '" + section + "'");
+        }
+    }
+    return true;
+}
+
+} // namespace detlint

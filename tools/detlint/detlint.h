@@ -1,0 +1,155 @@
+/**
+ * @file
+ * detlint — the repo's in-tree determinism & concurrency linter.
+ *
+ * The simulator's core promise is that every parallel path is
+ * bit-identical (`--jobs 1 == --jobs N`, sharded == serial) and every
+ * optimization is decision-identical.  Runtime differential tests
+ * catch a hazard only after it fires on a covered input; detlint
+ * rejects the hazard classes this codebase actually trades in at the
+ * source level, before they can land:
+ *
+ *   R1  iteration over std::unordered_map / std::unordered_set in
+ *       non-test code — iteration order is implementation-defined and
+ *       feeds scheduling decisions.
+ *   R2  banned nondeterminism sources: rand()/srand(),
+ *       std::random_device, time(), std::chrono::...::now(),
+ *       pthread_self(), std::this_thread::get_id() — anywhere outside
+ *       the sanctioned timing shims in src/common/.
+ *   R3  pointer-valued ordering / hash keys (std::map<T*, ...> and
+ *       friends) — address order varies run to run.
+ *   R4  mutable shared state (non-const `static` variables, `mutable`
+ *       members) without an adjacent mutex/atomic mention, in code
+ *       that SweepRunner worker threads reach.
+ *   R5  uninitialized POD members in *Config / *Spec structs — a
+ *       forgotten field reads stack garbage, nondeterministically.
+ *
+ * Findings are suppressed with
+ *
+ *   // detlint: allow(R1) lookup-only memo, never iterated
+ *
+ * on the same line or the line directly above; a suppression without
+ * a reason string is itself a finding (rule SUP).  detlint is a
+ * token/line-level scanner, not a compiler: the rules are heuristics
+ * tuned to this codebase's idiom, and the suppression grammar is the
+ * escape hatch for the false positives a text scanner cannot avoid.
+ */
+
+#ifndef MOCA_TOOLS_DETLINT_H
+#define MOCA_TOOLS_DETLINT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+/** One rule violation (or suppression-grammar error, rule "SUP"). */
+struct Finding
+{
+    std::string rule;    ///< "R1".."R5" or "SUP".
+    std::string file;    ///< Path as given to the scanner.
+    int line = 0;        ///< 1-based source line.
+    std::string message; ///< Human-readable explanation.
+    std::string snippet; ///< Trimmed source line for context.
+};
+
+/** Per-rule path gating (merged over the built-in defaults). */
+struct RuleConfig
+{
+    bool enabled = true;
+
+    /** When non-empty, the rule fires only under these path globs. */
+    std::vector<std::string> include;
+
+    /** Path globs the rule never fires under. */
+    std::vector<std::string> exclude;
+};
+
+/** Parsed detlint.toml (a deliberately tiny TOML subset: [section]
+ *  headers, `key = "str"` and `key = ["a", "b"]` entries). */
+struct Config
+{
+    /** Scan roots ([paths] include), relative to the config file. */
+    std::vector<std::string> include;
+
+    /** Path globs excluded from every rule ([paths] exclude). */
+    std::vector<std::string> exclude;
+
+    /** Extra scalar type names R5 treats as POD (e.g. "Cycles"). */
+    std::vector<std::string> extraScalars;
+
+    /** Per-rule overrides keyed by rule id ([rule.R2] sections). */
+    std::map<std::string, RuleConfig> rules;
+
+    /**
+     * Parse a config from TOML text.  On grammar errors returns
+     * false and sets `err`; the config is left partially filled.
+     */
+    static bool parseToml(const std::string &text, Config &out,
+                          std::string *err);
+};
+
+/** Everything one scan produced. */
+struct Report
+{
+    std::vector<Finding> findings;
+    int filesScanned = 0;
+    int suppressed = 0; ///< Findings silenced by allow() comments.
+};
+
+/** Built-in per-rule path defaults (before config overrides):
+ *  R1 skips tests/, R2 skips src/common/, R4 fires only under src/. */
+Config defaultConfig();
+
+/** The rule engine.  Thread-compatible: one Engine per thread. */
+class Engine
+{
+  public:
+    explicit Engine(Config cfg = defaultConfig());
+
+    /**
+     * Scan one file's contents.  `path` is used for per-rule path
+     * gating and in findings; `text` is the file body.  Appends to
+     * `out` and bumps its counters.
+     */
+    void scanSource(const std::string &path, const std::string &text,
+                    Report &out) const;
+
+    /** Read and scan files from disk (missing file -> SUP finding). */
+    Report scanFiles(const std::vector<std::string> &paths) const;
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+
+    bool ruleApplies(const std::string &rule,
+                     const std::string &path) const;
+};
+
+/** Source-file extensions the directory walker picks up. */
+bool isSourceFile(const std::string &path);
+
+/** Recursively expand files/directories into a sorted file list. */
+std::vector<std::string>
+expandPaths(const std::vector<std::string> &paths,
+            const std::vector<std::string> &excludeGlobs);
+
+/** fnmatch-lite: `*` and `?` (both match across '/'); a pattern
+ *  without wildcards matches any path equal to it or under it. */
+bool pathMatches(const std::string &pattern, const std::string &path);
+
+/** Render a report for humans: one `file:line: [rule] message` line
+ *  per finding plus a trailing summary. */
+std::string formatText(const Report &report);
+
+/** Render a report as JSON (stable key order, \n-terminated). */
+std::string formatJson(const Report &report);
+
+/** CI contract: 0 clean, 1 unsuppressed findings. */
+int exitCode(const Report &report);
+
+} // namespace detlint
+
+#endif // MOCA_TOOLS_DETLINT_H

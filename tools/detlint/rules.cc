@@ -1,0 +1,635 @@
+/**
+ * @file
+ * detlint rule implementations.  Each rule is a heuristic scan over
+ * the blanked source model (comments and string literals removed);
+ * see detlint.h for the rule catalogue and rationale.  The engine
+ * runs every applicable rule, then applies `detlint: allow(...)`
+ * suppressions (same line or the line directly above a finding).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "tools/detlint/detlint.h"
+#include "tools/detlint/source_model.h"
+
+namespace detlint {
+
+namespace {
+
+// --- shared helpers ---------------------------------------------------
+
+/** Identifier token starting at joined[pos]? Returns its length. */
+std::size_t
+identAt(const std::string &text, std::size_t pos)
+{
+    auto isIdent = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (pos >= text.size() || !isIdent(text[pos]) ||
+        std::isdigit(static_cast<unsigned char>(text[pos])))
+        return 0;
+    if (pos > 0 && isIdent(text[pos - 1]))
+        return 0; // Mid-identifier.
+    std::size_t e = pos;
+    while (e < text.size() && isIdent(text[e]))
+        ++e;
+    return e - pos;
+}
+
+/** Offset of the next non-whitespace character at or after pos. */
+std::size_t
+skipWs(const std::string &text, std::size_t pos)
+{
+    while (pos < text.size() && std::isspace(
+               static_cast<unsigned char>(text[pos])))
+        ++pos;
+    return pos;
+}
+
+/** Every occurrence of identifier `word` in `text` (word-bounded). */
+std::vector<std::size_t>
+findIdent(const std::string &text, const std::string &word)
+{
+    std::vector<std::size_t> hits;
+    std::size_t at = 0;
+    while ((at = text.find(word, at)) != std::string::npos) {
+        if (identAt(text, at) == word.size())
+            hits.push_back(at);
+        at += word.size();
+    }
+    return hits;
+}
+
+/** Names of unordered containers declared in this file (R1). */
+std::set<std::string>
+collectUnorderedNames(const SourceFile &f)
+{
+    std::set<std::string> names;
+    for (const char *kind : {"unordered_map", "unordered_set"}) {
+        for (std::size_t at : findIdent(f.joined, kind)) {
+            std::size_t lt = skipWs(f.joined, at + std::string(kind)
+                                                       .size());
+            if (lt >= f.joined.size() || f.joined[lt] != '<')
+                continue;
+            std::size_t close = matchAngle(f.joined, lt);
+            if (close == std::string::npos)
+                continue;
+            std::size_t p = skipWs(f.joined, close);
+            // Skip references; `const unordered_map<...> &name`.
+            while (p < f.joined.size() &&
+                   (f.joined[p] == '&' || f.joined[p] == '*'))
+                p = skipWs(f.joined, p + 1);
+            std::size_t len = identAt(f.joined, p);
+            if (len > 0)
+                names.insert(f.joined.substr(p, len));
+        }
+    }
+    return names;
+}
+
+/** Trimmed raw source line for a 1-based line number. */
+std::string
+snippetFor(const SourceFile &f, int line)
+{
+    if (line < 1 || line > static_cast<int>(f.raw.size()))
+        return "";
+    return trimmed(f.raw[static_cast<std::size_t>(line - 1)]);
+}
+
+void
+add(std::vector<Finding> &out, const SourceFile &f,
+    const std::string &rule, int line, std::string message)
+{
+    Finding fd;
+    fd.rule = rule;
+    fd.file = f.path;
+    fd.line = line;
+    fd.message = std::move(message);
+    fd.snippet = snippetFor(f, line);
+    out.push_back(std::move(fd));
+}
+
+// --- R1: iteration over unordered containers --------------------------
+
+void
+ruleR1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const std::set<std::string> names = collectUnorderedNames(f);
+    if (names.empty())
+        return;
+
+    // Range-for whose sequence expression resolves to a collected
+    // name: `for (decl : expr)`.
+    for (std::size_t at : findIdent(f.joined, "for")) {
+        std::size_t open = skipWs(f.joined, at + 3);
+        if (open >= f.joined.size() || f.joined[open] != '(')
+            continue;
+        int depth = 0;
+        std::size_t close = open;
+        for (; close < f.joined.size(); ++close) {
+            if (f.joined[close] == '(')
+                ++depth;
+            else if (f.joined[close] == ')' && --depth == 0)
+                break;
+        }
+        if (close >= f.joined.size())
+            continue;
+        std::string body = f.joined.substr(open + 1, close - open - 1);
+        if (body.find(';') != std::string::npos)
+            continue; // Classic three-clause for.
+        // Top-level ':' (not '::').
+        std::size_t colon = std::string::npos;
+        int d = 0;
+        for (std::size_t p = 0; p < body.size(); ++p) {
+            char c = body[p];
+            if (c == '(' || c == '[' || c == '{')
+                ++d;
+            else if (c == ')' || c == ']' || c == '}')
+                --d;
+            else if (c == ':' && d == 0) {
+                if ((p + 1 < body.size() && body[p + 1] == ':') ||
+                    (p > 0 && body[p - 1] == ':'))
+                    continue;
+                colon = p;
+                break;
+            }
+        }
+        if (colon == std::string::npos)
+            continue;
+        std::string rhs = body.substr(colon + 1);
+        if (rhs.find('(') != std::string::npos)
+            continue; // Call expression; unresolvable by name.
+        for (const Token &t : tokenize(rhs)) {
+            if (t.isIdent && names.count(t.text)) {
+                add(out, f, "R1", f.lineOfOffset(at),
+                    "range-for over unordered container '" + t.text +
+                        "' — iteration order is "
+                        "implementation-defined and nondeterministic "
+                        "across platforms");
+                break;
+            }
+        }
+    }
+
+    // Iterator walks: name.begin() / name.cbegin() / name.rbegin().
+    // A bare `.end()` is NOT flagged — `it == memo.end()` is the
+    // sentinel comparison of a keyed lookup, which is order-safe;
+    // only obtaining a begin iterator implies traversal.
+    for (const std::string &name : names) {
+        for (std::size_t at : findIdent(f.joined, name)) {
+            std::size_t p = skipWs(f.joined, at + name.size());
+            if (p >= f.joined.size() || f.joined[p] != '.')
+                continue;
+            p = skipWs(f.joined, p + 1);
+            for (const char *m : {"begin", "cbegin", "rbegin"}) {
+                std::size_t len = std::string(m).size();
+                if (identAt(f.joined, p) == len &&
+                    f.joined.compare(p, len, m) == 0) {
+                    add(out, f, "R1", f.lineOfOffset(at),
+                        "iterator over unordered container '" + name +
+                            "' — visiting order is nondeterministic");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// --- R2: banned nondeterminism sources --------------------------------
+
+void
+ruleR2(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+        const std::vector<Token> toks = tokenize(f.code[i]);
+        const int line = static_cast<int>(i) + 1;
+        for (std::size_t t = 0; t < toks.size(); ++t) {
+            if (!toks[t].isIdent)
+                continue;
+            const std::string &id = toks[t].text;
+            auto prev = [&](std::size_t back) -> const std::string & {
+                static const std::string none;
+                return t >= back ? toks[t - back].text : none;
+            };
+            const bool call = t + 1 < toks.size() &&
+                              toks[t + 1].text == "(";
+            const bool member =
+                prev(1) == "." || prev(1) == "->";
+            const bool stdQual =
+                prev(1) != "::" || prev(2) == "std";
+            // `Cycles time() const` declares a function named like a
+            // banned source; only flag call expressions.  A previous
+            // identifier is a declaration's return type — except
+            // keywords that legally precede a call expression.
+            bool declaration = false;
+            if (t >= 1 && toks[t - 1].isIdent) {
+                static const char *preceders[] = {"return", "case",
+                                                  "else", "do",
+                                                  "co_return"};
+                declaration = true;
+                for (const char *k : preceders)
+                    if (toks[t - 1].text == k)
+                        declaration = false;
+            }
+
+            if ((id == "rand" || id == "srand") && call && !member &&
+                !declaration && stdQual) {
+                add(out, f, "R2", line,
+                    "'" + id + "()' — libc PRNG with hidden global "
+                    "state; use the seeded moca::Rng");
+            } else if (id == "random_device") {
+                add(out, f, "R2", line,
+                    "'std::random_device' — hardware entropy is "
+                    "nondeterministic by design; use the seeded "
+                    "moca::Rng");
+            } else if (id == "time" && call && !member &&
+                       !declaration && stdQual) {
+                add(out, f, "R2", line,
+                    "'time()' — wall-clock reads leak host time into "
+                    "results; use simulated cycles or the "
+                    "common/walltime.h shim");
+            } else if (id == "now" && call && prev(1) == "::") {
+                add(out, f, "R2", line,
+                    "'" + prev(2) + "::now()' — wall-clock reads are "
+                    "nondeterministic; route timing through "
+                    "common/walltime.h");
+            } else if (id == "pthread_self" ||
+                       (id == "get_id" && call && !declaration)) {
+                add(out, f, "R2", line,
+                    "thread-identity call '" + id + "' — decisions "
+                    "keyed on thread ids break the jobs=1 == jobs=N "
+                    "contract");
+            }
+        }
+    }
+}
+
+// --- R3: pointer-valued ordering / hash keys --------------------------
+
+void
+ruleR3(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (const char *kind :
+         {"map", "set", "multimap", "multiset", "unordered_map",
+          "unordered_set"}) {
+        for (std::size_t at : findIdent(f.joined, kind)) {
+            std::size_t lt =
+                skipWs(f.joined, at + std::string(kind).size());
+            if (lt >= f.joined.size() || f.joined[lt] != '<')
+                continue;
+            std::size_t close = matchAngle(f.joined, lt);
+            if (close == std::string::npos)
+                continue;
+            // First top-level template argument == the key type.
+            std::string args =
+                f.joined.substr(lt + 1, close - lt - 2);
+            int d = 0;
+            std::size_t end = args.size();
+            for (std::size_t p = 0; p < args.size(); ++p) {
+                char c = args[p];
+                if (c == '<' || c == '(')
+                    ++d;
+                else if (c == '>' || c == ')')
+                    --d;
+                else if (c == ',' && d == 0) {
+                    end = p;
+                    break;
+                }
+            }
+            std::string key = args.substr(0, end);
+            if (key.find('*') != std::string::npos) {
+                add(out, f, "R3", f.lineOfOffset(at),
+                    "pointer-valued key in std::" + std::string(kind) +
+                        "<" + trimmed(key) + ", ...> — address order "
+                        "varies run to run; key on a stable id "
+                        "instead");
+            }
+        }
+    }
+}
+
+// --- R4: shared mutable state without synchronization -----------------
+
+/** Any synchronization vocabulary within ±window lines? */
+bool
+syncNearby(const SourceFile &f, std::size_t lineIdx,
+           std::size_t window)
+{
+    static const char *words[] = {"mutex",      "atomic",
+                                  "lock_guard", "unique_lock",
+                                  "scoped_lock", "once_flag",
+                                  "call_once",  "shared_lock"};
+    std::size_t lo = lineIdx >= window ? lineIdx - window : 0;
+    std::size_t hi = std::min(f.code.size(), lineIdx + window + 1);
+    for (std::size_t i = lo; i < hi; ++i)
+        for (const char *w : words)
+            if (f.code[i].find(w) != std::string::npos)
+                return true;
+    return false;
+}
+
+void
+ruleR4(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (const char *kw : {"static", "mutable"}) {
+        // Adjacent declarations (a block of mutable members) merge
+        // into one finding so one allow() can cover the block.
+        int lastFlagged = -2;
+        for (std::size_t at : findIdent(f.joined, kw)) {
+            // `) mutable {` is a lambda qualifier, not a member.
+            std::size_t before = at;
+            while (before > 0 && std::isspace(static_cast<unsigned char>(
+                                     f.joined[before - 1])))
+                --before;
+            if (before > 0 && f.joined[before - 1] == ')')
+                continue;
+            // Logical statement: tokens from the keyword to the first
+            // of ';', '=', '(' or '{'.  A '(' first means a function
+            // declaration — not state.
+            std::size_t stop = f.joined.find_first_of(";=({", at);
+            if (stop == std::string::npos)
+                continue;
+            if (f.joined[stop] == '(')
+                continue;
+            std::string decl = f.joined.substr(at, stop - at);
+            bool immutable = false;
+            for (const Token &t : tokenize(decl)) {
+                if (t.text == "const" || t.text == "constexpr" ||
+                    t.text == "thread_local") {
+                    immutable = true;
+                    break;
+                }
+            }
+            if (immutable)
+                continue;
+            const int line = f.lineOfOffset(at);
+            const std::size_t lineIdx =
+                static_cast<std::size_t>(line - 1);
+            if (syncNearby(f, lineIdx, 5))
+                continue;
+            if (line <= lastFlagged + 1) {
+                lastFlagged = line; // Extend the merged block.
+                continue;
+            }
+            lastFlagged = line;
+            add(out, f, "R4", line,
+                std::string(kw == std::string("static")
+                                ? "static variable"
+                                : "mutable member(s)") +
+                    " with no mutex/atomic nearby — if SweepRunner "
+                    "workers can reach this, synchronize it, make it "
+                    "per-instance, or allow() with the reason it is "
+                    "safe");
+        }
+    }
+}
+
+// --- R5: uninitialized POD members in *Config / *Spec structs ---------
+
+/** Enum type names declared anywhere in this file. */
+std::set<std::string>
+collectEnums(const std::string &joined)
+{
+    std::set<std::string> enums;
+    for (std::size_t at : findIdent(joined, "enum")) {
+        std::size_t p = skipWs(joined, at + 4);
+        for (const char *kw : {"class", "struct"}) {
+            std::size_t len = std::string(kw).size();
+            if (identAt(joined, p) == len &&
+                joined.compare(p, len, kw) == 0)
+                p = skipWs(joined, p + len);
+        }
+        std::size_t len = identAt(joined, p);
+        if (len > 0)
+            enums.insert(joined.substr(p, len));
+    }
+    return enums;
+}
+
+bool
+isScalarType(const std::vector<Token> &typeToks,
+             const std::set<std::string> &scalars)
+{
+    for (const Token &t : typeToks) {
+        if (t.text == "<")
+            return false; // Template args are not the member's type;
+                          // std::vector<int> is default-constructed.
+        if (t.text == "*")
+            return true; // Pointer member.
+        if (!t.isIdent)
+            continue;
+        static const char *builtins[] = {
+            "int",    "long",   "short",     "char",   "bool",
+            "float",  "double", "unsigned",  "signed", "size_t",
+            "ptrdiff_t", "intptr_t", "uintptr_t"};
+        for (const char *b : builtins)
+            if (t.text == b)
+                return true;
+        // (u)int8/16/32/64_t and friends.
+        const std::string &s = t.text;
+        if (s.size() > 2 && s.compare(s.size() - 2, 2, "_t") == 0 &&
+            (s.compare(0, 3, "int") == 0 ||
+             s.compare(0, 4, "uint") == 0))
+            return true;
+        if (scalars.count(s))
+            return true;
+    }
+    return false;
+}
+
+void
+ruleR5(const SourceFile &f, const std::set<std::string> &scalars,
+       std::vector<Finding> &out)
+{
+    static const char *suffixes[] = {"Config", "Spec", "Options",
+                                     "Params"};
+    for (const char *intro : {"struct", "class"}) {
+        for (std::size_t at : findIdent(f.joined, intro)) {
+            std::size_t p = skipWs(f.joined,
+                                   at + std::string(intro).size());
+            std::size_t nameLen = identAt(f.joined, p);
+            if (nameLen == 0)
+                continue;
+            std::string name = f.joined.substr(p, nameLen);
+            bool matches = false;
+            for (const char *suf : suffixes) {
+                std::size_t n = std::string(suf).size();
+                if (name.size() >= n &&
+                    name.compare(name.size() - n, n, suf) == 0)
+                    matches = true;
+            }
+            if (!matches)
+                continue;
+            // Find the body '{' (skipping a base-clause); a ';'
+            // first means a forward declaration.
+            std::size_t open = p + nameLen;
+            while (open < f.joined.size() && f.joined[open] != '{' &&
+                   f.joined[open] != ';')
+                ++open;
+            if (open >= f.joined.size() || f.joined[open] == ';')
+                continue;
+
+            // Walk depth-1 statements of the body.
+            int depth = 1;
+            std::size_t stmtBegin = open + 1;
+            for (std::size_t q = open + 1;
+                 q < f.joined.size() && depth > 0; ++q) {
+                char c = f.joined[q];
+                if (c == '{' || c == '(') {
+                    ++depth;
+                } else if (c == ')') {
+                    --depth;
+                } else if (c == '}') {
+                    if (--depth == 0)
+                        break;
+                } else if (c == ';' && depth == 1) {
+                    std::string stmt =
+                        f.joined.substr(stmtBegin, q - stmtBegin);
+                    stmtBegin = q + 1;
+                    if (stmt.find('=') != std::string::npos ||
+                        stmt.find('{') != std::string::npos ||
+                        stmt.find('(') != std::string::npos)
+                        continue; // Initialized, or a function.
+                    std::vector<Token> toks = tokenize(stmt);
+                    // Drop access specifiers and skip non-data
+                    // statements.
+                    while (toks.size() >= 2 && toks[1].text == ":" &&
+                           (toks[0].text == "public" ||
+                            toks[0].text == "private" ||
+                            toks[0].text == "protected"))
+                        toks.erase(toks.begin(), toks.begin() + 2);
+                    if (toks.size() < 2 || !toks.back().isIdent)
+                        continue;
+                    bool skip = false;
+                    for (const Token &t : toks)
+                        if (t.text == "using" ||
+                            t.text == "typedef" ||
+                            t.text == "friend" ||
+                            t.text == "enum" || t.text == "struct" ||
+                            t.text == "class" || t.text == "static")
+                            skip = true;
+                    if (skip)
+                        continue;
+                    std::vector<Token> typeToks(toks.begin(),
+                                                toks.end() - 1);
+                    if (!isScalarType(typeToks, scalars))
+                        continue;
+                    const std::size_t stmtOff =
+                        stmtBegin - stmt.size() - 1;
+                    add(out, f, "R5",
+                        f.lineOfOffset(stmtOff + toks.back().offset),
+                        "member '" + toks.back().text + "' of " +
+                            name + " has no initializer — a "
+                            "forgotten field reads indeterminate "
+                            "memory");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// --- engine -----------------------------------------------------------
+
+Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {}
+
+bool
+Engine::ruleApplies(const std::string &rule,
+                    const std::string &path) const
+{
+    auto it = cfg_.rules.find(rule);
+    if (it == cfg_.rules.end())
+        return true;
+    const RuleConfig &rc = it->second;
+    if (!rc.enabled)
+        return false;
+    if (!rc.include.empty()) {
+        bool hit = false;
+        for (const std::string &g : rc.include)
+            if (pathMatches(g, path))
+                hit = true;
+        if (!hit)
+            return false;
+    }
+    for (const std::string &g : rc.exclude)
+        if (pathMatches(g, path))
+            return false;
+    return true;
+}
+
+void
+Engine::scanSource(const std::string &path, const std::string &text,
+                   Report &out) const
+{
+    std::string p = path;
+    if (p.compare(0, 2, "./") == 0)
+        p = p.substr(2);
+    const SourceFile f = buildSourceFile(p, text);
+    ++out.filesScanned;
+
+    std::vector<Finding> found;
+    if (ruleApplies("R1", p))
+        ruleR1(f, found);
+    if (ruleApplies("R2", p))
+        ruleR2(f, found);
+    if (ruleApplies("R3", p))
+        ruleR3(f, found);
+    if (ruleApplies("R4", p))
+        ruleR4(f, found);
+    if (ruleApplies("R5", p)) {
+        std::set<std::string> scalars = collectEnums(f.joined);
+        scalars.insert(cfg_.extraScalars.begin(),
+                       cfg_.extraScalars.end());
+        ruleR5(f, scalars, found);
+    }
+
+    // Apply suppressions: a finding is silenced by an allow() for its
+    // rule on the same line or the line directly above.
+    std::vector<Finding> kept;
+    for (Finding &fd : found) {
+        bool silenced = false;
+        for (const Suppression &s : f.suppressions) {
+            if (s.line != fd.line && s.line != fd.line - 1)
+                continue;
+            if (std::find(s.rules.begin(), s.rules.end(), fd.rule) ==
+                s.rules.end())
+                continue;
+            s.used = true;
+            silenced = true;
+        }
+        if (silenced)
+            ++out.suppressed;
+        else
+            kept.push_back(std::move(fd));
+    }
+
+    // Suppression-grammar errors are findings in their own right:
+    // every allow() must carry a reason, and a stray/typo'd marker
+    // must not silently do nothing.
+    for (const Suppression &s : f.suppressions) {
+        if (s.rules.size() == 1 && s.rules[0] == "SUP") {
+            add(kept, f, "SUP", s.line,
+                "malformed detlint marker — expected 'detlint: "
+                "allow(<rule>[,<rule>...]) <reason>'");
+        } else if (s.reason.empty()) {
+            add(kept, f, "SUP", s.line,
+                "suppression without a reason — every allow() must "
+                "say why the finding is safe");
+        }
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    out.findings.insert(out.findings.end(),
+                        std::make_move_iterator(kept.begin()),
+                        std::make_move_iterator(kept.end()));
+}
+
+} // namespace detlint

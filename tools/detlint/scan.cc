@@ -1,0 +1,347 @@
+/**
+ * @file
+ * detlint scanner: comment/string stripping, suppression parsing,
+ * tokenizing, and filesystem expansion.  The blanking pass preserves
+ * line count and per-line length so rule matches report accurate
+ * line numbers and the suppression grammar can key off the original
+ * comment text.
+ */
+
+#include "tools/detlint/source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/detlint/detlint.h"
+
+namespace detlint {
+
+namespace fs = std::filesystem;
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+int
+SourceFile::lineOfOffset(std::size_t off) const
+{
+    auto it = std::upper_bound(lineStart.begin(), lineStart.end(), off);
+    return static_cast<int>(it - lineStart.begin());
+}
+
+namespace {
+
+/** Parse `detlint: allow(R1,R2) reason` out of one line's comments. */
+void
+parseSuppression(const std::string &comment, int line,
+                 std::vector<Suppression> &out)
+{
+    const std::string marker = "detlint:";
+    std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    std::size_t p = at + marker.size();
+    while (p < comment.size() && std::isspace(
+               static_cast<unsigned char>(comment[p])))
+        ++p;
+    const std::string verb = "allow";
+    Suppression s;
+    s.line = line;
+    if (comment.compare(p, verb.size(), verb) != 0) {
+        // The marker followed by anything but allow(...) is a typo'd
+        // suppression; surface it rather than silently ignoring.
+        s.rules.push_back("SUP");
+        s.reason.clear();
+        out.push_back(std::move(s));
+        return;
+    }
+    p += verb.size();
+    while (p < comment.size() && std::isspace(
+               static_cast<unsigned char>(comment[p])))
+        ++p;
+    if (p >= comment.size() || comment[p] != '(') {
+        s.rules.push_back("SUP");
+        out.push_back(std::move(s));
+        return;
+    }
+    std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) {
+        s.rules.push_back("SUP");
+        out.push_back(std::move(s));
+        return;
+    }
+    std::string list = comment.substr(p + 1, close - p - 1);
+    std::string id;
+    std::istringstream iss(list);
+    while (std::getline(iss, id, ',')) {
+        id = trimmed(id);
+        if (!id.empty())
+            s.rules.push_back(id);
+    }
+    s.reason = trimmed(comment.substr(close + 1));
+    out.push_back(std::move(s));
+}
+
+} // namespace
+
+SourceFile
+buildSourceFile(const std::string &path, const std::string &text)
+{
+    SourceFile f;
+    f.path = path;
+
+    // Split keeping empty trailing lines irrelevant.
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            f.raw.push_back(text.substr(start));
+            break;
+        }
+        f.raw.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+
+    f.code.resize(f.raw.size());
+    f.comments.resize(f.raw.size());
+
+    bool inBlock = false;
+    for (std::size_t i = 0; i < f.raw.size(); ++i) {
+        const std::string &line = f.raw[i];
+        std::string code(line.size(), ' ');
+        std::string comment;
+        for (std::size_t p = 0; p < line.size();) {
+            if (inBlock) {
+                if (line.compare(p, 2, "*/") == 0) {
+                    inBlock = false;
+                    p += 2;
+                } else {
+                    comment += line[p];
+                    ++p;
+                }
+                continue;
+            }
+            char c = line[p];
+            if (c == '/' && p + 1 < line.size() && line[p + 1] == '/') {
+                comment += line.substr(p + 2);
+                break;
+            }
+            if (c == '/' && p + 1 < line.size() && line[p + 1] == '*') {
+                inBlock = true;
+                p += 2;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                char quote = c;
+                code[p] = quote;
+                ++p;
+                while (p < line.size()) {
+                    if (line[p] == '\\') {
+                        p += 2;
+                        continue;
+                    }
+                    if (line[p] == quote) {
+                        code[p] = quote;
+                        ++p;
+                        break;
+                    }
+                    ++p;
+                }
+                continue;
+            }
+            code[p] = c;
+            ++p;
+        }
+        f.code[i] = std::move(code);
+        f.comments[i] = comment;
+        if (!comment.empty())
+            parseSuppression(comment, static_cast<int>(i) + 1,
+                             f.suppressions);
+    }
+
+    f.lineStart.reserve(f.code.size());
+    for (const std::string &l : f.code) {
+        f.lineStart.push_back(f.joined.size());
+        f.joined += l;
+        f.joined += '\n';
+    }
+    return f;
+}
+
+std::vector<Token>
+tokenize(const std::string &codeLine)
+{
+    std::vector<Token> out;
+    std::size_t p = 0;
+    const std::size_t n = codeLine.size();
+    auto isIdentChar = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (p < n) {
+        char c = codeLine[p];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++p;
+            continue;
+        }
+        Token t;
+        t.offset = p;
+        if (isIdentChar(c)) {
+            std::size_t e = p;
+            while (e < n && isIdentChar(codeLine[e]))
+                ++e;
+            t.text = codeLine.substr(p, e - p);
+            t.isIdent = !std::isdigit(static_cast<unsigned char>(c));
+            p = e;
+        } else {
+            // Multi-char punctuation the rules care about.
+            static const char *multi[] = {"::", "->", "<=", ">=", "==",
+                                          "!=", "&&", "||", "+=", "-=",
+                                          "<<", ">>"};
+            t.text = std::string(1, c);
+            for (const char *m : multi) {
+                if (codeLine.compare(p, 2, m) == 0) {
+                    t.text = m;
+                    break;
+                }
+            }
+            p += t.text.size();
+        }
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::size_t
+matchAngle(const std::string &text, std::size_t pos)
+{
+    int depth = 0;
+    for (std::size_t p = pos; p < text.size(); ++p) {
+        char c = text[p];
+        if (c == '<') {
+            ++depth;
+        } else if (c == '>') {
+            if (--depth == 0)
+                return p + 1;
+        } else if (c == ';' || c == '{') {
+            // A template argument list never crosses these; treat as
+            // an operator< misparse.
+            return std::string::npos;
+        }
+    }
+    return std::string::npos;
+}
+
+bool
+isSourceFile(const std::string &path)
+{
+    static const char *exts[] = {".h", ".hh", ".hpp", ".cc", ".cpp",
+                                 ".cxx"};
+    for (const char *e : exts) {
+        std::size_t n = std::string(e).size();
+        if (path.size() > n && path.compare(path.size() - n, n, e) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+pathMatches(const std::string &pattern, const std::string &path)
+{
+    if (pattern.empty())
+        return false;
+    if (pattern.find('*') == std::string::npos &&
+        pattern.find('?') == std::string::npos) {
+        // Wildcard-free pattern: exact file or directory prefix.
+        if (path == pattern)
+            return true;
+        std::string pre = pattern;
+        if (pre.back() != '/')
+            pre += '/';
+        return path.compare(0, pre.size(), pre) == 0;
+    }
+    // Iterative glob: '*' and '?' match across '/' (fnmatch-lite).
+    std::size_t p = 0, s = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (s < path.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == path[s])) {
+            ++p;
+            ++s;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::vector<std::string>
+expandPaths(const std::vector<std::string> &paths,
+            const std::vector<std::string> &excludeGlobs)
+{
+    std::vector<std::string> files;
+    auto excluded = [&](const std::string &p) {
+        for (const std::string &g : excludeGlobs)
+            if (pathMatches(g, p))
+                return true;
+        return false;
+    };
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (auto it = fs::recursive_directory_iterator(p, ec);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                if (!it->is_regular_file(ec))
+                    continue;
+                std::string fp = it->path().generic_string();
+                if (isSourceFile(fp) && !excluded(fp))
+                    files.push_back(fp);
+            }
+        } else if (!excluded(p)) {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+Report
+Engine::scanFiles(const std::vector<std::string> &paths) const
+{
+    Report report;
+    for (const std::string &p : paths) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            Finding f;
+            f.rule = "SUP";
+            f.file = p;
+            f.line = 0;
+            f.message = "cannot read file";
+            report.findings.push_back(std::move(f));
+            continue;
+        }
+        std::ostringstream body;
+        body << in.rdbuf();
+        scanSource(p, body.str(), report);
+    }
+    return report;
+}
+
+} // namespace detlint

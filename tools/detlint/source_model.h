@@ -1,0 +1,78 @@
+/**
+ * @file
+ * detlint internals: the per-file source model the rules run over.
+ * Not installed; include only from the tool's own sources and the
+ * detlint test suite.
+ */
+
+#ifndef MOCA_TOOLS_DETLINT_SOURCE_MODEL_H
+#define MOCA_TOOLS_DETLINT_SOURCE_MODEL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+/** One parsed `// detlint: allow(R1,R4) reason` comment. */
+struct Suppression
+{
+    std::vector<std::string> rules; ///< Rule ids listed in allow().
+    int line = 0;                   ///< 1-based line of the comment.
+    std::string reason;             ///< Text after the closing paren.
+    mutable bool used = false;      ///< Silenced at least one finding.
+};
+
+/**
+ * A file prepared for rule scanning: `code[i]` is source line i with
+ * comments and string/char literals blanked out (same line count and
+ * per-line length as the original, so columns still align), and
+ * `comments[i]` is the comment text found on line i (for the
+ * suppression grammar).
+ */
+struct SourceFile
+{
+    std::string path;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::string> comments;
+    std::vector<Suppression> suppressions;
+
+    /** Whole blanked body joined with '\n' (for cross-line matches);
+     *  byte offsets map back to lines via lineOfOffset. */
+    std::string joined;
+    std::vector<std::size_t> lineStart; ///< joined offset of line i.
+
+    /** 1-based line containing joined-text offset `off`. */
+    int lineOfOffset(std::size_t off) const;
+};
+
+/** Build the model: split lines, strip comments/strings (tracking
+ *  block comments across lines), parse suppressions. */
+SourceFile buildSourceFile(const std::string &path,
+                           const std::string &text);
+
+/** A lexed token of a blanked code line. */
+struct Token
+{
+    std::string text;
+    std::size_t offset = 0; ///< Byte offset within the line.
+    bool isIdent = false;
+};
+
+/** Lex identifiers / numbers / (multi-char) punctuation. */
+std::vector<Token> tokenize(const std::string &codeLine);
+
+/** Trimmed copy (for finding snippets). */
+std::string trimmed(const std::string &s);
+
+/**
+ * Given `text[pos]` == '<', return the offset one past the matching
+ * '>' honouring nesting, or std::string::npos when unbalanced (e.g.
+ * an operator< that only looks like a template bracket).
+ */
+std::size_t matchAngle(const std::string &text, std::size_t pos);
+
+} // namespace detlint
+
+#endif // MOCA_TOOLS_DETLINT_SOURCE_MODEL_H
