@@ -12,11 +12,21 @@
  * The default grid is {1,4,16,64} SoCs x {rr, p2c, least-loaded,
  * qos-aware} x {prema, planaria, moca} with tasks scaling with fleet
  * size (tasks-per-soc=1600, i.e. a 102k-task stream at 64 SoCs) over
- * the "wide" model mix (Table III plus the extension profiles).
+ * the "wide" model mix (Table III plus the extension profiles);
+ * `--big-fleet` extends the default tier to {128, 256} SoCs (a
+ * 409.6k-task stream at 256) as the sharded engine's headroom target
+ * — off in the CI smoke grid.
+ *
+ * `--cluster-jobs N` shards each fleet across N conservative-PDES
+ * workers (cluster/parallel.h); every emitted number is bit-identical
+ * for every N, which CI gates by byte-diffing the `timing=0` JSON of
+ * `--cluster-jobs 1` vs `--cluster-jobs 4`.  (`--jobs` parallelizes
+ * across grid cells as everywhere else; the two compose.)
  *
  * Usage: cluster_scale [socs=1,4,16,64] [tasks-per-soc=N] [tasks=N]
  *                      [process=poisson|mmpp|diurnal] [mix=wide|a|b|c|
- *                      name,name,...] [load=F] [seed=S]
+ *                      name,name,...] [load=F] [seed=S] [timing=0|1]
+ *                      [--big-fleet] [--cluster-jobs N]
  *                      [--policy SPEC[,SPEC...]] [--list-policies]
  *                      [--dispatcher SPEC[,SPEC...]]
  *                      [--list-dispatchers] [--jobs N] [--json PATH]
@@ -101,8 +111,13 @@ main(int argc, char **argv)
         args, {"prema", "planaria", "moca"});
     const auto dispatchers = exp::dispatchersFromArgs(
         args, {"rr", "p2c", "least-loaded", "qos-aware"});
-    const auto socs_list =
-        parseIntList("socs", args.getString("socs", "1,4,16,64"));
+    // The {128, 256} headroom tier exists for the sharded engine on
+    // real multi-core hardware; CI smoke stays on the small tiers.
+    const bool big_fleet = args.getBool("big-fleet", false);
+    const auto socs_list = parseIntList(
+        "socs", args.getString(
+                    "socs", big_fleet ? "1,4,16,64,128,256"
+                                      : "1,4,16,64"));
     const int tasks_per_soc =
         static_cast<int>(args.getInt("tasks-per-soc", 1600));
     const int tasks_total = static_cast<int>(args.getInt("tasks", 0));
@@ -113,13 +128,24 @@ main(int argc, char **argv)
     const auto seed =
         static_cast<std::uint64_t>(args.getInt("seed", 1));
     const exp::SweepOptions opts = exp::sweepOptionsFromArgs(args);
-    const bool serial = exp::resolveJobs(opts.jobs) == 1;
+    const int cluster_jobs =
+        static_cast<int>(args.getInt("cluster-jobs", 1));
+    if (cluster_jobs < 1)
+        fatal("--cluster-jobs %d: the fleet engine needs at least "
+              "one worker", cluster_jobs);
+    // timing=0 zeroes every wall-clock field so two runs that must be
+    // value-identical (e.g. --cluster-jobs 1 vs 4 in CI) emit
+    // byte-identical JSON.
+    const bool timing = args.getBool("timing", true);
+    const bool record_wall =
+        exp::resolveJobs(opts.jobs) == 1 && timing;
 
     std::printf("== cluster_scale: fleet co-simulation "
-                "(process=%s load=%.2f seed=%llu jobs=%d) ==\n\n",
+                "(process=%s load=%.2f seed=%llu jobs=%d "
+                "cluster-jobs=%d) ==\n\n",
                 cluster::arrivalProcessName(process), load,
                 static_cast<unsigned long long>(seed),
-                exp::resolveJobs(opts.jobs));
+                exp::resolveJobs(opts.jobs), cluster_jobs);
     exp::printSocBanner(base);
 
     // One task stream per fleet size, shared read-only by every
@@ -169,6 +195,7 @@ main(int argc, char **argv)
             cc.policy = cell.policy;
             cc.dispatcher = cell.dispatcher;
             cc.dispatcherSeed = seed;
+            cc.jobs = cluster_jobs;
             const WallTimer cell_timer;
             cell.result = cluster::runCluster(cc, *cell.stream);
             cell.wall = cell_timer.seconds();
@@ -183,7 +210,7 @@ main(int argc, char **argv)
 
     Table t({"socs", "tasks", "dispatcher", "policy", "SLA",
              "SLA-hi", "p50n", "p99n", "STP", "balance", "steps",
-             "wall (s)"});
+             "epochs", "stalls", "wall (s)"});
     for (const auto &cell : cells) {
         const auto &r = cell.result;
         t.row()
@@ -198,10 +225,13 @@ main(int argc, char **argv)
             .cell(r.stp, 1)
             .cell(r.balanceCv, 3)
             .cell(static_cast<long long>(r.simSteps))
-            .cell(serial ? cell.wall : 0.0, 2);
+            .cell(static_cast<long long>(r.epochs))
+            .cell(static_cast<long long>(r.horizonStalls))
+            .cell(record_wall ? cell.wall : 0.0, 2);
     }
     t.print("cluster fleet sweep (p50n/p99n: end-to-end latency "
-            "normalized to isolated full-SoC latency)");
+            "normalized to isolated full-SoC latency; epochs/stalls: "
+            "PDES barrier epochs and skipped no-activity windows)");
     std::printf("\ntotal wall: %.2f s\n", total_wall);
 
     const std::string json = args.getString("json", "");
@@ -234,7 +264,9 @@ main(int argc, char **argv)
                 "     \"norm_p50\": %.4f, \"norm_p95\": %.4f, "
                 "\"norm_p99\": %.4f,\n"
                 "     \"makespan\": %llu, \"balance_cv\": %.4f, "
-                "\"sim_steps\": %llu, \"wall_s\": %.6f}%s\n",
+                "\"sim_steps\": %llu,\n"
+                "     \"epochs\": %llu, \"horizon_stalls\": %llu, "
+                "\"mean_socs_stepped\": %.4f, \"wall_s\": %.6f}%s\n",
                 cell.socs, cell.tasks, cell.dispatcher.c_str(),
                 cell.policy.c_str(), r.slaRate, r.slaRateHigh,
                 r.stp, r.latency.p50, r.latency.p95, r.latency.p99,
@@ -243,12 +275,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.makespan),
                 r.balanceCv,
                 static_cast<unsigned long long>(r.simSteps),
-                serial ? cell.wall : 0.0,
+                static_cast<unsigned long long>(r.epochs),
+                static_cast<unsigned long long>(r.horizonStalls),
+                r.meanSocsStepped,
+                record_wall ? cell.wall : 0.0,
                 i + 1 < cells.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n");
         std::fprintf(f, "  \"total\": {\"wall_s\": %.6f}\n}\n",
-                     total_wall);
+                     timing ? total_wall : 0.0);
         std::fclose(f);
         std::printf("wrote %s\n", json.c_str());
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "cluster/parallel.h"
 #include "common/log.h"
 #include "exp/oracle.h"
 #include "exp/registry.h"
@@ -69,23 +70,20 @@ runCluster(const ClusterConfig &cfg,
         seen_results[i] = results.size();
     };
 
-    // Advance every SoC through its own next-event times up to
-    // `horizon` (the next cluster-level event), or to completion when
-    // draining.  SoCs share nothing between cluster events, so the
-    // index-order interleave is deterministic and equivalent to any
-    // other order.
-    const auto advance_to = [&](Cycles horizon, bool bounded) {
-        for (std::size_t i = 0; i < n; ++i) {
-            sim::Soc &soc = *socs[i];
-            while (!soc.done() &&
-                   (!bounded || soc.now() < horizon))
-                soc.stepOnce(bounded ? horizon : 0);
-            harvest(i);
-        }
-    };
+    // The conservative-PDES engine advances the fleet between
+    // dispatch points: SoCs share nothing until the next arrival, so
+    // every worker advances its shard to the arrival horizon and the
+    // barrier hands a quiescent fleet back to this (single-threaded)
+    // dispatcher loop.  harvest runs on the worker that owns the SoC
+    // — it only touches that SoC's own feedback slots.
+    std::vector<sim::Soc *> fleet;
+    fleet.reserve(n);
+    for (const auto &soc : socs)
+        fleet.push_back(soc.get());
+    ParallelEngine engine(std::move(fleet), cfg.jobs, harvest);
 
     for (const ClusterTask &task : tasks) {
-        advance_to(task.arrival, true);
+        engine.advanceFleet(task.arrival);
 
         std::vector<SocLoad> loads(n);
         for (std::size_t i = 0; i < n; ++i) {
@@ -116,9 +114,10 @@ runCluster(const ClusterConfig &cfg,
         placed[static_cast<std::size_t>(k)]++;
         outstanding_macs[static_cast<std::size_t>(k)] +=
             static_cast<double>(spec.model->totalMacs());
+        engine.noteInjected(static_cast<std::size_t>(k));
     }
 
-    advance_to(0, false); // Drain the fleet.
+    engine.advanceFleet(sim::kNoHorizon); // Drain the fleet.
     for (auto &soc : socs)
         soc->finishRun();
 
@@ -129,6 +128,9 @@ runCluster(const ClusterConfig &cfg,
     res.policy = cfg.policy;
     res.numSocs = static_cast<int>(n);
     res.numTasks = tasks.size();
+    res.epochs = engine.stats().epochs;
+    res.horizonStalls = engine.stats().horizonStalls;
+    res.meanSocsStepped = engine.stats().meanSocsStepped();
     res.perSoc.resize(n);
 
     std::vector<double> latencies, norm_latencies;

@@ -13,10 +13,14 @@
  * SoC's load, asks the dispatcher for a placement, injects the task
  * into the chosen SoC at its exact dispatch cycle, and repeats;
  * after the last arrival the fleet drains to completion.  The
- * interleave is fully deterministic (SoCs advance in index order, and
- * each SoC's own kernel is deterministic), so a cluster run is a pure
- * function of (configs, dispatcher spec, task stream, seed) — and a
- * 1-SoC cluster replays the single-SoC scenario path bit-identically.
+ * advance between dispatch points runs on the conservative-PDES
+ * engine (cluster/parallel.h): SoCs are sharded across
+ * `ClusterConfig::jobs` workers with an epoch barrier at every
+ * arrival, and the run is bit-identical for every jobs value (each
+ * SoC's own kernel is deterministic and owned by one worker), so a
+ * cluster run is a pure function of (configs, dispatcher spec, task
+ * stream, seed) — and a 1-SoC cluster replays the single-SoC
+ * scenario path bit-identically.
  *
  * Results come back as a `ClusterResult`: fleet-level SLA rate,
  * p50/p95/p99 end-to-end latency, total STP, a per-SoC utilization /
@@ -53,6 +57,15 @@ struct ClusterConfig
 
     /** Seed for randomized dispatchers (random, p2c). */
     std::uint64_t dispatcherSeed = 1;
+
+    /**
+     * Worker threads of the conservative-PDES engine that advances
+     * the fleet between dispatch points (cluster/parallel.h).  SoCs
+     * are sharded across workers; results are bit-identical for
+     * every value (jobs=1 runs the same engine inline, threadless).
+     * Must be >= 1 (fatal otherwise).
+     */
+    int jobs = 1;
 
     /** Per-SoC deadlock bound; 0 uses each SocConfig's maxCycles. */
     Cycles maxCycles = 0;
@@ -98,6 +111,18 @@ struct ClusterResult
     double balanceCv = 0.0;
 
     std::uint64_t simSteps = 0; ///< Total kernel rounds, all SoCs.
+
+    /**
+     * Lookahead quality of the conservative-PDES fleet loop
+     * (cluster/parallel.h): barrier epochs executed, mean SoCs
+     * advanced per epoch, and horizon stalls (would-be epochs whose
+     * lookahead window held no SoC activity — simultaneous arrivals
+     * or a drained fleet).  Identical across ClusterConfig::jobs
+     * values, like everything else here.
+     */
+    std::uint64_t epochs = 0;
+    std::uint64_t horizonStalls = 0;
+    double meanSocsStepped = 0.0;
 
     std::vector<SocShare> perSoc;
 };

@@ -1,0 +1,184 @@
+#include "cluster/parallel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::cluster {
+
+ParallelEngine::ParallelEngine(
+    std::vector<sim::Soc *> socs, int jobs,
+    std::function<void(std::size_t)> on_advanced)
+    : socs_(std::move(socs)), on_advanced_(std::move(on_advanced))
+{
+    if (jobs < 1)
+        fatal("cluster jobs must be >= 1 (got %d); 0 workers cannot "
+              "advance a fleet", jobs);
+    if (socs_.empty())
+        fatal("parallel engine needs at least one SoC");
+    for (std::size_t i = 0; i < socs_.size(); ++i)
+        if (socs_[i] == nullptr)
+            fatal("parallel engine: SoC %zu is null", i);
+
+    // Contiguous, near-equal shards: SoC i belongs to one shard for
+    // the whole run, so every SoC is only ever touched by one worker
+    // and the shard layout is a pure function of (fleet size, jobs).
+    const std::size_t shards = std::min<std::size_t>(
+        socs_.size(), static_cast<std::size_t>(jobs));
+    const std::size_t base = socs_.size() / shards;
+    const std::size_t rem = socs_.size() % shards;
+    shards_.resize(shards);
+    std::size_t at = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        shards_[s].begin = at;
+        at += base + (s < rem ? 1 : 0);
+        shards_[s].end = at;
+    }
+
+    // The initial fleet bound, reduced in index order like every
+    // later one (a fresh SoC with no jobs reports kNoEvent — the
+    // epochs before its first placement are pure dispatcher work).
+    for (Shard &shard : shards_) {
+        for (std::size_t i = shard.begin; i < shard.end; ++i)
+            shard.minNextEvent = std::min(
+                shard.minNextEvent, socs_[i]->nextEventTime());
+    }
+    reduceShardMinima();
+
+    // One shard runs inline on the coordinator; only a genuinely
+    // sharded fleet pays for threads.
+    if (shards > 1) {
+        workers_.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s)
+            workers_.emplace_back(
+                [this, s]() { workerLoop(s); });
+    }
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        cv_work_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+void
+ParallelEngine::runShard(Shard &shard)
+{
+    shard.minNextEvent = sim::kNoEvent;
+    shard.stepped = 0;
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        sim::Soc &soc = *socs_[i];
+        // advanceTo runs >= 1 kernel iteration exactly when the SoC
+        // is unfinished and behind the horizon; recording the
+        // predicate (not a step count) keeps the stat O(1).
+        if (!soc.done() && soc.now() < horizon_)
+            ++shard.stepped;
+        soc.advanceTo(horizon_);
+        if (on_advanced_)
+            on_advanced_(i);
+        shard.minNextEvent =
+            std::min(shard.minNextEvent, soc.nextEventTime());
+    }
+}
+
+void
+ParallelEngine::workerLoop(std::size_t shard_idx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_work_.wait(lock, [&]() {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+        }
+        runShard(shards_[shard_idx]);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++done_count_;
+        }
+        cv_done_.notify_one();
+    }
+}
+
+void
+ParallelEngine::reduceShardMinima()
+{
+    // Index-order reduction on the coordinator: the fleet bound (and
+    // any future cross-shard aggregate) must never depend on worker
+    // completion order.  min over Cycles is order-insensitive anyway;
+    // the fixed order is the discipline that keeps it so as the
+    // aggregates grow richer.
+    Cycles fleet_min = sim::kNoEvent;
+    for (const Shard &shard : shards_)
+        fleet_min = std::min(fleet_min, shard.minNextEvent);
+    fleet_next_event_ = fleet_min;
+}
+
+void
+ParallelEngine::advanceFleet(Cycles horizon)
+{
+    // Conservative-lookahead fast path: no SoC has pending activity
+    // before the horizon, so every per-SoC advance loop would run
+    // zero iterations — skip the barrier round-trip entirely.  This
+    // is the simultaneous-arrival / drained-fleet case; it is a pure
+    // no-op skip, so serial and sharded runs count it identically.
+    if (fleet_next_event_ >= horizon) {
+        stats_.horizonStalls++;
+        return;
+    }
+
+    stats_.epochs++;
+    horizon_ = horizon;
+    if (workers_.empty()) {
+        runShard(shards_[0]);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            done_count_ = 0;
+            ++generation_;
+        }
+        cv_work_.notify_all();
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_done_.wait(lock, [&]() {
+            return done_count_ == workers_.size();
+        });
+    }
+
+    for (const Shard &shard : shards_)
+        stats_.socsStepped += shard.stepped;
+    reduceShardMinima();
+}
+
+void
+ParallelEngine::noteInjected(std::size_t soc_idx)
+{
+    if (soc_idx >= socs_.size())
+        panic("noteInjected(%zu): fleet has %zu SoCs", soc_idx,
+              socs_.size());
+    // An injection can only move a SoC's bound *earlier* (a drained
+    // SoC becomes runnable); refresh the owning shard's cached
+    // minimum and re-reduce.  Shard lookup is O(shards) — injections
+    // happen once per task, off the hot path.
+    for (Shard &shard : shards_) {
+        if (soc_idx >= shard.begin && soc_idx < shard.end) {
+            shard.minNextEvent =
+                std::min(shard.minNextEvent,
+                         socs_[soc_idx]->nextEventTime());
+            reduceShardMinima();
+            return;
+        }
+    }
+}
+
+} // namespace moca::cluster

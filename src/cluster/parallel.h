@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Sharded parallel fleet execution: a conservative parallel-discrete-
+ * event-simulation (PDES) kernel for the cluster simulator.
+ *
+ * SoCs share nothing between cluster-level events (task arrivals), so
+ * the fleet parallelizes with *zero fidelity loss*: the engine
+ * partitions the SoCs into per-worker shards, and each *epoch* every
+ * worker advances its shard's SoCs up to the shared conservative
+ * horizon — the next arrival/dispatch time, which is exactly the
+ * lookahead a conservative PDES needs, and exactly the clamp
+ * `sim::Soc::advanceTo(horizon)` provides.  A barrier then returns
+ * control to the single-threaded dispatcher loop, which consumes
+ * arrivals, polls load snapshots (assembled in SoC-index order
+ * regardless of which worker produced the state), and injects the
+ * placed tasks before releasing the next epoch.
+ *
+ * Determinism contract (the whole point): a sharded run is
+ * bit-identical to the serial run — same `ClusterResult`, same
+ * per-task latencies, `jobs=1 == jobs=N` for every N.  It holds
+ * because
+ *
+ *  1. each SoC is advanced by exactly one worker, through exactly the
+ *     per-SoC step sequence the serial loop produces (the horizon
+ *     sequence a SoC observes is the arrival sequence, independent of
+ *     sharding);
+ *  2. every cross-shard aggregate is reduced on the coordinator in
+ *     index order (per-worker next-event minima, stepped counts), so
+ *     no result depends on worker completion order;
+ *  3. per-SoC RNG/seeding is untouched — shard count cannot perturb
+ *     any stream; and
+ *  4. the barrier's mutex orders every worker write before every
+ *     coordinator read (and vice versa), so the dispatcher sees a
+ *     quiescent fleet, never a torn one.
+ *
+ * Lookahead bookkeeping rides along: the engine maintains the
+ * fleet-wide minimum of `Soc::nextEventTime()` from per-shard minima
+ * and skips an epoch outright — a *horizon stall* — when that bound
+ * shows no SoC has pending activity before the horizon (simultaneous
+ * arrivals, or a burst arriving into a fully drained fleet).  Such an
+ * epoch is provably a no-op for every SoC, so skipping it is
+ * bit-identical and saves the barrier round-trip.  EpochStats exposes
+ * epochs / stepped-SoC counts / stall counts so lookahead quality is
+ * observable in ClusterResult.
+ *
+ * This container is single-core: the engine's job here is to prove
+ * the determinism contract and bound the epoch overhead (the TSan CI
+ * lane runs it at jobs=4); wall-clock speedup lands on real hardware.
+ */
+
+#ifndef MOCA_CLUSTER_PARALLEL_H
+#define MOCA_CLUSTER_PARALLEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/soc.h"
+
+namespace moca::cluster {
+
+/** Epoch-granularity observability of one fleet run. */
+struct EpochStats
+{
+    /** Barrier epochs executed (workers released + joined). */
+    std::uint64_t epochs = 0;
+
+    /** Sum over executed epochs of SoCs that stepped at least once;
+     *  meanSocsStepped() is the per-epoch mean. */
+    std::uint64_t socsStepped = 0;
+
+    /**
+     * Epochs skipped because the conservative lookahead (fleet-wide
+     * min of Soc::nextEventTime()) showed no SoC activity before the
+     * horizon.  High stall counts mean the arrival stream is denser
+     * than the fleet's event stream — the lookahead window is empty
+     * and the run is dispatcher-bound, not simulation-bound.
+     */
+    std::uint64_t horizonStalls = 0;
+
+    /** Mean SoCs stepped per executed epoch (0 when no epochs ran). */
+    double meanSocsStepped() const
+    {
+        return epochs == 0 ? 0.0
+                           : static_cast<double>(socsStepped) /
+                static_cast<double>(epochs);
+    }
+};
+
+/**
+ * The conservative-PDES cluster kernel: a persistent worker pool over
+ * contiguous SoC shards with an epoch barrier.
+ *
+ * With one shard (jobs=1, or a 1-SoC fleet) no threads are spawned
+ * and epochs run inline on the caller — the parallel and serial paths
+ * are the same code, which is what makes the jobs=1 == jobs=N
+ * contract trivially auditable.
+ */
+class ParallelEngine
+{
+  public:
+    /**
+     * @param socs the fleet, index-stable for the engine's lifetime
+     *        (not owned; must outlive the engine).
+     * @param jobs worker count; shard count is min(jobs, socs.size())
+     *        with contiguous index blocks.  Fatal when jobs < 1.
+     * @param on_advanced optional per-SoC hook run by the owning
+     *        worker right after the SoC reaches the epoch horizon
+     *        (e.g. harvesting completed-job feedback).  Called with
+     *        the SoC index; must be safe to call concurrently for
+     *        *different* indices.
+     */
+    ParallelEngine(std::vector<sim::Soc *> socs, int jobs,
+                   std::function<void(std::size_t)> on_advanced = {});
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** Shards (== worker threads when > 1). */
+    int shardCount() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    /**
+     * One conservative epoch: advance every SoC to `horizon`
+     * (sim::kNoHorizon drains the fleet to completion), run the
+     * on_advanced hook per SoC, and synchronize.  Returns after the
+     * barrier, so the caller observes every shard's writes; skipped
+     * entirely (a horizon stall) when fleetNextEvent() >= horizon.
+     */
+    void advanceFleet(Cycles horizon);
+
+    /**
+     * Fleet-wide minimum of Soc::nextEventTime(), maintained from
+     * per-shard minima reduced in shard-index order after each epoch
+     * (sim::kNoEvent when every SoC has drained).
+     */
+    Cycles fleetNextEvent() const { return fleet_next_event_; }
+
+    /**
+     * Tell the engine the coordinator mutated SoC `soc_idx` between
+     * epochs (task injection): its next-event bound may have moved
+     * earlier, so the owning shard's cached minimum is refreshed and
+     * the fleet bound re-reduced in shard-index order.
+     */
+    void noteInjected(std::size_t soc_idx);
+
+    const EpochStats &stats() const { return stats_; }
+
+  private:
+    /** One worker's contiguous SoC range plus its reduction slots
+     *  (written only by the owning worker during an epoch, read only
+     *  by the coordinator after the barrier). */
+    struct Shard
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        Cycles minNextEvent = sim::kNoEvent;
+        std::uint64_t stepped = 0;
+    };
+
+    void runShard(Shard &shard);
+    void workerLoop(std::size_t shard_idx);
+    void reduceShardMinima();
+
+    std::vector<sim::Soc *> socs_;
+    std::function<void(std::size_t)> on_advanced_;
+    std::vector<Shard> shards_;
+    std::vector<std::thread> workers_;
+
+    // Epoch hand-off: the coordinator publishes horizon_ and bumps
+    // generation_ under mu_; workers run their shard, then count into
+    // done_count_.  The mutex pairs every coordinator write with the
+    // workers' reads (and the workers' shard writes with the
+    // coordinator's post-barrier reads).
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::uint64_t generation_ = 0;
+    std::size_t done_count_ = 0;
+    bool shutdown_ = false;
+    Cycles horizon_ = 0;
+
+    Cycles fleet_next_event_ = sim::kNoEvent;
+    EpochStats stats_;
+};
+
+} // namespace moca::cluster
+
+#endif // MOCA_CLUSTER_PARALLEL_H

@@ -113,6 +113,18 @@ Experiment::dispatcher(std::string spec)
 }
 
 Experiment &
+Experiment::clusterJobs(int n)
+{
+    if (n < 1)
+        fatal("clusterJobs(%d): the fleet engine needs at least one "
+              "worker", n);
+    cluster_jobs_ = n;
+    if (cluster_ == 0)
+        cluster_ = 1;
+    return *this;
+}
+
+Experiment &
 Experiment::fleetWorkload(const cluster::SynthConfig &synth)
 {
     synth_ = synth;
@@ -166,6 +178,7 @@ Experiment::runFleet() const
             cc.policy = policies_[i];
             cc.dispatcher = dispatcher_;
             cc.dispatcherSeed = dispatch_seed;
+            cc.jobs = cluster_jobs_;
             results[i] = cluster::runCluster(cc, tasks);
         });
     return FleetResults(policies_, std::move(results));

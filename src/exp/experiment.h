@@ -150,6 +150,16 @@ class Experiment
     Experiment &dispatcher(std::string spec);
 
     /**
+     * Worker threads of each fleet run's conservative-PDES engine
+     * (ClusterConfig::jobs; see cluster/parallel.h): shards the SoCs
+     * *inside* one cluster co-simulation, whereas jobs(N)
+     * parallelizes *across* policy specs — the two compose.  Results
+     * are bit-identical for every value; must be >= 1 (fatal
+     * otherwise).  Implies cluster mode.
+     */
+    Experiment &clusterJobs(int n);
+
+    /**
      * Synthesize the fleet's task stream open-loop (cluster/workload.h)
      * instead of replaying trace()/withTrace().  fleetTiles == 0 is
      * auto-filled with cluster-size x SoC tiles.  The synth's own
@@ -170,7 +180,8 @@ class Experiment
      * the identical task stream and dispatcher configuration — and
      * return the ClusterResults keyed by spec string.  jobs(N)
      * parallelizes across policies; each fleet co-simulation itself
-     * is single-threaded and deterministic.
+     * runs on clusterJobs(N) PDES shards and is bit-identically
+     * deterministic for every shard count.
      */
     FleetResults runFleet() const;
 
@@ -183,6 +194,7 @@ class Experiment
     SweepOptions opts_;
     std::vector<ResultSink *> sinks_;
     int cluster_ = 0; ///< Fleet size; 0 = single-SoC mode.
+    int cluster_jobs_ = 1; ///< PDES shards per fleet run.
     std::string dispatcher_ = "rr";
     cluster::SynthConfig synth_;
     bool synthSet_ = false;

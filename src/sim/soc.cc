@@ -932,6 +932,18 @@ Soc::stepOnce(Cycles horizon)
 }
 
 void
+Soc::advanceTo(Cycles horizon)
+{
+    // stepOnce treats horizon 0 as "unbounded", so the all-ones
+    // kNoHorizon sentinel is what keeps this a single code path: it
+    // flows through every min() clamp without ever binding (now()
+    // is bounded by run_max_cycles_ ~ 1e12), which is bit-identical
+    // to the unbounded stepOnce(0) mode the old drain loop used.
+    while (!allDone() && now_ < horizon)
+        stepOnce(horizon);
+}
+
+void
 Soc::injectJob(const JobSpec &spec)
 {
     if (!began_)

@@ -44,6 +44,17 @@
 
 namespace moca::sim {
 
+/**
+ * Horizon value meaning "no bound": advanceTo(kNoHorizon) drains to
+ * completion through the very same loop the bounded mode uses (the
+ * clamp arithmetic never binds at 2^64-1).
+ */
+inline constexpr Cycles kNoHorizon = ~Cycles{0};
+
+/** nextEventTime() of a SoC whose every job has completed: stepping
+ *  it can never change state again. */
+inline constexpr Cycles kNoEvent = ~Cycles{0};
+
 /** Aggregate SoC-level statistics for a run. */
 struct SocStats
 {
@@ -106,6 +117,32 @@ class Soc
      * @return true while unfinished jobs remain.
      */
     bool stepOnce(Cycles horizon = 0);
+
+    /**
+     * Step until done() or now() >= horizon — the hoisted body of the
+     * cluster loop's per-SoC advance, shared by the serial and
+     * sharded (cluster::ParallelEngine) fleet paths.  One loop serves
+     * both modes: kNoHorizon never clamps a step, so draining to
+     * completion takes exactly the bounded code path.  A horizon of 0
+     * is a no-op (now() starts at 0), matching "advance to an arrival
+     * at cycle 0".
+     */
+    void advanceTo(Cycles horizon);
+
+    /**
+     * Conservative next-event bound for a co-simulator: the earliest
+     * cycle at/after which stepping this SoC changes state.  kNoEvent
+     * once every job has completed; otherwise now() — an unfinished
+     * SoC always has pending activity as soon as the horizon moves
+     * past its clock (real work, or idle clock/tick bookkeeping that
+     * load snapshots observe).  A cluster-level epoch whose horizon
+     * is at or below the fleet-wide minimum of this bound is provably
+     * a no-op (see cluster/parallel.h).
+     */
+    Cycles nextEventTime() const
+    {
+        return allDone() ? kNoEvent : now_;
+    }
 
     /**
      * Append a job mid-run (between stepOnce calls).  Dispatch cycles

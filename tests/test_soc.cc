@@ -225,5 +225,79 @@ TEST(Soc, DramUtilizationBounded)
     EXPECT_LE(soc.stats().dramBusyFraction, 1.0 + 1e-9);
 }
 
+TEST(Soc, AdvanceToMatchesManualSteppingAndRun)
+{
+    // advanceTo(h) is the hoisted bounded-stepping loop the cluster
+    // fleet engine runs per SoC; it must replay the manual
+    // while-stepOnce loop exactly, and advanceTo(kNoHorizon) must
+    // replay an unbounded run() bit-identically.
+    SocConfig cfg;
+    const auto load = [&](Soc &soc) {
+        soc.addJob(spec(0, dnn::ModelId::AlexNet));
+        soc.addJob(spec(1, dnn::ModelId::Kws, 20'000));
+    };
+
+    exp::SoloPolicy pa(cfg.numTiles), pb(cfg.numTiles),
+        pc(cfg.numTiles);
+    Soc manual(cfg, pa), hoisted(cfg, pb), reference(cfg, pc);
+    load(manual);
+    load(hoisted);
+    load(reference);
+
+    manual.beginRun();
+    hoisted.beginRun();
+    const Cycles horizon = 50'000;
+    while (!manual.done() && manual.now() < horizon)
+        manual.stepOnce(horizon);
+    hoisted.advanceTo(horizon);
+    EXPECT_EQ(hoisted.now(), manual.now());
+    EXPECT_EQ(hoisted.done(), manual.done());
+
+    manual.advanceTo(kNoHorizon);
+    hoisted.advanceTo(kNoHorizon);
+    manual.finishRun();
+    hoisted.finishRun();
+    reference.run();
+
+    ASSERT_EQ(hoisted.results().size(), reference.results().size());
+    for (std::size_t i = 0; i < hoisted.results().size(); ++i) {
+        EXPECT_EQ(hoisted.results()[i].finish,
+                  reference.results()[i].finish);
+        EXPECT_EQ(hoisted.results()[i].firstStart,
+                  reference.results()[i].firstStart);
+        EXPECT_EQ(manual.results()[i].finish,
+                  reference.results()[i].finish);
+    }
+    EXPECT_EQ(hoisted.stats().quanta, reference.stats().quanta);
+    EXPECT_EQ(manual.stats().quanta, reference.stats().quanta);
+}
+
+TEST(Soc, AdvanceToHorizonZeroIsNoOpAndNextEventTracksClock)
+{
+    SocConfig cfg;
+    exp::SoloPolicy policy(cfg.numTiles);
+    Soc soc(cfg, policy);
+    soc.addJob(spec(0, dnn::ModelId::Kws));
+    soc.beginRun();
+
+    // Horizon 0 means "an arrival at cycle 0": nothing may advance.
+    EXPECT_EQ(soc.nextEventTime(), 0u);
+    soc.advanceTo(0);
+    EXPECT_EQ(soc.now(), 0u);
+    EXPECT_EQ(soc.nextEventTime(), 0u);
+
+    // A bounded advance leaves a busy SoC exactly at the horizon, and
+    // nextEventTime() reports the clock until the SoC drains...
+    soc.advanceTo(5'000);
+    EXPECT_EQ(soc.now(), 5'000u);
+    EXPECT_EQ(soc.nextEventTime(), 5'000u);
+
+    // ... after which it reports the no-event sentinel.
+    soc.advanceTo(kNoHorizon);
+    soc.finishRun();
+    EXPECT_TRUE(soc.done());
+    EXPECT_EQ(soc.nextEventTime(), kNoEvent);
+}
+
 } // namespace
 } // namespace moca::sim
