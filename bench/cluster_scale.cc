@@ -209,8 +209,8 @@ main(int argc, char **argv)
     const double total_wall = total_timer.seconds();
 
     Table t({"socs", "tasks", "dispatcher", "policy", "SLA",
-             "SLA-hi", "p50n", "p99n", "STP", "balance", "steps",
-             "epochs", "stalls", "wall (s)"});
+             "SLA-hi", "p50n", "p99n", "STP", "goodput/s",
+             "balance", "steps", "epochs", "stalls", "wall (s)"});
     for (const auto &cell : cells) {
         const auto &r = cell.result;
         t.row()
@@ -223,6 +223,7 @@ main(int argc, char **argv)
             .cell(r.normLatency.p50, 2)
             .cell(r.normLatency.p99, 2)
             .cell(r.stp, 1)
+            .cell(r.goodput, 0)
             .cell(r.balanceCv, 3)
             .cell(static_cast<long long>(r.simSteps))
             .cell(static_cast<long long>(r.epochs))
@@ -259,6 +260,8 @@ main(int argc, char **argv)
                 "\"dispatcher\": \"%s\", \"policy\": \"%s\",\n"
                 "     \"sla_rate\": %.6f, \"sla_rate_high\": %.6f, "
                 "\"stp\": %.6f,\n"
+                "     \"goodput\": %.4f, \"shed_rate\": %.6f, "
+                "\"retry_rate\": %.6f, \"timeout_rate\": %.6f,\n"
                 "     \"latency_p50\": %.1f, \"latency_p95\": %.1f, "
                 "\"latency_p99\": %.1f,\n"
                 "     \"norm_p50\": %.4f, \"norm_p95\": %.4f, "
@@ -269,7 +272,9 @@ main(int argc, char **argv)
                 "\"mean_socs_stepped\": %.4f, \"wall_s\": %.6f}%s\n",
                 cell.socs, cell.tasks, cell.dispatcher.c_str(),
                 cell.policy.c_str(), r.slaRate, r.slaRateHigh,
-                r.stp, r.latency.p50, r.latency.p95, r.latency.p99,
+                r.stp, r.goodput, r.shedRate, r.retryRate,
+                r.timeoutRate, r.latency.p50, r.latency.p95,
+                r.latency.p99,
                 r.normLatency.p50, r.normLatency.p95,
                 r.normLatency.p99,
                 static_cast<unsigned long long>(r.makespan),

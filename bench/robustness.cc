@@ -3,10 +3,13 @@
  * Robustness study: the headline MoCA-over-baselines ratios must not
  * be artifacts of one random trace.  Sweeps (a) five seeds and (b)
  * three arrival processes (Poisson / uniform-jitter / bursty) on
- * Workload-C QoS-M, and (c) compares the paper's layer-*block*
+ * Workload-C QoS-M, (c) compares the paper's layer-*block*
  * reconfiguration granularity against per-layer reconfiguration
- * (Sec. IV-D adopts blocks following Veltair).  All 34 scenario
- * cells run as one grid on the sweep engine.
+ * (Sec. IV-D adopts blocks following Veltair), and (d) injects
+ * seeded SoC failures into a small closed-loop serving fleet
+ * (serve/serve.h) to check the ratios survive capacity churn.  The
+ * 34 trace cells of (a)-(c) run as one grid on the sweep engine;
+ * the (d) serving cells run on the same runIndexed pool.
  *
  * Usage: robustness [tasks=N] [--policy SPEC[,SPEC...]]
  *                   [--list-policies] [--jobs N] [--csv PATH]
@@ -22,6 +25,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "exp/sweep/options.h"
+#include "serve/serve.h"
 
 using namespace moca;
 
@@ -139,7 +143,8 @@ main(int argc, char **argv)
     }
 
     const auto sinks = exp::fileSinksFromArgs(args);
-    const exp::SweepRunner runner(exp::sweepOptionsFromArgs(args));
+    const exp::SweepOptions opts = exp::sweepOptionsFromArgs(args);
+    const exp::SweepRunner runner(opts);
     const auto results = runner.run(grid, sinks.pointers());
 
     {
@@ -192,6 +197,65 @@ main(int argc, char **argv)
         }
         t.print("Reconfiguration granularity (Sec. IV-D)");
         t.writeCsv("robustness_granularity.csv");
+    }
+
+    // ---- (d) failure injection: closed-loop serving under churn -----
+    // A small closed-loop fleet (serve/serve.h) with seeded SoC
+    // fail/recover events: the ratios must survive capacity churn,
+    // not just trace resampling.  Rates are fleet-wide failures per
+    // Gcycle; in-flight work on a failed SoC is requeued.
+    {
+        const std::vector<double> fail_rates = {0.0, 200.0, 800.0};
+        std::vector<serve::ServeResult> serve_results(
+            fail_rates.size() * policies.size());
+        exp::SweepRunner::runIndexed(
+            serve_results.size(), opts.jobs, [&](std::size_t i) {
+                const std::size_t fr = i / policies.size();
+                serve::ServeConfig sc;
+                sc.soc = cfg;
+                sc.numSocs = 2;
+                sc.policy = policies[i % policies.size()];
+                sc.clients.numClients = 8;
+                sc.clients.requestsPerClient = 8;
+                sc.clients.timeoutScale = 6.0;
+                sc.failures.rate = fail_rates[fr];
+                serve_results[i] = serve::runServe(sc);
+            });
+
+        auto sla = [&](std::size_t fr, const std::string &spec) {
+            for (std::size_t p = 0; p < policies.size(); ++p)
+                if (policies[p] == spec)
+                    return std::max(
+                        serve_results[fr * policies.size() + p]
+                            .cluster.slaRate,
+                        1e-3);
+            return 1e-3;
+        };
+        std::vector<std::string> header =
+            ratioHeader("Failures/Gcyc", policies, ref);
+        header.push_back("fail events");
+        header.push_back("requeued");
+        Table t(header);
+        for (std::size_t fr = 0; fr < fail_rates.size(); ++fr) {
+            const double ref_sla = sla(fr, ref);
+            t.row().cell(fail_rates[fr], 0).cell(ref_sla, 3);
+            for (const auto &spec : policies)
+                if (spec != ref)
+                    t.cell(ref_sla / sla(fr, spec), 2);
+            std::uint64_t fails = 0, requeued = 0;
+            for (std::size_t p = 0; p < policies.size(); ++p) {
+                fails += serve_results[fr * policies.size() + p]
+                             .failEvents;
+                requeued += serve_results[fr * policies.size() + p]
+                                .requeued;
+            }
+            t.cell(static_cast<long long>(fails))
+                .cell(static_cast<long long>(requeued));
+        }
+        t.print("Closed-loop failure injection (serve/serve.h; "
+                "fail events/requeued summed over the policy runs "
+                "at each rate)");
+        t.writeCsv("robustness_failures.csv");
     }
     return 0;
 }

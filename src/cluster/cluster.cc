@@ -188,6 +188,9 @@ runCluster(const ClusterConfig &cfg,
         : 0.0;
     res.latency = percentileSummary(latencies);
     res.normLatency = percentileSummary(norm_latencies);
+    if (res.makespan > 0)
+        res.goodput = static_cast<double>(met) * 1e9 /
+            static_cast<double>(res.makespan);
 
     double mean_tasks = 0.0;
     for (int p : placed)

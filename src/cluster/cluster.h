@@ -104,6 +104,30 @@ struct ClusterResult
     Cycles makespan = 0; ///< Cycle the last job fleet-wide finished.
 
     /**
+     * Goodput: completed-within-SLO tasks per second at the 1 GHz
+     * Table II clock (SLA-met completions * 1e9 / makespan).  Under
+     * the closed-loop serving layer (serve/serve.h) only client-
+     * observed responses count — a completion whose client already
+     * timed out is wasted work, not goodput.
+     */
+    double goodput = 0.0;
+
+    /**
+     * Serving-control-loop outcome rates, all fractions of the
+     * attempts the front-end handled.  Always zero for plain
+     * open-loop runCluster runs (there is no client to time out and
+     * no admission controller to shed); the closed-loop serve driver
+     * fills them from its counters.
+     */
+    double shedRate = 0.0;    ///< Attempts rejected by admission.
+    double retryRate = 0.0;   ///< Attempts that were client retries.
+    double timeoutRate = 0.0; ///< Attempts whose client timed out.
+    std::uint64_t shedTasks = 0;     ///< Admission rejections.
+    std::uint64_t deferredTasks = 0; ///< Admission deferrals.
+    std::uint64_t retryTasks = 0;    ///< Client retry attempts.
+    std::uint64_t timeoutTasks = 0;  ///< Client-side timeouts.
+
+    /**
      * Load-balance quality: coefficient of variation (stddev/mean) of
      * per-SoC placed-task counts.  0 = perfectly balanced; rises as
      * the dispatcher concentrates load.

@@ -19,6 +19,7 @@ ParallelEngine::ParallelEngine(
     for (std::size_t i = 0; i < socs_.size(); ++i)
         if (socs_[i] == nullptr)
             fatal("parallel engine: SoC %zu is null", i);
+    active_.assign(socs_.size(), 1);
 
     // Contiguous, near-equal shards: SoC i belongs to one shard for
     // the whole run, so every SoC is only ever touched by one worker
@@ -74,6 +75,8 @@ ParallelEngine::runShard(Shard &shard)
     shard.minNextEvent = sim::kNoEvent;
     shard.stepped = 0;
     for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        if (active_[i] == 0)
+            continue;
         sim::Soc &soc = *socs_[i];
         // advanceTo runs >= 1 kernel iteration exactly when the SoC
         // is unfinished and behind the horizon; recording the
@@ -179,6 +182,60 @@ ParallelEngine::noteInjected(std::size_t soc_idx)
             return;
         }
     }
+}
+
+void
+ParallelEngine::refreshShard(std::size_t soc_idx)
+{
+    // Unlike noteInjected's min-merge, coordinator mutations like
+    // deactivation can move a shard's bound *later*: recompute it
+    // from scratch over the shard's active slots, then re-reduce in
+    // shard-index order as always.
+    for (Shard &shard : shards_) {
+        if (soc_idx >= shard.begin && soc_idx < shard.end) {
+            shard.minNextEvent = sim::kNoEvent;
+            for (std::size_t i = shard.begin; i < shard.end; ++i)
+                if (active_[i] != 0)
+                    shard.minNextEvent =
+                        std::min(shard.minNextEvent,
+                                 socs_[i]->nextEventTime());
+            reduceShardMinima();
+            return;
+        }
+    }
+}
+
+void
+ParallelEngine::setActive(std::size_t soc_idx, bool active)
+{
+    if (soc_idx >= socs_.size())
+        panic("setActive(%zu): fleet has %zu SoCs", soc_idx,
+              socs_.size());
+    if ((active_[soc_idx] != 0) == active)
+        return;
+    active_[soc_idx] = active ? 1 : 0;
+    refreshShard(soc_idx);
+}
+
+bool
+ParallelEngine::isActive(std::size_t soc_idx) const
+{
+    if (soc_idx >= socs_.size())
+        panic("isActive(%zu): fleet has %zu SoCs", soc_idx,
+              socs_.size());
+    return active_[soc_idx] != 0;
+}
+
+void
+ParallelEngine::replaceSoc(std::size_t soc_idx, sim::Soc *soc)
+{
+    if (soc_idx >= socs_.size())
+        panic("replaceSoc(%zu): fleet has %zu SoCs", soc_idx,
+              socs_.size());
+    if (soc == nullptr)
+        fatal("replaceSoc(%zu): SoC is null", soc_idx);
+    socs_[soc_idx] = soc;
+    refreshShard(soc_idx);
 }
 
 } // namespace moca::cluster

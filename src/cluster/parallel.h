@@ -151,6 +151,29 @@ class ParallelEngine
      */
     void noteInjected(std::size_t soc_idx);
 
+    /**
+     * Include/exclude SoC `soc_idx` from epochs (serve-layer failure
+     * injection and autoscaler capacity churn).  An inactive SoC is
+     * never advanced — its clock freezes wherever the last epoch left
+     * it — and contributes kNoEvent to the conservative lookahead.
+     * Coordinator-only, between epochs (i.e. at a quiescent barrier
+     * point), so the change is ordered against every worker exactly
+     * like an injection; the owning shard's bound is recomputed from
+     * scratch (deactivation can move it *later*, which the min-merge
+     * of noteInjected could not express).
+     */
+    void setActive(std::size_t soc_idx, bool active);
+    bool isActive(std::size_t soc_idx) const;
+
+    /**
+     * Swap the occupant of slot `soc_idx` (e.g. a recovered SoC
+     * replacing a failed one's frozen simulator).  The new SoC must
+     * outlive the engine like the originals; shard layout is
+     * untouched — slots, not SoC objects, are sharded.  Coordinator-
+     * only, between epochs.
+     */
+    void replaceSoc(std::size_t soc_idx, sim::Soc *soc);
+
     const EpochStats &stats() const { return stats_; }
 
   private:
@@ -168,8 +191,14 @@ class ParallelEngine
     void runShard(Shard &shard);
     void workerLoop(std::size_t shard_idx);
     void reduceShardMinima();
+    /** Recompute one slot's shard bound from scratch (coordinator
+     *  mutations: activation changes, occupant swaps). */
+    void refreshShard(std::size_t soc_idx);
 
     std::vector<sim::Soc *> socs_;
+    /** Per-slot activation mask (see setActive); char, not bool, so
+     *  workers read plain bytes their own shard never writes. */
+    std::vector<char> active_;
     std::function<void(std::size_t)> on_advanced_;
     std::vector<Shard> shards_;
     std::vector<std::thread> workers_;

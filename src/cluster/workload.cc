@@ -37,6 +37,29 @@ arrivalProcessFromName(const std::string &name)
           "(bursty), or diurnal", name.c_str());
 }
 
+ClusterTask
+drawTaskAttributes(Rng &rng, const std::vector<dnn::ModelId> &models,
+                   const std::vector<double> &qos_shares,
+                   double qos_scale,
+                   const std::function<Cycles(dnn::ModelId)>
+                       &isolated_latency)
+{
+    ClusterTask task;
+    task.model = models[static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(models.size()) - 1))];
+    task.priority = static_cast<int>(
+        rng.categorical(workload::priorityWeights()));
+    switch (rng.categorical(qos_shares)) {
+      case 0: task.qos = workload::QosLevel::Light; break;
+      case 1: task.qos = workload::QosLevel::Medium; break;
+      default: task.qos = workload::QosLevel::Hard; break;
+    }
+    task.slaLatency = static_cast<Cycles>(
+        workload::qosMultiplier(task.qos) * qos_scale *
+        static_cast<double>(isolated_latency(task.model)));
+    return task;
+}
+
 std::vector<ClusterTask>
 synthesizeTasks(const SynthConfig &cfg,
                 const std::function<Cycles(dnn::ModelId)> &isolated_latency)
@@ -126,23 +149,10 @@ synthesizeTasks(const SynthConfig &cfg,
           }
         }
 
-        ClusterTask task;
+        ClusterTask task = drawTaskAttributes(
+            rng, models, qos_shares, cfg.qosScale, isolated_latency);
         task.id = i;
-        task.model = models[static_cast<std::size_t>(
-            rng.uniformInt(0,
-                           static_cast<std::int64_t>(models.size()) -
-                               1))];
         task.arrival = static_cast<Cycles>(t);
-        task.priority = static_cast<int>(
-            rng.categorical(workload::priorityWeights()));
-        switch (rng.categorical(qos_shares)) {
-          case 0: task.qos = workload::QosLevel::Light; break;
-          case 1: task.qos = workload::QosLevel::Medium; break;
-          default: task.qos = workload::QosLevel::Hard; break;
-        }
-        task.slaLatency = static_cast<Cycles>(
-            workload::qosMultiplier(task.qos) * cfg.qosScale *
-            static_cast<double>(isolated_latency(task.model)));
         tasks.push_back(task);
     }
     return tasks;

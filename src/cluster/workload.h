@@ -34,6 +34,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "dnn/model_zoo.h"
 #include "sim/job.h"
@@ -112,6 +113,23 @@ struct SynthConfig
 
     std::uint64_t seed = 1;
 };
+
+/**
+ * Draw one task's *attributes* — model (uniform over `models`),
+ * static priority (Google-trace-shaped distribution), QoS class
+ * (categorical over `qos_shares`, L/M/H order), and the paper's SLA
+ * target (qosMultiplier x qos_scale x isolated single-tile latency)
+ * — from `rng`, leaving id and arrival untouched.  Shared by the
+ * open-loop synthesizer below and the closed-loop
+ * serve::ClientPool, so both regimes sample requests from exactly
+ * the same population.
+ */
+ClusterTask
+drawTaskAttributes(Rng &rng, const std::vector<dnn::ModelId> &models,
+                   const std::vector<double> &qos_shares,
+                   double qos_scale,
+                   const std::function<Cycles(dnn::ModelId)>
+                       &isolated_latency);
 
 /**
  * Synthesize the task stream for `cfg` (sorted by arrival; ids are

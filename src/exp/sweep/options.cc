@@ -8,6 +8,7 @@
 #include "common/units.h"
 #include "exp/registry.h"
 #include "mem/memory_model.h"
+#include "serve/admission.h"
 
 namespace moca::exp {
 
@@ -124,6 +125,25 @@ dispatchersFromArgs(const ArgMap &args,
     if (args.has("dispatcher"))
         specs = splitPolicyList(args.getString("dispatcher", ""),
                                 "--dispatcher");
+    for (const auto &spec : specs)
+        registry.validate(spec);
+    return specs;
+}
+
+std::vector<std::string>
+admissionFromArgs(const ArgMap &args,
+                  const std::vector<std::string> &def)
+{
+    auto &registry = serve::AdmissionRegistry::instance();
+    if (args.has("list-admission")) {
+        std::fputs(registry.listText().c_str(), stdout);
+        std::exit(0);
+    }
+    std::vector<std::string> specs =
+        def.empty() ? std::vector<std::string>{"always"} : def;
+    if (args.has("admission"))
+        specs = splitPolicyList(args.getString("admission", ""),
+                                "--admission");
     for (const auto &spec : specs)
         registry.validate(spec);
     return specs;

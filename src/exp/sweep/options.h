@@ -64,6 +64,16 @@ dispatchersFromArgs(const ArgMap &args,
                     const std::vector<std::string> &def = {});
 
 /**
+ * Shared `--admission <spec>[,<spec>...]` / `--list-admission`
+ * handling for serving-aware binaries, mirroring dispatchersFromArgs
+ * over the serve::AdmissionRegistry; defaults to `def` (or plain
+ * "always" when `def` is empty).
+ */
+std::vector<std::string>
+admissionFromArgs(const ArgMap &args,
+                  const std::vector<std::string> &def = {});
+
+/**
  * Owning bundle of result sinks, so binaries can hold console and
  * file sinks together and hand the engine a raw-pointer view.
  */

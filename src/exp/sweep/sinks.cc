@@ -72,6 +72,7 @@ const SweepField kSweepFields[] = {
     {"worst_norm_latency", true},
     {"num_jobs", true},
     {"makespan", true},
+    {"goodput", true},
     {"dram_busy", true},
     {"migrations", true},
     {"preemptions", true},
@@ -123,6 +124,10 @@ sweepRecordValues(std::size_t index, const SweepCell &cell,
         strprintf("%.6f", r.metrics.worstNormLatency),
         strprintf("%d", r.metrics.numJobs),
         strprintf("%llu", static_cast<unsigned long long>(r.makespan)),
+        strprintf("%.6f", r.makespan > 0
+                              ? r.metrics.slaRate * r.metrics.numJobs *
+                                    1e9 / static_cast<double>(r.makespan)
+                              : 0.0),
         strprintf("%.6f", r.dramBusyFraction),
         strprintf("%d", r.totalMigrations),
         strprintf("%d", r.totalPreemptions),

@@ -1,0 +1,98 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "exp/sweep/sweep.h"
+
+namespace moca::serve {
+
+Cycles
+retryBackoff(const ClientPoolConfig &cfg, Cycles unit, int attempt)
+{
+    if (attempt < 1)
+        fatal("retryBackoff: attempt numbers are 1-based (got %d)",
+              attempt);
+    const double units = std::min(
+        cfg.backoffCap,
+        cfg.backoffBase * std::pow(cfg.backoffFactor, attempt - 1));
+    return static_cast<Cycles>(units * static_cast<double>(unit));
+}
+
+ClientPool::ClientPool(
+    const ClientPoolConfig &cfg,
+    const std::function<Cycles(dnn::ModelId)> &isolated_latency)
+    : cfg_(cfg)
+{
+    if (cfg_.numClients < 1)
+        fatal("client pool needs at least one client (got %d)",
+              cfg_.numClients);
+    if (cfg_.maxOutstanding < 1)
+        fatal("client window must be >= 1 (got %d)",
+              cfg_.maxOutstanding);
+    if (cfg_.requestsPerClient < 1)
+        fatal("clients need at least one request each (got %d)",
+              cfg_.requestsPerClient);
+    if (cfg_.thinkFactor < 0.0 || cfg_.timeoutScale < 0.0)
+        fatal("think factor and timeout scale must be >= 0");
+    if (cfg_.maxRetries < 0)
+        fatal("maxRetries must be >= 0 (got %d)", cfg_.maxRetries);
+    if (cfg_.backoffBase < 0.0 || cfg_.backoffFactor < 1.0 ||
+        cfg_.backoffCap < cfg_.backoffBase)
+        fatal("backoff needs base >= 0, factor >= 1, cap >= base");
+
+    const std::vector<dnn::ModelId> &models =
+        cfg_.mix.empty() ? workload::workloadSetModels(cfg_.set)
+                         : cfg_.mix;
+    if (models.empty())
+        fatal("client pool needs a non-empty model mix");
+
+    const std::vector<double> qos_shares = {cfg_.qosLightShare,
+                                            cfg_.qosMediumShare,
+                                            cfg_.qosHardShare};
+    if (qos_shares[0] < 0 || qos_shares[1] < 0 || qos_shares[2] < 0 ||
+        qos_shares[0] + qos_shares[1] + qos_shares[2] <= 0.0)
+        fatal("QoS class shares must be non-negative and sum > 0");
+
+    double mean_iso = 0.0;
+    for (dnn::ModelId id : models)
+        mean_iso += static_cast<double>(isolated_latency(id));
+    mean_iso /= static_cast<double>(models.size());
+    meanIso_ = static_cast<Cycles>(mean_iso);
+    const double think_mean = cfg_.thinkFactor * mean_iso;
+
+    // Every request draws from its own (seed, id)-derived stream:
+    // think delay first, then the shared attribute draw.  Request
+    // attributes are thus independent of every control knob and of
+    // the order the closed loop ends up issuing them in.
+    requests_.reserve(static_cast<std::size_t>(cfg_.numClients) *
+                      static_cast<std::size_t>(
+                          cfg_.requestsPerClient));
+    for (int c = 0; c < cfg_.numClients; ++c) {
+        for (int s = 0; s < cfg_.requestsPerClient; ++s) {
+            const int id = c * cfg_.requestsPerClient + s;
+            Rng rng(exp::deriveCellSeed(
+                cfg_.seed, static_cast<std::size_t>(id)));
+            ClientRequest req;
+            req.id = id;
+            req.client = c;
+            req.seq = s;
+            req.think = static_cast<Cycles>(
+                rng.exponential(std::max(1.0, think_mean)));
+            req.task = cluster::drawTaskAttributes(
+                rng, models, qos_shares, cfg_.qosScale,
+                isolated_latency);
+            req.task.id = id;
+            if (cfg_.timeoutScale > 0.0)
+                req.timeout = std::max<Cycles>(
+                    1, static_cast<Cycles>(
+                           cfg_.timeoutScale *
+                           static_cast<double>(req.task.slaLatency)));
+            requests_.push_back(req);
+        }
+    }
+}
+
+} // namespace moca::serve

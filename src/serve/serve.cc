@@ -1,0 +1,856 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "cluster/parallel.h"
+#include "common/log.h"
+#include "exp/oracle.h"
+#include "exp/registry.h"
+#include "sim/soc.h"
+
+namespace moca::serve {
+
+namespace {
+
+/**
+ * Front-end event kinds, in the order they are processed at a tied
+ * cycle: capacity changes first (so same-cycle placements see the
+ * new world), then the control tick, then timeouts (a freed retry
+ * budget may matter to a same-cycle issue), then issues.  The fixed
+ * rank plus a scheduling sequence number makes the queue order — and
+ * with it the whole run — deterministic.
+ */
+enum class EvKind : int
+{
+    Fail = 0,
+    Recover = 1,
+    ScaleTick = 2,
+    Timeout = 3,
+    Issue = 4,
+};
+
+struct Event
+{
+    Cycles at = 0;
+    EvKind kind = EvKind::Issue;
+    std::uint64_t seq = 0;
+    int req = -1;            ///< Request id (Issue/Timeout).
+    int slot = -1;           ///< Slot index (Recover).
+    std::uint64_t token = 0; ///< Attempt token (Timeout staleness).
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &x, const Event &y) const
+    {
+        if (x.at != y.at)
+            return x.at > y.at;
+        if (x.kind != y.kind)
+            return static_cast<int>(x.kind) >
+                static_cast<int>(y.kind);
+        return x.seq > y.seq;
+    }
+};
+
+/** Lifecycle of one fleet slot. */
+enum class SlotState
+{
+    Up,       ///< Accepting placements.
+    Draining, ///< Autoscaled down: finishing, not accepting.
+    Failed,   ///< Frozen in the engine; queue lost.
+};
+
+/** One fleet slot and its SoC incarnations (failures swap in fresh
+ *  SoCs; old incarnations stay frozen but keep their results). */
+struct Slot
+{
+    SlotState state = SlotState::Up;
+    std::vector<std::unique_ptr<sim::Policy>> policies;
+    std::vector<std::unique_ptr<sim::Soc>> socs;
+    /** Per incarnation: dense job id -> request id. */
+    std::vector<std::vector<int>> jobReq;
+    /** Per incarnation: harvested-results cursor. */
+    std::vector<std::size_t> seen;
+    int placed = 0;
+    double outstandingMacs = 0.0;
+
+    sim::Soc &live() { return *socs.back(); }
+    int incarnation() const
+    {
+        return static_cast<int>(socs.size()) - 1;
+    }
+};
+
+/** Front-end progress of one request. */
+struct ReqProgress
+{
+    bool issued = false;
+    Cycles firstIssue = 0;
+    int retriesUsed = 0;
+    int requeues = 0; ///< Failure re-placements consumed.
+    std::uint64_t token = 0; ///< Bumped per (re-)issue decision.
+
+    /** Current in-flight attempt, valid only while inFlight. */
+    bool inFlight = false;
+    int slot = -1;
+    int incarnation = -1;
+    int job = -1;
+
+    bool resolved = false;
+    bool success = false;
+};
+
+/** Per-client issue window. */
+struct ClientState
+{
+    int nextSeq = 0;
+    int inFlight = 0;
+    bool issueScheduled = false;
+};
+
+class ServeDriver
+{
+  public:
+    explicit ServeDriver(const ServeConfig &cfg);
+    ServeResult run();
+
+  private:
+    const ServeConfig &cfg_;
+    Cycles hardCap_;
+
+    std::function<Cycles(dnn::ModelId)> isoCal_; ///< Single-tile.
+    std::function<Cycles(dnn::ModelId)> iso_;    ///< Full-SoC.
+    std::unique_ptr<ClientPool> pool_; ///< Closed loop only.
+    std::unique_ptr<AdmissionPolicy> admission_;
+    std::unique_ptr<cluster::Dispatcher> dispatcher_;
+    Autoscaler autoscaler_;
+    FailureInjector injector_;
+
+    /** The request population (attributes + per-attempt timeout);
+     *  closed loop from the pool, open loop from the synthesizer. */
+    std::vector<cluster::ClusterTask> reqTasks_;
+    std::vector<Cycles> reqTimeout_;
+    std::vector<ReqProgress> progress_;
+    std::vector<ClientState> clients_;
+
+    std::vector<Slot> slots_;
+    std::unique_ptr<cluster::ParallelEngine> engine_;
+
+    std::priority_queue<Event, std::vector<Event>, EventLater>
+        queue_;
+    std::uint64_t nextSeq_ = 0;
+
+    Cycles now_ = 0;
+    std::uint64_t resolvedCount_ = 0;
+
+    int upCount_ = 0;
+    Cycles lastUpChange_ = 0;
+    double upIntegral_ = 0.0;
+
+    ServeResult res_;
+
+    // Response-based fleet samples (client-observed only).
+    std::vector<double> respLatency_, respNormLatency_;
+    std::vector<double> clientLatency_;
+    std::uint64_t respMet_ = 0, respHigh_ = 0, respHighMet_ = 0;
+
+    void push(Cycles at, EvKind kind, int req = -1, int slot = -1,
+              std::uint64_t token = 0)
+    {
+        queue_.push(Event{at, kind, nextSeq_++, req, slot, token});
+    }
+
+    void noteUpChange(int delta)
+    {
+        upIntegral_ += static_cast<double>(now_ - lastUpChange_) *
+            static_cast<double>(upCount_);
+        lastUpChange_ = now_;
+        upCount_ += delta;
+    }
+
+    Cycles chunkTarget(Cycles limit) const;
+    Cycles deferDelay() const
+    {
+        // Deferred/capacity-held requests re-try at the control
+        // cadence; with an unbounded quantum (open-loop replay) the
+        // scheduler period stands in as the polling interval.
+        return cfg_.controlQuantum > 0 ? cfg_.controlQuantum
+                                       : cfg_.soc.schedPeriod;
+    }
+    void advanceTo(Cycles target);
+    void harvest();
+
+    std::vector<cluster::SocLoad> upLoads() const;
+    void maybeScheduleIssue(int client, Cycles trigger);
+    void handleIssue(int req);
+    void placeRequest(int req, const std::vector<cluster::SocLoad> &up);
+    void failAttempt(int req);
+    void resolveRequest(int req, bool success, Cycles finish);
+    void handleTimeout(int req, std::uint64_t token);
+    void handleFail();
+    void handleRecover(int slot);
+    void handleScaleTick();
+
+    void finalize();
+};
+
+ServeDriver::ServeDriver(const ServeConfig &cfg)
+    : cfg_(cfg),
+      hardCap_(cfg.maxCycles != 0 ? cfg.maxCycles
+                                  : cfg.soc.maxCycles),
+      autoscaler_(cfg.autoscaler), injector_(cfg.failures)
+{
+    if (cfg_.numSocs < 1)
+        fatal("serving fleet needs at least one SoC (got %d)",
+              cfg_.numSocs);
+    if (cfg_.autoscaler.enabled &&
+        cfg_.autoscaler.maxSocs > cfg_.numSocs)
+        fatal("autoscaler maxSocs %d exceeds the fleet size %d",
+              cfg_.autoscaler.maxSocs, cfg_.numSocs);
+    if (cfg_.autoscaler.enabled &&
+        cfg_.autoscaler.minSocs > cfg_.numSocs)
+        fatal("autoscaler minSocs %d exceeds the fleet size %d",
+              cfg_.autoscaler.minSocs, cfg_.numSocs);
+
+    // Two oracle flavors, matching the open-loop cluster path:
+    // workload calibration (SLA targets, arrival spacing, think
+    // time) uses the *single-tile* isolated latency, while metric
+    // normalization uses the *full-SoC* isolated latency.
+    isoCal_ = [this](dnn::ModelId id) {
+        return exp::isolatedLatency(id, 1, cfg_.soc);
+    };
+    iso_ = [this](dnn::ModelId id) {
+        return exp::isolatedLatency(id, cfg_.soc.numTiles, cfg_.soc);
+    };
+
+    admission_ = AdmissionRegistry::instance().make(cfg_.admission);
+    dispatcher_ = cluster::DispatcherRegistry::instance().make(
+        cfg_.dispatcher, cfg_.numSocs, cfg_.dispatcherSeed);
+
+    // The request population: pre-generated, policy-independent.
+    if (cfg_.openLoop) {
+        cluster::SynthConfig synth = cfg_.synth;
+        synth.fleetTiles = cfg_.numSocs * cfg_.soc.numTiles;
+        reqTasks_ = cluster::synthesizeTasks(synth, isoCal_);
+        reqTimeout_.assign(reqTasks_.size(), 0);
+        for (std::size_t i = 0; i < reqTasks_.size(); ++i) {
+            // Dense ids double as queue indices; synthesizeTasks
+            // already assigns them in arrival order.
+            push(reqTasks_[i].arrival, EvKind::Issue,
+                 static_cast<int>(i));
+        }
+    } else {
+        pool_ = std::make_unique<ClientPool>(cfg_.clients, isoCal_);
+        reqTasks_.reserve(
+            static_cast<std::size_t>(pool_->totalRequests()));
+        reqTimeout_.reserve(reqTasks_.capacity());
+        for (int i = 0; i < pool_->totalRequests(); ++i) {
+            reqTasks_.push_back(pool_->request(i).task);
+            reqTimeout_.push_back(pool_->request(i).timeout);
+        }
+        clients_.resize(
+            static_cast<std::size_t>(pool_->numClients()));
+    }
+    progress_.resize(reqTasks_.size());
+
+    // The fleet: every slot starts Up with one incarnation.
+    slots_.resize(static_cast<std::size_t>(cfg_.numSocs));
+    std::vector<sim::Soc *> fleet;
+    fleet.reserve(slots_.size());
+    for (Slot &slot : slots_) {
+        slot.policies.push_back(exp::PolicyRegistry::instance().make(
+            cfg_.policy, cfg_.soc));
+        slot.socs.push_back(std::make_unique<sim::Soc>(
+            cfg_.soc, *slot.policies.back()));
+        slot.socs.back()->beginRun(cfg_.soc.maxCycles);
+        slot.jobReq.emplace_back();
+        slot.seen.push_back(0);
+        fleet.push_back(slot.socs.back().get());
+    }
+    upCount_ = cfg_.numSocs;
+
+    // Completion *reactions* must run on the coordinator, so the
+    // engine gets no per-advance callback; harvest() walks the slots
+    // in index order after every epoch instead.
+    engine_ = std::make_unique<cluster::ParallelEngine>(
+        std::move(fleet), cfg_.jobs, nullptr);
+
+    if (!cfg_.openLoop)
+        for (int c = 0; c < pool_->numClients(); ++c)
+            maybeScheduleIssue(c, 0);
+    if (injector_.enabled())
+        push(injector_.firstFailure(), EvKind::Fail);
+    if (cfg_.autoscaler.enabled)
+        push(cfg_.autoscaler.interval, EvKind::ScaleTick);
+}
+
+Cycles
+ServeDriver::chunkTarget(Cycles limit) const
+{
+    if (cfg_.controlQuantum == 0)
+        return limit;
+    const Cycles headroom = sim::kNoHorizon - now_;
+    if (cfg_.controlQuantum >= headroom)
+        return limit;
+    return std::min(limit, now_ + cfg_.controlQuantum);
+}
+
+void
+ServeDriver::advanceTo(Cycles target)
+{
+    engine_->advanceFleet(target);
+    if (target == sim::kNoHorizon) {
+        // Unbounded drain: the front-end clock lands on the latest
+        // live-SoC clock, so post-drain reactions get sane cycles.
+        Cycles latest = now_;
+        for (Slot &slot : slots_)
+            latest = std::max(latest, slot.live().now());
+        now_ = latest;
+    } else {
+        now_ = target;
+    }
+    harvest();
+}
+
+void
+ServeDriver::harvest()
+{
+    // Completions are consumed in slot-index order from each slot's
+    // *live* incarnation (frozen pre-failure incarnations can never
+    // produce new results), so reaction order is a pure function of
+    // fleet state — never of PDES worker timing.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        const auto &results = slot.live().results();
+        const auto incar =
+            static_cast<std::size_t>(slot.incarnation());
+        for (std::size_t r = slot.seen[incar]; r < results.size();
+             ++r) {
+            const sim::JobResult &jr = results[r];
+            slot.outstandingMacs -=
+                static_cast<double>(jr.spec.model->totalMacs());
+            const int req =
+                slot.jobReq[incar][static_cast<std::size_t>(
+                    jr.spec.id)];
+            ReqProgress &p =
+                progress_[static_cast<std::size_t>(req)];
+            const bool current = p.inFlight && !p.resolved &&
+                p.slot == static_cast<int>(i) &&
+                p.incarnation == static_cast<int>(incar) &&
+                p.job == jr.spec.id;
+            if (!current) {
+                // A completion nobody is waiting for: the client
+                // timed out (or the attempt was requeued) before the
+                // fleet delivered.  Wasted work, not goodput.
+                res_.orphans++;
+                continue;
+            }
+            p.inFlight = false;
+            res_.responses++;
+            const auto latency = static_cast<double>(jr.latency());
+            respLatency_.push_back(latency);
+            respNormLatency_.push_back(
+                latency /
+                static_cast<double>(iso_(reqTasks_[static_cast<
+                                             std::size_t>(req)]
+                                             .model)));
+            if (jr.slaMet())
+                ++respMet_;
+            if (workload::priorityGroup(jr.spec.priority) ==
+                workload::PriorityGroup::High) {
+                ++respHigh_;
+                if (jr.slaMet())
+                    ++respHighMet_;
+            }
+            if (jr.spec.slaLatency > 0)
+                autoscaler_.recordResponse(
+                    latency /
+                    static_cast<double>(jr.spec.slaLatency));
+            clientLatency_.push_back(static_cast<double>(
+                jr.finish - p.firstIssue));
+            resolveRequest(req, true, jr.finish);
+        }
+        slot.seen[incar] = results.size();
+    }
+}
+
+std::vector<cluster::SocLoad>
+ServeDriver::upLoads() const
+{
+    std::vector<cluster::SocLoad> loads;
+    loads.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
+        if (slot.state != SlotState::Up)
+            continue;
+        const sim::Soc &soc = *slot.socs.back();
+        cluster::SocLoad l;
+        l.socIdx = static_cast<int>(i);
+        l.now = soc.now();
+        l.waiting = static_cast<int>(soc.waitingCount());
+        l.running = static_cast<int>(soc.runningCount());
+        l.freeTiles = soc.freeTiles();
+        l.numTiles = soc.config().numTiles;
+        l.tasksAssigned = slot.placed;
+        l.outstandingMacs = slot.outstandingMacs;
+        loads.push_back(l);
+    }
+    return loads;
+}
+
+void
+ServeDriver::maybeScheduleIssue(int client, Cycles trigger)
+{
+    ClientState &c = clients_[static_cast<std::size_t>(client)];
+    if (c.issueScheduled ||
+        c.nextSeq >= cfg_.clients.requestsPerClient ||
+        c.inFlight >= cfg_.clients.maxOutstanding)
+        return;
+    const int req = client * cfg_.clients.requestsPerClient +
+        c.nextSeq;
+    c.issueScheduled = true;
+    push(trigger + pool_->request(req).think, EvKind::Issue, req);
+}
+
+void
+ServeDriver::handleIssue(int req)
+{
+    ReqProgress &p = progress_[static_cast<std::size_t>(req)];
+    if (p.resolved)
+        return;
+    if (!p.issued) {
+        p.issued = true;
+        p.firstIssue = now_;
+        res_.requests++;
+        if (!cfg_.openLoop) {
+            const ClientRequest &cr = pool_->request(req);
+            ClientState &c =
+                clients_[static_cast<std::size_t>(cr.client)];
+            c.issueScheduled = false;
+            c.nextSeq++;
+            c.inFlight++;
+            // The window may still have room: the next request
+            // thinks from this issue, not from a completion.
+            maybeScheduleIssue(cr.client, now_);
+        }
+    }
+
+    const std::vector<cluster::SocLoad> up = upLoads();
+    if (up.empty()) {
+        // No capacity at all (everything failed or draining): hold
+        // the request at the front door and re-try at the next
+        // control tick.
+        res_.deferrals++;
+        push(now_ + deferDelay(), EvKind::Issue, req);
+        return;
+    }
+
+    switch (admission_->decide(
+        reqTasks_[static_cast<std::size_t>(req)], now_, up)) {
+      case AdmissionDecision::Admit:
+        placeRequest(req, up);
+        break;
+      case AdmissionDecision::Shed:
+        res_.shed++;
+        failAttempt(req);
+        break;
+      case AdmissionDecision::Defer:
+        res_.deferrals++;
+        push(now_ + deferDelay(), EvKind::Issue, req);
+        break;
+    }
+}
+
+void
+ServeDriver::placeRequest(int req,
+                          const std::vector<cluster::SocLoad> &up)
+{
+    ReqProgress &p = progress_[static_cast<std::size_t>(req)];
+    cluster::ClusterTask task =
+        reqTasks_[static_cast<std::size_t>(req)];
+    task.arrival = now_;
+
+    const int k = dispatcher_->place(task, up);
+    if (k < 0 || k >= static_cast<int>(up.size()))
+        fatal("dispatcher '%s' placed request %d on Up slot %d of "
+              "%zu", cfg_.dispatcher.c_str(), req, k, up.size());
+    const auto slot_idx = static_cast<std::size_t>(
+        up[static_cast<std::size_t>(k)].socIdx);
+    Slot &slot = slots_[slot_idx];
+    sim::Soc &soc = slot.live();
+
+    sim::JobSpec spec;
+    spec.id = static_cast<int>(soc.jobs().size());
+    spec.model = &dnn::getModel(task.model);
+    spec.dispatch = now_;
+    spec.priority = task.priority;
+    spec.slaLatency = task.slaLatency;
+    soc.injectJob(spec);
+    engine_->noteInjected(slot_idx);
+    slot.placed++;
+    slot.outstandingMacs +=
+        static_cast<double>(spec.model->totalMacs());
+    slot.jobReq.back().push_back(req);
+
+    res_.attempts++;
+    p.token++;
+    p.inFlight = true;
+    p.slot = static_cast<int>(slot_idx);
+    p.incarnation = slot.incarnation();
+    p.job = spec.id;
+
+    const Cycles timeout =
+        reqTimeout_[static_cast<std::size_t>(req)];
+    if (timeout > 0)
+        push(now_ + timeout, EvKind::Timeout, req, -1, p.token);
+}
+
+void
+ServeDriver::failAttempt(int req)
+{
+    ReqProgress &p = progress_[static_cast<std::size_t>(req)];
+    p.token++; // Invalidate any pending timeout of the old attempt.
+    p.inFlight = false;
+    if (!cfg_.openLoop && p.retriesUsed < cfg_.clients.maxRetries) {
+        p.retriesUsed++;
+        res_.retries++;
+        push(now_ + pool_->backoff(p.retriesUsed), EvKind::Issue,
+             req);
+        return;
+    }
+    resolveRequest(req, false, now_);
+}
+
+void
+ServeDriver::resolveRequest(int req, bool success, Cycles finish)
+{
+    ReqProgress &p = progress_[static_cast<std::size_t>(req)];
+    if (p.resolved)
+        panic("request %d resolved twice", req);
+    p.resolved = true;
+    p.success = success;
+    p.token++;
+    resolvedCount_++;
+    if (!success)
+        res_.giveUps++;
+    res_.endCycle = std::max(res_.endCycle, finish);
+    if (!cfg_.openLoop) {
+        const ClientRequest &cr = pool_->request(req);
+        ClientState &c =
+            clients_[static_cast<std::size_t>(cr.client)];
+        c.inFlight--;
+        // The client thinks from the moment it observed the
+        // response; reactions discovered at an epoch boundary never
+        // schedule into the past.
+        maybeScheduleIssue(cr.client, std::max(now_, finish));
+    }
+}
+
+void
+ServeDriver::handleTimeout(int req, std::uint64_t token)
+{
+    ReqProgress &p = progress_[static_cast<std::size_t>(req)];
+    if (p.resolved || p.token != token)
+        return; // Stale: the attempt resolved or was superseded.
+    res_.timeouts++;
+    // The in-flight job keeps running (there is no cancellation in
+    // the fleet) — if it ever completes, it is an orphan.
+    failAttempt(req);
+}
+
+void
+ServeDriver::handleFail()
+{
+    // Victims come from the powered slots (Up or Draining), chosen
+    // by the injector's dedicated stream; the minUp guard may veto.
+    std::vector<int> candidates;
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].state != SlotState::Failed)
+            candidates.push_back(static_cast<int>(i));
+    const FailureInjector::FailPlan plan = injector_.plan(
+        now_, static_cast<int>(candidates.size()));
+    push(plan.nextFailAt, EvKind::Fail);
+    if (plan.victim < 0)
+        return;
+
+    const auto idx = static_cast<std::size_t>(
+        candidates[static_cast<std::size_t>(plan.victim)]);
+    Slot &slot = slots_[idx];
+    res_.failEvents++;
+    if (slot.state == SlotState::Up)
+        noteUpChange(-1);
+    slot.state = SlotState::Failed;
+    engine_->setActive(idx, false);
+    push(plan.recoverAt, EvKind::Recover, -1,
+         static_cast<int>(idx));
+
+    // Every job the frozen SoC had not completed is gone with its
+    // queue; what happens to the *requests* behind the current
+    // attempts is the configured in-flight policy.
+    const sim::Soc &soc = slot.live();
+    res_.lostJobs += soc.jobs().size() - soc.results().size();
+    slot.outstandingMacs = 0.0;
+    const auto &job_req = slot.jobReq.back();
+    for (std::size_t j = 0; j < job_req.size(); ++j) {
+        ReqProgress &p =
+            progress_[static_cast<std::size_t>(job_req[j])];
+        if (!(p.inFlight && !p.resolved &&
+              p.slot == static_cast<int>(idx) &&
+              p.incarnation == slot.incarnation() &&
+              p.job == static_cast<int>(j)))
+            continue;
+        p.inFlight = false;
+        switch (cfg_.failures.inflight) {
+          case InflightPolicy::Requeue:
+            // A free re-placement: the machine died, the client did
+            // not time out, so the *timeout* retry budget stays
+            // untouched — but the re-placements have their own
+            // budget (the same maxRetries knob).  Without a bound, a
+            // job longer than the fleet's typical failure gap
+            // requeues forever: a deterministic retry storm.  Past
+            // the budget the loss falls through to the normal
+            // failed-attempt path.
+            if (p.requeues < cfg_.clients.maxRetries) {
+                p.requeues++;
+                res_.requeued++;
+                p.token++;
+                push(now_, EvKind::Issue, job_req[j]);
+            } else {
+                failAttempt(job_req[j]);
+            }
+            break;
+          case InflightPolicy::Drop:
+            // The client discovers the loss via its timeout; with
+            // timeouts disabled nobody ever would, so the attempt
+            // fails (and retries/burns budget) immediately.
+            if (reqTimeout_[static_cast<std::size_t>(
+                    job_req[j])] == 0)
+                failAttempt(job_req[j]);
+            break;
+        }
+    }
+}
+
+void
+ServeDriver::handleRecover(int slot_idx)
+{
+    Slot &slot = slots_[static_cast<std::size_t>(slot_idx)];
+    if (slot.state != SlotState::Failed)
+        panic("recovering slot %d that is not Failed", slot_idx);
+    res_.recoverEvents++;
+    // Reboot: a fresh SoC (and fresh policy state) joins the slot.
+    // Its clock starts at 0 with nothing queued, so it reports
+    // kNoEvent and costs the engine nothing until placed on.
+    slot.policies.push_back(
+        exp::PolicyRegistry::instance().make(cfg_.policy, cfg_.soc));
+    slot.socs.push_back(std::make_unique<sim::Soc>(
+        cfg_.soc, *slot.policies.back()));
+    slot.socs.back()->beginRun(cfg_.soc.maxCycles);
+    slot.jobReq.emplace_back();
+    slot.seen.push_back(0);
+    engine_->replaceSoc(static_cast<std::size_t>(slot_idx),
+                        slot.socs.back().get());
+    engine_->setActive(static_cast<std::size_t>(slot_idx), true);
+    slot.state = SlotState::Up;
+    noteUpChange(+1);
+}
+
+void
+ServeDriver::handleScaleTick()
+{
+    push(now_ + cfg_.autoscaler.interval, EvKind::ScaleTick);
+    long outstanding = 0;
+    for (const Slot &slot : slots_)
+        if (slot.state == SlotState::Up)
+            outstanding += static_cast<long>(
+                slot.socs.back()->waitingCount() +
+                slot.socs.back()->runningCount());
+    switch (autoscaler_.evaluate(upCount_, outstanding)) {
+      case ScaleAction::None:
+        break;
+      case ScaleAction::Up:
+        // Lowest-index Draining slot rejoins (a drained SoC keeps
+        // its finished history and simply starts accepting again).
+        for (Slot &slot : slots_) {
+            if (slot.state == SlotState::Draining) {
+                slot.state = SlotState::Up;
+                res_.scaleUps++;
+                noteUpChange(+1);
+                break;
+            }
+        }
+        break;
+      case ScaleAction::Down:
+        // Highest-index Up slot drains: placements stop, running
+        // work finishes — a scaling decision never loses a task.
+        for (std::size_t i = slots_.size(); i-- > 0;) {
+            if (slots_[i].state == SlotState::Up) {
+                slots_[i].state = SlotState::Draining;
+                res_.scaleDowns++;
+                noteUpChange(-1);
+                break;
+            }
+        }
+        break;
+    }
+}
+
+ServeResult
+ServeDriver::run()
+{
+    const auto total =
+        static_cast<std::uint64_t>(reqTasks_.size());
+    while (resolvedCount_ < total) {
+        if (now_ > hardCap_)
+            fatal("serving loop passed %llu cycles with %llu of "
+                  "%llu requests unresolved (deadlock?)",
+                  static_cast<unsigned long long>(hardCap_),
+                  static_cast<unsigned long long>(
+                      total - resolvedCount_),
+                  static_cast<unsigned long long>(total));
+        if (queue_.empty()) {
+            // Nothing scheduled: only in-flight fleet work remains.
+            advanceTo(chunkTarget(sim::kNoHorizon));
+            continue;
+        }
+        const Event ev = queue_.top();
+        if (ev.at > now_) {
+            advanceTo(chunkTarget(ev.at));
+            continue; // Harvest may have scheduled earlier events.
+        }
+        queue_.pop();
+        switch (ev.kind) {
+          case EvKind::Fail: handleFail(); break;
+          case EvKind::Recover: handleRecover(ev.slot); break;
+          case EvKind::ScaleTick: handleScaleTick(); break;
+          case EvKind::Timeout: handleTimeout(ev.req, ev.token); break;
+          case EvKind::Issue: handleIssue(ev.req); break;
+        }
+    }
+
+    // Drain the orphans (and draining slots); failed slots stay
+    // frozen.  Leftover control events are dead — every request is
+    // resolved.
+    advanceTo(sim::kNoHorizon);
+    finalize();
+    return res_;
+}
+
+void
+ServeDriver::finalize()
+{
+    cluster::ClusterResult &out = res_.cluster;
+    out.dispatcher = cfg_.dispatcher;
+    out.policy = cfg_.policy;
+    out.numSocs = cfg_.numSocs;
+    out.numTasks = res_.attempts;
+    out.epochs = engine_->stats().epochs;
+    out.horizonStalls = engine_->stats().horizonStalls;
+    out.meanSocsStepped = engine_->stats().meanSocsStepped();
+    out.perSoc.resize(slots_.size());
+
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        cluster::SocShare &share = out.perSoc[i];
+        share.tasks = slot.placed;
+
+        // Aggregate the slot across its incarnations: every
+        // completion ran on real fleet capacity, orphan or not.
+        std::vector<sim::JobResult> all;
+        double busy_weighted = 0.0;
+        Cycles cycles = 0;
+        for (auto &soc : slot.socs) {
+            soc->finishRun();
+            all.insert(all.end(), soc->results().begin(),
+                       soc->results().end());
+            share.simSteps += soc->stats().quanta;
+            busy_weighted += soc->stats().dramBusyFraction *
+                static_cast<double>(soc->stats().cyclesSimulated);
+            cycles += soc->stats().cyclesSimulated;
+        }
+        share.metrics = metrics::computeMetrics(all, iso_);
+        share.dramBusyFraction = cycles > 0
+            ? busy_weighted / static_cast<double>(cycles)
+            : 0.0;
+        for (const auto &jr : all)
+            share.makespan = std::max(share.makespan, jr.finish);
+        out.simSteps += share.simSteps;
+        out.stp += share.metrics.stp;
+        out.makespan = std::max(out.makespan, share.makespan);
+    }
+
+    // Client-facing fleet aggregates: responses only.
+    out.slaRate = res_.responses > 0
+        ? static_cast<double>(respMet_) /
+            static_cast<double>(res_.responses)
+        : 0.0;
+    out.slaRateHigh = respHigh_ > 0
+        ? static_cast<double>(respHighMet_) /
+            static_cast<double>(respHigh_)
+        : 0.0;
+    out.latency = percentileSummary(respLatency_);
+    out.normLatency = percentileSummary(respNormLatency_);
+    if (out.makespan > 0)
+        out.goodput = static_cast<double>(respMet_) * 1e9 /
+            static_cast<double>(out.makespan);
+
+    out.shedTasks = res_.shed;
+    out.deferredTasks = res_.deferrals;
+    out.retryTasks = res_.retries;
+    out.timeoutTasks = res_.timeouts;
+    const std::uint64_t verdicts = res_.attempts + res_.shed;
+    if (verdicts > 0)
+        out.shedRate = static_cast<double>(res_.shed) /
+            static_cast<double>(verdicts);
+    if (res_.requests > 0) {
+        out.retryRate = static_cast<double>(res_.retries) /
+            static_cast<double>(res_.requests);
+        out.timeoutRate = static_cast<double>(res_.timeouts) /
+            static_cast<double>(res_.requests);
+        res_.successRate = static_cast<double>(res_.responses) /
+            static_cast<double>(res_.requests);
+    }
+
+    double mean_tasks = 0.0;
+    for (const Slot &slot : slots_)
+        mean_tasks += static_cast<double>(slot.placed);
+    mean_tasks /= static_cast<double>(slots_.size());
+    if (mean_tasks > 0.0) {
+        double var = 0.0;
+        for (const Slot &slot : slots_) {
+            const double d =
+                static_cast<double>(slot.placed) - mean_tasks;
+            var += d * d;
+        }
+        out.balanceCv =
+            std::sqrt(var / static_cast<double>(slots_.size())) /
+            mean_tasks;
+    }
+
+    res_.clientLatency = percentileSummary(clientLatency_);
+    if (res_.endCycle > 0) {
+        upIntegral_ +=
+            static_cast<double>(
+                std::max(res_.endCycle, lastUpChange_) -
+                lastUpChange_) *
+            static_cast<double>(upCount_);
+        res_.meanUpSocs =
+            upIntegral_ / static_cast<double>(res_.endCycle);
+    }
+}
+
+} // anonymous namespace
+
+ServeResult
+runServe(const ServeConfig &cfg)
+{
+    ServeDriver driver(cfg);
+    return driver.run();
+}
+
+} // namespace moca::serve
