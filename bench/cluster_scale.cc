@@ -23,6 +23,14 @@
  * `--cluster-jobs 1` vs `--cluster-jobs 4`.  (`--jobs` parallelizes
  * across grid cells as everywhere else; the two compose.)
  *
+ * Telemetry (src/obs): `--trace-out FILE` exports the *first* grid
+ * cell's run as a Chrome trace_event JSON (chrome://tracing /
+ * Perfetto) — per-SoC job spans plus the PDES epoch timeline;
+ * `--sample-every N` turns on per-SoC sim-time sampling, and
+ * `--sample-out FILE` writes the first cell's SoC-0 timeseries
+ * (CSV, or JSON for a .json path).  All observational: emitted
+ * metrics are bit-identical with or without them.
+ *
  * Usage: cluster_scale [socs=1,4,16,64] [tasks-per-soc=N] [tasks=N]
  *                      [process=poisson|mmpp|diurnal] [mix=wide|a|b|c|
  *                      name,name,...] [load=F] [seed=S] [timing=0|1]
@@ -30,7 +38,8 @@
  *                      [--policy SPEC[,SPEC...]] [--list-policies]
  *                      [--dispatcher SPEC[,SPEC...]]
  *                      [--list-dispatchers] [--jobs N] [--json PATH]
- *                      [kernel=quantum|event] ...
+ *                      [--trace-out FILE] [--sample-every N]
+ *                      [--sample-out FILE] [kernel=quantum|event] ...
  */
 
 #include <cstdio>
@@ -45,6 +54,10 @@
 #include "common/walltime.h"
 #include "exp/oracle.h"
 #include "exp/sweep/options.h"
+#include "obs/capture.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
 
 using namespace moca;
 
@@ -140,6 +153,20 @@ main(int argc, char **argv)
     const bool record_wall =
         exp::resolveJobs(opts.jobs) == 1 && timing;
 
+    // Telemetry export targets the first grid cell only: one capture
+    // bag, written by that cell's run alone (never shared).
+    const std::string trace_out = args.getString("trace-out", "");
+    const std::string sample_out = args.getString("sample-out", "");
+    if (!sample_out.empty() && base.sampleEvery == 0) {
+        base.sampleEvery = 100'000;
+        inform("--sample-out without --sample-every: defaulting to "
+               "sampling every %llu cycles",
+               static_cast<unsigned long long>(base.sampleEvery));
+    }
+    obs::Capture capture;
+    const bool want_capture =
+        !trace_out.empty() || !sample_out.empty();
+
     std::printf("== cluster_scale: fleet co-simulation "
                 "(process=%s load=%.2f seed=%llu jobs=%d "
                 "cluster-jobs=%d) ==\n\n",
@@ -196,6 +223,9 @@ main(int argc, char **argv)
             cc.dispatcher = cell.dispatcher;
             cc.dispatcherSeed = seed;
             cc.jobs = cluster_jobs;
+            cc.profile = record_wall;
+            if (i == 0 && want_capture)
+                cc.capture = &capture;
             const WallTimer cell_timer;
             cell.result = cluster::runCluster(cc, *cell.stream);
             cell.wall = cell_timer.seconds();
@@ -234,6 +264,36 @@ main(int argc, char **argv)
             "normalized to isolated full-SoC latency; epochs/stalls: "
             "PDES barrier epochs and skipped no-activity windows)");
     std::printf("\ntotal wall: %.2f s\n", total_wall);
+
+    if (record_wall) {
+        // Where the fleet runs actually spent their wall clock,
+        // summed over all cells (obs/profile.h).
+        obs::PhaseProfiler phases;
+        for (const auto &cell : cells) {
+            phases.add("shard-advance",
+                       cell.result.phases.shardAdvanceSec);
+            phases.add("barrier-wait",
+                       cell.result.phases.barrierWaitSec);
+            phases.add("dispatch", cell.result.phases.dispatchSec);
+        }
+        std::fputs(
+            phases.render("PDES phase profile (all cells)").c_str(),
+            stdout);
+    }
+
+    if (!trace_out.empty()) {
+        obs::ChromeTraceWriter writer;
+        writer.addCapture(capture);
+        writer.write(trace_out);
+    }
+    if (!sample_out.empty()) {
+        if (capture.socSeries.empty())
+            warn("--sample-out %s: the run produced no sampled "
+                 "series", sample_out.c_str());
+        else
+            obs::writeTimeseries(capture.socSeries.front(),
+                                 sample_out);
+    }
 
     const std::string json = args.getString("json", "");
     if (!json.empty()) {

@@ -24,6 +24,16 @@
  * gates this by byte-diffing the `timing=0` JSON of `--cluster-jobs
  * 1` vs `4`, failure injection included.
  *
+ * Telemetry (src/obs): `--trace-out FILE` exports one cell as a
+ * Chrome trace_event JSON — SoC job spans, PDES epoch spans, and
+ * front-end shed/defer/fail/recover/autoscale instants on one
+ * timeline.  The exported cell is the first one with a nonzero fail
+ * rate (so the fail/recover story is visible), falling back to the
+ * first cell.  `--sample-every N` enables per-SoC sim-time sampling
+ * (the traced cell's sampled series ride along into the trace as
+ * counter tracks).  Observational only: emitted metrics are
+ * bit-identical with or without telemetry.
+ *
  * Usage: serve_loop [socs=4] [clients=4,16,64] [base-clients=16]
  *                   [rpc=24] [outstanding=1] [think=4.0]
  *                   [timeout-scale=6.0] [retries=3]
@@ -33,6 +43,7 @@
  *                   [--cluster-jobs N] [--policy SPEC[,...]]
  *                   [--dispatcher SPEC[,...]] [--admission SPEC[,...]]
  *                   [--list-admission] [--jobs N] [--json PATH]
+ *                   [--trace-out FILE] [--sample-every N]
  *                   [kernel=quantum|event] ...
  */
 
@@ -46,6 +57,9 @@
 #include "common/text.h"
 #include "common/walltime.h"
 #include "exp/sweep/options.h"
+#include "obs/capture.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
 #include "serve/serve.h"
 
 using namespace moca;
@@ -218,10 +232,28 @@ main(int argc, char **argv)
                 sc.failures.inflight = inflight;
                 sc.failures.seed = seed + 6;
                 sc.autoscaler.enabled = autoscale;
+                sc.profile = record_wall;
                 cell.cfg = sc;
                 cells.push_back(std::move(cell));
             }
         }
+    }
+
+    // Telemetry export: one capture bag on the first cell whose
+    // scenario injects failures (the interesting timeline), else
+    // cell 0; written by that cell's coordinator alone.
+    const std::string trace_out = args.getString("trace-out", "");
+    obs::Capture capture;
+    std::size_t capture_idx = cells.size();
+    if (!trace_out.empty() && !cells.empty()) {
+        capture_idx = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].cfg.failures.rate > 0.0) {
+                capture_idx = i;
+                break;
+            }
+        }
+        cells[capture_idx].cfg.capture = &capture;
     }
 
     std::printf("running %zu serving cells...\n\n", cells.size());
@@ -332,6 +364,30 @@ main(int argc, char **argv)
                           ref.c_str(), ref.c_str()));
     }
     std::printf("\ntotal wall: %.2f s\n", total_wall);
+
+    if (record_wall) {
+        obs::PhaseProfiler phases;
+        for (const auto &cell : cells) {
+            const auto &p = cell.result.cluster.phases;
+            phases.add("shard-advance", p.shardAdvanceSec);
+            phases.add("barrier-wait", p.barrierWaitSec);
+            phases.add("coordinator", p.dispatchSec);
+        }
+        std::fputs(
+            phases.render("serving phase profile (all cells)")
+                .c_str(),
+            stdout);
+    }
+
+    if (capture_idx < cells.size()) {
+        const Cell &traced = cells[capture_idx];
+        inform("trace-out: exporting cell %s %s %s %s",
+               traced.family.c_str(), traced.scenario.c_str(),
+               traced.dispatcher.c_str(), traced.policy.c_str());
+        obs::ChromeTraceWriter writer;
+        writer.addCapture(capture);
+        writer.write(trace_out);
+    }
 
     const std::string json = args.getString("json", "");
     if (!json.empty()) {

@@ -15,7 +15,13 @@
  * Usage: stress_scale [tasks=2500,10000,25000] [load=F] [seed=S]
  *                     [kernels=both|quantum|event] [quantum-cap=N]
  *                     [--policy SPEC[,SPEC...]] [--list-policies]
- *                     [--jobs N] [--json PATH] [max-cycles=N] ...
+ *                     [--jobs N] [--json PATH] [--sample-every N]
+ *                     [--sample-out FILE] [max-cycles=N] ...
+ *
+ * `--sample-every N` turns on sim-time telemetry sampling in every
+ * cell (src/obs; observational only), and `--sample-out FILE` writes
+ * the first sampled cell's timeseries (CSV, or JSON for a .json
+ * path).
  *
  * `quantum-cap=N` bounds the quantum-kernel tier: cells with more
  * than N tasks skip the (hours-long at 100k) quantum run, and their
@@ -34,6 +40,7 @@
 #include "common/text.h"
 #include "common/walltime.h"
 #include "exp/sweep/options.h"
+#include "obs/sampler.h"
 
 using namespace moca;
 
@@ -97,7 +104,14 @@ int
 main(int argc, char **argv)
 {
     ArgMap args(argc, argv);
-    const sim::SocConfig base = exp::socConfigFromArgs(args);
+    sim::SocConfig base = exp::socConfigFromArgs(args);
+    const std::string sample_out = args.getString("sample-out", "");
+    if (!sample_out.empty() && base.sampleEvery == 0) {
+        base.sampleEvery = 100'000;
+        inform("--sample-out without --sample-every: defaulting to "
+               "sampling every %llu cycles",
+               static_cast<unsigned long long>(base.sampleEvery));
+    }
     const auto policies = exp::policiesFromArgs(args, {"moca"});
     const auto tasks_list =
         parseTaskList(args.getString("tasks", "2500,10000,25000"));
@@ -309,6 +323,23 @@ main(int argc, char **argv)
                     ewall > 0.0 ? qwall / ewall : 0.0,
                     qcap > 0 ? " (quantum total covers measured "
                                "tiers only)" : "");
+    }
+
+    if (!sample_out.empty()) {
+        // First sampled cell's timeseries (event grid preferred — it
+        // always runs in the comparison modes that matter).
+        const exp::ScenarioResult *sampled = nullptr;
+        for (const auto &r : run_event ? eres : qres) {
+            if (r.telemetry) {
+                sampled = &r;
+                break;
+            }
+        }
+        if (sampled == nullptr)
+            warn("--sample-out %s: no cell produced a sampled "
+                 "series", sample_out.c_str());
+        else
+            obs::writeTimeseries(*sampled->telemetry, sample_out);
     }
 
     const std::string json = args.getString("json", "");

@@ -6,8 +6,10 @@
 
 #include "cluster/parallel.h"
 #include "common/log.h"
+#include "common/walltime.h"
 #include "exp/oracle.h"
 #include "exp/registry.h"
+#include "obs/capture.h"
 #include "sim/soc.h"
 
 namespace moca::cluster {
@@ -46,11 +48,15 @@ runCluster(const ClusterConfig &cfg,
     std::vector<std::unique_ptr<sim::Soc>> socs;
     policies.reserve(n);
     socs.reserve(n);
-    for (const auto &soc_cfg : cfg.socs) {
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::SocConfig soc_cfg = cfg.socs[i];
+        soc_cfg.socId = static_cast<int>(i);
         policies.push_back(
             exp::PolicyRegistry::instance().make(cfg.policy, soc_cfg));
         socs.push_back(
             std::make_unique<sim::Soc>(soc_cfg, *policies.back()));
+        if (cfg.capture)
+            socs.back()->trace().enable();
         socs.back()->beginRun(cfg.maxCycles);
     }
     const auto dispatcher = DispatcherRegistry::instance().make(
@@ -80,10 +86,43 @@ runCluster(const ClusterConfig &cfg,
     fleet.reserve(n);
     for (const auto &soc : socs)
         fleet.push_back(soc.get());
-    ParallelEngine engine(std::move(fleet), cfg.jobs, harvest);
+    ParallelEngine engine(std::move(fleet), cfg.jobs, harvest,
+                          cfg.profile);
+
+    // Capture-mode epoch spans: delta the engine's epoch/stall
+    // counters around each advance so the exporter can draw the
+    // PDES timeline.  Plain delegation when capture is off.
+    Cycles last_horizon = 0;
+    const auto advance = [&](Cycles horizon) {
+        if (!cfg.capture) {
+            engine.advanceFleet(horizon);
+            return;
+        }
+        const EpochStats before = engine.stats();
+        engine.advanceFleet(horizon);
+        const EpochStats &after = engine.stats();
+        Cycles end = horizon;
+        if (horizon == sim::kNoHorizon) {
+            end = last_horizon;
+            for (const auto &soc : socs)
+                end = std::max(end, soc->now());
+        }
+        if (after.epochs > before.epochs)
+            cfg.capture->epochs.push_back(
+                {last_horizon, end,
+                 after.socsStepped - before.socsStepped, false});
+        else if (after.horizonStalls > before.horizonStalls)
+            cfg.capture->epochs.push_back({last_horizon, end, 0, true});
+        last_horizon = end;
+    };
+
+    WallTimer dispatch_timer;
+    double dispatch_sec = 0.0;
 
     for (const ClusterTask &task : tasks) {
-        engine.advanceFleet(task.arrival);
+        advance(task.arrival);
+        if (cfg.profile)
+            dispatch_timer.restart();
 
         std::vector<SocLoad> loads(n);
         for (std::size_t i = 0; i < n; ++i) {
@@ -115,11 +154,30 @@ runCluster(const ClusterConfig &cfg,
         outstanding_macs[static_cast<std::size_t>(k)] +=
             static_cast<double>(spec.model->totalMacs());
         engine.noteInjected(static_cast<std::size_t>(k));
+        if (cfg.profile)
+            dispatch_sec += dispatch_timer.restart();
     }
 
-    engine.advanceFleet(sim::kNoHorizon); // Drain the fleet.
+    advance(sim::kNoHorizon); // Drain the fleet.
     for (auto &soc : socs)
         soc->finishRun();
+
+    if (cfg.capture) {
+        bool any_sampled = false;
+        for (const auto &soc : socs) {
+            const auto &events = soc->trace().events();
+            cfg.capture->socEvents.insert(
+                cfg.capture->socEvents.end(), events.begin(),
+                events.end());
+            if (soc->sampler())
+                any_sampled = true;
+        }
+        if (any_sampled)
+            for (const auto &soc : socs)
+                cfg.capture->socSeries.push_back(
+                    soc->sampler() ? soc->sampler()->series()
+                                   : obs::Timeseries{});
+    }
 
     // --- Aggregate ----------------------------------------------------
 
@@ -131,6 +189,11 @@ runCluster(const ClusterConfig &cfg,
     res.epochs = engine.stats().epochs;
     res.horizonStalls = engine.stats().horizonStalls;
     res.meanSocsStepped = engine.stats().meanSocsStepped();
+    if (cfg.profile) {
+        engine.phaseTotals(res.phases.shardAdvanceSec,
+                           res.phases.barrierWaitSec);
+        res.phases.dispatchSec = dispatch_sec;
+    }
     res.perSoc.resize(n);
 
     std::vector<double> latencies, norm_latencies;

@@ -40,6 +40,10 @@
 #include "metrics/metrics.h"
 #include "sim/config.h"
 
+namespace moca::obs {
+struct Capture;
+}
+
 namespace moca::cluster {
 
 /** Configuration of one cluster run. */
@@ -70,8 +74,39 @@ struct ClusterConfig
     /** Per-SoC deadlock bound; 0 uses each SocConfig's maxCycles. */
     Cycles maxCycles = 0;
 
+    /**
+     * Wall-clock phase profiling (see ClusterResult::phases and
+     * cluster/parallel.h phaseTotals).  Diagnostic only; leave off
+     * for timing=0 determinism baselines — the fields it fills are
+     * wall-clock and would be nonzero.
+     */
+    bool profile = false;
+
+    /**
+     * Telemetry capture bag (obs/capture.h): when non-null the run
+     * enables every SoC's TraceRecorder (stamped with its slot id),
+     * records PDES epoch/stall spans, and copies out any sampled
+     * timeseries.  Observational only — results are bit-identical
+     * with or without it.  The capture is written by this run's
+     * coordinator alone: never share one across concurrent cells.
+     */
+    obs::Capture *capture = nullptr;
+
     /** A homogeneous fleet of `n` copies of `soc`. */
     static ClusterConfig homogeneous(int n, const sim::SocConfig &soc);
+};
+
+/**
+ * Wall-clock breakdown of one fleet run's execution phases (zeros
+ * unless ClusterConfig::profile): where the run actually spent its
+ * time — workers advancing SoC shards, workers parked at the epoch
+ * barrier, and the coordinator placing/injecting tasks.
+ */
+struct PhaseBreakdown
+{
+    double shardAdvanceSec = 0.0; ///< Workers advancing their SoCs.
+    double barrierWaitSec = 0.0;  ///< Workers waiting at the barrier.
+    double dispatchSec = 0.0;     ///< Coordinator placement+injection.
 };
 
 /** Per-SoC share of a cluster run. */
@@ -147,6 +182,10 @@ struct ClusterResult
     std::uint64_t epochs = 0;
     std::uint64_t horizonStalls = 0;
     double meanSocsStepped = 0.0;
+
+    /** Wall-clock phase profile (zeros unless cfg.profile; excluded
+     *  from timing=0 sinks like every wall-clock field). */
+    PhaseBreakdown phases;
 
     std::vector<SocShare> perSoc;
 };

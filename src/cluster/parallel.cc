@@ -8,8 +8,9 @@ namespace moca::cluster {
 
 ParallelEngine::ParallelEngine(
     std::vector<sim::Soc *> socs, int jobs,
-    std::function<void(std::size_t)> on_advanced)
-    : socs_(std::move(socs)), on_advanced_(std::move(on_advanced))
+    std::function<void(std::size_t)> on_advanced, bool profile)
+    : socs_(std::move(socs)), on_advanced_(std::move(on_advanced)),
+      profile_(profile)
 {
     if (jobs < 1)
         fatal("cluster jobs must be >= 1 (got %d); 0 workers cannot "
@@ -72,6 +73,7 @@ ParallelEngine::~ParallelEngine()
 void
 ParallelEngine::runShard(Shard &shard)
 {
+    WallTimer timer;
     shard.minNextEvent = sim::kNoEvent;
     shard.stepped = 0;
     for (std::size_t i = shard.begin; i < shard.end; ++i) {
@@ -89,6 +91,8 @@ ParallelEngine::runShard(Shard &shard)
         shard.minNextEvent =
             std::min(shard.minNextEvent, soc.nextEventTime());
     }
+    if (profile_)
+        shard.advanceSec += timer.seconds();
 }
 
 void
@@ -97,10 +101,15 @@ ParallelEngine::workerLoop(std::size_t shard_idx)
     std::uint64_t seen = 0;
     for (;;) {
         {
+            WallTimer wait_timer;
             std::unique_lock<std::mutex> lock(mu_);
             cv_work_.wait(lock, [&]() {
                 return shutdown_ || generation_ != seen;
             });
+            // Written under mu_ by the owning worker only; the
+            // coordinator reads it between epochs (phaseTotals).
+            if (profile_)
+                shards_[shard_idx].waitSec += wait_timer.seconds();
             if (shutdown_)
                 return;
             seen = generation_;
@@ -161,6 +170,18 @@ ParallelEngine::advanceFleet(Cycles horizon)
     for (const Shard &shard : shards_)
         stats_.socsStepped += shard.stepped;
     reduceShardMinima();
+}
+
+void
+ParallelEngine::phaseTotals(double &advance_sec,
+                            double &wait_sec) const
+{
+    advance_sec = 0.0;
+    wait_sec = 0.0;
+    for (const Shard &shard : shards_) {
+        advance_sec += shard.advanceSec;
+        wait_sec += shard.waitSec;
+    }
 }
 
 void

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "common/walltime.h"
 #include "sim/soc.h"
 
 namespace moca::cluster {
@@ -113,9 +114,14 @@ class ParallelEngine
      *        (e.g. harvesting completed-job feedback).  Called with
      *        the SoC index; must be safe to call concurrently for
      *        *different* indices.
+     * @param profile accumulate per-worker shard-advance and
+     *        barrier-wait wall time (via the common/walltime.h shim;
+     *        see phaseTotals()).  Purely diagnostic — off by default
+     *        so the hot path pays nothing.
      */
     ParallelEngine(std::vector<sim::Soc *> socs, int jobs,
-                   std::function<void(std::size_t)> on_advanced = {});
+                   std::function<void(std::size_t)> on_advanced = {},
+                   bool profile = false);
     ~ParallelEngine();
 
     ParallelEngine(const ParallelEngine &) = delete;
@@ -176,6 +182,16 @@ class ParallelEngine
 
     const EpochStats &stats() const { return stats_; }
 
+    /**
+     * Wall-clock phase totals summed over shards in index order
+     * (zeros unless constructed with profile=true): time workers
+     * spent advancing their shard's SoCs vs parked at the epoch
+     * barrier waiting for work.  Coordinator-only, between epochs —
+     * the barrier orders the workers' accumulator writes exactly
+     * like the shard minima reads.
+     */
+    void phaseTotals(double &advance_sec, double &wait_sec) const;
+
   private:
     /** One worker's contiguous SoC range plus its reduction slots
      *  (written only by the owning worker during an epoch, read only
@@ -186,6 +202,10 @@ class ParallelEngine
         std::size_t end = 0;
         Cycles minNextEvent = sim::kNoEvent;
         std::uint64_t stepped = 0;
+        /** Wall-clock accumulators (profile mode only; see
+         *  phaseTotals()). */
+        double advanceSec = 0.0;
+        double waitSec = 0.0;
     };
 
     void runShard(Shard &shard);
@@ -214,6 +234,7 @@ class ParallelEngine
     std::uint64_t generation_ = 0;
     std::size_t done_count_ = 0;
     bool shutdown_ = false;
+    bool profile_ = false;
     Cycles horizon_ = 0;
 
     Cycles fleet_next_event_ = sim::kNoEvent;

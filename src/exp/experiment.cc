@@ -30,6 +30,13 @@ Experiment::mem(std::string spec)
 }
 
 Experiment &
+Experiment::sampleEvery(Cycles every)
+{
+    soc_.sampleEvery = every;
+    return *this;
+}
+
+Experiment &
 Experiment::trace(const workload::TraceConfig &tc)
 {
     trace_ = tc;

@@ -105,6 +105,12 @@ class Experiment
      *  soc().memModel, composes with a prior soc() call). */
     Experiment &mem(std::string spec);
 
+    /** Telemetry sampling cadence in cycles (shorthand for mutating
+     *  soc().sampleEvery; 0 disables).  Each run's sampled
+     *  timeseries comes back in ScenarioResult::telemetry.
+     *  Observational only — metrics are bit-identical either way. */
+    Experiment &sampleEvery(Cycles every);
+
     /** Trace-generation parameters (workload set, QoS, tasks, seed). */
     Experiment &trace(const workload::TraceConfig &tc);
 

@@ -76,6 +76,9 @@ runTrace(sim::Policy &policy, const std::string &label,
     r.simSteps = soc.stats().quanta;
     r.cyclesSimulated = soc.stats().cyclesSimulated;
     r.memTraffic = soc.stats().memTraffic;
+    if (soc.sampler())
+        r.telemetry = std::make_shared<obs::Timeseries>(
+            soc.sampler()->series());
     return r;
 }
 

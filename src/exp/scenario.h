@@ -21,6 +21,7 @@
 
 #include "mem/memory_model.h"
 #include "metrics/metrics.h"
+#include "obs/sampler.h"
 #include "sim/config.h"
 #include "sim/job.h"
 #include "sim/policy.h"
@@ -59,6 +60,10 @@ struct ScenarioResult
     int totalMigrations = 0;
     int totalPreemptions = 0;
     int totalThrottleReconfigs = 0;
+    /** Sampled telemetry timeseries (obs/sampler.h); null unless the
+     *  run's SocConfig::sampleEvery was nonzero.  Shared so copies of
+     *  the result stay cheap in sweep pipelines. */
+    std::shared_ptr<const obs::Timeseries> telemetry;
 };
 
 /**

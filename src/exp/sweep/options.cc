@@ -42,6 +42,13 @@ socConfigFromArgs(const ArgMap &args)
         fatal("max-cycles must be >= 1 (got %lld)",
               static_cast<long long>(max_cycles));
     cfg.maxCycles = static_cast<Cycles>(max_cycles);
+    const std::int64_t sample_every = args.getInt(
+        "sample-every", static_cast<std::int64_t>(cfg.sampleEvery));
+    if (sample_every < 0)
+        fatal("sample-every must be >= 0 (got %lld; 0 disables "
+              "telemetry sampling)",
+              static_cast<long long>(sample_every));
+    cfg.sampleEvery = static_cast<Cycles>(sample_every);
     cfg.memModel = args.getString("mem", cfg.memModel);
     // Trial-build against the actual configuration so a bad --mem
     // spec fails before any sweep work starts.

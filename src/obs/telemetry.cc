@@ -1,0 +1,118 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace moca::obs {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    if (edges_.empty())
+        fatal("histogram needs at least one bucket edge");
+    for (std::size_t i = 1; i < edges_.size(); i++)
+        if (edges_[i] <= edges_[i - 1])
+            fatal("histogram edges must be strictly ascending "
+                  "(edge[%zu]=%g <= edge[%zu]=%g)",
+                  i, edges_[i], i - 1, edges_[i - 1]);
+    counts_.assign(edges_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double v)
+{
+    auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    counts_[static_cast<std::size_t>(it - edges_.begin())]++;
+    total_++;
+    sum_ += v;
+}
+
+const Registry::Entry *
+Registry::find(const std::string &name) const
+{
+    for (const auto &e : order_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+void
+Registry::checkFresh(const std::string &name) const
+{
+    if (name.empty())
+        fatal("telemetry instrument needs a non-empty name");
+    if (find(name))
+        fatal("duplicate telemetry instrument '%s'", name.c_str());
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    checkFresh(name);
+    counters_.emplace_back();
+    order_.push_back({name, InstrumentKind::Counter,
+                      counters_.size() - 1});
+    return counters_.back();
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    checkFresh(name);
+    gauges_.emplace_back();
+    order_.push_back({name, InstrumentKind::Gauge, gauges_.size() - 1});
+    return gauges_.back();
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> edges)
+{
+    checkFresh(name);
+    histograms_.emplace_back(std::move(edges));
+    order_.push_back({name, InstrumentKind::Histogram,
+                      histograms_.size() - 1});
+    return histograms_.back();
+}
+
+std::vector<std::string>
+Registry::columns() const
+{
+    std::vector<std::string> cols;
+    cols.reserve(order_.size());
+    for (const auto &e : order_) {
+        if (e.kind == InstrumentKind::Histogram) {
+            cols.push_back(e.name + ".count");
+            cols.push_back(e.name + ".sum");
+        } else {
+            cols.push_back(e.name);
+        }
+    }
+    return cols;
+}
+
+std::vector<double>
+Registry::snapshot() const
+{
+    std::vector<double> vals;
+    vals.reserve(order_.size());
+    for (const auto &e : order_) {
+        switch (e.kind) {
+          case InstrumentKind::Counter:
+            vals.push_back(
+                static_cast<double>(counters_[e.index].value()));
+            break;
+          case InstrumentKind::Gauge:
+            vals.push_back(gauges_[e.index].value());
+            break;
+          case InstrumentKind::Histogram:
+            vals.push_back(static_cast<double>(
+                histograms_[e.index].totalCount()));
+            vals.push_back(histograms_[e.index].sum());
+            break;
+        }
+    }
+    return vals;
+}
+
+} // namespace moca::obs

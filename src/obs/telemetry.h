@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic telemetry instruments: string-keyed counters, gauges,
+ * and fixed-bucket histograms collected in a per-run Registry.
+ *
+ * Design constraints (the observability contract, see README):
+ *  - *Observational only.*  Instruments are written from simulation
+ *    code but never read back into simulation decisions, so enabling
+ *    telemetry cannot perturb `timing=0` outputs.
+ *  - *Zero overhead when disabled.*  Owners hold instruments behind a
+ *    single pointer (e.g. sim::Soc's telemetry block) that is null
+ *    unless sampling was requested.
+ *  - *Deterministic iteration.*  The registry preserves registration
+ *    order and uses no unordered containers, so every exporter emits
+ *    instruments in the same order on every run.
+ */
+
+#ifndef MOCA_OBS_TELEMETRY_H
+#define MOCA_OBS_TELEMETRY_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace moca::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { v_ += n; }
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/** Point-in-time value, overwritten on every set(). */
+class Gauge
+{
+  public:
+    void set(double v) { v_ = v; }
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram with inclusive upper bounds (Prometheus
+ * "le" semantics): bucket i counts observations v with
+ * edges[i-1] < v <= edges[i]; one extra overflow bucket counts
+ * v > edges.back().  Edges must be strictly ascending (fatal
+ * otherwise).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double v);
+
+    /** edges().size() + 1 (the last bucket is the overflow bucket). */
+    std::size_t numBuckets() const { return counts_.size(); }
+    const std::vector<double> &edges() const { return edges_; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t totalCount() const { return total_; }
+    double sum() const { return sum_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Instrument kinds, in the order columns() expands them. */
+enum class InstrumentKind { Counter, Gauge, Histogram };
+
+/**
+ * A per-run set of named instruments.  Not a global singleton: each
+ * Soc (or coordinator) owns its own Registry, so share-nothing sweep
+ * cells never contend.  Duplicate names are a caller bug (fatal).
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges);
+
+    std::size_t size() const { return order_.size(); }
+
+    /**
+     * Column names of snapshot(), in registration order.  Counters
+     * and gauges contribute their name; a histogram contributes
+     * "<name>.count" and "<name>.sum" (per-bucket detail is exported
+     * by the trace/report writers, not the sampler).
+     */
+    std::vector<std::string> columns() const;
+
+    /** Current values aligned with columns(). */
+    std::vector<double> snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        InstrumentKind kind;
+        std::size_t index; ///< Into the kind's deque.
+    };
+
+    const Entry *find(const std::string &name) const;
+    void checkFresh(const std::string &name) const;
+
+    /** Registration order; drives columns()/snapshot(). */
+    std::vector<Entry> order_;
+    // Deques keep instrument references stable as more register.
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+} // namespace moca::obs
+
+#endif // MOCA_OBS_TELEMETRY_H

@@ -8,8 +8,10 @@
 
 #include "cluster/parallel.h"
 #include "common/log.h"
+#include "common/walltime.h"
 #include "exp/oracle.h"
 #include "exp/registry.h"
+#include "obs/capture.h"
 #include "sim/soc.h"
 
 namespace moca::serve {
@@ -152,6 +154,10 @@ class ServeDriver
     Cycles lastUpChange_ = 0;
     double upIntegral_ = 0.0;
 
+    /** Coordinator wall-clock (profile mode; see finalize()). */
+    WallTimer coordTimer_;
+    double dispatchSec_ = 0.0;
+
     ServeResult res_;
 
     // Response-based fleet samples (client-observed only).
@@ -171,6 +177,23 @@ class ServeDriver
             static_cast<double>(upCount_);
         lastUpChange_ = now_;
         upCount_ += delta;
+    }
+
+    /** Record a front-end event into the capture bag (no-op when
+     *  capture is off; observational only). */
+    void captureEvent(sim::TraceEventKind kind, int id)
+    {
+        if (cfg_.capture)
+            cfg_.capture->frontend.record(now_, kind, id);
+    }
+
+    /** Per-slot SoC configuration: the slot index becomes the SoC's
+     *  trace/telemetry identity. */
+    sim::SocConfig socCfgFor(std::size_t slot_idx) const
+    {
+        sim::SocConfig soc_cfg = cfg_.soc;
+        soc_cfg.socId = static_cast<int>(slot_idx);
+        return soc_cfg;
     }
 
     Cycles chunkTarget(Cycles limit) const;
@@ -262,23 +285,29 @@ ServeDriver::ServeDriver(const ServeConfig &cfg)
     slots_.resize(static_cast<std::size_t>(cfg_.numSocs));
     std::vector<sim::Soc *> fleet;
     fleet.reserve(slots_.size());
-    for (Slot &slot : slots_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        const sim::SocConfig soc_cfg = socCfgFor(i);
         slot.policies.push_back(exp::PolicyRegistry::instance().make(
-            cfg_.policy, cfg_.soc));
+            cfg_.policy, soc_cfg));
         slot.socs.push_back(std::make_unique<sim::Soc>(
-            cfg_.soc, *slot.policies.back()));
+            soc_cfg, *slot.policies.back()));
+        if (cfg_.capture)
+            slot.socs.back()->trace().enable();
         slot.socs.back()->beginRun(cfg_.soc.maxCycles);
         slot.jobReq.emplace_back();
         slot.seen.push_back(0);
         fleet.push_back(slot.socs.back().get());
     }
     upCount_ = cfg_.numSocs;
+    if (cfg_.capture)
+        cfg_.capture->frontend.enable();
 
     // Completion *reactions* must run on the coordinator, so the
     // engine gets no per-advance callback; harvest() walks the slots
     // in index order after every epoch instead.
     engine_ = std::make_unique<cluster::ParallelEngine>(
-        std::move(fleet), cfg_.jobs, nullptr);
+        std::move(fleet), cfg_.jobs, nullptr, cfg_.profile);
 
     if (!cfg_.openLoop)
         for (int c = 0; c < pool_->numClients(); ++c)
@@ -303,6 +332,8 @@ ServeDriver::chunkTarget(Cycles limit) const
 void
 ServeDriver::advanceTo(Cycles target)
 {
+    const Cycles begin = now_;
+    const cluster::EpochStats before = engine_->stats();
     engine_->advanceFleet(target);
     if (target == sim::kNoHorizon) {
         // Unbounded drain: the front-end clock lands on the latest
@@ -313,6 +344,17 @@ ServeDriver::advanceTo(Cycles target)
         now_ = latest;
     } else {
         now_ = target;
+    }
+    if (cfg_.capture) {
+        // Epoch/stall spans on the front-end clock, delta'd from the
+        // engine's counters (see the cluster-run equivalent).
+        const cluster::EpochStats &after = engine_->stats();
+        if (after.epochs > before.epochs)
+            cfg_.capture->epochs.push_back(
+                {begin, now_,
+                 after.socsStepped - before.socsStepped, false});
+        else if (after.horizonStalls > before.horizonStalls)
+            cfg_.capture->epochs.push_back({begin, now_, 0, true});
     }
     harvest();
 }
@@ -446,6 +488,7 @@ ServeDriver::handleIssue(int req)
         // the request at the front door and re-try at the next
         // control tick.
         res_.deferrals++;
+        captureEvent(sim::TraceEventKind::AdmissionDefer, req);
         push(now_ + deferDelay(), EvKind::Issue, req);
         return;
     }
@@ -457,10 +500,12 @@ ServeDriver::handleIssue(int req)
         break;
       case AdmissionDecision::Shed:
         res_.shed++;
+        captureEvent(sim::TraceEventKind::AdmissionShed, req);
         failAttempt(req);
         break;
       case AdmissionDecision::Defer:
         res_.deferrals++;
+        captureEvent(sim::TraceEventKind::AdmissionDefer, req);
         push(now_ + deferDelay(), EvKind::Issue, req);
         break;
     }
@@ -582,6 +627,8 @@ ServeDriver::handleFail()
         candidates[static_cast<std::size_t>(plan.victim)]);
     Slot &slot = slots_[idx];
     res_.failEvents++;
+    captureEvent(sim::TraceEventKind::SocFail,
+                 static_cast<int>(idx));
     if (slot.state == SlotState::Up)
         noteUpChange(-1);
     slot.state = SlotState::Failed;
@@ -643,13 +690,18 @@ ServeDriver::handleRecover(int slot_idx)
     if (slot.state != SlotState::Failed)
         panic("recovering slot %d that is not Failed", slot_idx);
     res_.recoverEvents++;
+    captureEvent(sim::TraceEventKind::SocRecover, slot_idx);
     // Reboot: a fresh SoC (and fresh policy state) joins the slot.
     // Its clock starts at 0 with nothing queued, so it reports
     // kNoEvent and costs the engine nothing until placed on.
+    const sim::SocConfig soc_cfg =
+        socCfgFor(static_cast<std::size_t>(slot_idx));
     slot.policies.push_back(
-        exp::PolicyRegistry::instance().make(cfg_.policy, cfg_.soc));
+        exp::PolicyRegistry::instance().make(cfg_.policy, soc_cfg));
     slot.socs.push_back(std::make_unique<sim::Soc>(
-        cfg_.soc, *slot.policies.back()));
+        soc_cfg, *slot.policies.back()));
+    if (cfg_.capture)
+        slot.socs.back()->trace().enable();
     slot.socs.back()->beginRun(cfg_.soc.maxCycles);
     slot.jobReq.emplace_back();
     slot.seen.push_back(0);
@@ -676,10 +728,12 @@ ServeDriver::handleScaleTick()
       case ScaleAction::Up:
         // Lowest-index Draining slot rejoins (a drained SoC keeps
         // its finished history and simply starts accepting again).
-        for (Slot &slot : slots_) {
-            if (slot.state == SlotState::Draining) {
-                slot.state = SlotState::Up;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].state == SlotState::Draining) {
+                slots_[i].state = SlotState::Up;
                 res_.scaleUps++;
+                captureEvent(sim::TraceEventKind::ScaleUp,
+                             static_cast<int>(i));
                 noteUpChange(+1);
                 break;
             }
@@ -692,6 +746,8 @@ ServeDriver::handleScaleTick()
             if (slots_[i].state == SlotState::Up) {
                 slots_[i].state = SlotState::Draining;
                 res_.scaleDowns++;
+                captureEvent(sim::TraceEventKind::ScaleDown,
+                             static_cast<int>(i));
                 noteUpChange(-1);
                 break;
             }
@@ -724,6 +780,8 @@ ServeDriver::run()
             continue; // Harvest may have scheduled earlier events.
         }
         queue_.pop();
+        if (cfg_.profile)
+            coordTimer_.restart();
         switch (ev.kind) {
           case EvKind::Fail: handleFail(); break;
           case EvKind::Recover: handleRecover(ev.slot); break;
@@ -731,6 +789,8 @@ ServeDriver::run()
           case EvKind::Timeout: handleTimeout(ev.req, ev.token); break;
           case EvKind::Issue: handleIssue(ev.req); break;
         }
+        if (cfg_.profile)
+            dispatchSec_ += coordTimer_.restart();
     }
 
     // Drain the orphans (and draining slots); failed slots stay
@@ -752,6 +812,11 @@ ServeDriver::finalize()
     out.epochs = engine_->stats().epochs;
     out.horizonStalls = engine_->stats().horizonStalls;
     out.meanSocsStepped = engine_->stats().meanSocsStepped();
+    if (cfg_.profile) {
+        engine_->phaseTotals(out.phases.shardAdvanceSec,
+                             out.phases.barrierWaitSec);
+        out.phases.dispatchSec = dispatchSec_;
+    }
     out.perSoc.resize(slots_.size());
 
     for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -772,7 +837,18 @@ ServeDriver::finalize()
             busy_weighted += soc->stats().dramBusyFraction *
                 static_cast<double>(soc->stats().cyclesSimulated);
             cycles += soc->stats().cyclesSimulated;
+            if (cfg_.capture) {
+                // Every incarnation's events carry the slot's socId;
+                // the exporter merges them onto one slot track.
+                const auto &events = soc->trace().events();
+                cfg_.capture->socEvents.insert(
+                    cfg_.capture->socEvents.end(), events.begin(),
+                    events.end());
+            }
         }
+        if (cfg_.capture && slot.live().sampler())
+            cfg_.capture->socSeries.push_back(
+                slot.live().sampler()->series());
         share.metrics = metrics::computeMetrics(all, iso_);
         share.dramBusyFraction = cycles > 0
             ? busy_weighted / static_cast<double>(cycles)

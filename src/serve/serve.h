@@ -87,6 +87,19 @@ struct ServeConfig
      *  stream (`synth`) instead of the closed-loop clients. */
     bool openLoop = false;
     cluster::SynthConfig synth;
+
+    /** Wall-clock phase profiling (see ClusterResult::phases);
+     *  diagnostic only, keep off for timing=0 baselines. */
+    bool profile = false;
+
+    /**
+     * Telemetry capture bag (obs/capture.h): when non-null the run
+     * records front-end events (admission shed/defer, SoC
+     * fail/recover, autoscale up/down), PDES epoch spans, per-SoC
+     * trace events, and sampled timeseries.  Observational only;
+     * single-coordinator-written like ClusterConfig::capture.
+     */
+    obs::Capture *capture = nullptr;
 };
 
 /** Outcome of one serving run. */

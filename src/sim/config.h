@@ -190,6 +190,22 @@ struct SocConfig
      */
     double dramThrashOnset = 1.3;
 
+    /**
+     * Identity of this SoC within a fleet (stamped on trace events
+     * and telemetry series).  0 for standalone runs; runCluster and
+     * the serve driver assign slot indices.
+     */
+    int socId = 0;
+
+    /**
+     * Telemetry sampling interval in simulated cycles; 0 (default)
+     * disables sampling entirely — the Soc then allocates no
+     * telemetry state and the hot path pays one null-pointer test.
+     * Sampling is observational only: enabling it never changes
+     * simulation results (see README "Observability").
+     */
+    Cycles sampleEvery = 0;
+
     /** Aggregate L2 bandwidth in bytes/cycle. */
     double l2BytesPerCycle() const
     {

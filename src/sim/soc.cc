@@ -39,6 +39,7 @@ Soc::Soc(const SocConfig &cfg, Policy &policy)
         fatal("quantum must be positive");
     if (cfg_.schedPeriod < 1)
         fatal("scheduler period must be positive");
+    trace_.setSocId(cfg_.socId);
 }
 
 void
@@ -477,6 +478,11 @@ Soc::completeJob(int id)
         static_cast<int>(job.throttle.stats().reconfigurations);
     results_.push_back(r);
     trace_.record(now_, TraceEventKind::JobCompleted, id);
+    if (tele_done_) {
+        tele_done_->add();
+        tele_latency_->observe(
+            static_cast<double>(now_ - job.spec.dispatch));
+    }
 }
 
 void
@@ -695,6 +701,36 @@ Soc::accountStep(Cycles step, double dram_used)
     stats_.quanta++;
     stats_.dramBytes += static_cast<std::uint64_t>(dram_used);
     dram_busy_cycles_ += dram_used / cfg_.dramBytesPerCycle;
+    if (tele_sampler_ && now_ >= tele_sampler_->pending())
+        sampleTelemetry();
+}
+
+void
+Soc::setupTelemetry()
+{
+    tele_reg_ = std::make_unique<obs::Registry>();
+    tele_running_ = &tele_reg_->gauge("running_jobs");
+    tele_waiting_ = &tele_reg_->gauge("waiting_jobs");
+    tele_free_tiles_ = &tele_reg_->gauge("free_tiles");
+    tele_dram_mb_ = &tele_reg_->gauge("dram_mb");
+    tele_done_ = &tele_reg_->counter("jobs_completed");
+    tele_latency_ = &tele_reg_->histogram(
+        "job_latency_cycles", {1e5, 1e6, 1e7, 1e8, 1e9});
+    tele_sampler_ =
+        std::make_unique<obs::Sampler>(*tele_reg_, cfg_.sampleEvery);
+}
+
+void
+Soc::sampleTelemetry()
+{
+    // State is piecewise-constant between steps, so the post-step
+    // values hold at every grid point the step crossed.
+    tele_running_->set(static_cast<double>(running_ids_.size()));
+    tele_waiting_->set(static_cast<double>(waiting_ids_.size()));
+    tele_free_tiles_->set(static_cast<double>(freeTiles()));
+    tele_dram_mb_->set(static_cast<double>(stats_.dramBytes) /
+                       static_cast<double>(MiB));
+    tele_sampler_->tick(now_);
 }
 
 void
@@ -853,6 +889,8 @@ Soc::beginRun(Cycles max_cycles)
         next_sched_tick_ = 0;
         began_ = true;
     }
+    if (cfg_.sampleEvery > 0 && !tele_reg_)
+        setupTelemetry();
     reserveRunState();
     debugCaptureCapacities();
 }

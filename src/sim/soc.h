@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "mem/memory_model.h"
+#include "obs/sampler.h"
 #include "sim/config.h"
 #include "sim/job.h"
 #include "sim/policy.h"
@@ -275,6 +276,13 @@ class Soc
     TraceRecorder &trace() { return trace_; }
     const TraceRecorder &trace() const { return trace_; }
 
+    /**
+     * Sampled telemetry of this run (null unless cfg.sampleEvery > 0).
+     * Purely observational: instruments mirror state the simulator
+     * already computes, so enabling sampling never changes results.
+     */
+    const obs::Sampler *sampler() const { return tele_sampler_.get(); }
+
   private:
     SocConfig cfg_;
     Policy &policy_;
@@ -475,6 +483,24 @@ class Soc
 
     void completeJob(int id);
     void invokePolicy(SchedEvent event);
+
+    // --- Telemetry (observational only; all null when disabled) -------
+    //
+    // Built by beginRun() when cfg.sampleEvery > 0; the hot path
+    // (accountStep) pays one null-pointer test when sampling is off.
+    std::unique_ptr<obs::Registry> tele_reg_;
+    std::unique_ptr<obs::Sampler> tele_sampler_;
+    obs::Gauge *tele_running_ = nullptr;
+    obs::Gauge *tele_waiting_ = nullptr;
+    obs::Gauge *tele_free_tiles_ = nullptr;
+    obs::Gauge *tele_dram_mb_ = nullptr;
+    obs::Counter *tele_done_ = nullptr;
+    obs::Histogram *tele_latency_ = nullptr;
+
+    /** Register the instrument set and arm the sampler. */
+    void setupTelemetry();
+    /** Refresh gauges and emit rows for all crossed grid points. */
+    void sampleTelemetry();
 
     // --- Per-step scratch ---------------------------------------------
     //

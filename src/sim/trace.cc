@@ -17,6 +17,12 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::BlockBoundary: return "block";
       case TraceEventKind::ThrottleConfig: return "throttle";
       case TraceEventKind::SchedTick: return "tick";
+      case TraceEventKind::AdmissionShed: return "shed";
+      case TraceEventKind::AdmissionDefer: return "defer";
+      case TraceEventKind::SocFail: return "fail";
+      case TraceEventKind::SocRecover: return "recover";
+      case TraceEventKind::ScaleUp: return "scale-up";
+      case TraceEventKind::ScaleDown: return "scale-down";
     }
     return "?";
 }

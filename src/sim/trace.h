@@ -29,7 +29,19 @@ enum class TraceEventKind
     BlockBoundary,  ///< Crossed into a new layer block.
     ThrottleConfig, ///< MoCA throttle engines reprogrammed.
     SchedTick,      ///< Periodic scheduler tick fired (jobId = -1).
+    // Cluster / serve front-end kinds (recorded by the coordinator,
+    // jobId = request or slot id as noted).
+    AdmissionShed,  ///< Admission dropped a request (jobId = req).
+    AdmissionDefer, ///< Admission deferred a request (jobId = req).
+    SocFail,        ///< A fleet SoC failed (jobId = slot).
+    SocRecover,     ///< A failed SoC came back (jobId = slot).
+    ScaleUp,        ///< Autoscaler activated a SoC (jobId = slot).
+    ScaleDown,      ///< Autoscaler drained a SoC (jobId = slot).
 };
+
+/** Count of TraceEventKind values (for coverage iteration). */
+inline constexpr int kNumTraceEventKinds =
+    static_cast<int>(TraceEventKind::ScaleDown) + 1;
 
 /** One recorded event. */
 struct TraceEvent
@@ -40,6 +52,8 @@ struct TraceEvent
     /** Event-dependent value: tiles for start/resize, block index
      *  for boundaries, window cycles for throttle configs. */
     long long value = 0;
+    /** Owning SoC in fleet runs (recorder context; 0 standalone). */
+    int socId = 0;
 };
 
 /** Printable event-kind name. */
@@ -53,12 +67,16 @@ class TraceRecorder
     void enable() { enabled_ = true; }
     bool enabled() const { return enabled_; }
 
+    /** SoC id stamped on subsequent events (fleet context). */
+    void setSocId(int soc_id) { soc_id_ = soc_id; }
+    int socId() const { return soc_id_; }
+
     void
     record(Cycles cycle, TraceEventKind kind, int job_id,
            long long value = 0)
     {
         if (enabled_)
-            events_.push_back({cycle, kind, job_id, value});
+            events_.push_back({cycle, kind, job_id, value, soc_id_});
     }
 
     const std::vector<TraceEvent> &events() const { return events_; }
@@ -76,6 +94,7 @@ class TraceRecorder
 
   private:
     bool enabled_ = false;
+    int soc_id_ = 0;
     std::vector<TraceEvent> events_;
 };
 
